@@ -1,0 +1,97 @@
+// Command windbench regenerates the paper's evaluation (Section 6) on this
+// repository's substrate: Figures 3–8, the plan Tables 4/6/8/10, the
+// optimizer-overhead Table 11, and the design-choice ablations.
+//
+// Usage:
+//
+//	windbench -exp all                 # everything (default)
+//	windbench -exp fig3 -rows 300000   # FS vs HS micro-benchmark, bigger table
+//	windbench -exp fig5                # Q6 scheme comparison
+//	windbench -exp plans               # Tables 4, 6, 8, 10
+//	windbench -exp table11 -queries 5  # optimizer overheads
+//	windbench -exp ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|all")
+		rows      = flag.Int("rows", 120_000, "web_sales rows (paper: 72M at scale factor 100)")
+		seed      = flag.Int64("seed", 0, "generator seed (0 = default)")
+		blockSize = flag.Int("blocksize", 8192, "simulated page size in bytes")
+		queries   = flag.Int("queries", 5, "random queries per point for table11")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Rows: *rows, Seed: *seed, BlockSize: *blockSize}
+	out := os.Stdout
+
+	wants := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wants[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := wants["all"]
+	want := func(name string) bool { return all || wants[name] }
+
+	needData := all || wants["fig3"] || wants["fig4"] || wants["fig5"] ||
+		wants["fig6"] || wants["fig7"] || wants["fig8"] || wants["plans"] || wants["ablation"]
+	var d *bench.Dataset
+	if needData {
+		start := time.Now()
+		fmt.Fprintf(out, "generating web_sales (%d rows) and its sorted/grouped variants...\n", *rows)
+		d = bench.Build(cfg)
+		fmt.Fprintf(out, "done in %v; B(web_sales) = %d blocks of %d bytes\n\n",
+			time.Since(start).Round(time.Millisecond), d.Blocks, *blockSize)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "windbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if want("plans") {
+		if err := d.PrintPlans(out); err != nil {
+			fail(err)
+		}
+	}
+	if want("fig3") {
+		if _, err := d.RunFig3(out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if want("fig4") {
+		if _, err := d.RunFig4(out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	for q, e := range map[string]string{"Q6": "fig5", "Q7": "fig6", "Q8": "fig7", "Q9": "fig8"} {
+		if want(e) {
+			if _, err := d.RunSchemes(q, out); err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if want("table11") {
+		if _, err := bench.RunTable11(*queries, out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if want("ablation") {
+		if _, err := d.RunAblations(out); err != nil {
+			fail(err)
+		}
+	}
+}

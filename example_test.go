@@ -1,0 +1,33 @@
+package windowdb_test
+
+import (
+	"fmt"
+
+	windowdb "repro"
+	"repro/internal/datagen"
+)
+
+// Example reproduces the paper's Example 1: each employee's salary rank
+// within their department and across the whole company.
+func Example() {
+	eng := windowdb.New(windowdb.Config{})
+	eng.Register("emptab", datagen.Emptab())
+
+	res, err := eng.Query(`
+		SELECT empnum,
+		       rank() OVER (PARTITION BY dept ORDER BY salary DESC NULLS LAST) AS rank_in_dept,
+		       rank() OVER (ORDER BY salary DESC NULLS LAST) AS globalrank
+		FROM emptab
+		WHERE dept = 3
+		ORDER BY rank_in_dept`)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Table.Rows {
+		fmt.Printf("emp %s: dept rank %s, global rank %s\n", row[0], row[1], row[2])
+	}
+	// Output:
+	// emp 6: dept rank 1, global rank 1
+	// emp 10: dept rank 2, global rank 2
+	// emp 8: dept rank 3, global rank 3
+}

@@ -1,0 +1,269 @@
+// Package attrs implements the attribute-set and attribute-sequence algebra
+// of Section 2 of the paper: permutations, prefixes, longest common prefixes
+// and concatenation over ordered attribute sequences, and bitset operations
+// over unordered attribute sets.
+//
+// Attributes are identified by their column index in a relation's schema.
+// An ordering element carries a direction and a null ordering so that the
+// same machinery serves both the optimizer (which, following the paper,
+// reasons over ascending keys) and the runtime sort operators (which support
+// DESC and NULLS FIRST/LAST).
+package attrs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies an attribute by its column position in a schema.
+type ID int
+
+// Elem is one element of an ordering sequence: an attribute with a sort
+// direction and null placement. Two elements are interchangeable for
+// order-property reasoning only if all three fields are equal.
+type Elem struct {
+	Attr       ID
+	Desc       bool
+	NullsFirst bool
+}
+
+// Asc returns an ascending, nulls-last ordering element for attr. This is
+// the canonical form the optimizer uses for partitioning-key attributes,
+// mirroring the paper's "all ascending" simplification.
+func Asc(attr ID) Elem { return Elem{Attr: attr} }
+
+// String renders the element like "3" or "3 DESC" for diagnostics.
+func (e Elem) String() string {
+	s := fmt.Sprintf("%d", e.Attr)
+	if e.Desc {
+		s += " DESC"
+	}
+	if e.NullsFirst {
+		s += " NF"
+	}
+	return s
+}
+
+// Seq is an ordered sequence of attributes (the paper's X ∘ Y sequences).
+type Seq []Elem
+
+// AscSeq builds an all-ascending sequence from attribute IDs.
+func AscSeq(ids ...ID) Seq {
+	s := make(Seq, len(ids))
+	for i, id := range ids {
+		s[i] = Asc(id)
+	}
+	return s
+}
+
+// Empty reports whether the sequence is ε.
+func (s Seq) Empty() bool { return len(s) == 0 }
+
+// Concat returns s ∘ t as a fresh sequence.
+func (s Seq) Concat(t Seq) Seq {
+	out := make(Seq, 0, len(s)+len(t))
+	out = append(out, s...)
+	return append(out, t...)
+}
+
+// Equal reports element-wise equality.
+func (s Seq) Equal(t Seq) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports p ≤ s (p is a prefix of s).
+func (s Seq) HasPrefix(p Seq) bool {
+	if len(p) > len(s) {
+		return false
+	}
+	for i := range p {
+		if s[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LCP returns s ∧ t, the longest common prefix of s and t.
+func (s Seq) LCP(t Seq) Seq {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	i := 0
+	for i < n && s[i] == t[i] {
+		i++
+	}
+	return s[:i:i]
+}
+
+// Attrs returns the set of attributes mentioned in the sequence.
+func (s Seq) Attrs() Set {
+	var set Set
+	for _, e := range s {
+		set = set.Add(e.Attr)
+	}
+	return set
+}
+
+// IDs returns the attribute IDs of the sequence in order.
+func (s Seq) IDs() []ID {
+	out := make([]ID, len(s))
+	for i, e := range s {
+		out[i] = e.Attr
+	}
+	return out
+}
+
+// Distinct reports whether no attribute appears twice in the sequence.
+func (s Seq) Distinct() bool {
+	var seen Set
+	for _, e := range s {
+		if seen.Contains(e.Attr) {
+			return false
+		}
+		seen = seen.Add(e.Attr)
+	}
+	return true
+}
+
+// String renders the sequence as "(a, b DESC, c)".
+func (s Seq) String() string {
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Clone returns a copy of the sequence.
+func (s Seq) Clone() Seq {
+	out := make(Seq, len(s))
+	copy(out, s)
+	return out
+}
+
+// Set is an unordered attribute set backed by a 64-bit bitmap. Relations are
+// therefore limited to 64 attributes, far beyond any workload in the paper.
+type Set uint64
+
+// MakeSet builds a set from attribute IDs.
+func MakeSet(ids ...ID) Set {
+	var s Set
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// Add returns s ∪ {id}.
+func (s Set) Add(id ID) Set {
+	if id < 0 || id >= 64 {
+		panic(fmt.Sprintf("attrs: attribute id %d out of range [0,64)", id))
+	}
+	return s | 1<<uint(id)
+}
+
+// Remove returns s − {id}.
+func (s Set) Remove(id ID) Set { return s &^ (1 << uint(id)) }
+
+// Contains reports id ∈ s.
+func (s Set) Contains(id ID) bool {
+	return id >= 0 && id < 64 && s&(1<<uint(id)) != 0
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s − t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// SubsetOf reports s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Empty reports s = ∅.
+func (s Set) Empty() bool { return s == 0 }
+
+// Len returns |s|.
+func (s Set) Len() int {
+	n := 0
+	for v := uint64(s); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// IDs returns the members in ascending order.
+func (s Set) IDs() []ID {
+	out := make([]ID, 0, s.Len())
+	for id := ID(0); id < 64; id++ {
+		if s.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AscSeq returns the canonical ascending sequence of the set's members in
+// ascending ID order. Used where any permutation is acceptable and a
+// deterministic choice is wanted.
+func (s Set) AscSeq() Seq {
+	return AscSeq(s.IDs()...)
+}
+
+// String renders the set as "{a, b}".
+func (s Set) String() string {
+	ids := s.IDs()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Permutations invokes fn with every permutation of the set's members (as
+// ascending Elems) until fn returns false. The empty set has exactly one
+// permutation, the empty sequence. The iteration order is deterministic
+// (lexicographic over IDs). It is intended for the small partitioning-key
+// sets of window specifications; the caller is responsible for not calling
+// it on large sets.
+func (s Set) Permutations(fn func(Seq) bool) {
+	ids := s.IDs()
+	perm := make([]ID, len(ids))
+	copy(perm, ids)
+	permute(perm, 0, fn)
+}
+
+func permute(ids []ID, k int, fn func(Seq) bool) bool {
+	if k == len(ids) {
+		return fn(AscSeq(ids...))
+	}
+	// Generate in deterministic order: sort the tail candidates.
+	tail := append([]ID(nil), ids[k:]...)
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	for _, cand := range tail {
+		// Move cand to position k.
+		idx := k
+		for ids[idx] != cand {
+			idx++
+		}
+		ids[k], ids[idx] = ids[idx], ids[k]
+		if !permute(ids, k+1, fn) {
+			return false
+		}
+		ids[k], ids[idx] = ids[idx], ids[k]
+	}
+	return true
+}

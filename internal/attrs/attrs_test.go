@@ -1,0 +1,173 @@
+package attrs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqPrefixLCP(t *testing.T) {
+	a := AscSeq(1, 2, 3)
+	b := AscSeq(1, 2)
+	c := AscSeq(1, 4)
+	if !a.HasPrefix(b) {
+		t.Errorf("%s should have prefix %s", a, b)
+	}
+	if b.HasPrefix(a) {
+		t.Errorf("%s should not have prefix %s", b, a)
+	}
+	if !a.HasPrefix(Seq{}) {
+		t.Errorf("every sequence has the empty prefix")
+	}
+	if got := a.LCP(c); len(got) != 1 || got[0].Attr != 1 {
+		t.Errorf("LCP(%s, %s) = %s, want (1)", a, c, got)
+	}
+	if got := a.LCP(b); !got.Equal(b) {
+		t.Errorf("LCP(%s, %s) = %s, want %s", a, b, got, b)
+	}
+	// Direction changes break prefixes.
+	d := Seq{{Attr: 1, Desc: true}}
+	if a.HasPrefix(d) {
+		t.Errorf("ascending sequence should not have a descending prefix")
+	}
+}
+
+func TestSeqConcat(t *testing.T) {
+	a := AscSeq(1)
+	b := AscSeq(2, 3)
+	got := a.Concat(b)
+	if !got.Equal(AscSeq(1, 2, 3)) {
+		t.Errorf("Concat = %s", got)
+	}
+	// Concat must not alias its receiver's backing array.
+	got[0] = Asc(9)
+	if a[0] != Asc(1) {
+		t.Errorf("Concat aliased receiver")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := MakeSet(1, 3, 5)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Errorf("Contains wrong")
+	}
+	if !MakeSet(1, 3).SubsetOf(s) || s.SubsetOf(MakeSet(1, 3)) {
+		t.Errorf("SubsetOf wrong")
+	}
+	if s.Minus(MakeSet(3)) != MakeSet(1, 5) {
+		t.Errorf("Minus wrong")
+	}
+	if s.Union(MakeSet(2)) != MakeSet(1, 2, 3, 5) {
+		t.Errorf("Union wrong")
+	}
+	if s.Intersect(MakeSet(3, 5, 7)) != MakeSet(3, 5) {
+		t.Errorf("Intersect wrong")
+	}
+	if got := s.IDs(); len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Errorf("IDs = %v", got)
+	}
+}
+
+func TestSetQuickProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// Union is commutative and contains both operands.
+	if err := quick.Check(func(a, b uint16) bool {
+		x, y := Set(a), Set(b)
+		u := x.Union(y)
+		return u == y.Union(x) && x.SubsetOf(u) && y.SubsetOf(u)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Minus then intersect is empty.
+	if err := quick.Check(func(a, b uint16) bool {
+		x, y := Set(a), Set(b)
+		return x.Minus(y).Intersect(y).Empty()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Len agrees with IDs.
+	if err := quick.Check(func(a uint16) bool {
+		return Set(a).Len() == len(Set(a).IDs())
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	s := MakeSet(1, 2, 3)
+	var perms []Seq
+	s.Permutations(func(p Seq) bool {
+		perms = append(perms, p.Clone())
+		return true
+	})
+	if len(perms) != 6 {
+		t.Fatalf("3-set yields %d permutations, want 6", len(perms))
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		if p.Attrs() != s || len(p) != 3 {
+			t.Errorf("permutation %s is not over %s", p, s)
+		}
+		if seen[p.String()] {
+			t.Errorf("duplicate permutation %s", p)
+		}
+		seen[p.String()] = true
+	}
+	// Early stop.
+	count := 0
+	s.Permutations(func(p Seq) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d permutations", count)
+	}
+	// The empty set has exactly one permutation: ε.
+	calls := 0
+	MakeSet().Permutations(func(p Seq) bool {
+		calls++
+		return len(p) == 0
+	})
+	if calls != 1 {
+		t.Errorf("empty set yielded %d permutations, want 1 (the empty sequence)", calls)
+	}
+}
+
+func TestPermutationsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		s := MakeSet(ID(rng.Intn(8)), ID(rng.Intn(8)), ID(rng.Intn(8)))
+		var first, second []string
+		s.Permutations(func(p Seq) bool { first = append(first, p.String()); return true })
+		s.Permutations(func(p Seq) bool { second = append(second, p.String()); return true })
+		if len(first) != len(second) {
+			t.Fatalf("non-deterministic permutation count")
+		}
+		for j := range first {
+			if first[j] != second[j] {
+				t.Fatalf("non-deterministic permutation order")
+			}
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	if !AscSeq(1, 2, 3).Distinct() {
+		t.Errorf("distinct sequence misreported")
+	}
+	if AscSeq(1, 2, 1).Distinct() {
+		t.Errorf("duplicate attribute not detected")
+	}
+}
+
+func TestAddOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Add(64) should panic")
+		}
+	}()
+	MakeSet(64)
+}

@@ -1,0 +1,147 @@
+// Package catalog registers tables and computes the column statistics the
+// cost models and the Hashed Sort consume: distinct-value counts D(A) and
+// most-frequent values (MFVs) whose groups exceed a memory budget.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/attrs"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Catalog maps table names to entries. Safe for concurrent reads after
+// registration.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Entry
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Entry)}
+}
+
+// Register adds (or replaces) a table.
+func (c *Catalog) Register(name string, t *storage.Table) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &Entry{Name: name, Table: t, distinct: make(map[attrs.Set]int64)}
+	c.tables[name] = e
+	return e
+}
+
+// Lookup finds a table entry.
+func (c *Catalog) Lookup(name string) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return e, nil
+}
+
+// Names lists registered tables in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Entry is one registered table plus lazily computed statistics.
+type Entry struct {
+	Name  string
+	Table *storage.Table
+
+	mu       sync.Mutex
+	distinct map[attrs.Set]int64
+	byteSize int64
+}
+
+// Rows returns the row count.
+func (e *Entry) Rows() int64 { return int64(e.Table.Len()) }
+
+// ByteSize returns (and caches) the serialized size.
+func (e *Entry) ByteSize() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.byteSize == 0 {
+		e.byteSize = int64(e.Table.ByteSize())
+	}
+	return e.byteSize
+}
+
+// Blocks returns B(R) for a block size.
+func (e *Entry) Blocks(blockSize int) int64 {
+	if blockSize <= 0 {
+		blockSize = 8192
+	}
+	return (e.ByteSize() + int64(blockSize) - 1) / int64(blockSize)
+}
+
+// Distinct returns the exact distinct count of the attribute set, cached.
+func (e *Entry) Distinct(set attrs.Set) int64 {
+	e.mu.Lock()
+	if d, ok := e.distinct[set]; ok {
+		e.mu.Unlock()
+		return d
+	}
+	e.mu.Unlock()
+	d := int64(e.Table.DistinctCount(set))
+	e.mu.Lock()
+	e.distinct[set] = d
+	e.mu.Unlock()
+	return d
+}
+
+// MFVs returns the encoded values of the attribute set whose groups exceed
+// memBytes of tuple data — the candidates for the Hashed Sort bypass
+// optimization (Section 3.2). The encoding matches reorder.EncodeHashKey.
+func (e *Entry) MFVs(set attrs.Set, memBytes int) map[string]bool {
+	if memBytes <= 0 {
+		return nil
+	}
+	sizes := make(map[string]int)
+	ids := set.IDs()
+	var buf []byte
+	for _, t := range e.Table.Rows {
+		buf = buf[:0]
+		for _, id := range ids {
+			buf = storage.AppendTuple(buf, storage.Tuple{t[id]})
+		}
+		sizes[string(buf)] += t.Size()
+	}
+	out := make(map[string]bool)
+	for v, sz := range sizes {
+		if sz > memBytes {
+			out[v] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// CostParams builds the cost-model inputs for this table.
+func (e *Entry) CostParams(memBytes, blockSize int) core.CostParams {
+	if blockSize <= 0 {
+		blockSize = 8192
+	}
+	return core.CostParams{
+		TableBlocks: e.Blocks(blockSize),
+		TableTuples: e.Rows(),
+		MemBlocks:   int64(memBytes) / int64(blockSize),
+		BlockSize:   blockSize,
+		Distinct:    e.Distinct,
+	}
+}

@@ -1,0 +1,95 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/attrs"
+	"repro/internal/storage"
+)
+
+func table(rows ...[]int64) *storage.Table {
+	t := storage.NewTable(storage.NewSchema(
+		storage.Column{Name: "a", Type: storage.TypeInt},
+		storage.Column{Name: "b", Type: storage.TypeInt},
+	))
+	for _, r := range rows {
+		t.MustAppend(storage.Tuple{storage.Int(r[0]), storage.Int(r[1])})
+	}
+	return t
+}
+
+func TestRegisterLookup(t *testing.T) {
+	c := New()
+	c.Register("t1", table([]int64{1, 2}))
+	c.Register("t2", table([]int64{1, 2}, []int64{3, 4}))
+	e, err := c.Lookup("t1")
+	if err != nil || e.Rows() != 1 {
+		t.Fatalf("lookup t1: %v %v", e, err)
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Errorf("missing table should error")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "t1" || names[1] != "t2" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestDistinctCached(t *testing.T) {
+	c := New()
+	e := c.Register("t", table([]int64{1, 1}, []int64{1, 2}, []int64{2, 2}))
+	if d := e.Distinct(attrs.MakeSet(0)); d != 2 {
+		t.Errorf("D(a) = %d", d)
+	}
+	if d := e.Distinct(attrs.MakeSet(0, 1)); d != 3 {
+		t.Errorf("D(a,b) = %d", d)
+	}
+	// Second call hits the cache (same answer).
+	if d := e.Distinct(attrs.MakeSet(0)); d != 2 {
+		t.Errorf("cached D(a) = %d", d)
+	}
+	if d := e.Distinct(attrs.MakeSet()); d != 1 {
+		t.Errorf("D(∅) = %d, want 1", d)
+	}
+}
+
+func TestMFVs(t *testing.T) {
+	c := New()
+	var rows [][]int64
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []int64{7, int64(i)}) // value 7 dominates column a
+	}
+	rows = append(rows, []int64{1, 0}, []int64{2, 0})
+	e := c.Register("t", table(rows...))
+	tupleSize := e.Table.Rows[0].Size()
+	mfvs := e.MFVs(attrs.MakeSet(0), 10*tupleSize)
+	if len(mfvs) != 1 {
+		t.Fatalf("MFVs = %d entries, want 1", len(mfvs))
+	}
+	// The encoded key of value 7 must be present.
+	key := string(storage.AppendTuple(nil, storage.Tuple{storage.Int(7)}))
+	if !mfvs[key] {
+		t.Errorf("dominant value missing from MFVs")
+	}
+	if e.MFVs(attrs.MakeSet(0), 0) != nil {
+		t.Errorf("MFVs with no budget should be nil")
+	}
+	if e.MFVs(attrs.MakeSet(1), 1000*tupleSize) != nil {
+		t.Errorf("uniform column should have no MFVs")
+	}
+}
+
+func TestCostParams(t *testing.T) {
+	c := New()
+	e := c.Register("t", table([]int64{1, 2}, []int64{3, 4}))
+	p := e.CostParams(64<<10, 4096)
+	if p.TableTuples != 2 || p.MemBlocks != 16 || p.BlockSize != 4096 {
+		t.Errorf("params = %+v", p)
+	}
+	if p.Distinct == nil || p.Distinct(attrs.MakeSet(0)) != 2 {
+		t.Errorf("distinct estimator broken")
+	}
+	if e.Blocks(4096) < 1 {
+		t.Errorf("blocks = %d", e.Blocks(4096))
+	}
+}

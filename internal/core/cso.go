@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attrs"
+)
+
+// Options configures plan generation.
+type Options struct {
+	// Cost supplies the statistics for cost-based FS/HS selection.
+	Cost CostParams
+	// DisableHS forces FS for all heavy reorders (the CSO(v1) variant of
+	// Section 6.2); DisableSS disables Segmented Sort (CSO(v2)).
+	DisableHS bool
+	DisableSS bool
+}
+
+// CSO generates a window-function chain with the cover-set based
+// optimization scheme of Section 4:
+//
+//	C0 — functions matched by the input relation: evaluated first, no
+//	     reordering (Corollary 1);
+//	C1 — SS-reorderable functions: partitioned into a minimum number of
+//	     cover sets, one SS per cover set (Section 4.4, Theorem 7);
+//	C2 — the rest: partitioned into a minimum number of prefixable subsets
+//	     Pi (Theorem 8), each evaluated with exactly one FS/HS (for its
+//	     first cover set, keyed by a θ(Pi)-prefixed covering permutation)
+//	     plus one SS per remaining cover set (Section 4.5).
+func CSO(ws []WF, in Props, opt Options) (*Plan, error) {
+	plan := &Plan{Scheme: "CSO"}
+	props := in
+
+	var c0, c1, c2 []WF
+	ordered := append([]WF(nil), ws...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, wf := range ordered {
+		switch {
+		case in.Matches(wf):
+			c0 = append(c0, wf)
+		case !opt.DisableSS && SSReorderable(in, wf):
+			c1 = append(c1, wf)
+		default:
+			c2 = append(c2, wf)
+		}
+	}
+
+	for _, wf := range c0 {
+		plan.Steps = append(plan.Steps, Step{WF: wf, Reorder: ReorderNone, In: props, Out: props})
+	}
+
+	if len(c1) > 0 {
+		csets := PartitionCoverSets(c1)
+		sortCoverSets(csets)
+		for _, cs := range csets {
+			if err := emitSSCoverSet(plan, cs, &props); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if len(c2) > 0 {
+		groups := PartitionPrefixable(c2)
+		for _, g := range groups {
+			if err := emitPrefixGroup(plan, g, &props, opt); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := plan.Validate(ws, in); err != nil {
+		return nil, fmt.Errorf("core: CSO produced invalid plan: %w", err)
+	}
+	return plan, nil
+}
+
+// sortCoverSets orders cover sets for evaluation: longest covering
+// permutation first (its reorder gives downstream Segmented Sorts the
+// longest shared α prefixes), then larger sets, then lower covering ID.
+func sortCoverSets(csets []CoverSet) {
+	sort.SliceStable(csets, func(i, j int) bool {
+		if len(csets[i].Gamma) != len(csets[j].Gamma) {
+			return len(csets[i].Gamma) > len(csets[j].Gamma)
+		}
+		if csets[i].Size() != csets[j].Size() {
+			return csets[i].Size() > csets[j].Size()
+		}
+		return csets[i].Covering.ID < csets[j].Covering.ID
+	})
+}
+
+// coveringSeqAligned finds a covering permutation of the cover set that
+// shares the longest possible literal prefix with y, maximizing the α a
+// Segmented Sort can exploit.
+func coveringSeqAligned(c WF, members []WF, y attrs.Seq) (attrs.Seq, bool) {
+	limit := c.PK.Len() + len(c.OK)
+	if len(y) < limit {
+		limit = len(y)
+	}
+	for k := limit; k >= 0; k-- {
+		if seq, ok := CoveringSeq(c, members, y[:k]); ok {
+			return seq, true
+		}
+	}
+	return nil, false
+}
+
+// emitSSCoverSet appends one cover set evaluated via a single Segmented Sort
+// on its covering function (Theorem 7), or with no reorder at all when the
+// current stream already matches every member.
+func emitSSCoverSet(plan *Plan, cs CoverSet, props *Props) error {
+	matchedAll := true
+	for _, m := range cs.Members {
+		if !props.Matches(m) {
+			matchedAll = false
+			break
+		}
+	}
+	if matchedAll {
+		for _, m := range cs.Members {
+			plan.Steps = append(plan.Steps, Step{WF: m, Reorder: ReorderNone, In: *props, Out: *props})
+		}
+		return nil
+	}
+	target, ok := coveringSeqAligned(cs.Covering, cs.Members, props.Y)
+	if !ok {
+		return fmt.Errorf("core: no covering permutation for cover set led by %s", cs.Covering)
+	}
+	alpha, beta := SSDerive(*props, target)
+	if props.X.Empty() && alpha.Empty() {
+		return fmt.Errorf("core: segmented sort for %s would degenerate to a full sort", cs.Covering)
+	}
+	out := Props{X: props.X, Y: target, Grouped: props.Grouped}
+	plan.Steps = append(plan.Steps, Step{
+		WF: cs.Covering, Reorder: ReorderSS,
+		SortKey: target, Alpha: alpha, Beta: beta,
+		In: *props, Out: out,
+	})
+	*props = out
+	for _, m := range cs.Members[1:] {
+		plan.Steps = append(plan.Steps, Step{WF: m, Reorder: ReorderNone, In: out, Out: out})
+	}
+	return nil
+}
+
+// emitPrefixGroup appends one prefixable subset Pi: its leading cover set is
+// reordered with FS or HS (cost-based, Sections 4.5.1–4.5.2), the remaining
+// cover sets with SS.
+func emitPrefixGroup(plan *Plan, g PrefixGroup, props *Props, opt Options) error {
+	theta := Theta(g.Members)
+	csets := PartitionCoverSets(g.Members)
+	sortCoverSets(csets)
+
+	if opt.DisableSS {
+		// CSO(v2): without Segmented Sort every cover set pays its own
+		// FS/HS (the Section 6.2 ablation variant).
+		for _, cs := range csets {
+			gamma, ok := CoveringSeq(cs.Covering, cs.Members, nil)
+			if !ok {
+				return fmt.Errorf("core: cover set led by %s has no covering permutation", cs.Covering)
+			}
+			whk := ThetaHashPrefix(Theta(cs.Members), cs.Members).Attrs()
+			emitHeavy(plan, cs, gamma, whk.IDs(), props, opt)
+		}
+		return nil
+	}
+
+	// Choose the leader: the first cover set (by the same preference order)
+	// whose covering permutation admits a non-empty θ prefix — required so
+	// the remaining cover sets stay SS-reorderable (footnote 5). With a
+	// single cover set any leader works.
+	leadIdx := -1
+	var leadGamma attrs.Seq
+	for i, cs := range csets {
+		gamma, ok := thetaPrefixedGamma(cs, theta, len(csets) > 1)
+		if ok {
+			leadIdx, leadGamma = i, gamma
+			break
+		}
+	}
+	if leadIdx < 0 {
+		// No cover set can host the θ prefix: give every cover set its own
+		// heavy reorder (correct, if suboptimal).
+		for _, cs := range csets {
+			gamma, ok := CoveringSeq(cs.Covering, cs.Members, nil)
+			if !ok {
+				return fmt.Errorf("core: cover set led by %s has no covering permutation", cs.Covering)
+			}
+			emitHeavy(plan, cs, gamma, nil, props, opt)
+		}
+		return nil
+	}
+
+	lead := csets[leadIdx]
+	rest := make([]CoverSet, 0, len(csets)-1)
+	rest = append(rest, csets[:leadIdx]...)
+	rest = append(rest, csets[leadIdx+1:]...)
+
+	// HS applicability (Section 4.5.2, strengthened Pi-wide): the hash key
+	// must be grouping-compatible with every member of Pi so that later
+	// cover sets remain SS-reorderable and their members matched.
+	var whk attrs.Set
+	if !opt.DisableHS {
+		thetaPrime := ThetaHashPrefix(theta, g.Members)
+		whk = thetaPrime.Attrs()
+	}
+	emitHeavy(plan, lead, leadGamma, whk.IDs(), props, opt)
+
+	for _, cs := range rest {
+		if err := emitSSCoverSet(plan, cs, props); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// thetaPrefixedGamma builds the leader's covering permutation γ with the
+// longest workable prefix of θ; when required (other cover sets follow) the
+// prefix must be non-empty.
+func thetaPrefixedGamma(cs CoverSet, theta attrs.Seq, required bool) (attrs.Seq, bool) {
+	for k := len(theta); k >= 0; k-- {
+		if required && k == 0 {
+			return nil, false
+		}
+		if gamma, ok := CoveringSeq(cs.Covering, cs.Members, theta[:k]); ok {
+			return gamma, true
+		}
+	}
+	if required {
+		return nil, false
+	}
+	return nil, false
+}
+
+// emitHeavy appends one cover set reordered with FS or HS, choosing
+// cost-based between them when both apply.
+func emitHeavy(plan *Plan, cs CoverSet, gamma attrs.Seq, whkIDs []attrs.ID, props *Props, opt Options) {
+	whk := attrs.MakeSet(whkIDs...)
+	useHS := false
+	if !opt.DisableHS && !whk.Empty() && HSReorderable(cs.Covering) && whk.SubsetOf(cs.Covering.PK) {
+		useHS = opt.Cost.HSCost(whk) < opt.Cost.FSCost()
+	}
+	var out Props
+	var step Step
+	if useHS {
+		out = Props{X: whk, Y: gamma}
+		step = Step{WF: cs.Covering, Reorder: ReorderHS, SortKey: gamma, HashKey: whk, In: *props, Out: out}
+	} else {
+		out = TotallyOrdered(gamma)
+		step = Step{WF: cs.Covering, Reorder: ReorderFS, SortKey: gamma, In: *props, Out: out}
+	}
+	plan.Steps = append(plan.Steps, step)
+	*props = out
+	for _, m := range cs.Members[1:] {
+		plan.Steps = append(plan.Steps, Step{WF: m, Reorder: ReorderNone, In: out, Out: out})
+	}
+}

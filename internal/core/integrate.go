@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/attrs"
+)
+
+// This file implements the Section 5 "tightly integrated" optimization:
+// the evaluation order of C2's prefixable groups (and of C1's cover sets
+// when C2 is empty) is a degree of freedom (Section 4.6), so among the
+// cost-equal chains we can pick the one whose output ordering (partially)
+// satisfies the query's ORDER BY — letting the final sort be skipped
+// entirely or downgraded to a partial sort of already-formed groups.
+
+// OrderSatisfiedPrefix returns how many leading elements of the required
+// ordering are already guaranteed by a stream with property p. A global
+// ordering requires a single segment (X = ∅).
+func OrderSatisfiedPrefix(p Props, order attrs.Seq) int {
+	if len(order) == 0 {
+		return 0
+	}
+	if !p.X.Empty() {
+		return 0
+	}
+	return len(p.Y.LCP(order))
+}
+
+// CSOAligned runs CSO and then, following Section 5, searches the
+// reshufflings that move each independent unit (a prefixable group of C2,
+// or a cover set of C1 when C2 is empty) to the end of the chain, returning
+// the chain whose final ordering satisfies the longest prefix of finalOrder.
+// Under the relation size assumption all candidates cost the same, so the
+// reshuffle is free; ties keep the default chain. An empty finalOrder is
+// just CSO.
+func CSOAligned(ws []WF, in Props, opt Options, finalOrder attrs.Seq) (*Plan, error) {
+	base, err := CSO(ws, in, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(finalOrder) == 0 {
+		return base, nil
+	}
+	best := base
+	bestSat := OrderSatisfiedPrefix(base.FinalProps(in), finalOrder)
+	baseCost := opt.Cost.PlanCost(base)
+	// Candidate chains: move unit u last. Units are re-derived inside
+	// csoWithLastUnit so property evolution stays consistent.
+	for u := 0; ; u++ {
+		plan, more, err := csoWithLastUnit(ws, in, opt, u)
+		if !more {
+			break
+		}
+		if err != nil {
+			continue // an ordering that fails validation is just skipped
+		}
+		if opt.Cost.PlanCost(plan) > baseCost+1e-9 {
+			continue // never trade execution cost for ordering
+		}
+		if sat := OrderSatisfiedPrefix(plan.FinalProps(in), finalOrder); sat > bestSat {
+			best, bestSat = plan, sat
+		}
+	}
+	return best, nil
+}
+
+// csoWithLastUnit re-runs the CSO emission with unit index u moved to the
+// end. more is false once u exceeds the number of movable units.
+func csoWithLastUnit(ws []WF, in Props, opt Options, u int) (plan *Plan, more bool, err error) {
+	plan = &Plan{Scheme: "CSO"}
+	props := in
+
+	var c0, c1, c2 []WF
+	ordered := append([]WF(nil), ws...)
+	sortWFsByID(ordered)
+	for _, wf := range ordered {
+		switch {
+		case in.Matches(wf):
+			c0 = append(c0, wf)
+		case !opt.DisableSS && SSReorderable(in, wf):
+			c1 = append(c1, wf)
+		default:
+			c2 = append(c2, wf)
+		}
+	}
+	for _, wf := range c0 {
+		plan.Steps = append(plan.Steps, Step{WF: wf, Reorder: ReorderNone, In: props, Out: props})
+	}
+
+	csets := PartitionCoverSets(c1)
+	sortCoverSets(csets)
+	groups := PartitionPrefixable(c2)
+
+	// Determine the movable unit list: C2 groups, or C1 cover sets when C2
+	// is empty (Section 5 reshuffles "the Pi's of C2 ... or the cover sets
+	// of C1 if C2 is empty").
+	switch {
+	case len(groups) > 0:
+		if u >= len(groups) {
+			return nil, false, nil
+		}
+		rotated := make([]PrefixGroup, 0, len(groups))
+		for i, g := range groups {
+			if i != u {
+				rotated = append(rotated, g)
+			}
+		}
+		rotated = append(rotated, groups[u])
+		for _, cs := range csets {
+			if err := emitSSCoverSet(plan, cs, &props); err != nil {
+				return nil, true, err
+			}
+		}
+		for _, g := range rotated {
+			if err := emitPrefixGroup(plan, g, &props, opt); err != nil {
+				return nil, true, err
+			}
+		}
+	case len(csets) > 0:
+		if u >= len(csets) {
+			return nil, false, nil
+		}
+		rotated := make([]CoverSet, 0, len(csets))
+		for i, cs := range csets {
+			if i != u {
+				rotated = append(rotated, cs)
+			}
+		}
+		rotated = append(rotated, csets[u])
+		for _, cs := range rotated {
+			if err := emitSSCoverSet(plan, cs, &props); err != nil {
+				return nil, true, err
+			}
+		}
+	default:
+		return nil, false, nil
+	}
+
+	if err := plan.Validate(ws, in); err != nil {
+		return nil, true, err
+	}
+	return plan, true, nil
+}
+
+func sortWFsByID(ws []WF) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].ID < ws[j-1].ID; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}

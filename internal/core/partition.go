@@ -1,0 +1,464 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/attrs"
+)
+
+// This file implements the two partitioning problems of Section 4, both
+// NP-hard (Theorems 6 and 9):
+//
+//   - partitioning a set of window functions into a minimum number of cover
+//     sets (Section 4.4; reduction from minimum vertex coloring), solved
+//     with a greedy maximum-cover heuristic (and a DSATUR-based alternative
+//     used for cross-validation and the partition-heuristic ablation);
+//   - partitioning C2 into a minimum number of prefixable subsets
+//     (Section 4.5; reduction from minimum set cover), solved exactly for
+//     the small attribute counts of real queries via branch-and-bound set
+//     cover — matching the paper's observation that its greedy heuristic
+//     found the optimal partitioning for all tested queries — with the
+//     O(|W|²) greedy as fallback for large inputs.
+
+// CoverSet is an ordered cover set: Covering first (the paper's wf* — the
+// first function evaluated, whose reordering serves the whole set), then the
+// remaining members in decreasing key length (ties by ascending ID),
+// mirroring the member order of the paper's plan tables.
+type CoverSet struct {
+	Covering WF
+	Members  []WF // includes Covering, in evaluation order
+	// Gamma is a covering permutation (with no external prefix constraint);
+	// planners may recompute it with θ-prefix or alignment constraints.
+	Gamma attrs.Seq
+}
+
+// Size returns the number of member functions.
+func (c CoverSet) Size() int { return len(c.Members) }
+
+func orderCoverSet(covering WF, members []WF) CoverSet {
+	rest := make([]WF, 0, len(members)-1)
+	for _, m := range members {
+		if m.ID != covering.ID {
+			rest = append(rest, m)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		li := rest[i].PK.Len() + len(rest[i].OK)
+		lj := rest[j].PK.Len() + len(rest[j].OK)
+		if li != lj {
+			return li > lj
+		}
+		return rest[i].ID < rest[j].ID
+	})
+	ordered := append([]WF{covering}, rest...)
+	gamma, _ := CoveringSeq(covering, members, nil)
+	return CoverSet{Covering: covering, Members: ordered, Gamma: gamma}
+}
+
+// PartitionCoverSets partitions ws into cover sets greedily: repeatedly
+// choose the candidate covering function whose maximal jointly-coverable
+// subset of the remaining functions (found by branch-and-bound over the
+// joint covering test) is largest. Ties prefer the lower covering ID
+// (SELECT-clause order). The result is returned in selection order.
+func PartitionCoverSets(ws []WF) []CoverSet {
+	remaining := append([]WF(nil), ws...)
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i].ID < remaining[j].ID })
+	var out []CoverSet
+	for len(remaining) > 0 {
+		var (
+			bestC   WF
+			bestSet []WF
+		)
+		for _, c := range remaining {
+			set := maxCoverSubset(c, remaining)
+			better := false
+			switch {
+			case bestSet == nil:
+				better = true
+			case len(set) > len(bestSet):
+				better = true
+			case len(set) == len(bestSet) && c.ID < bestC.ID:
+				// SELECT-clause order tie-break, matching the groupings the
+				// paper reports for CSO on Q6–Q9.
+				better = true
+			}
+			if better {
+				bestC, bestSet = c, set
+			}
+		}
+		out = append(out, orderCoverSet(bestC, bestSet))
+		taken := make(map[int]bool, len(bestSet))
+		for _, m := range bestSet {
+			taken[m.ID] = true
+		}
+		next := remaining[:0]
+		for _, m := range remaining {
+			if !taken[m.ID] {
+				next = append(next, m)
+			}
+		}
+		remaining = next
+	}
+	return out
+}
+
+// maxCoverSubset finds a maximum subset of remaining (which includes c)
+// jointly coverable with c as the covering function. Branch and bound over
+// include/exclude decisions in ID order; the first maximal subset found is
+// kept on ties, which preserves SELECT-order preference. Greedy ID-order
+// insertion is not enough: on Q7, greedily admitting wf2 into wf5's set
+// blocks the larger {wf5, wf4, wf3}.
+func maxCoverSubset(c WF, remaining []WF) []WF {
+	others := make([]WF, 0, len(remaining)-1)
+	for _, m := range remaining {
+		if m.ID != c.ID {
+			others = append(others, m)
+		}
+	}
+	best := []WF{c}
+	cur := []WF{c}
+	var dfs func(i int)
+	dfs = func(i int) {
+		if len(cur)+len(others)-i <= len(best) {
+			return // cannot beat the incumbent
+		}
+		if i == len(others) {
+			if len(cur) > len(best) {
+				best = append([]WF(nil), cur...)
+			}
+			return
+		}
+		trial := append(append([]WF(nil), cur...), others[i])
+		if _, ok := CoveringSeq(c, trial, nil); ok {
+			cur = append(cur, others[i])
+			dfs(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+		dfs(i + 1)
+	}
+	dfs(0)
+	return best
+}
+
+// PartitionCoverSetsDSATUR is the Brélaz-style alternative mentioned in
+// Section 4.4: color the pairwise-incompatibility graph with DSATUR, then
+// validate each color class with the joint covering test, splitting classes
+// that pairwise compatibility wrongly merged. Used by tests and the
+// partition-heuristic ablation.
+func PartitionCoverSetsDSATUR(ws []WF) []CoverSet {
+	n := len(ws)
+	if n == 0 {
+		return nil
+	}
+	// Conflict edge: neither function can cover the other.
+	conflict := make([][]bool, n)
+	for i := range conflict {
+		conflict[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !Covers(ws[i], ws[j]) && !Covers(ws[j], ws[i]) {
+				conflict[i][j], conflict[j][i] = true, true
+			}
+		}
+	}
+	color := make([]int, n)
+	for i := range color {
+		color[i] = -1
+	}
+	degree := make([]int, n)
+	for i := range conflict {
+		for j := range conflict[i] {
+			if conflict[i][j] {
+				degree[i]++
+			}
+		}
+	}
+	colors := 0
+	for done := 0; done < n; done++ {
+		// Pick the uncolored vertex with maximum saturation, then degree.
+		best, bestSat := -1, -1
+		for v := 0; v < n; v++ {
+			if color[v] >= 0 {
+				continue
+			}
+			satSet := map[int]bool{}
+			for u := 0; u < n; u++ {
+				if conflict[v][u] && color[u] >= 0 {
+					satSet[color[u]] = true
+				}
+			}
+			sat := len(satSet)
+			if sat > bestSat || (sat == bestSat && (best < 0 || degree[v] > degree[best])) {
+				best, bestSat = v, sat
+			}
+		}
+		used := map[int]bool{}
+		for u := 0; u < n; u++ {
+			if conflict[best][u] && color[u] >= 0 {
+				used[color[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		color[best] = c
+		if c+1 > colors {
+			colors = c + 1
+		}
+	}
+	var out []CoverSet
+	for c := 0; c < colors; c++ {
+		var class []WF
+		for v := 0; v < n; v++ {
+			if color[v] == c {
+				class = append(class, ws[v])
+			}
+		}
+		// Pairwise compatibility does not imply a joint covering
+		// permutation; split the class greedily where needed.
+		out = append(out, PartitionCoverSets(class)...)
+	}
+	return out
+}
+
+// prefCand is a candidate prefixable group: the shared first element and the
+// indices (into the input slice) of the functions that can start with it.
+type prefCand struct {
+	e       attrs.Elem
+	members []int
+}
+
+// PrefixGroup is one prefixable subset Pi of C2 with the attribute element
+// whose shareability formed it.
+type PrefixGroup struct {
+	First   attrs.Elem
+	Members []WF
+}
+
+// PartitionPrefixable partitions ws into a minimum number of prefixable
+// subsets (Definition 5). Feasibility of a group keyed by element e: every
+// member must be able to start its key with e — i.e. e.Attr ∈ WPK (any
+// direction: a partitioning slot groups under any direction), or WPK = ∅
+// and WOK begins with exactly e. Minimization is exact set cover over the
+// candidate first-elements (branch and bound; candidate counts are tiny),
+// falling back to the paper's O(|W|²) greedy beyond 20 functions. Functions
+// covered by several chosen groups are assigned to minimize the total number
+// of cover sets (the quantity the next stage pays for), ties keeping the
+// earlier group. Groups are returned largest-first (ties by ascending
+// attribute then direction), which is also their evaluation order.
+func PartitionPrefixable(ws []WF) []PrefixGroup {
+	if len(ws) == 0 {
+		return nil
+	}
+	accepts := func(wf WF, e attrs.Elem) bool {
+		if wf.PK.Contains(e.Attr) {
+			return true
+		}
+		return wf.PK.Empty() && len(wf.OK) > 0 && wf.OK[0] == e
+	}
+	// Candidate elements: every partitioning attribute (ascending) and every
+	// WPK-less function's first ordering element.
+	elemSet := map[attrs.Elem]bool{}
+	for _, wf := range ws {
+		for _, e := range FirstElems(wf) {
+			elemSet[e] = true
+		}
+	}
+	var cands []prefCand
+	for e := range elemSet {
+		var members []int
+		for i, wf := range ws {
+			if accepts(wf, e) {
+				members = append(members, i)
+			}
+		}
+		if len(members) > 0 {
+			cands = append(cands, prefCand{e: e, members: members})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if len(cands[i].members) != len(cands[j].members) {
+			return len(cands[i].members) > len(cands[j].members)
+		}
+		if cands[i].e.Attr != cands[j].e.Attr {
+			return cands[i].e.Attr < cands[j].e.Attr
+		}
+		return !cands[i].e.Desc && cands[j].e.Desc
+	})
+
+	var chosen []int
+	if len(ws) <= 20 {
+		chosen = exactSetCover(len(ws), cands)
+	}
+	if chosen == nil {
+		chosen = greedySetCover(len(ws), cands)
+	}
+	// Keep the candidate preference order (largest first) so that the
+	// default assignment of multiply-covered functions is deterministic.
+	sort.Ints(chosen)
+
+	// Assign multiply-covered functions to minimize total cover sets.
+	assign := make([]int, len(ws)) // ws index -> position in chosen
+	options := make([][]int, len(ws))
+	for pos, ci := range chosen {
+		for _, m := range cands[ci].members {
+			options[m] = append(options[m], pos)
+		}
+	}
+	for i := range ws {
+		if len(options[i]) == 0 {
+			// Unreachable if cover succeeded; keep a safe default.
+			assign[i] = 0
+			continue
+		}
+		assign[i] = options[i][0]
+	}
+	countCoverSets := func() int {
+		total := 0
+		for pos := range chosen {
+			var group []WF
+			for i := range ws {
+				if assign[i] == pos {
+					group = append(group, ws[i])
+				}
+			}
+			if len(group) > 0 {
+				total += len(PartitionCoverSets(group))
+			}
+		}
+		return total
+	}
+	// Local improvement over the (few) ambiguous assignments.
+	for i := range ws {
+		if len(options[i]) < 2 {
+			continue
+		}
+		best, bestCost := assign[i], countCoverSets()
+		for _, pos := range options[i][1:] {
+			assign[i] = pos
+			if c := countCoverSets(); c < bestCost {
+				best, bestCost = pos, c
+			}
+		}
+		assign[i] = best
+	}
+
+	var out []PrefixGroup
+	for pos, ci := range chosen {
+		g := PrefixGroup{First: cands[ci].e}
+		for i := range ws {
+			if assign[i] == pos {
+				g.Members = append(g.Members, ws[i])
+			}
+		}
+		if len(g.Members) > 0 {
+			out = append(out, g)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].First.Attr < out[j].First.Attr
+	})
+	return out
+}
+
+// exactSetCover finds a minimum set cover by branch and bound; cands must be
+// sorted by decreasing coverage. Returns indices into cands, or nil if no
+// cover exists (some element uncoverable).
+func exactSetCover(n int, cands []prefCand) []int {
+	full := uint64(1)<<uint(n) - 1
+	masks := make([]uint64, len(cands))
+	for i, c := range cands {
+		for _, m := range c.members {
+			masks[i] |= 1 << uint(m)
+		}
+	}
+	var all uint64
+	for _, m := range masks {
+		all |= m
+	}
+	if all != full {
+		return nil
+	}
+	best := make([]int, 0, len(cands))
+	for i := range cands {
+		best = append(best, i) // trivial upper bound: may overcount, fine
+	}
+	var cur []int
+	var dfs func(covered uint64)
+	dfs = func(covered uint64) {
+		if covered == full {
+			if len(cur) < len(best) {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		if len(cur)+1 >= len(best) {
+			return
+		}
+		// Branch on the uncovered element with the fewest candidates.
+		var pick int = -1
+		pickCount := len(cands) + 1
+		for e := 0; e < n; e++ {
+			if covered&(1<<uint(e)) != 0 {
+				continue
+			}
+			cnt := 0
+			for i := range masks {
+				if masks[i]&(1<<uint(e)) != 0 {
+					cnt++
+				}
+			}
+			if cnt < pickCount {
+				pick, pickCount = e, cnt
+			}
+		}
+		for i := range cands {
+			if masks[i]&(1<<uint(pick)) == 0 {
+				continue
+			}
+			cur = append(cur, i)
+			dfs(covered | masks[i])
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(0)
+	return best
+}
+
+// greedySetCover is the paper's O(|W|²) heuristic: repeatedly take the
+// candidate covering the most uncovered functions.
+func greedySetCover(n int, cands []prefCand) []int {
+	covered := make([]bool, n)
+	remaining := n
+	var out []int
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for i, c := range cands {
+			gain := 0
+			for _, m := range c.members {
+				if !covered[m] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break // uncoverable remainder; caller validates
+		}
+		out = append(out, best)
+		for _, m := range cands[best].members {
+			if !covered[m] {
+				covered[m] = true
+				remaining--
+			}
+		}
+	}
+	return out
+}

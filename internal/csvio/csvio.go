@@ -1,0 +1,112 @@
+// Package csvio loads and stores tables as CSV with type inference,
+// backing the windsql/windgen tools and external-data workflows.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/storage"
+)
+
+// Read parses CSV with a header row into a table. Column types are inferred
+// from the first non-empty cell per column (int, then float, else string);
+// empty cells are NULL.
+func Read(r io.Reader) (*storage.Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // tolerate ragged rows; missing cells are NULL
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: read header: %w", err)
+	}
+	var records [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: %w", err)
+		}
+		records = append(records, rec)
+	}
+	cols := make([]storage.Column, len(header))
+	for i, name := range header {
+		cols[i] = storage.Column{Name: name, Type: inferType(records, i)}
+	}
+	t := storage.NewTable(storage.NewSchema(cols...))
+	t.Rows = make([]storage.Tuple, 0, len(records))
+	for _, rec := range records {
+		row := make(storage.Tuple, len(cols))
+		for i := range cols {
+			cell := ""
+			if i < len(rec) {
+				cell = rec[i]
+			}
+			row[i] = parseCell(cell, cols[i].Type)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Write emits the table as CSV with a header row; NULLs become empty cells.
+func Write(w io.Writer, t *storage.Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	rec := make([]string, t.Schema.Len())
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	return nil
+}
+
+func inferType(records [][]string, col int) storage.ColumnType {
+	for _, rec := range records {
+		if col >= len(rec) || rec[col] == "" {
+			continue
+		}
+		if _, err := strconv.ParseInt(rec[col], 10, 64); err == nil {
+			return storage.TypeInt
+		}
+		if _, err := strconv.ParseFloat(rec[col], 64); err == nil {
+			return storage.TypeFloat
+		}
+		return storage.TypeString
+	}
+	return storage.TypeString
+}
+
+func parseCell(cell string, typ storage.ColumnType) storage.Value {
+	if cell == "" {
+		return storage.Null
+	}
+	switch typ {
+	case storage.TypeInt:
+		if v, err := strconv.ParseInt(cell, 10, 64); err == nil {
+			return storage.Int(v)
+		}
+	case storage.TypeFloat:
+		if v, err := strconv.ParseFloat(cell, 64); err == nil {
+			return storage.Float(v)
+		}
+	}
+	return storage.StringVal(cell)
+}

@@ -1,0 +1,80 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/storage"
+)
+
+func TestReadTypeInference(t *testing.T) {
+	in := strings.NewReader("id,price,name,flag\n1,2.5,apple,\n2,3.0,pear,x\n,,,,\n")
+	tbl, err := Read(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema.Columns[0].Type != storage.TypeInt {
+		t.Errorf("id type = %s", tbl.Schema.Columns[0].Type)
+	}
+	if tbl.Schema.Columns[1].Type != storage.TypeFloat {
+		t.Errorf("price type = %s", tbl.Schema.Columns[1].Type)
+	}
+	if tbl.Schema.Columns[2].Type != storage.TypeString {
+		t.Errorf("name type = %s", tbl.Schema.Columns[2].Type)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	if !tbl.Rows[0][3].IsNull() {
+		t.Errorf("empty cell should be NULL")
+	}
+	if !tbl.Rows[2][0].IsNull() || !tbl.Rows[2][1].IsNull() {
+		t.Errorf("all-empty row should be all NULL")
+	}
+	if tbl.Rows[1][2].Str() != "pear" {
+		t.Errorf("string cell = %s", tbl.Rows[1][2])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := datagen.Emptab()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() || back.Schema.Len() != orig.Schema.Len() {
+		t.Fatalf("shape changed: %d×%d", back.Len(), back.Schema.Len())
+	}
+	for i := range orig.Rows {
+		for c := range orig.Rows[i] {
+			if !storage.Equal(back.Rows[i][c], orig.Rows[i][c]) {
+				t.Fatalf("row %d col %d: %s != %s", i, c, back.Rows[i][c], orig.Rows[i][c])
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Errorf("empty input should fail (no header)")
+	}
+	if _, err := Read(strings.NewReader("a,b\n\"unterminated")); err == nil {
+		t.Errorf("malformed CSV should fail")
+	}
+}
+
+func TestHeaderOnly(t *testing.T) {
+	tbl, err := Read(strings.NewReader("a,b,c\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 || tbl.Schema.Len() != 3 {
+		t.Fatalf("header-only table shape: %d×%d", tbl.Len(), tbl.Schema.Len())
+	}
+}

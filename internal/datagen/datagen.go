@@ -1,0 +1,215 @@
+// Package datagen synthesizes the evaluation datasets of Section 6:
+// a TPC-DS-like web_sales fact table with the paper's cardinality profile
+// (medium-cardinality item keys, near-unique item×customer pairs, 16
+// warehouses, 100 quantities, uniform distributions), its sorted and grouped
+// variants web_sales_s / web_sales_g used in the micro-benchmark's second
+// part, and the emptab relation of Example 1.
+//
+// Generation is deterministic per seed. Scale is expressed in rows; the
+// distinct-value counts scale with the row count in the same proportions as
+// the paper's 72M-row, scale-factor-100 instance.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attrs"
+	"repro/internal/storage"
+)
+
+// WebSalesConfig parameterizes the generator.
+type WebSalesConfig struct {
+	Rows int
+	Seed int64
+
+	// Distinct counts; 0 picks the paper-proportional default.
+	DateDistinct      int // ws_sold_date_sk
+	TimeDistinct      int // ws_sold_time_sk
+	ShipDistinct      int // ws_ship_date_sk
+	ItemDistinct      int // ws_item_sk: 204000 per 72M rows ⇒ rows/353
+	BillDistinct      int // ws_bill_customer_sk: ~2M per 72M rows ⇒ rows/36
+	WarehouseDistinct int // ws_warehouse_sk: 16
+	QuantityDistinct  int // ws_quantity: 100
+
+	// PadBytes sizes the filler column so tuples approximate the paper's
+	// 214-byte average (default 96).
+	PadBytes int
+}
+
+func (c WebSalesConfig) withDefaults() WebSalesConfig {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	if c.Rows <= 0 {
+		c.Rows = 100_000
+	}
+	def(&c.DateDistinct, maxInt(c.Rows/40_000, 60))
+	def(&c.TimeDistinct, maxInt(c.Rows/840, 120))
+	def(&c.ShipDistinct, maxInt(c.Rows/40_000, 60))
+	def(&c.ItemDistinct, maxInt(c.Rows/353, 16))
+	def(&c.BillDistinct, maxInt(c.Rows/36, 64))
+	def(&c.WarehouseDistinct, 16)
+	def(&c.QuantityDistinct, 100)
+	def(&c.PadBytes, 96)
+	return c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Column positions in the web_sales schema, used by benchmarks and tests.
+const (
+	ColSoldDate      = iota // ws_sold_date_sk
+	ColSoldTime             // ws_sold_time_sk
+	ColShipDate             // ws_ship_date_sk
+	ColItem                 // ws_item_sk
+	ColBill                 // ws_bill_customer_sk
+	ColWarehouse            // ws_warehouse_sk
+	ColQuantity             // ws_quantity
+	ColWholesaleCost        // ws_wholesale_cost
+	ColListPrice            // ws_list_price
+	ColSalesPrice           // ws_sales_price
+	ColOrderNumber          // ws_order_number
+	ColPad                  // ws_pad
+)
+
+// WebSalesSchema returns the table schema.
+func WebSalesSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "ws_sold_date_sk", Type: storage.TypeInt},
+		storage.Column{Name: "ws_sold_time_sk", Type: storage.TypeInt},
+		storage.Column{Name: "ws_ship_date_sk", Type: storage.TypeInt},
+		storage.Column{Name: "ws_item_sk", Type: storage.TypeInt},
+		storage.Column{Name: "ws_bill_customer_sk", Type: storage.TypeInt},
+		storage.Column{Name: "ws_warehouse_sk", Type: storage.TypeInt},
+		storage.Column{Name: "ws_quantity", Type: storage.TypeInt},
+		storage.Column{Name: "ws_wholesale_cost", Type: storage.TypeFloat},
+		storage.Column{Name: "ws_list_price", Type: storage.TypeFloat},
+		storage.Column{Name: "ws_sales_price", Type: storage.TypeFloat},
+		storage.Column{Name: "ws_order_number", Type: storage.TypeInt},
+		storage.Column{Name: "ws_pad", Type: storage.TypeString},
+	)
+}
+
+// WebSales generates the fact table.
+func WebSales(cfg WebSalesConfig) *storage.Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := storage.NewTable(WebSalesSchema())
+	t.Rows = make([]storage.Tuple, 0, cfg.Rows)
+	pad := make([]byte, cfg.PadBytes)
+	for i := range pad {
+		pad[i] = byte('a' + i%26)
+	}
+	padStr := string(pad)
+	for i := 0; i < cfg.Rows; i++ {
+		wholesale := float64(rng.Intn(10000)) / 100
+		list := wholesale * (1 + rng.Float64())
+		sales := list * (0.5 + rng.Float64()/2)
+		t.Rows = append(t.Rows, storage.Tuple{
+			storage.Int(int64(rng.Intn(cfg.DateDistinct)) + 2450000),
+			storage.Int(int64(rng.Intn(cfg.TimeDistinct))),
+			storage.Int(int64(rng.Intn(cfg.ShipDistinct)) + 2450000),
+			storage.Int(int64(rng.Intn(cfg.ItemDistinct)) + 1),
+			storage.Int(int64(rng.Intn(cfg.BillDistinct)) + 1),
+			storage.Int(int64(rng.Intn(cfg.WarehouseDistinct)) + 1),
+			storage.Int(int64(rng.Intn(cfg.QuantityDistinct)) + 1),
+			storage.Float(wholesale),
+			storage.Float(list),
+			storage.Float(sales),
+			storage.Int(int64(i)),
+			storage.StringVal(padStr),
+		})
+	}
+	return t
+}
+
+// WebSalesSorted returns web_sales_s: the table totally ordered on
+// ws_quantity (Section 6.1 part 2, query Q4).
+func WebSalesSorted(cfg WebSalesConfig) *storage.Table {
+	t := WebSales(cfg)
+	t.SortBy(attrs.AscSeq(ColQuantity))
+	return t
+}
+
+// WebSalesGrouped returns web_sales_g: grouped on ws_quantity (each group
+// contiguous) but unordered inside each group (query Q5). Grouping is
+// achieved by sorting on quantity and then shuffling within each group.
+func WebSalesGrouped(cfg WebSalesConfig) *storage.Table {
+	t := WebSalesSorted(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	start := 0
+	for start < len(t.Rows) {
+		end := start + 1
+		for end < len(t.Rows) && storage.Equal(t.Rows[end][ColQuantity], t.Rows[start][ColQuantity]) {
+			end++
+		}
+		group := t.Rows[start:end]
+		rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+		start = end
+	}
+	return t
+}
+
+// EmptabSchema is Example 1's employee table schema.
+func EmptabSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "empnum", Type: storage.TypeInt},
+		storage.Column{Name: "dept", Type: storage.TypeInt},
+		storage.Column{Name: "salary", Type: storage.TypeInt},
+	)
+}
+
+// Emptab reproduces the exact 10-row relation of the paper's Example 1,
+// including its NULL departments and salaries.
+func Emptab() *storage.Table {
+	t := storage.NewTable(EmptabSchema())
+	null := storage.Null
+	rows := []storage.Tuple{
+		{storage.Int(1), null, null},
+		{storage.Int(2), null, storage.Int(84000)},
+		{storage.Int(3), storage.Int(2), null},
+		{storage.Int(4), storage.Int(1), storage.Int(78000)},
+		{storage.Int(5), storage.Int(1), storage.Int(75000)},
+		{storage.Int(6), storage.Int(3), storage.Int(79000)},
+		{storage.Int(7), storage.Int(2), storage.Int(51000)},
+		{storage.Int(8), storage.Int(3), storage.Int(55000)},
+		{storage.Int(9), storage.Int(1), storage.Int(53000)},
+		{storage.Int(10), storage.Int(3), storage.Int(75000)},
+	}
+	for _, r := range rows {
+		t.MustAppend(r)
+	}
+	return t
+}
+
+// Uniform generates a generic table of n rows over integer columns with the
+// given distinct counts — the synthetic workload generator used by the
+// optimizer-overhead experiment (Table 11) and property tests.
+func Uniform(n int, seed int64, distincts ...int) *storage.Table {
+	cols := make([]storage.Column, len(distincts))
+	for i := range cols {
+		cols[i] = storage.Column{Name: fmt.Sprintf("c%d", i), Type: storage.TypeInt}
+	}
+	t := storage.NewTable(storage.NewSchema(cols...))
+	rng := rand.New(rand.NewSource(seed))
+	t.Rows = make([]storage.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		row := make(storage.Tuple, len(distincts))
+		for c, d := range distincts {
+			if d < 1 {
+				d = 1
+			}
+			row[c] = storage.Int(int64(rng.Intn(d)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

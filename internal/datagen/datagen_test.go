@@ -1,0 +1,132 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/attrs"
+	"repro/internal/storage"
+)
+
+func TestWebSalesCardinalities(t *testing.T) {
+	cfg := WebSalesConfig{Rows: 40_000, Seed: 1}
+	tbl := WebSales(cfg)
+	if tbl.Len() != 40_000 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	check := func(col int, wantMax int, name string) {
+		d := tbl.DistinctCount(attrs.MakeSet(attrs.ID(col)))
+		if d > wantMax {
+			t.Errorf("%s distinct = %d, want ≤ %d", name, d, wantMax)
+		}
+		if d < wantMax/2 {
+			t.Errorf("%s distinct = %d, implausibly low for cap %d", name, d, wantMax)
+		}
+	}
+	check(ColWarehouse, 16, "warehouse")
+	check(ColQuantity, 100, "quantity")
+	// Item cardinality scales like the paper's 204000 per 72M ⇒ rows/353.
+	item := tbl.DistinctCount(attrs.MakeSet(attrs.ID(ColItem)))
+	want := 40_000 / 353
+	if item < want/2 || item > want*2 {
+		t.Errorf("item distinct = %d, want ≈ %d", item, want)
+	}
+	// (item, bill) is near-unique relative to item alone.
+	pair := tbl.DistinctCount(attrs.MakeSet(attrs.ID(ColItem), attrs.ID(ColBill)))
+	if pair < 10*item {
+		t.Errorf("item×bill distinct = %d, want ≫ item's %d", pair, item)
+	}
+}
+
+func TestWebSalesDeterminism(t *testing.T) {
+	a := WebSales(WebSalesConfig{Rows: 500, Seed: 7})
+	b := WebSales(WebSalesConfig{Rows: 500, Seed: 7})
+	c := WebSales(WebSalesConfig{Rows: 500, Seed: 8})
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if !storage.Equal(a.Rows[i][j], b.Rows[i][j]) {
+				t.Fatalf("same seed produced different data at row %d", i)
+			}
+		}
+	}
+	same := true
+	for i := range a.Rows {
+		if !storage.Equal(a.Rows[i][ColItem], c.Rows[i][ColItem]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical item columns")
+	}
+}
+
+func TestSortedVariant(t *testing.T) {
+	tbl := WebSalesSorted(WebSalesConfig{Rows: 2000, Seed: 2})
+	if !storage.SortedOn(tbl.Rows, attrs.AscSeq(attrs.ID(ColQuantity))) {
+		t.Errorf("web_sales_s not sorted on quantity")
+	}
+}
+
+func TestGroupedVariant(t *testing.T) {
+	tbl := WebSalesGrouped(WebSalesConfig{Rows: 5000, Seed: 2})
+	// Grouped: every quantity value occupies one contiguous range...
+	seen := map[int64]bool{}
+	var prev int64 = -1
+	withinGroupSorted := true
+	var groupStart int
+	for i, row := range tbl.Rows {
+		q := row[ColQuantity].Int64()
+		if q != prev {
+			if seen[q] {
+				t.Fatalf("quantity %d appears in two separate groups", q)
+			}
+			seen[q] = true
+			if i > groupStart+1 && !storage.SortedOn(tbl.Rows[groupStart:i], attrs.AscSeq(attrs.ID(ColItem))) {
+				withinGroupSorted = false
+			}
+			groupStart = i
+			prev = q
+		}
+	}
+	// ...but inside groups the rows are shuffled (otherwise it would just
+	// be web_sales_s and SS's Q5 case would be vacuous).
+	if withinGroupSorted {
+		t.Errorf("grouped variant appears fully sorted; shuffle missing")
+	}
+}
+
+func TestEmptabMatchesPaper(t *testing.T) {
+	tbl := Emptab()
+	if tbl.Len() != 10 {
+		t.Fatalf("emptab rows = %d", tbl.Len())
+	}
+	// Employee 1 has NULL dept and NULL salary; employee 2 NULL dept only.
+	if !tbl.Rows[0][1].IsNull() || !tbl.Rows[0][2].IsNull() {
+		t.Errorf("employee 1 should have NULL dept and salary")
+	}
+	if !tbl.Rows[1][1].IsNull() || tbl.Rows[1][2].Int64() != 84000 {
+		t.Errorf("employee 2 wrong: %v", tbl.Rows[1])
+	}
+}
+
+func TestUniform(t *testing.T) {
+	tbl := Uniform(1000, 3, 5, 50)
+	if tbl.Len() != 1000 || tbl.Schema.Len() != 2 {
+		t.Fatalf("shape = %d×%d", tbl.Len(), tbl.Schema.Len())
+	}
+	if d := tbl.DistinctCount(attrs.MakeSet(0)); d > 5 {
+		t.Errorf("col0 distinct = %d, want ≤ 5", d)
+	}
+	if d := tbl.DistinctCount(attrs.MakeSet(1)); d > 50 || d < 25 {
+		t.Errorf("col1 distinct = %d, want ≈ 50", d)
+	}
+}
+
+func TestTupleWidth(t *testing.T) {
+	// The default pad approximates the paper's 214-byte tuples within 2x.
+	tbl := WebSales(WebSalesConfig{Rows: 100, Seed: 1})
+	avg := tbl.ByteSize() / tbl.Len()
+	if avg < 100 || avg > 400 {
+		t.Errorf("avg tuple bytes = %d, want ≈ 214", avg)
+	}
+}

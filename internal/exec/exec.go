@@ -1,0 +1,201 @@
+// Package exec runs window-function chains (core.Plan) over materialized
+// tables: it applies each step's reordering operator, invokes the window
+// function, and collects per-step metrics — block I/O, key comparisons and
+// wall time — the measurements behind every figure in the paper's Section 6.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attrs"
+	"repro/internal/core"
+	"repro/internal/pagestore"
+	"repro/internal/reorder"
+	"repro/internal/storage"
+	"repro/internal/stream"
+	"repro/internal/window"
+	"repro/internal/xsort"
+)
+
+// Config carries execution resources.
+type Config struct {
+	// MemoryBytes is the unit reorder memory M: every reordering operation
+	// in the chain gets this budget (Section 6.1).
+	MemoryBytes int
+	// BlockSize is the page size (default pagestore.DefaultBlockSize).
+	BlockSize int
+	// FileBacked spills to real temp files in TempDir instead of memory.
+	FileBacked bool
+	TempDir    string
+	// RunFormation selects the external-sort run formation policy.
+	RunFormation xsort.RunFormation
+	// HSBuckets overrides the Hashed Sort bucket-count policy when > 0.
+	HSBuckets int
+	// SpillPolicy selects the HS bucket flush victim.
+	SpillPolicy reorder.SpillPolicy
+	// Distinct estimates D(set) from catalog statistics; used for HS bucket
+	// sizing. nil falls back to policy defaults.
+	Distinct func(set attrs.Set) int64
+	// MFV returns the encoded most-frequent values of a hash key whose
+	// groups exceed the sort budget (Section 3.2's bypass optimization);
+	// nil disables the bypass, matching the paper's prototype.
+	MFV func(key attrs.Set) map[string]bool
+}
+
+func (c Config) blockSize() int {
+	if c.BlockSize > 0 {
+		return c.BlockSize
+	}
+	return pagestore.DefaultBlockSize
+}
+
+// StepMetrics measures one chain step.
+type StepMetrics struct {
+	WFID          int
+	Reorder       core.ReorderKind
+	BlocksRead    int64
+	BlocksWritten int64
+	Comparisons   int64
+	Duration      time.Duration
+	// Detail carries operator-specific statistics (runs, buckets, units).
+	Detail string
+}
+
+// Metrics aggregates a chain execution.
+type Metrics struct {
+	Steps         []StepMetrics
+	BlocksRead    int64
+	BlocksWritten int64
+	Comparisons   int64
+	Elapsed       time.Duration
+}
+
+// TotalBlocks returns read+written blocks, the paper's I/O cost unit.
+func (m *Metrics) TotalBlocks() int64 { return m.BlocksRead + m.BlocksWritten }
+
+// Run executes plan over table. specs[i] must correspond to the window
+// function with ID i in the plan. It returns a new table extended with one
+// derived column per window function, in plan evaluation order.
+//
+// Each step drains its (lazily reordering) stream fully before the next step
+// begins, so per-step metrics are exact; within a step the reorder and the
+// window invocation are pipelined exactly as in the paper's executor.
+func Run(table *storage.Table, specs []window.Spec, plan *core.Plan, cfg Config) (*storage.Table, *Metrics, error) {
+	stats := &pagestore.Stats{}
+	var store *pagestore.Store
+	if cfg.FileBacked {
+		store = pagestore.NewFileBacked(cfg.TempDir, cfg.blockSize(), stats)
+	} else {
+		store = pagestore.NewMem(cfg.blockSize(), stats)
+	}
+
+	metrics := &Metrics{}
+	start := time.Now()
+	rows := make([]stream.Row, len(table.Rows))
+	for i, t := range table.Rows {
+		rows[i] = stream.Row{Tuple: t, Boundary: i == 0}
+	}
+	schema := table.Schema
+	var comparisons int64
+	tableBlocks := int64(table.ByteSize()) / int64(cfg.blockSize())
+
+	for _, step := range plan.Steps {
+		if step.WF.ID < 0 || step.WF.ID >= len(specs) {
+			return nil, nil, fmt.Errorf("exec: plan references wf%d outside specs", step.WF.ID)
+		}
+		spec := specs[step.WF.ID]
+		if err := spec.Validate(schema); err != nil {
+			return nil, nil, fmt.Errorf("exec: wf%d: %w", step.WF.ID, err)
+		}
+		stepStart := time.Now()
+		r0, w0, c0 := stats.BlocksRead(), stats.BlocksWritten(), comparisons
+
+		rcfg := reorder.Config{
+			MemoryBytes:  cfg.MemoryBytes,
+			Store:        store,
+			Comparisons:  &comparisons,
+			RunFormation: cfg.RunFormation,
+		}
+		in := stream.FromRows(rows)
+		var (
+			out     stream.Stream
+			detail  string
+			ssStats *reorder.SSStats
+			err     error
+		)
+		switch step.Reorder {
+		case core.ReorderNone:
+			out = in
+		case core.ReorderFS:
+			var st reorder.FSStats
+			out, st, err = reorder.FullSort(in, step.SortKey, rcfg)
+			detail = fmt.Sprintf("runs=%d passes=%d inmem=%v", st.Sort.InitialRuns, st.Sort.MergePasses, st.Sort.InMemory)
+		case core.ReorderHS:
+			opt := reorder.HSOptions{
+				HashKey:     step.HashKey.IDs(),
+				SortKey:     step.SortKey,
+				Buckets:     cfg.HSBuckets,
+				SpillPolicy: cfg.SpillPolicy,
+			}
+			if cfg.Distinct != nil {
+				opt.DistinctHint = cfg.Distinct(step.HashKey)
+			}
+			if opt.Buckets <= 0 {
+				opt.Buckets = int(core.HSBucketCount(opt.DistinctHint, tableBlocks, int64(cfg.MemoryBytes)/int64(cfg.blockSize())))
+			}
+			if cfg.MFV != nil {
+				opt.MFVs = cfg.MFV(step.HashKey)
+			}
+			var st reorder.HSStats
+			out, st, err = reorder.HashedSort(in, opt, rcfg)
+			detail = fmt.Sprintf("buckets=%d spilled=%d resident=%d mfv=%d", st.Buckets, st.SpilledBuckets, st.MemoryResident, st.MFVTuples)
+		case core.ReorderSS:
+			opt := reorder.SSOptions{Alpha: step.Alpha, Beta: step.Beta}
+			if step.In.Grouped {
+				// Grouped inputs carry their segment structure in the data.
+				opt.SegmentBy = step.In.X.IDs()
+			}
+			out, ssStats, err = reorder.SegmentedSort(in, opt, rcfg)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("exec: wf%d %s reorder: %w", step.WF.ID, step.Reorder, err)
+		}
+
+		evaluated, err := window.Evaluate(out, spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("exec: wf%d evaluate: %w", step.WF.ID, err)
+		}
+		newRows, err := stream.Collect(evaluated)
+		if err != nil {
+			return nil, nil, fmt.Errorf("exec: wf%d drain: %w", step.WF.ID, err)
+		}
+		if ssStats != nil {
+			detail = fmt.Sprintf("segments=%d units=%d external=%d", ssStats.Segments, ssStats.Units, ssStats.ExternalUnits)
+		}
+		rows = newRows
+		schema = schema.WithColumn(spec.OutputColumn())
+
+		metrics.Steps = append(metrics.Steps, StepMetrics{
+			WFID:          step.WF.ID,
+			Reorder:       step.Reorder,
+			BlocksRead:    stats.BlocksRead() - r0,
+			BlocksWritten: stats.BlocksWritten() - w0,
+			Comparisons:   comparisons - c0,
+			Duration:      time.Since(stepStart),
+			Detail:        detail,
+		})
+	}
+
+	metrics.BlocksRead = stats.BlocksRead()
+	metrics.BlocksWritten = stats.BlocksWritten()
+	metrics.Comparisons = comparisons
+	metrics.Elapsed = time.Since(start)
+
+	result := storage.NewTable(schema)
+	result.Rows = make([]storage.Tuple, len(rows))
+	for i, r := range rows {
+		result.Rows[i] = r.Tuple
+	}
+	return result, metrics, nil
+}

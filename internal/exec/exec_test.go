@@ -1,0 +1,351 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attrs"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/paper"
+	"repro/internal/storage"
+	"repro/internal/window"
+)
+
+// smallWebSales builds a reduced web_sales with its catalog entry.
+func smallWebSales(rows int) (*storage.Table, *catalog.Entry) {
+	t := datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 42, PadBytes: 24})
+	cat := catalog.New()
+	return t, cat.Register("web_sales", t)
+}
+
+// derived maps tag (ws_order_number) -> wf ID -> derived value for a chain
+// execution result.
+func derived(t *testing.T, result *storage.Table, plan *core.Plan, baseCols int) map[int64]map[int]storage.Value {
+	t.Helper()
+	out := make(map[int64]map[int]storage.Value, result.Len())
+	for _, row := range result.Rows {
+		tag := row[datagen.ColOrderNumber].Int64()
+		m := make(map[int]storage.Value, len(plan.Steps))
+		for i, step := range plan.Steps {
+			m[step.WF.ID] = row[baseCols+i]
+		}
+		out[tag] = m
+	}
+	return out
+}
+
+// runScheme plans with the given scheme and executes.
+func runScheme(t *testing.T, scheme string, table *storage.Table, entry *catalog.Entry, specs []window.Spec, memBytes int) (map[int64]map[int]storage.Value, *Metrics, *core.Plan) {
+	t.Helper()
+	ws := paper.WFs(specs)
+	opt := core.Options{Cost: entry.CostParams(memBytes, 4096)}
+	var (
+		plan *core.Plan
+		err  error
+	)
+	switch scheme {
+	case "CSO":
+		plan, err = core.CSO(ws, core.Unordered(), opt)
+	case "BFO":
+		plan, err = core.BFO(ws, core.Unordered(), opt)
+	case "ORCL":
+		plan, err = core.ORCL(ws, core.Unordered(), opt)
+	case "PSQL":
+		plan, err = core.PSQL(ws, core.Unordered())
+	default:
+		t.Fatalf("unknown scheme %s", scheme)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", scheme, err)
+	}
+	cfg := Config{
+		MemoryBytes: memBytes,
+		BlockSize:   4096,
+		Distinct:    entry.Distinct,
+	}
+	result, metrics, err := Run(table, specs, plan, cfg)
+	if err != nil {
+		t.Fatalf("%s execute: %v", scheme, err)
+	}
+	if result.Len() != table.Len() {
+		t.Fatalf("%s: result has %d rows, want %d", scheme, result.Len(), table.Len())
+	}
+	return derived(t, result, plan, table.Schema.Len()), metrics, plan
+}
+
+// TestSchemesAgreeOnPaperQueries — every optimization scheme computes
+// identical window function values on Q6–Q9, and they agree with the O(n²)
+// reference evaluator. This is the end-to-end correctness statement behind
+// Figures 5–8: the schemes differ only in speed.
+func TestSchemesAgreeOnPaperQueries(t *testing.T) {
+	table, entry := smallWebSales(4000)
+	queries := map[string][]window.Spec{
+		"Q6": paper.Q6(),
+		"Q7": paper.Q7(),
+		"Q8": paper.Q8(),
+		"Q9": paper.Q9(),
+	}
+	for name, specs := range queries {
+		t.Run(name, func(t *testing.T) {
+			// Reference values per wf.
+			want := make([]map[int64]storage.Value, len(specs))
+			for i, spec := range specs {
+				vals, err := window.Reference(table.Rows, spec)
+				if err != nil {
+					t.Fatalf("reference wf%d: %v", i+1, err)
+				}
+				m := make(map[int64]storage.Value, len(vals))
+				for r, v := range vals {
+					m[table.Rows[r][datagen.ColOrderNumber].Int64()] = v
+				}
+				want[i] = m
+			}
+			for _, scheme := range []string{"CSO", "BFO", "ORCL", "PSQL"} {
+				got, _, plan := runScheme(t, scheme, table, entry, specs, 64<<10)
+				if err := plan.Validate(paper.WFs(specs), core.Unordered()); err != nil {
+					t.Fatalf("%s plan invalid: %v", scheme, err)
+				}
+				for tag, perWF := range got {
+					for wfID, v := range perWF {
+						if !storage.Equal(v, want[wfID][tag]) {
+							t.Fatalf("%s %s: row %d wf%d = %s, reference %s (plan %s)",
+								scheme, name, tag, wfID+1, v, want[wfID][tag], plan.PaperString())
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCSOBeatsPSQLOnIO — on Q9 the CSO chain must incur strictly less spill
+// I/O than PSQL's 7 full sorts (the Figure 8 effect, in blocks).
+func TestCSOBeatsPSQLOnIO(t *testing.T) {
+	table, entry := smallWebSales(6000)
+	specs := paper.Q9()
+	mem := 24 << 10 // small enough that full sorts spill
+	_, csoM, csoPlan := runScheme(t, "CSO", table, entry, specs, mem)
+	_, psqlM, _ := runScheme(t, "PSQL", table, entry, specs, mem)
+	if csoM.TotalBlocks() >= psqlM.TotalBlocks() {
+		t.Errorf("CSO I/O %d ≥ PSQL I/O %d (CSO plan %s)",
+			csoM.TotalBlocks(), psqlM.TotalBlocks(), csoPlan.PaperString())
+	}
+	_, orclM, _ := runScheme(t, "ORCL", table, entry, specs, mem)
+	if csoM.TotalBlocks() >= orclM.TotalBlocks() {
+		t.Errorf("CSO I/O %d ≥ ORCL I/O %d", csoM.TotalBlocks(), orclM.TotalBlocks())
+	}
+}
+
+// TestStepMetrics — per-step accounting matches totals.
+func TestStepMetrics(t *testing.T) {
+	table, entry := smallWebSales(3000)
+	specs := paper.Q6()
+	_, m, _ := runScheme(t, "CSO", table, entry, specs, 16<<10)
+	var r, w, c int64
+	for _, s := range m.Steps {
+		r += s.BlocksRead
+		w += s.BlocksWritten
+		c += s.Comparisons
+	}
+	if r != m.BlocksRead || w != m.BlocksWritten || c != m.Comparisons {
+		t.Errorf("per-step sums (%d,%d,%d) != totals (%d,%d,%d)", r, w, c, m.BlocksRead, m.BlocksWritten, m.Comparisons)
+	}
+	if len(m.Steps) != len(specs) {
+		t.Errorf("%d step metrics for %d functions", len(m.Steps), len(specs))
+	}
+	if m.Elapsed <= 0 {
+		t.Errorf("elapsed not measured")
+	}
+}
+
+// TestFileBackedExecution — the file-backed spill store produces identical
+// results to the memory-backed one.
+func TestFileBackedExecution(t *testing.T) {
+	table, entry := smallWebSales(2000)
+	specs := paper.Q6()
+	ws := paper.WFs(specs)
+	plan, err := core.CSO(ws, core.Unordered(), core.Options{Cost: entry.CostParams(8<<10, 4096)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memResult, _, err := Run(table, specs, plan, Config{MemoryBytes: 8 << 10, BlockSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileResult, _, err := Run(table, specs, plan, Config{MemoryBytes: 8 << 10, BlockSize: 4096, FileBacked: true, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(tb *storage.Table) map[string]int {
+		m := map[string]int{}
+		for _, r := range tb.Rows {
+			m[string(storage.AppendTuple(nil, r))]++
+		}
+		return m
+	}
+	a, b := collect(memResult), collect(fileResult)
+	if len(a) != len(b) {
+		t.Fatalf("row multiset size differs: %d vs %d", len(a), len(b))
+	}
+	for k, n := range a {
+		if b[k] != n {
+			t.Fatalf("file-backed results differ from memory-backed")
+		}
+	}
+}
+
+// TestParallelEvaluate — Section 3.5's parallel evaluation equals the
+// reference for several degrees of parallelism.
+func TestParallelEvaluate(t *testing.T) {
+	table, _ := smallWebSales(3000)
+	spec := paper.MicroQueries()[0].Spec // rank() over (partition by item order by time)
+	want, err := window.Reference(table.Rows, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByTag := map[int64]storage.Value{}
+	for i, v := range want {
+		wantByTag[table.Rows[i][datagen.ColOrderNumber].Int64()] = v
+	}
+	for _, degree := range []int{1, 2, 4, 7} {
+		out, err := ParallelEvaluate(table, spec, degree, Config{MemoryBytes: 1 << 20, BlockSize: 4096})
+		if err != nil {
+			t.Fatalf("degree %d: %v", degree, err)
+		}
+		if out.Len() != table.Len() {
+			t.Fatalf("degree %d: %d rows", degree, out.Len())
+		}
+		last := out.Schema.Len() - 1
+		for _, r := range out.Rows {
+			tag := r[datagen.ColOrderNumber].Int64()
+			if !storage.Equal(r[last], wantByTag[tag]) {
+				t.Fatalf("degree %d: row %d = %s, want %s", degree, tag, r[last], wantByTag[tag])
+			}
+		}
+	}
+	// Empty partitioning key is rejected.
+	bad := window.Spec{Kind: window.Rank, Arg: -1, OK: attrs.AscSeq(0)}
+	if _, err := ParallelEvaluate(table, bad, 2, Config{}); err == nil {
+		t.Errorf("parallel evaluation with empty WPK should fail")
+	}
+}
+
+// TestRandomChainsAgainstReference — random multi-function chains through
+// CSO and PSQL agree with the reference evaluator (beyond the fixed paper
+// queries).
+func TestRandomChainsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	table, entry := smallWebSales(1500)
+	attrsPool := []attrs.ID{paper.Date, paper.Time, paper.Item, paper.Bill, paper.Quantity}
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.Intn(4)
+		specs := make([]window.Spec, n)
+		for i := range specs {
+			var pkIDs []attrs.ID
+			for _, a := range attrsPool {
+				if rng.Intn(3) == 0 {
+					pkIDs = append(pkIDs, a)
+				}
+			}
+			var ok attrs.Seq
+			for _, a := range attrsPool {
+				if attrs.MakeSet(pkIDs...).Contains(a) {
+					continue
+				}
+				if rng.Intn(4) == 0 {
+					ok = append(ok, attrs.Asc(a))
+				}
+			}
+			specs[i] = window.Spec{
+				Name: fmt.Sprintf("wf%d", i+1), Kind: window.Rank, Arg: -1,
+				PK: attrs.MakeSet(pkIDs...), PKOrder: attrs.AscSeq(pkIDs...), OK: ok,
+			}
+		}
+		want := make([]map[int64]storage.Value, n)
+		for i, spec := range specs {
+			vals, err := window.Reference(table.Rows, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := map[int64]storage.Value{}
+			for r, v := range vals {
+				m[table.Rows[r][datagen.ColOrderNumber].Int64()] = v
+			}
+			want[i] = m
+		}
+		for _, scheme := range []string{"CSO", "PSQL"} {
+			got, _, plan := runScheme(t, scheme, table, entry, specs, 32<<10)
+			for tag, perWF := range got {
+				for wfID, v := range perWF {
+					if !storage.Equal(v, want[wfID][tag]) {
+						t.Fatalf("trial %d %s: row %d wf%d = %s, want %s (plan %s, spec %+v)",
+							trial, scheme, tag, wfID+1, v, want[wfID][tag], plan, specs[wfID])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem4EvaluationOrder — if the input stream matches every function
+// in W, any evaluation order computes the same (reference-correct) values
+// with zero reorders (Theorem 4 / Corollary 1), end to end.
+func TestTheorem4EvaluationOrder(t *testing.T) {
+	table, _ := smallWebSales(1200)
+	// Sort the table on (item, time, bill): it then matches both functions.
+	sorted := table.Clone()
+	sorted.SortBy(attrs.AscSeq(paper.Item, paper.Time, paper.Bill))
+	specs := []window.Spec{
+		{Name: "wf1", Kind: window.Rank, Arg: -1, PK: attrs.MakeSet(paper.Item), OK: attrs.AscSeq(paper.Time)},
+		{Name: "wf2", Kind: window.Rank, Arg: -1, PK: attrs.MakeSet(paper.Item, paper.Time), OK: attrs.AscSeq(paper.Bill)},
+	}
+	ws := paper.WFs(specs)
+	inProps := core.TotallyOrdered(attrs.AscSeq(paper.Item, paper.Time, paper.Bill))
+	for _, wf := range ws {
+		if !inProps.Matches(wf) {
+			t.Fatalf("precondition: %s not matched by %s", wf, inProps)
+		}
+	}
+	want := make([]map[int64]storage.Value, len(specs))
+	for i, spec := range specs {
+		vals, err := window.Reference(sorted.Rows, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[int64]storage.Value{}
+		for r, v := range vals {
+			m[sorted.Rows[r][datagen.ColOrderNumber].Int64()] = v
+		}
+		want[i] = m
+	}
+	for _, order := range [][]int{{0, 1}, {1, 0}} {
+		plan := &core.Plan{Scheme: "manual"}
+		for _, id := range order {
+			plan.Steps = append(plan.Steps, core.Step{
+				WF: ws[id], Reorder: core.ReorderNone, In: inProps, Out: inProps,
+			})
+		}
+		if err := plan.Validate(ws, inProps); err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		result, metrics, err := Run(sorted, specs, plan, Config{MemoryBytes: 1 << 20, BlockSize: 4096})
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		if metrics.TotalBlocks() != 0 {
+			t.Errorf("order %v: matched chain spilled %d blocks", order, metrics.TotalBlocks())
+		}
+		for _, row := range result.Rows {
+			tag := row[datagen.ColOrderNumber].Int64()
+			for pos, id := range order {
+				got := row[sorted.Schema.Len()+pos]
+				if !storage.Equal(got, want[id][tag]) {
+					t.Fatalf("order %v wf%d row %d: %s != %s", order, id+1, tag, got, want[id][tag])
+				}
+			}
+		}
+	}
+}

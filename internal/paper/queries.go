@@ -1,0 +1,171 @@
+// Package paper defines the exact workloads of the paper's Section 6:
+// the micro-benchmark queries Q1–Q5 (Table 1) and the multi-window queries
+// Q6–Q9 (Tables 3, 5, 7, 9), expressed over the web_sales schema of
+// internal/datagen. Attribute abbreviations follow Table 2: date = sold
+// date, time = sold time, ship = ship date, item, bill = bill customer.
+package paper
+
+import (
+	"repro/internal/attrs"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/window"
+)
+
+// Attribute IDs in the web_sales schema (Table 2 abbreviations).
+const (
+	Date      = attrs.ID(datagen.ColSoldDate)
+	Time      = attrs.ID(datagen.ColSoldTime)
+	Ship      = attrs.ID(datagen.ColShipDate)
+	Item      = attrs.ID(datagen.ColItem)
+	Bill      = attrs.ID(datagen.ColBill)
+	Warehouse = attrs.ID(datagen.ColWarehouse)
+	Quantity  = attrs.ID(datagen.ColQuantity)
+)
+
+// rankSpec builds a rank() window spec; pkOrder preserves the written
+// PARTITION BY order for the PSQL baseline.
+func rankSpec(name string, pkOrder []attrs.ID, ok ...attrs.ID) window.Spec {
+	return window.Spec{
+		Name:    name,
+		Kind:    window.Rank,
+		Arg:     -1,
+		PK:      attrs.MakeSet(pkOrder...),
+		PKOrder: attrs.AscSeq(pkOrder...),
+		OK:      attrs.AscSeq(ok...),
+	}
+}
+
+// MicroQuery is one of Table 1's single-function queries.
+type MicroQuery struct {
+	Name    string
+	Table   string // web_sales, web_sales_s or web_sales_g
+	Spec    window.Spec
+	Comment string
+}
+
+// MicroQueries returns Q1–Q5 (Table 1).
+func MicroQueries() []MicroQuery {
+	return []MicroQuery{
+		{
+			Name: "Q1", Table: "web_sales",
+			Spec:    rankSpec("rank", []attrs.ID{Item}, Time),
+			Comment: "medium number of window partitions (D(item))",
+		},
+		{
+			Name: "Q2", Table: "web_sales",
+			Spec:    rankSpec("rank", []attrs.ID{Item, Bill}, Time),
+			Comment: "extremely large number of window partitions (D(item,bill))",
+		},
+		{
+			Name: "Q3", Table: "web_sales",
+			Spec:    rankSpec("rank", []attrs.ID{Warehouse}, Time),
+			Comment: "extremely small number of window partitions (16)",
+		},
+		{
+			Name: "Q4", Table: "web_sales_s",
+			Spec:    rankSpec("rank", []attrs.ID{Quantity}, Item),
+			Comment: "input sorted on ws_quantity: SS applicable",
+		},
+		{
+			Name: "Q5", Table: "web_sales_g",
+			Spec:    rankSpec("rank", []attrs.ID{Quantity}, Item),
+			Comment: "input grouped on ws_quantity: SS applicable",
+		},
+	}
+}
+
+// Q6 returns Table 3's window functions.
+func Q6() []window.Spec {
+	return []window.Spec{
+		rankSpec("wf1", []attrs.ID{Item}, Date),
+		rankSpec("wf2", []attrs.ID{Item}, Bill),
+	}
+}
+
+// Q7 returns Table 5's window functions (the running example of the Oracle
+// report [5]).
+func Q7() []window.Spec {
+	return []window.Spec{
+		rankSpec("wf1", []attrs.ID{Date, Time, Ship}),
+		rankSpec("wf2", []attrs.ID{Time, Date}),
+		rankSpec("wf3", []attrs.ID{Item}),
+		rankSpec("wf4", nil, Item, Bill),
+		rankSpec("wf5", []attrs.ID{Date, Time, Item, Bill}, Ship),
+	}
+}
+
+// Q8 returns Table 7's window functions (Q7 with item moved from WOK4 into
+// WPK4 and bill moved from WPK5 into WOK5).
+func Q8() []window.Spec {
+	return []window.Spec{
+		rankSpec("wf1", []attrs.ID{Date, Time, Ship}),
+		rankSpec("wf2", []attrs.ID{Time, Date}),
+		rankSpec("wf3", []attrs.ID{Item}),
+		rankSpec("wf4", []attrs.ID{Item}, Bill),
+		rankSpec("wf5", []attrs.ID{Date, Time, Item}, Bill, Ship),
+	}
+}
+
+// Q9 returns Table 9's window functions.
+func Q9() []window.Spec {
+	return []window.Spec{
+		rankSpec("wf1", []attrs.ID{Item}, Bill, Date),
+		rankSpec("wf2", []attrs.ID{Item, Time}, Date),
+		rankSpec("wf3", []attrs.ID{Item}, Time),
+		rankSpec("wf4", nil, Item, Date),
+		rankSpec("wf5", []attrs.ID{Bill, Date}, Time),
+		rankSpec("wf6", []attrs.ID{Bill}, Time),
+		rankSpec("wf7", []attrs.ID{Date, Time}),
+		rankSpec("wf8", nil, Time),
+	}
+}
+
+// WFs converts specs to the optimizer's view, IDs by SELECT position.
+func WFs(specs []window.Spec) []core.WF {
+	out := make([]core.WF, len(specs))
+	for i, s := range specs {
+		out[i] = s.WF(i)
+	}
+	return out
+}
+
+// PaperStats approximates the statistics of the paper's scale-factor-100
+// web_sales instance (72M tuples, 14.3GB), for cost-model documentation
+// tests: D(item) = 204000, D(item,bill) = 71976736, D(warehouse) = 16.
+func PaperStats() core.CostParams {
+	distinct := map[attrs.Set]int64{
+		attrs.MakeSet(Item):       204_000,
+		attrs.MakeSet(Item, Bill): 71_976_736,
+		attrs.MakeSet(Warehouse):  16,
+		attrs.MakeSet(Bill):       1_900_000,
+		attrs.MakeSet(Date):       1_823,
+		attrs.MakeSet(Time):       86_400,
+		attrs.MakeSet(Ship):       1_823,
+		attrs.MakeSet(Quantity):   100,
+	}
+	return core.CostParams{
+		TableBlocks: 1_875_000, // 14.3GB / 8KB
+		TableTuples: 72_000_000,
+		MemBlocks:   6_400, // 50MB
+		BlockSize:   8192,
+		Distinct: func(set attrs.Set) int64 {
+			if d, ok := distinct[set]; ok {
+				return d
+			}
+			// Product of singleton estimates, capped by the table.
+			prod := int64(1)
+			for _, id := range set.IDs() {
+				if d, ok := distinct[attrs.MakeSet(id)]; ok {
+					prod *= d
+				} else {
+					prod *= 100
+				}
+				if prod > 72_000_000 {
+					return 72_000_000
+				}
+			}
+			return prod
+		},
+	}
+}

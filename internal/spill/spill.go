@@ -1,0 +1,114 @@
+// Package spill frames tuples into pagestore files: sort runs, hash-sort
+// buckets and any other temporary tuple sequences share this codec. Tuples
+// are written back-to-back in the self-describing binary encoding of
+// package storage; the reader reassembles them across page boundaries.
+package spill
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/pagestore"
+	"repro/internal/storage"
+)
+
+// Writer appends tuples to a spill file.
+type Writer struct {
+	file *pagestore.File
+	buf  []byte
+}
+
+// NewWriter creates a fresh spill file in store.
+func NewWriter(store *pagestore.Store) (*Writer, error) {
+	f, err := store.Create()
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{file: f}, nil
+}
+
+// Write appends one tuple.
+func (w *Writer) Write(t storage.Tuple) error {
+	w.buf = storage.AppendTuple(w.buf[:0], t)
+	_, err := w.file.Write(w.buf)
+	return err
+}
+
+// Finish seals the file and returns it for reading.
+func (w *Writer) Finish() (*pagestore.File, error) {
+	if err := w.file.Seal(); err != nil {
+		return nil, err
+	}
+	return w.file, nil
+}
+
+// File returns the underlying file (valid before Finish for size queries).
+func (w *Writer) File() *pagestore.File { return w.file }
+
+// Reader decodes tuples back out of a sealed spill file.
+type Reader struct {
+	rd   *pagestore.Reader
+	buf  []byte
+	pos  int
+	fill int
+	eof  bool
+}
+
+// NewReader opens a sealed spill file for sequential tuple reads.
+func NewReader(f *pagestore.File) (*Reader, error) {
+	rd, err := f.NewReader()
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{rd: rd, buf: make([]byte, 0, 64<<10)}, nil
+}
+
+// Next returns the next tuple; ok is false at end of file.
+func (r *Reader) Next() (t storage.Tuple, ok bool, err error) {
+	for {
+		if r.pos < r.fill {
+			t, n, derr := storage.DecodeTuple(r.buf[r.pos:r.fill])
+			if derr == nil {
+				r.pos += n
+				return t, true, nil
+			}
+			if !r.eof {
+				if err := r.refill(); err != nil {
+					return nil, false, err
+				}
+				continue
+			}
+			return nil, false, derr
+		}
+		if r.eof {
+			return nil, false, nil
+		}
+		if err := r.refill(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+func (r *Reader) refill() error {
+	remain := r.fill - r.pos
+	copy(r.buf[:cap(r.buf)][:remain], r.buf[r.pos:r.fill])
+	r.buf = r.buf[:cap(r.buf)]
+	if remain == len(r.buf) {
+		bigger := make([]byte, 2*len(r.buf))
+		copy(bigger, r.buf[:remain])
+		r.buf = bigger
+	}
+	n, err := r.rd.Read(r.buf[remain:])
+	r.fill = remain + n
+	r.pos = 0
+	if n == 0 {
+		r.eof = true
+	}
+	if err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// Close releases the reader.
+func (r *Reader) Close() { r.rd.Close() }

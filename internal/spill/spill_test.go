@@ -1,0 +1,153 @@
+package spill
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pagestore"
+	"repro/internal/storage"
+)
+
+func TestRoundTrip(t *testing.T) {
+	store := pagestore.NewMem(256, nil)
+	w, err := NewWriter(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []storage.Tuple
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		tu := storage.Tuple{
+			storage.Int(rng.Int63()),
+			storage.StringVal("payload"),
+			storage.Null,
+		}
+		want = append(want, tu)
+		if err := w.Write(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	for i := 0; ; i++ {
+		tu, ok, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if i != len(want) {
+				t.Fatalf("read %d tuples, want %d", i, len(want))
+			}
+			break
+		}
+		for c := range want[i] {
+			if !storage.Equal(tu[c], want[i][c]) {
+				t.Fatalf("tuple %d col %d mismatch", i, c)
+			}
+		}
+	}
+}
+
+// TestLargeTuplesCrossPages — tuples wider than a page force the reader's
+// buffer-growth path.
+func TestLargeTuplesCrossPages(t *testing.T) {
+	store := pagestore.NewMem(64, nil) // tiny pages
+	w, _ := NewWriter(store)
+	big := make([]byte, 1000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Write(storage.Tuple{storage.StringVal(string(big)), storage.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, _ := w.Finish()
+	rd, _ := NewReader(f)
+	defer rd.Close()
+	count := 0
+	for {
+		tu, ok, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if tu[1].Int64() != int64(count) {
+			t.Fatalf("tuple %d out of order", count)
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("read %d of 10", count)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	store := pagestore.NewMem(128, nil)
+	w, _ := NewWriter(store)
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := NewReader(f)
+	defer rd.Close()
+	if _, ok, err := rd.Next(); ok || err != nil {
+		t.Fatalf("empty file: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed int64, n uint8, blockExp uint8) bool {
+		store := pagestore.NewMem(64<<(blockExp%5), nil)
+		w, err := NewWriter(store)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%200) + 1
+		sum := int64(0)
+		for i := 0; i < count; i++ {
+			v := rng.Int63n(1 << 30)
+			sum += v
+			if err := w.Write(storage.Tuple{storage.Int(v)}); err != nil {
+				return false
+			}
+		}
+		f, err := w.Finish()
+		if err != nil {
+			return false
+		}
+		rd, err := NewReader(f)
+		if err != nil {
+			return false
+		}
+		defer rd.Close()
+		got := int64(0)
+		read := 0
+		for {
+			tu, ok, err := rd.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			got += tu[0].Int64()
+			read++
+		}
+		return read == count && got == sum
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}

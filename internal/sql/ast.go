@@ -1,0 +1,109 @@
+package sql
+
+// The abstract syntax of the supported window query block:
+//
+//	SELECT item [, item ...]
+//	FROM table
+//	[WHERE predicate]
+//	[ORDER BY col [ASC|DESC] [NULLS FIRST|LAST], ...]
+//	[LIMIT n]
+//
+// where item is '*', a column reference, or a window function call
+// fn(args) OVER (PARTITION BY ... ORDER BY ... [frame]) with an optional
+// AS alias.
+
+// Query is a parsed window query block.
+type Query struct {
+	Distinct bool
+	Items    []SelectItem
+	Table    string
+	Where    Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+}
+
+// SelectItem is one SELECT-list entry.
+type SelectItem struct {
+	Star   bool
+	Column string      // column reference (when Window == nil and !Star)
+	Window *WindowCall // window function call
+	Alias  string
+}
+
+// WindowCall is fn(args) OVER (...).
+type WindowCall struct {
+	Func        string
+	Star        bool // fn(*) — count(*)
+	Args        []Arg
+	PartitionBy []string
+	OrderBy     []OrderItem
+	Frame       *FrameClause
+}
+
+// Arg is a window function argument: a column or a literal.
+type Arg struct {
+	Column string // non-empty for column refs
+	Lit    *Literal
+}
+
+// Literal is a constant.
+type Literal struct {
+	IsNull bool
+	Int    *int64
+	Float  *float64
+	Str    *string
+	Bool   *bool
+}
+
+// OrderItem is one ordering element.
+type OrderItem struct {
+	Column     string
+	Desc       bool
+	NullsFirst bool
+	// nullsSet records an explicit NULLS FIRST/LAST (default: NULLS LAST
+	// for ASC, NULLS FIRST for DESC — PostgreSQL's convention).
+	nullsSet bool
+}
+
+// FrameClause is ROWS/RANGE BETWEEN a AND b.
+type FrameClause struct {
+	Rows  bool // true = ROWS, false = RANGE
+	Start FrameBound
+	End   FrameBound
+}
+
+// FrameBound is one frame endpoint.
+type FrameBound struct {
+	Kind   string // "UNBOUNDED PRECEDING", "PRECEDING", "CURRENT ROW", "FOLLOWING", "UNBOUNDED FOLLOWING"
+	Offset int64
+}
+
+// Expr is a WHERE predicate node.
+type Expr interface{ isExpr() }
+
+// BinaryExpr is AND/OR or a comparison.
+type BinaryExpr struct {
+	Op   string // "AND", "OR", "=", "<>", "<", "<=", ">", ">="
+	L, R Expr
+}
+
+// NotExpr negates a predicate.
+type NotExpr struct{ E Expr }
+
+// ColumnRef names a column inside a predicate.
+type ColumnRef struct{ Name string }
+
+// LitExpr wraps a literal inside a predicate.
+type LitExpr struct{ Lit Literal }
+
+// IsNullExpr is col IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+func (*BinaryExpr) isExpr() {}
+func (*NotExpr) isExpr()    {}
+func (*ColumnRef) isExpr()  {}
+func (*LitExpr) isExpr()    {}
+func (*IsNullExpr) isExpr() {}

@@ -1,0 +1,156 @@
+// Package sql parses and executes window-function SQL: SELECT lists mixing
+// plain columns and OVER(...) window calls, WHERE filters, and a final
+// ORDER BY — the "basic window query block" of the paper's Section 1. The
+// runner binds against a catalog, plans the window functions with a chosen
+// optimization scheme, executes the chain, and applies projection and final
+// ordering.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+// keywords recognized by the parser. Identifiers matching these (case-
+// insensitively) lex as keywords.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true, "AS": true,
+	"OVER": true, "PARTITION": true, "BY": true, "ORDER": true,
+	"ASC": true, "DESC": true, "NULLS": true, "FIRST": true, "LAST": true,
+	"ROWS": true, "RANGE": true, "BETWEEN": true, "AND": true, "OR": true,
+	"NOT": true, "UNBOUNDED": true, "PRECEDING": true, "FOLLOWING": true,
+	"CURRENT": true, "ROW": true, "NULL": true, "IS": true, "LIMIT": true,
+	"TRUE": true, "FALSE": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) error(pos int, format string, args ...interface{}) error {
+	return fmt.Errorf("sql: at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// lex tokenizes the whole input.
+func (l *lexer) lex() ([]token, error) {
+	var out []token
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			out = append(out, token{kind: tokEOF, pos: l.pos})
+			return out, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			upper := strings.ToUpper(text)
+			if keywords[upper] {
+				out = append(out, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				out = append(out, token{kind: tokIdent, text: text, pos: start})
+			}
+		case c >= '0' && c <= '9':
+			seenDot := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == '.' && !seenDot {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				if ch < '0' || ch > '9' {
+					break
+				}
+				l.pos++
+			}
+			out = append(out, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, l.error(start, "unterminated string literal")
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		default:
+			// Multi-char operators first.
+			for _, op := range []string{"<>", "<=", ">=", "!="} {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					out = append(out, token{kind: tokSymbol, text: op, pos: start})
+					l.pos += 2
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '=', '<', '>', '.', '-', '+':
+				out = append(out, token{kind: tokSymbol, text: string(c), pos: start})
+				l.pos++
+			default:
+				return nil, l.error(start, "unexpected character %q", c)
+			}
+		next:
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsSpace(c) {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}

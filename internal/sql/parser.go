@@ -1,0 +1,480 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one window query block.
+func Parse(src string) (*Query, error) {
+	lx := &lexer{src: src}
+	toks, err := lx.lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errorf("expected %s, found %q", describe(kind, text), p.cur().text)
+}
+
+func describe(kind tokenKind, text string) string {
+	if text != "" {
+		return fmt.Sprintf("%q", text)
+	}
+	switch kind {
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	default:
+		return "token"
+	}
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: near offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	if p.accept(tokKeyword, "DISTINCT") {
+		q.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	q.Table = tbl.text
+
+	if p.accept(tokKeyword, "WHERE") {
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = expr
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseOrderList()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = items
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(n.text, 10, 64)
+		if err != nil || v < 0 {
+			return nil, p.errorf("bad LIMIT %q", n.text)
+		}
+		q.Limit = v
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{}
+	if p.at(tokSymbol, "(") {
+		call, err := p.parseWindowCall(name.text)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Window = call
+	} else {
+		item.Column = name.text
+	}
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias.text
+	} else if p.at(tokIdent, "") {
+		// bare alias
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseWindowCall(fn string) (*WindowCall, error) {
+	call := &WindowCall{Func: strings.ToLower(fn)}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	if p.accept(tokSymbol, "*") {
+		call.Star = true
+	} else if !p.at(tokSymbol, ")") {
+		for {
+			arg, err := p.parseArg()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "OVER"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "PARTITION") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			call.PartitionBy = append(call.PartitionBy, col.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseOrderList()
+		if err != nil {
+			return nil, err
+		}
+		call.OrderBy = items
+	}
+	if p.at(tokKeyword, "ROWS") || p.at(tokKeyword, "RANGE") {
+		frame, err := p.parseFrame()
+		if err != nil {
+			return nil, err
+		}
+		call.Frame = frame
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *parser) parseArg() (Arg, error) {
+	if p.at(tokIdent, "") {
+		return Arg{Column: p.next().text}, nil
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Arg{}, err
+	}
+	return Arg{Lit: &lit}, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Literal{}, p.errorf("bad number %q", t.text)
+			}
+			return Literal{Float: &f}, nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Literal{}, p.errorf("bad number %q", t.text)
+		}
+		return Literal{Int: &v}, nil
+	case t.kind == tokSymbol && (t.text == "-" || t.text == "+"):
+		p.next()
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return Literal{}, err
+		}
+		if t.text == "-" {
+			if lit.Int != nil {
+				v := -*lit.Int
+				lit.Int = &v
+			} else if lit.Float != nil {
+				v := -*lit.Float
+				lit.Float = &v
+			} else {
+				return Literal{}, p.errorf("cannot negate literal")
+			}
+		}
+		return lit, nil
+	case t.kind == tokString:
+		p.next()
+		s := t.text
+		return Literal{Str: &s}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return Literal{IsNull: true}, nil
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.next()
+		b := t.text == "TRUE"
+		return Literal{Bool: &b}, nil
+	}
+	return Literal{}, p.errorf("expected literal, found %q", t.text)
+}
+
+func (p *parser) parseOrderList() ([]OrderItem, error) {
+	var items []OrderItem
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		item := OrderItem{Column: col.text}
+		if p.accept(tokKeyword, "DESC") {
+			item.Desc = true
+		} else {
+			p.accept(tokKeyword, "ASC")
+		}
+		if p.accept(tokKeyword, "NULLS") {
+			switch {
+			case p.accept(tokKeyword, "FIRST"):
+				item.NullsFirst = true
+			case p.accept(tokKeyword, "LAST"):
+				item.NullsFirst = false
+			default:
+				return nil, p.errorf("expected FIRST or LAST after NULLS")
+			}
+			item.nullsSet = true
+		}
+		if !item.nullsSet {
+			// PostgreSQL default: NULLS LAST for ASC, NULLS FIRST for DESC.
+			item.NullsFirst = item.Desc
+		}
+		items = append(items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+func (p *parser) parseFrame() (*FrameClause, error) {
+	f := &FrameClause{}
+	switch {
+	case p.accept(tokKeyword, "ROWS"):
+		f.Rows = true
+	case p.accept(tokKeyword, "RANGE"):
+	default:
+		return nil, p.errorf("expected ROWS or RANGE")
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		start, err := p.parseBound()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		end, err := p.parseBound()
+		if err != nil {
+			return nil, err
+		}
+		f.Start, f.End = start, end
+		return f, nil
+	}
+	// Single-bound shorthand: frame start, end = CURRENT ROW.
+	start, err := p.parseBound()
+	if err != nil {
+		return nil, err
+	}
+	f.Start = start
+	f.End = FrameBound{Kind: "CURRENT ROW"}
+	return f, nil
+}
+
+func (p *parser) parseBound() (FrameBound, error) {
+	switch {
+	case p.accept(tokKeyword, "UNBOUNDED"):
+		switch {
+		case p.accept(tokKeyword, "PRECEDING"):
+			return FrameBound{Kind: "UNBOUNDED PRECEDING"}, nil
+		case p.accept(tokKeyword, "FOLLOWING"):
+			return FrameBound{Kind: "UNBOUNDED FOLLOWING"}, nil
+		}
+		return FrameBound{}, p.errorf("expected PRECEDING or FOLLOWING after UNBOUNDED")
+	case p.accept(tokKeyword, "CURRENT"):
+		if _, err := p.expect(tokKeyword, "ROW"); err != nil {
+			return FrameBound{}, err
+		}
+		return FrameBound{Kind: "CURRENT ROW"}, nil
+	case p.at(tokNumber, ""):
+		n := p.next()
+		v, err := strconv.ParseInt(n.text, 10, 64)
+		if err != nil || v < 0 {
+			return FrameBound{}, p.errorf("bad frame offset %q", n.text)
+		}
+		switch {
+		case p.accept(tokKeyword, "PRECEDING"):
+			return FrameBound{Kind: "PRECEDING", Offset: v}, nil
+		case p.accept(tokKeyword, "FOLLOWING"):
+			return FrameBound{Kind: "FOLLOWING", Offset: v}, nil
+		}
+		return FrameBound{}, p.errorf("expected PRECEDING or FOLLOWING")
+	}
+	return FrameBound{}, p.errorf("expected frame bound, found %q", p.cur().text)
+}
+
+// Predicate grammar: OR > AND > NOT > comparison/IS NULL/parenthesized.
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "IS") {
+		not := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: left, Not: not}, nil
+	}
+	for _, op := range []string{"<>", "!=", "<=", ">=", "=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			right, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			norm := op
+			if norm == "!=" {
+				norm = "<>"
+			}
+			return &BinaryExpr{Op: norm, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	if p.accept(tokSymbol, "(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if p.at(tokIdent, "") {
+		return &ColumnRef{Name: p.next().text}, nil
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &LitExpr{Lit: lit}, nil
+}

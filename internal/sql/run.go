@@ -1,0 +1,357 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/attrs"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/window"
+)
+
+// Scheme names a window-function optimization scheme.
+type Scheme string
+
+// The four schemes evaluated in the paper's Section 6.
+const (
+	SchemeCSO  Scheme = "CSO"
+	SchemeBFO  Scheme = "BFO"
+	SchemeORCL Scheme = "ORCL"
+	SchemePSQL Scheme = "PSQL"
+)
+
+// Runner executes window queries against a catalog.
+type Runner struct {
+	Catalog *catalog.Catalog
+	// Scheme selects the plan generator (default CSO).
+	Scheme Scheme
+	// Exec carries the execution resources (unit reorder memory etc.).
+	Exec exec.Config
+}
+
+// Result is an executed query: the output table plus the window chain and
+// its execution metrics (nil when the query had no window functions).
+type Result struct {
+	Table   *storage.Table
+	Plan    *core.Plan
+	Metrics *exec.Metrics
+	// FinalSort reports how the query's ORDER BY was satisfied: "none"
+	// (no ORDER BY), "full" (explicit sort), "partial" (the chain's output
+	// ordering pre-satisfied a prefix; only within-group sorting remained)
+	// or "avoided" (the chain's output already satisfied it — Section 5's
+	// interesting-order integration).
+	FinalSort string
+	// SatisfiedPrefix counts the leading ORDER BY elements the chain's
+	// output ordering guaranteed.
+	SatisfiedPrefix int
+}
+
+// Query parses, plans and executes one window query block.
+func (r *Runner) Query(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(q)
+}
+
+// Run executes a parsed query.
+func (r *Runner) Run(q *Query) (*Result, error) {
+	entry, err := r.Catalog.Lookup(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	base := entry.Table
+	schema := base.Schema
+
+	// WHERE: filter into the windowed table WT (Section 5's loose
+	// integration: all clauses except ORDER BY run before the windows).
+	windowed := base
+	if q.Where != nil {
+		wt := storage.NewTable(schema)
+		for _, row := range base.Rows {
+			v, err := evalPredicate(q.Where, row, schema)
+			if err != nil {
+				return nil, err
+			}
+			if v == tTrue {
+				wt.Rows = append(wt.Rows, row)
+			}
+		}
+		windowed = wt
+	}
+
+	// Bind the window calls in SELECT order.
+	var specs []window.Spec
+	windowItem := make([]int, len(q.Items)) // item index -> wf ID or -1
+	for i, item := range q.Items {
+		windowItem[i] = -1
+		if item.Window == nil {
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			name = item.Window.Func
+		}
+		spec, err := BindWindowCall(item.Window, schema, name)
+		if err != nil {
+			return nil, err
+		}
+		if err := spec.Validate(schema); err != nil {
+			return nil, err
+		}
+		windowItem[i] = len(specs)
+		specs = append(specs, spec)
+	}
+
+	result := &Result{FinalSort: "none"}
+	executed := windowed
+	wfCol := map[int]int{} // wf ID -> column in executed table
+	// Section 5 integration: resolve the longest ORDER BY prefix whose
+	// columns are base-table columns of the output; CSO aligns its chain
+	// toward it. Resolution must honor SELECT-list aliases (an alias can
+	// shadow a base column name), so it goes through the projected names,
+	// not the base schema directly.
+	var alignOrder attrs.Seq
+	for _, item := range q.OrderBy {
+		c, isBase := resolveOutputColumn(q.Items, schema, item.Column)
+		if !isBase {
+			break
+		}
+		alignOrder = append(alignOrder, attrs.Elem{Attr: attrs.ID(c), Desc: item.Desc, NullsFirst: item.NullsFirst})
+	}
+	if len(specs) > 0 {
+		ws := make([]core.WF, len(specs))
+		for i, s := range specs {
+			ws[i] = s.WF(i)
+		}
+		opt := core.Options{Cost: entry.CostParams(r.Exec.MemoryBytes, r.Exec.BlockSize)}
+		var plan *core.Plan
+		switch r.Scheme {
+		case SchemeBFO:
+			plan, err = core.BFO(ws, core.Unordered(), opt)
+		case SchemeORCL:
+			plan, err = core.ORCL(ws, core.Unordered(), opt)
+		case SchemePSQL:
+			plan, err = core.PSQL(ws, core.Unordered())
+		case SchemeCSO, "":
+			plan, err = core.CSOAligned(ws, core.Unordered(), opt, alignOrder)
+		default:
+			return nil, fmt.Errorf("sql: unknown scheme %q", r.Scheme)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.Exec
+		if cfg.Distinct == nil {
+			cfg.Distinct = entry.Distinct
+		}
+		out, metrics, err := exec.Run(windowed, specs, plan, cfg)
+		if err != nil {
+			return nil, err
+		}
+		executed = out
+		result.Plan = plan
+		result.Metrics = metrics
+		for pos, step := range plan.Steps {
+			wfCol[step.WF.ID] = schema.Len() + pos
+		}
+	}
+
+	// Projection.
+	var outCols []storage.Column
+	var pick []int // source column per output column
+	for i, item := range q.Items {
+		switch {
+		case item.Star:
+			for c := 0; c < schema.Len(); c++ {
+				outCols = append(outCols, schema.Columns[c])
+				pick = append(pick, c)
+			}
+		case item.Window != nil:
+			src := wfCol[windowItem[i]]
+			col := executed.Schema.Columns[src]
+			if item.Alias != "" {
+				col.Name = item.Alias
+			}
+			outCols = append(outCols, col)
+			pick = append(pick, src)
+		default:
+			c := schema.ColIndex(item.Column)
+			if c < 0 {
+				return nil, fmt.Errorf("sql: unknown column %q", item.Column)
+			}
+			col := schema.Columns[c]
+			if item.Alias != "" {
+				col.Name = item.Alias
+			}
+			outCols = append(outCols, col)
+			pick = append(pick, c)
+		}
+	}
+	outSchema := storage.NewSchema(outCols...)
+	outTable := storage.NewTable(outSchema)
+	outTable.Rows = make([]storage.Tuple, executed.Len())
+	for ri, row := range executed.Rows {
+		t := make(storage.Tuple, len(pick))
+		for ci, src := range pick {
+			t[ci] = row[src]
+		}
+		outTable.Rows[ri] = t
+	}
+
+	// DISTINCT: deduplicate projected rows (evaluated after the window
+	// functions, as in the paper's Section 1/5 decomposition; NULLs compare
+	// equal, per SQL DISTINCT semantics).
+	if q.Distinct {
+		seen := make(map[string]bool, outTable.Len())
+		dedup := outTable.Rows[:0]
+		for _, row := range outTable.Rows {
+			key := string(storage.AppendTuple(nil, row))
+			if !seen[key] {
+				seen[key] = true
+				dedup = append(dedup, row)
+			}
+		}
+		outTable.Rows = dedup
+	}
+
+	// Final ORDER BY over output columns. When the chain's output ordering
+	// already satisfies a prefix of the key (Section 5), the sort is
+	// avoided or downgraded to per-group partial sorting.
+	if len(q.OrderBy) > 0 {
+		var key attrs.Seq
+		for _, item := range q.OrderBy {
+			c := outSchema.ColIndex(item.Column)
+			if c < 0 {
+				return nil, fmt.Errorf("sql: ORDER BY column %q not in output", item.Column)
+			}
+			key = append(key, attrs.Elem{Attr: attrs.ID(c), Desc: item.Desc, NullsFirst: item.NullsFirst})
+		}
+		sat := 0
+		if result.Plan != nil {
+			finalProps := result.Plan.FinalProps(core.Unordered())
+			sat = core.OrderSatisfiedPrefix(finalProps, alignOrder)
+			// The satisfied alignment elements must actually be the leading
+			// ORDER BY items (alignOrder was built from that prefix).
+			if sat > len(key) {
+				sat = len(key)
+			}
+		}
+		result.SatisfiedPrefix = sat
+		switch {
+		case sat >= len(key):
+			result.FinalSort = "avoided"
+		case sat > 0:
+			result.FinalSort = "partial"
+			partialSort(outTable.Rows, key, sat)
+		default:
+			result.FinalSort = "full"
+			sort.SliceStable(outTable.Rows, func(i, j int) bool {
+				return storage.CompareSeq(outTable.Rows[i], outTable.Rows[j], key) < 0
+			})
+		}
+	}
+	if q.Limit >= 0 && int64(outTable.Len()) > q.Limit {
+		outTable.Rows = outTable.Rows[:q.Limit]
+	}
+	result.Table = outTable
+	return result, nil
+}
+
+// resolveOutputColumn finds the first SELECT item whose visible name is
+// name and, when that item projects a base-table column, returns the base
+// column index. Window-function items and unmatched names return false.
+func resolveOutputColumn(items []SelectItem, schema *storage.Schema, name string) (int, bool) {
+	for _, item := range items {
+		switch {
+		case item.Star:
+			if c := schema.ColIndex(name); c >= 0 {
+				return c, true
+			}
+		case item.Window != nil:
+			visible := item.Alias
+			if visible == "" {
+				visible = item.Window.Func
+			}
+			if strings.EqualFold(visible, name) {
+				return 0, false
+			}
+		default:
+			visible := item.Alias
+			if visible == "" {
+				visible = item.Column
+			}
+			if strings.EqualFold(visible, name) {
+				c := schema.ColIndex(item.Column)
+				return c, c >= 0
+			}
+		}
+	}
+	return 0, false
+}
+
+// partialSort exploits a pre-satisfied key prefix: rows already arrive in
+// runs that agree on key[:sat], so only each run needs sorting on the key
+// remainder — the partial sort of [7, 13], which Section 3.3 identifies as
+// a special case of Segmented Sort.
+func partialSort(rows []storage.Tuple, key attrs.Seq, sat int) {
+	prefix, rest := key[:sat], key[sat:]
+	start := 0
+	for start < len(rows) {
+		end := start + 1
+		for end < len(rows) && storage.CompareSeq(rows[start], rows[end], prefix) == 0 {
+			end++
+		}
+		run := rows[start:end]
+		sort.SliceStable(run, func(i, j int) bool {
+			return storage.CompareSeq(run[i], run[j], rest) < 0
+		})
+		start = end
+	}
+}
+
+// FormatTable renders a result table with padded columns, for examples and
+// the CLI.
+func FormatTable(t *storage.Table, maxRows int) string {
+	var sb strings.Builder
+	widths := make([]int, t.Schema.Len())
+	for i, c := range t.Schema.Columns {
+		widths[i] = len(c.Name)
+	}
+	n := t.Len()
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	for _, row := range t.Rows[:n] {
+		for i, v := range row {
+			if l := len(v.String()); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	for i, c := range t.Schema.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], strings.ToUpper(c.Name))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows[:n] {
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], v.String())
+		}
+		sb.WriteByte('\n')
+	}
+	if n < t.Len() {
+		fmt.Fprintf(&sb, "... (%d more rows)\n", t.Len()-n)
+	}
+	return sb.String()
+}

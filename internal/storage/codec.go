@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The binary tuple codec used by the spill paths. Layout per tuple:
+//
+//	uvarint column count
+//	per column: 1 byte kind, then payload
+//	  KindNull:   nothing
+//	  KindInt:    varint
+//	  KindFloat:  8 bytes little-endian IEEE 754
+//	  KindString: uvarint length + bytes
+//
+// The codec is self-describing per tuple so that heterogenous spill files
+// (e.g. buckets of different window chains) need no schema side-channel.
+
+// ErrCorrupt reports a malformed encoded tuple.
+var ErrCorrupt = errors.New("storage: corrupt tuple encoding")
+
+// AppendTuple appends the encoding of t to dst and returns the result.
+func AppendTuple(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindNull:
+		case KindInt:
+			dst = binary.AppendVarint(dst, v.i)
+		case KindFloat:
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+			dst = append(dst, buf[:]...)
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		}
+	}
+	return dst
+}
+
+// EncodedSize returns the exact number of bytes AppendTuple will add for t.
+func EncodedSize(t Tuple) int {
+	n := uvarintLen(uint64(len(t)))
+	for _, v := range t {
+		n++ // kind byte
+		switch v.kind {
+		case KindInt:
+			n += varintLen(v.i)
+		case KindFloat:
+			n += 8
+		case KindString:
+			n += uvarintLen(uint64(len(v.s))) + len(v.s)
+		}
+	}
+	return n
+}
+
+// DecodeTuple decodes one tuple from buf, returning the tuple and the number
+// of bytes consumed.
+func DecodeTuple(buf []byte) (Tuple, int, error) {
+	ncols, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, ErrCorrupt
+	}
+	if ncols > uint64(len(buf)) { // cheap sanity bound: ≥1 byte per column
+		return nil, 0, fmt.Errorf("%w: column count %d", ErrCorrupt, ncols)
+	}
+	pos := n
+	t := make(Tuple, ncols)
+	for i := range t {
+		if pos >= len(buf) {
+			return nil, 0, ErrCorrupt
+		}
+		kind := Kind(buf[pos])
+		pos++
+		switch kind {
+		case KindNull:
+			t[i] = Null
+		case KindInt:
+			v, n := binary.Varint(buf[pos:])
+			if n <= 0 {
+				return nil, 0, ErrCorrupt
+			}
+			pos += n
+			t[i] = Int(v)
+		case KindFloat:
+			if pos+8 > len(buf) {
+				return nil, 0, ErrCorrupt
+			}
+			t[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
+			pos += 8
+		case KindString:
+			l, n := binary.Uvarint(buf[pos:])
+			if n <= 0 {
+				return nil, 0, ErrCorrupt
+			}
+			pos += n
+			if uint64(pos)+l > uint64(len(buf)) {
+				return nil, 0, ErrCorrupt
+			}
+			t[i] = StringVal(string(buf[pos : pos+int(l)]))
+			pos += int(l)
+		default:
+			return nil, 0, fmt.Errorf("%w: kind %d", ErrCorrupt, kind)
+		}
+	}
+	return t, pos, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uvarintLen(uv)
+}

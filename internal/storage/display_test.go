@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attrs"
+)
+
+func TestValueDisplay(t *testing.T) {
+	cases := map[string]Value{
+		"-":     Null,
+		"42":    Int(42),
+		"-7":    Int(-7),
+		"2.5":   Float(2.5),
+		"hello": StringVal("hello"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", v.Kind(), got, want)
+		}
+	}
+}
+
+func TestKindAndTypeNames(t *testing.T) {
+	if KindNull.String() != "NULL" || KindInt.String() != "INT" ||
+		KindFloat.String() != "FLOAT" || KindString.String() != "STRING" {
+		t.Errorf("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Errorf("unknown kind should still render")
+	}
+	if TypeInt.String() != "INT" || TypeFloat.String() != "FLOAT" || TypeString.String() != "STRING" {
+		t.Errorf("column type names wrong")
+	}
+	if ColumnType(99).String() == "" {
+		t.Errorf("unknown column type should still render")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("Int64 on string", func() { StringVal("x").Int64() })
+	expectPanic("Str on int", func() { Int(1).Str() })
+	expectPanic("Float64 on string", func() { StringVal("x").Float64() })
+}
+
+func TestValueSizeMonotone(t *testing.T) {
+	if StringVal("aaaaaaaaaa").Size() <= StringVal("a").Size() {
+		t.Errorf("string size not monotone in length")
+	}
+	if Int(1).Size() <= 0 || Null.Size() <= 0 {
+		t.Errorf("sizes must be positive")
+	}
+}
+
+func TestTupleDisplayAndSize(t *testing.T) {
+	tu := Tuple{Int(1), Null, StringVal("x")}
+	s := tu.String()
+	if !strings.Contains(s, "1") || !strings.Contains(s, "-") || !strings.Contains(s, "x") {
+		t.Errorf("tuple display %q", s)
+	}
+	if tu.Size() <= 0 {
+		t.Errorf("tuple size must be positive")
+	}
+	c := tu.Clone()
+	c[0] = Int(9)
+	if tu[0].Int64() != 1 {
+		t.Errorf("Clone aliases")
+	}
+	ext := tu.Append(Float(1.5))
+	if len(ext) != 4 || len(tu) != 3 {
+		t.Errorf("Append must not mutate the receiver")
+	}
+}
+
+func TestMixedKindTotalOrder(t *testing.T) {
+	// Numeric sorts before string in the raw total order (needed by sort
+	// operators on heterogenous columns).
+	if Compare(Int(5), StringVal("a")) != -1 || Compare(StringVal("a"), Int(5)) != 1 {
+		t.Errorf("numeric/string order broken")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := NewSchema(Column{Name: "a", Type: TypeInt}, Column{Name: "b", Type: TypeString})
+	if s.MustCol("B") != 1 {
+		t.Errorf("MustCol case-insensitivity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustCol on missing column should panic")
+		}
+	}()
+	s.MustCol("zzz")
+}
+
+func TestWithColumnImmutability(t *testing.T) {
+	s := NewSchema(Column{Name: "a", Type: TypeInt})
+	s2 := s.WithColumn(Column{Name: "b", Type: TypeFloat})
+	if s.Len() != 1 || s2.Len() != 2 {
+		t.Errorf("WithColumn mutated the receiver")
+	}
+	if got := s2.Names(); got[1] != "b" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestSortedOnEdge(t *testing.T) {
+	if !SortedOn(nil, attrs.AscSeq(0)) {
+		t.Errorf("empty slice is sorted")
+	}
+	rows := []Tuple{{Int(2)}, {Int(1)}}
+	if SortedOn(rows, attrs.AscSeq(0)) {
+		t.Errorf("descending rows misreported as sorted")
+	}
+	if !SortedOn(rows, attrs.Seq{{Attr: 0, Desc: true}}) {
+		t.Errorf("descending key not honored")
+	}
+}

@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attrs"
+)
+
+// Table is a fully materialized relation: a schema plus row storage. It is
+// the unit the catalog registers and the executor scans.
+type Table struct {
+	Schema *Schema
+	Rows   []Tuple
+}
+
+// NewTable builds an empty table over schema.
+func NewTable(schema *Schema) *Table { return &Table{Schema: schema} }
+
+// Append adds a row, validating arity.
+func (t *Table) Append(row Tuple) error {
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("storage: row arity %d != schema arity %d", len(row), t.Schema.Len())
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustAppend adds a row and panics on arity mismatch; for generators/tests.
+func (t *Table) MustAppend(row Tuple) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// ByteSize returns the total serialized size of the table, the B(R) of the
+// paper's cost models (in bytes; divide by the block size for blocks).
+func (t *Table) ByteSize() int {
+	n := 0
+	for _, r := range t.Rows {
+		n += EncodedSize(r)
+	}
+	return n
+}
+
+// Clone deep-copies the table's row slice (tuples are immutable).
+func (t *Table) Clone() *Table {
+	rows := make([]Tuple, len(t.Rows))
+	copy(rows, t.Rows)
+	return &Table{Schema: t.Schema, Rows: rows}
+}
+
+// SortBy stably sorts the table in place by the ordering sequence. It is a
+// utility for dataset preparation (e.g. the paper's web_sales_s variant) and
+// for reference results in tests; the engine's own sorting goes through the
+// external-sort operators.
+func (t *Table) SortBy(seq attrs.Seq) {
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		return CompareSeq(t.Rows[i], t.Rows[j], seq) < 0
+	})
+}
+
+// DistinctCount returns the number of distinct values of the attribute set
+// over the table (NULLs count as one value), i.e. the D(·) statistic of the
+// cost models.
+func (t *Table) DistinctCount(set attrs.Set) int {
+	ids := set.IDs()
+	seen := make(map[string]struct{}, 1024)
+	var key []byte
+	for _, r := range t.Rows {
+		key = key[:0]
+		for _, id := range ids {
+			key = AppendTuple(key, Tuple{r[id]})
+		}
+		seen[string(key)] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,187 @@
+// Package storage provides the tuple-level substrate: typed values, tuples,
+// schemas, comparators and a compact binary serialization used by the
+// spill-to-disk paths of the sort and hash operators.
+package storage
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the supported value types.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL marker; it carries no payload.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindString is an immutable byte string.
+	KindString
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single column value. The zero Value is SQL NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int wraps an int64.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float wraps a float64.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String wraps a string.
+func StringVal(v string) Value { return Value{kind: KindString, s: v} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int64 returns the integer payload; it panics on non-integers.
+func (v Value) Int64() int64 {
+	if v.kind != KindInt {
+		panic("storage: Int64 on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float64 returns the float payload, widening integers.
+func (v Value) Float64() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic("storage: Float64 on " + v.kind.String())
+}
+
+// Str returns the string payload; it panics on non-strings.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic("storage: Str on " + v.kind.String())
+	}
+	return v.s
+}
+
+// String renders the value for display. NULL renders as "-" matching the
+// paper's sample output in Example 1.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "-"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// numericRank orders kinds for cross-kind comparison: NULL handled by the
+// caller, numerics compare by value, strings after numerics.
+func numericKind(k Kind) bool { return k == KindInt || k == KindFloat }
+
+// Compare orders two non-NULL values: -1 if v < w, 0 if equal, +1 if v > w.
+// Integers and floats compare numerically with each other. Comparing a
+// numeric against a string orders the numeric first (a total order is
+// required by the sort operators; mixed-kind columns do not occur in
+// well-typed relations but the order must still be total).
+//
+// NULL handling (nulls first/last, per ordering element) is the
+// responsibility of CompareAt and the comparators built on it.
+func Compare(v, w Value) int {
+	if v.kind == KindNull || w.kind == KindNull {
+		// NULLs compare equal to each other and precede non-NULLs in this
+		// raw ordering; ordering elements override placement.
+		switch {
+		case v.kind == KindNull && w.kind == KindNull:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if numericKind(v.kind) && numericKind(w.kind) {
+		if v.kind == KindInt && w.kind == KindInt {
+			switch {
+			case v.i < w.i:
+				return -1
+			case v.i > w.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		a, b := v.Float64(), w.Float64()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if numericKind(v.kind) != numericKind(w.kind) {
+		if numericKind(v.kind) {
+			return -1
+		}
+		return 1
+	}
+	// Both strings.
+	switch {
+	case v.s < w.s:
+		return -1
+	case v.s > w.s:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports deep value equality (NULL equals NULL).
+func Equal(v, w Value) bool { return Compare(v, w) == 0 }
+
+// Size returns the approximate in-memory footprint of the value in bytes,
+// used by memory-budgeted operators.
+func (v Value) Size() int {
+	const header = 8 // kind + padding amortized
+	switch v.kind {
+	case KindString:
+		return header + 16 + len(v.s)
+	default:
+		return header + 8
+	}
+}

@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func rows(vals ...int64) []storage.Tuple {
+	out := make([]storage.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = storage.Tuple{storage.Int(v)}
+	}
+	return out
+}
+
+func TestFromTuplesSingleSegment(t *testing.T) {
+	s := FromTuples(rows(1, 2, 3))
+	collected, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(collected) != 3 {
+		t.Fatalf("rows = %d", len(collected))
+	}
+	if !collected[0].Boundary || collected[1].Boundary || collected[2].Boundary {
+		t.Errorf("boundaries wrong: %+v", collected)
+	}
+}
+
+func TestFromSegments(t *testing.T) {
+	segsIn := [][]storage.Tuple{rows(1, 2), rows(3), rows(4, 5, 6)}
+	s := FromSegments(segsIn)
+	segs, err := Segments(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 || len(segs[0]) != 2 || len(segs[1]) != 1 || len(segs[2]) != 3 {
+		t.Fatalf("segments = %v", segs)
+	}
+}
+
+func TestCollectTuples(t *testing.T) {
+	tuples, err := CollectTuples(FromTuples(rows(9, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 || tuples[0][0].Int64() != 9 {
+		t.Fatalf("tuples = %v", tuples)
+	}
+}
+
+func TestConcatPreservesSegments(t *testing.T) {
+	a := FromSegments([][]storage.Tuple{rows(1), rows(2)})
+	b := FromTuples(rows(3, 4))
+	segs, err := Segments(Concat(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3", len(segs))
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	segs, err := Segments(FromTuples(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("segments of empty stream = %d", len(segs))
+	}
+	r, ok := FromRows(nil).Next()
+	if ok {
+		t.Fatalf("empty stream yielded %v", r)
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tbl := storage.NewTable(storage.NewSchema(storage.Column{Name: "a", Type: storage.TypeInt}))
+	tbl.MustAppend(storage.Tuple{storage.Int(7)})
+	tbl.MustAppend(storage.Tuple{storage.Int(8)})
+	got, err := CollectTuples(FromTable(tbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][0].Int64() != 8 {
+		t.Fatalf("round trip = %v", got)
+	}
+}

@@ -1,0 +1,422 @@
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// computePartition evaluates spec over one window partition (rows already
+// ordered on WOK) and returns one derived value per row.
+func computePartition(rows []storage.Tuple, spec Spec) ([]storage.Value, error) {
+	n := len(rows)
+	out := make([]storage.Value, n)
+	switch spec.Kind {
+	case RowNumber:
+		for i := range out {
+			out[i] = storage.Int(int64(i + 1))
+		}
+		return out, nil
+
+	case Rank, DenseRank, PercentRank, CumeDist:
+		starts := peerStarts(rows, spec)
+		dense := 0
+		for g := 0; g < len(starts); g++ {
+			lo := starts[g]
+			hi := n
+			if g+1 < len(starts) {
+				hi = starts[g+1]
+			}
+			dense++
+			for i := lo; i < hi; i++ {
+				switch spec.Kind {
+				case Rank:
+					out[i] = storage.Int(int64(lo + 1))
+				case DenseRank:
+					out[i] = storage.Int(int64(dense))
+				case PercentRank:
+					if n == 1 {
+						out[i] = storage.Float(0)
+					} else {
+						out[i] = storage.Float(float64(lo) / float64(n-1))
+					}
+				case CumeDist:
+					out[i] = storage.Float(float64(hi) / float64(n))
+				}
+			}
+		}
+		return out, nil
+
+	case Ntile:
+		buckets := spec.N
+		if buckets < 1 {
+			return nil, fmt.Errorf("window: ntile bucket count %d", buckets)
+		}
+		if buckets > int64(n) {
+			buckets = int64(n)
+		}
+		base := int64(n) / buckets
+		extra := int64(n) % buckets
+		i := 0
+		for b := int64(1); b <= buckets; b++ {
+			size := base
+			if b <= extra {
+				size++
+			}
+			for j := int64(0); j < size && i < n; j++ {
+				out[i] = storage.Int(b)
+				i++
+			}
+		}
+		return out, nil
+
+	case Lead, Lag:
+		// N is the explicit offset; the SQL layer supplies the default of 1
+		// when the argument is omitted. N = 0 legitimately means "this row".
+		off := spec.N
+		for i := range rows {
+			j := i
+			if spec.Kind == Lead {
+				j = i + int(off)
+			} else {
+				j = i - int(off)
+			}
+			if j >= 0 && j < n {
+				out[i] = rows[j][spec.Arg]
+			} else {
+				out[i] = spec.Default
+			}
+		}
+		return out, nil
+	}
+
+	// Framed functions.
+	lo, hi, err := frameBounds(rows, spec)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case FirstValue:
+		for i := range rows {
+			if lo[i] < hi[i] {
+				out[i] = rows[lo[i]][spec.Arg]
+			} else {
+				out[i] = storage.Null
+			}
+		}
+	case LastValue:
+		for i := range rows {
+			if lo[i] < hi[i] {
+				out[i] = rows[hi[i]-1][spec.Arg]
+			} else {
+				out[i] = storage.Null
+			}
+		}
+	case NthValue:
+		for i := range rows {
+			idx := lo[i] + int(spec.N) - 1
+			if idx >= lo[i] && idx < hi[i] {
+				out[i] = rows[idx][spec.Arg]
+			} else {
+				out[i] = storage.Null
+			}
+		}
+	case Count:
+		if spec.Arg < 0 {
+			for i := range rows {
+				out[i] = storage.Int(int64(hi[i] - lo[i]))
+			}
+			break
+		}
+		pref := make([]int64, n+1)
+		for i, r := range rows {
+			pref[i+1] = pref[i]
+			if !r[spec.Arg].IsNull() {
+				pref[i+1]++
+			}
+		}
+		for i := range rows {
+			out[i] = storage.Int(pref[hi[i]] - pref[lo[i]])
+		}
+	case Sum, Avg:
+		sums, counts, allInt, err := prefixSums(rows, spec)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rows {
+			cnt := counts[hi[i]] - counts[lo[i]]
+			if cnt == 0 {
+				out[i] = storage.Null
+				continue
+			}
+			if spec.Kind == Avg {
+				out[i] = storage.Float((sums.f[hi[i]] - sums.f[lo[i]]) / float64(cnt))
+			} else if allInt {
+				out[i] = storage.Int(sums.i[hi[i]] - sums.i[lo[i]])
+			} else {
+				out[i] = storage.Float(sums.f[hi[i]] - sums.f[lo[i]])
+			}
+		}
+	case Min, Max:
+		if err := slidingExtreme(rows, spec, lo, hi, out); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("window: unimplemented function %s", spec.Kind)
+	}
+	return out, nil
+}
+
+// peerStarts returns the start index of each peer group (rows equal on WOK).
+func peerStarts(rows []storage.Tuple, spec Spec) []int {
+	var starts []int
+	for i := range rows {
+		if i == 0 || storage.CompareSeq(rows[i-1], rows[i], spec.OK) != 0 {
+			starts = append(starts, i)
+		}
+	}
+	return starts
+}
+
+// peerBounds maps each row to its peer group's [start, end).
+func peerBounds(rows []storage.Tuple, spec Spec) (start, end []int) {
+	n := len(rows)
+	start = make([]int, n)
+	end = make([]int, n)
+	i := 0
+	for i < n {
+		j := i + 1
+		for j < n && storage.CompareSeq(rows[i], rows[j], spec.OK) == 0 {
+			j++
+		}
+		for k := i; k < j; k++ {
+			start[k], end[k] = i, j
+		}
+		i = j
+	}
+	return
+}
+
+// frameBounds computes each row's frame [lo, hi).
+func frameBounds(rows []storage.Tuple, spec Spec) (lo, hi []int, err error) {
+	n := len(rows)
+	lo = make([]int, n)
+	hi = make([]int, n)
+	f := spec.EffectiveFrame()
+	var peerS, peerE []int
+	needPeers := f.Mode == Range && (f.Start.Type == CurrentRow || f.End.Type == CurrentRow)
+	if needPeers {
+		peerS, peerE = peerBounds(rows, spec)
+	}
+	boundIdx := func(i int, b Bound, isStart bool) (int, error) {
+		switch b.Type {
+		case UnboundedPreceding:
+			return 0, nil
+		case UnboundedFollowing:
+			return n, nil
+		case CurrentRow:
+			if f.Mode == Range {
+				if isStart {
+					return peerS[i], nil
+				}
+				return peerE[i], nil
+			}
+			if isStart {
+				return i, nil
+			}
+			return i + 1, nil
+		case Preceding, Following:
+			if f.Mode == Rows {
+				d := int(b.Offset)
+				if b.Type == Preceding {
+					d = -d
+				}
+				idx := i + d
+				if !isStart {
+					idx++
+				}
+				if idx < 0 {
+					idx = 0
+				}
+				if idx > n {
+					idx = n
+				}
+				return idx, nil
+			}
+			return rangeOffsetBound(rows, spec, i, b, isStart)
+		}
+		return 0, fmt.Errorf("window: unknown bound type %d", b.Type)
+	}
+	for i := range rows {
+		l, err := boundIdx(i, f.Start, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err := boundIdx(i, f.End, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		if h < l {
+			h = l
+		}
+		lo[i], hi[i] = l, h
+	}
+	return lo, hi, nil
+}
+
+// rangeOffsetBound resolves a RANGE k PRECEDING/FOLLOWING bound: it needs a
+// single numeric ordering key. Rows with a NULL key frame their own peer
+// group (SQL treats NULL as incomparable).
+func rangeOffsetBound(rows []storage.Tuple, spec Spec, i int, b Bound, isStart bool) (int, error) {
+	if len(spec.OK) != 1 {
+		return 0, fmt.Errorf("window: RANGE offset frame requires exactly one ordering key")
+	}
+	e := spec.OK[0]
+	cur := rows[i][e.Attr]
+	if cur.IsNull() {
+		// NULL peer group.
+		lo, hi := i, i+1
+		for lo > 0 && rows[lo-1][e.Attr].IsNull() {
+			lo--
+		}
+		for hi < len(rows) && rows[hi][e.Attr].IsNull() {
+			hi++
+		}
+		if isStart {
+			return lo, nil
+		}
+		return hi, nil
+	}
+	if cur.Kind() == storage.KindString {
+		return 0, fmt.Errorf("window: RANGE offset frame requires a numeric ordering key")
+	}
+	curF := cur.Float64()
+	off := float64(b.Offset)
+	// Logical threshold in ordering direction: preceding moves against the
+	// sort direction, following with it.
+	var threshold float64
+	sign := 1.0
+	if e.Desc {
+		sign = -1
+	}
+	if b.Type == Preceding {
+		threshold = curF - sign*off
+	} else {
+		threshold = curF + sign*off
+	}
+	n := len(rows)
+	inOrder := func(v float64) float64 { return sign * v } // map to ascending space
+	tt := inOrder(threshold)
+	nonNull := func(j int) bool { return !rows[j][e.Attr].IsNull() }
+	if isStart {
+		// First row with key ≥ threshold (ascending space), skipping NULLs
+		// on the first-sorted side.
+		return sort.Search(n, func(j int) bool {
+			if !nonNull(j) {
+				// NULLs first sort before everything, NULLs last after.
+				return !e.NullsFirst
+			}
+			return inOrder(rows[j][e.Attr].Float64()) >= tt
+		}), nil
+	}
+	// One past the last row with key ≤ threshold.
+	return sort.Search(n, func(j int) bool {
+		if !nonNull(j) {
+			return !e.NullsFirst
+		}
+		return inOrder(rows[j][e.Attr].Float64()) > tt
+	}), nil
+}
+
+type sums struct {
+	f []float64
+	i []int64
+}
+
+// prefixSums builds prefix aggregates over the argument column.
+func prefixSums(rows []storage.Tuple, spec Spec) (sums, []int64, bool, error) {
+	n := len(rows)
+	s := sums{f: make([]float64, n+1), i: make([]int64, n+1)}
+	counts := make([]int64, n+1)
+	allInt := true
+	for i, r := range rows {
+		v := r[spec.Arg]
+		s.f[i+1] = s.f[i]
+		s.i[i+1] = s.i[i]
+		counts[i+1] = counts[i]
+		if v.IsNull() {
+			continue
+		}
+		switch v.Kind() {
+		case storage.KindInt:
+			s.f[i+1] += float64(v.Int64())
+			s.i[i+1] += v.Int64()
+		case storage.KindFloat:
+			s.f[i+1] += v.Float64()
+			allInt = false
+		default:
+			return s, nil, false, fmt.Errorf("window: %s over non-numeric column", spec.Kind)
+		}
+		counts[i+1]++
+	}
+	return s, counts, allInt, nil
+}
+
+// slidingExtreme computes min/max over the frames with a monotonic deque;
+// all supported frame shapes have non-decreasing lo and hi, so the windows
+// advance monotonically. NULL argument values are skipped (SQL semantics).
+func slidingExtreme(rows []storage.Tuple, spec Spec, lo, hi []int, out []storage.Value) error {
+	better := func(a, b storage.Value) bool { // a strictly better than b
+		c := storage.Compare(a, b)
+		if spec.Kind == Min {
+			return c < 0
+		}
+		return c > 0
+	}
+	var deque []int // candidate row indices, best at front
+	nextIn := 0
+	curLo := 0
+	for i := range rows {
+		if lo[i] < curLo || hi[i] < nextIn {
+			// Non-monotonic frame (cannot happen with supported bounds);
+			// fall back to a direct scan for this row.
+			out[i] = scanExtreme(rows, spec, lo[i], hi[i], better)
+			continue
+		}
+		for nextIn < hi[i] {
+			v := rows[nextIn][spec.Arg]
+			if !v.IsNull() {
+				for len(deque) > 0 && !better(rows[deque[len(deque)-1]][spec.Arg], v) {
+					deque = deque[:len(deque)-1]
+				}
+				deque = append(deque, nextIn)
+			}
+			nextIn++
+		}
+		curLo = lo[i]
+		for len(deque) > 0 && deque[0] < curLo {
+			deque = deque[1:]
+		}
+		if len(deque) == 0 {
+			out[i] = storage.Null
+		} else {
+			out[i] = rows[deque[0]][spec.Arg]
+		}
+	}
+	return nil
+}
+
+func scanExtreme(rows []storage.Tuple, spec Spec, lo, hi int, better func(a, b storage.Value) bool) storage.Value {
+	best := storage.Null
+	for j := lo; j < hi && j < len(rows); j++ {
+		v := rows[j][spec.Arg]
+		if v.IsNull() {
+			continue
+		}
+		if best.IsNull() || better(v, best) {
+			best = v
+		}
+	}
+	return best
+}

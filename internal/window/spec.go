@@ -1,0 +1,248 @@
+// Package window implements SQL:2003 analytic window functions: ranking
+// (row_number, rank, dense_rank, percent_rank, cume_dist, ntile), reference
+// (lead, lag, first_value, last_value, nth_value) and aggregate (count, sum,
+// avg, min, max) functions with ROWS/RANGE frames, evaluated partition-at-
+// a-time over a matched segmented stream (Theorem 1 of the paper: a stream
+// matching wf = (WPK, WOK) is consumed by a single sequential scan).
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/attrs"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Kind enumerates the implemented window functions.
+type Kind uint8
+
+const (
+	// RowNumber numbers rows 1..N within each partition.
+	RowNumber Kind = iota
+	// Rank is 1 + the number of preceding non-peer rows.
+	Rank
+	// DenseRank counts distinct peer groups up to the current row.
+	DenseRank
+	// PercentRank is (rank-1)/(N-1), 0 for a single-row partition.
+	PercentRank
+	// CumeDist is (rows ≤ current peer group)/N.
+	CumeDist
+	// Ntile distributes rows into N near-equal buckets.
+	Ntile
+	// Lead returns the value N rows after the current row.
+	Lead
+	// Lag returns the value N rows before the current row.
+	Lag
+	// FirstValue returns Arg at the first frame row.
+	FirstValue
+	// LastValue returns Arg at the last frame row.
+	LastValue
+	// NthValue returns Arg at the N-th frame row.
+	NthValue
+	// Count counts frame rows (CountStar) or non-null Arg values.
+	Count
+	// Sum totals Arg over the frame.
+	Sum
+	// Avg averages Arg over the frame.
+	Avg
+	// Min minimizes Arg over the frame.
+	Min
+	// Max maximizes Arg over the frame.
+	Max
+)
+
+// String names the function in SQL spelling.
+func (k Kind) String() string {
+	switch k {
+	case RowNumber:
+		return "row_number"
+	case Rank:
+		return "rank"
+	case DenseRank:
+		return "dense_rank"
+	case PercentRank:
+		return "percent_rank"
+	case CumeDist:
+		return "cume_dist"
+	case Ntile:
+		return "ntile"
+	case Lead:
+		return "lead"
+	case Lag:
+		return "lag"
+	case FirstValue:
+		return "first_value"
+	case LastValue:
+		return "last_value"
+	case NthValue:
+		return "nth_value"
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// needsArg reports whether the function takes a value argument.
+func (k Kind) needsArg() bool {
+	switch k {
+	case Lead, Lag, FirstValue, LastValue, NthValue, Sum, Avg, Min, Max:
+		return true
+	default:
+		return false
+	}
+}
+
+// BoundType enumerates frame bound kinds.
+type BoundType uint8
+
+const (
+	// UnboundedPreceding starts the frame at the partition head.
+	UnboundedPreceding BoundType = iota
+	// Preceding offsets backwards from the current row.
+	Preceding
+	// CurrentRow bounds the frame at the current row (RANGE: peer group).
+	CurrentRow
+	// Following offsets forwards from the current row.
+	Following
+	// UnboundedFollowing ends the frame at the partition tail.
+	UnboundedFollowing
+)
+
+// Bound is one frame endpoint.
+type Bound struct {
+	Type   BoundType
+	Offset int64 // Preceding/Following only
+}
+
+// FrameMode selects ROWS (positional) or RANGE (value/peer) framing.
+type FrameMode uint8
+
+const (
+	// Rows frames by physical row offsets.
+	Rows FrameMode = iota
+	// Range frames by ordering-key values; offsets require a single
+	// numeric ordering key, CURRENT ROW includes all peers.
+	Range
+)
+
+// Frame is a window frame clause.
+type Frame struct {
+	Mode  FrameMode
+	Start Bound
+	End   Bound
+}
+
+// DefaultFrame is the SQL default when an ORDER BY is present:
+// RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW.
+func DefaultFrame() Frame {
+	return Frame{Mode: Range, Start: Bound{Type: UnboundedPreceding}, End: Bound{Type: CurrentRow}}
+}
+
+// WholePartitionFrame is the SQL default without ORDER BY: every partition
+// row is in the frame.
+func WholePartitionFrame() Frame {
+	return Frame{Mode: Rows, Start: Bound{Type: UnboundedPreceding}, End: Bound{Type: UnboundedFollowing}}
+}
+
+// Spec is one window function call: wf = (WPK, WOK) plus the function, its
+// argument and frame.
+type Spec struct {
+	// Name becomes the output column name.
+	Name string
+	Kind Kind
+	// Arg is the value column for functions that take one; -1 otherwise.
+	// Count with Arg = -1 is COUNT(*).
+	Arg attrs.ID
+	// N parameterizes ntile (bucket count), lead/lag (offset, default 1)
+	// and nth_value (position).
+	N int64
+	// Default is the out-of-partition value for lead/lag (SQL NULL default).
+	Default storage.Value
+
+	// PK is WPK; PKOrder optionally preserves the PARTITION BY clause's
+	// written order (used by the PSQL baseline); OK is WOK.
+	PK      attrs.Set
+	PKOrder attrs.Seq
+	OK      attrs.Seq
+
+	// Frame overrides the SQL default frame for framed functions.
+	Frame *Frame
+}
+
+// WF converts the spec to the optimizer's view with the given chain ID.
+func (s Spec) WF(id int) core.WF {
+	return core.WF{ID: id, PK: s.PK, OK: s.OK, PKOrder: s.PKOrder}
+}
+
+// EffectiveFrame resolves the frame clause per SQL defaults.
+func (s Spec) EffectiveFrame() Frame {
+	if s.Frame != nil {
+		return *s.Frame
+	}
+	if len(s.OK) > 0 {
+		return DefaultFrame()
+	}
+	return WholePartitionFrame()
+}
+
+// Validate rejects malformed specifications.
+func (s Spec) Validate(schema *storage.Schema) error {
+	ncols := attrs.ID(schema.Len())
+	if s.Kind.needsArg() {
+		if s.Arg < 0 || s.Arg >= ncols {
+			return fmt.Errorf("window: %s requires a value column, got %d", s.Kind, s.Arg)
+		}
+	}
+	if s.Kind == Ntile && s.N < 1 {
+		return fmt.Errorf("window: ntile bucket count must be ≥ 1, got %d", s.N)
+	}
+	if s.Kind == NthValue && s.N < 1 {
+		return fmt.Errorf("window: nth_value position must be ≥ 1, got %d", s.N)
+	}
+	if (s.Kind == Lead || s.Kind == Lag) && s.N < 0 {
+		return fmt.Errorf("window: %s offset must be ≥ 0, got %d", s.Kind, s.N)
+	}
+	for _, id := range s.PK.IDs() {
+		if id >= ncols {
+			return fmt.Errorf("window: partition attribute %d out of range", id)
+		}
+	}
+	for _, e := range s.OK {
+		if e.Attr < 0 || e.Attr >= ncols {
+			return fmt.Errorf("window: ordering attribute %d out of range", e.Attr)
+		}
+	}
+	if f := s.EffectiveFrame(); f.Mode == Range {
+		if (f.Start.Type == Preceding || f.Start.Type == Following ||
+			f.End.Type == Preceding || f.End.Type == Following) && len(s.OK) != 1 {
+			return fmt.Errorf("window: RANGE frame with offsets requires exactly one ordering key")
+		}
+	}
+	return nil
+}
+
+// OutputColumn names the appended column.
+func (s Spec) OutputColumn() storage.Column {
+	name := s.Name
+	if name == "" {
+		name = s.Kind.String()
+	}
+	typ := storage.TypeInt
+	switch s.Kind {
+	case PercentRank, CumeDist, Avg:
+		typ = storage.TypeFloat
+	case Lead, Lag, FirstValue, LastValue, NthValue, Min, Max, Sum:
+		typ = storage.TypeFloat // value-dependent; widest default
+	}
+	return storage.Column{Name: name, Type: typ}
+}

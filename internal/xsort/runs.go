@@ -1,0 +1,284 @@
+package xsort
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/spill"
+	"repro/internal/storage"
+)
+
+// formRunsReplacement forms initial runs with replacement selection: a heap
+// of (runID, tuple) keeps emitting the smallest tuple of the current run;
+// incoming tuples that sort below the last emitted key are deferred to the
+// next run. Expected run length is 2M for random input (the assumption
+// behind Eq. 1 of the paper), and already-sorted input yields a single run.
+//
+// buf holds the tuples that filled the memory budget; next supplies the rest.
+func (s *Sorter) formRunsReplacement(buf []storage.Tuple, next Input) ([]*run, error) {
+	h := &rsHeap{sorter: s}
+	h.items = make([]rsItem, 0, len(buf))
+	for _, t := range buf {
+		h.items = append(h.items, rsItem{run: 0, tuple: t})
+	}
+	heap.Init(h)
+
+	var (
+		runs    []*run
+		writer  *spill.Writer
+		current = 0
+		last    storage.Tuple
+		err     error
+	)
+	closeCurrent := func() error {
+		if writer == nil {
+			return nil
+		}
+		f, err := writer.Finish()
+		if err != nil {
+			return err
+		}
+		runs = append(runs, &run{file: f})
+		writer = nil
+		return nil
+	}
+	for h.Len() > 0 {
+		item := h.items[0]
+		if item.run != current {
+			if err = closeCurrent(); err != nil {
+				releaseRuns(runs)
+				return nil, err
+			}
+			current = item.run
+			last = nil
+		}
+		if writer == nil {
+			writer, err = spill.NewWriter(s.Store)
+			if err != nil {
+				releaseRuns(runs)
+				return nil, err
+			}
+		}
+		heap.Pop(h)
+		if err = writer.Write(item.tuple); err != nil {
+			releaseRuns(runs)
+			return nil, err
+		}
+		last = item.tuple
+		if t, ok := next(); ok {
+			it := rsItem{run: current, tuple: t}
+			if s.less(t, last) {
+				it.run = current + 1
+			}
+			heap.Push(h, it)
+		}
+	}
+	if err = closeCurrent(); err != nil {
+		releaseRuns(runs)
+		return nil, err
+	}
+	return runs, nil
+}
+
+// rsItem is a heap entry: ordering is (run, key) so the current run drains
+// before the next run begins.
+type rsItem struct {
+	run   int
+	tuple storage.Tuple
+}
+
+type rsHeap struct {
+	items  []rsItem
+	sorter *Sorter
+}
+
+func (h *rsHeap) Len() int { return len(h.items) }
+func (h *rsHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.run != b.run {
+		return a.run < b.run
+	}
+	return h.sorter.less(a.tuple, b.tuple)
+}
+func (h *rsHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *rsHeap) Push(x interface{}) { h.items = append(h.items, x.(rsItem)) }
+func (h *rsHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// formRunsLoadSort is the ablation alternative: fill memory, quicksort,
+// spill, repeat. Runs have length M instead of 2M.
+func (s *Sorter) formRunsLoadSort(buf []storage.Tuple, next Input) ([]*run, error) {
+	var runs []*run
+	spillChunk := func(chunk []storage.Tuple) error {
+		sort.SliceStable(chunk, func(i, j int) bool { return s.less(chunk[i], chunk[j]) })
+		w, err := spill.NewWriter(s.Store)
+		if err != nil {
+			return err
+		}
+		for _, t := range chunk {
+			if err := w.Write(t); err != nil {
+				return err
+			}
+		}
+		f, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		runs = append(runs, &run{file: f})
+		return nil
+	}
+	chunk := buf
+	bytes := 0
+	for _, t := range chunk {
+		bytes += t.Size()
+	}
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		if s.MemoryBytes > 0 && bytes+t.Size() > s.MemoryBytes && len(chunk) > 0 {
+			if err := spillChunk(chunk); err != nil {
+				releaseRuns(runs)
+				return nil, err
+			}
+			chunk = nil
+			bytes = 0
+		}
+		chunk = append(chunk, t)
+		bytes += t.Size()
+	}
+	if len(chunk) > 0 {
+		if err := spillChunk(chunk); err != nil {
+			releaseRuns(runs)
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// mergeSource is one leg of a multiway merge.
+type mergeSource struct {
+	rd    *spill.Reader
+	tuple storage.Tuple
+}
+
+type mergeHeap struct {
+	items  []*mergeSource
+	sorter *Sorter
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.sorter.less(h.items[i].tuple, h.items[j].tuple)
+}
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(*mergeSource)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// startMerge opens readers for all runs and primes the heap.
+func (s *Sorter) startMerge(runs []*run) (*mergeHeap, error) {
+	h := &mergeHeap{sorter: s}
+	for _, r := range runs {
+		rd, err := spill.NewReader(r.file)
+		if err != nil {
+			return nil, err
+		}
+		t, ok, err := rd.Next()
+		if err != nil {
+			rd.Close()
+			return nil, err
+		}
+		if !ok {
+			rd.Close()
+			continue
+		}
+		h.items = append(h.items, &mergeSource{rd: rd, tuple: t})
+	}
+	heap.Init(h)
+	return h, nil
+}
+
+// mergeNext pops the globally smallest tuple and advances its source.
+func (s *Sorter) mergeNext(h *mergeHeap) (storage.Tuple, bool, error) {
+	if h.Len() == 0 {
+		return nil, false, nil
+	}
+	src := h.items[0]
+	t := src.tuple
+	nt, ok, err := src.rd.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		src.tuple = nt
+		heap.Fix(h, 0)
+	} else {
+		src.rd.Close()
+		heap.Pop(h)
+	}
+	return t, true, nil
+}
+
+// mergeToRun merges runs into a single re-materialized run.
+func (s *Sorter) mergeToRun(runs []*run) (*run, error) {
+	h, err := s.startMerge(runs)
+	if err != nil {
+		return nil, err
+	}
+	w, err := spill.NewWriter(s.Store)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok, err := s.mergeNext(h)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Write(t); err != nil {
+			return nil, err
+		}
+	}
+	releaseRuns(runs)
+	f, err := w.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &run{file: f}, nil
+}
+
+// mergeToSlice merges the final wave of runs straight into memory (this is
+// the pipelined final merge: no output re-materialization).
+func (s *Sorter) mergeToSlice(runs []*run, sizeHint int) ([]storage.Tuple, error) {
+	h, err := s.startMerge(runs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]storage.Tuple, 0, sizeHint)
+	for {
+		t, ok, err := s.mergeNext(h)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	releaseRuns(runs)
+	return out, nil
+}

@@ -1,0 +1,194 @@
+// Package windowdb is the public face of this repository: a window-function
+// query engine reproducing "Optimization of Analytic Window Functions"
+// (Cao, Chan, Li, Tan; PVLDB 5(11), 2012).
+//
+// The engine evaluates SQL:2003 analytic window functions over in-memory
+// tables with a simulated block-I/O substrate, and plans multi-function
+// queries with the paper's cover-set based optimizer (CSO) or with the
+// baselines it is evaluated against (BFO, ORCL, PSQL). The three tuple
+// reordering operators — Full Sort, Hashed Sort and Segmented Sort — are
+// faithful streaming implementations with exact block-I/O accounting.
+//
+// Quick start:
+//
+//	eng := windowdb.New(windowdb.Config{})
+//	eng.Register("emptab", table)
+//	res, err := eng.Query(`SELECT empnum, rank() OVER (ORDER BY salary DESC) FROM emptab`)
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// system inventory.
+package windowdb
+
+import (
+	"fmt"
+
+	"repro/internal/attrs"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/pagestore"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/window"
+)
+
+// Re-exported scheme names.
+const (
+	SchemeCSO  = sql.SchemeCSO
+	SchemeBFO  = sql.SchemeBFO
+	SchemeORCL = sql.SchemeORCL
+	SchemePSQL = sql.SchemePSQL
+)
+
+// Config parameterizes an Engine. The zero value is usable: CSO planning,
+// 64 MB unit reorder memory, 8 KiB blocks, memory-backed spill store.
+type Config struct {
+	// Scheme selects the plan generator for multi-window queries.
+	Scheme sql.Scheme
+	// SortMemBytes is the unit reorder memory M: the budget given to every
+	// tuple reordering operation in a chain (Section 6.1 of the paper).
+	SortMemBytes int
+	// BlockSize is the simulated page size.
+	BlockSize int
+	// FileBackedSpill spills sort runs and hash buckets to temp files in
+	// TempDir instead of accounting-only memory buffers.
+	FileBackedSpill bool
+	TempDir         string
+	// DisableHS / DisableSS restrict the optimizer to the paper's CSO(v1) /
+	// CSO(v2) ablation variants.
+	DisableHS bool
+	DisableSS bool
+	// MFVBypass enables the Hashed Sort most-frequent-value optimization
+	// (Section 3.2), using catalog statistics.
+	MFVBypass bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SortMemBytes <= 0 {
+		c.SortMemBytes = 64 << 20
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = pagestore.DefaultBlockSize
+	}
+	if c.Scheme == "" {
+		c.Scheme = sql.SchemeCSO
+	}
+	return c
+}
+
+// Engine owns a catalog of tables and executes window queries against it.
+type Engine struct {
+	cfg Config
+	cat *catalog.Catalog
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), cat: catalog.New()}
+}
+
+// Register adds (or replaces) a table under name. Statistics (distinct
+// counts, most-frequent values) are computed lazily on first use.
+func (e *Engine) Register(name string, t *storage.Table) {
+	e.cat.Register(name, t)
+}
+
+// Tables lists registered table names.
+func (e *Engine) Tables() []string { return e.cat.Names() }
+
+// Table returns a registered table.
+func (e *Engine) Table(name string) (*storage.Table, error) {
+	entry, err := e.cat.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return entry.Table, nil
+}
+
+// Result re-exports the SQL result type.
+type Result = sql.Result
+
+// Query parses, plans and executes one window query block.
+func (e *Engine) Query(src string) (*Result, error) {
+	r := sql.Runner{Catalog: e.cat, Scheme: e.cfg.Scheme, Exec: e.execConfig()}
+	return r.Query(src)
+}
+
+// execConfig assembles the executor configuration; the MFV callback is
+// wired only on demand.
+func (e *Engine) execConfig() exec.Config {
+	cfg := exec.Config{
+		MemoryBytes: e.cfg.SortMemBytes,
+		BlockSize:   e.cfg.BlockSize,
+		FileBacked:  e.cfg.FileBackedSpill,
+		TempDir:     e.cfg.TempDir,
+	}
+	return cfg
+}
+
+// Plan plans (without executing) the given window function specs over a
+// registered table using the engine's scheme.
+func (e *Engine) Plan(table string, specs []window.Spec) (*core.Plan, error) {
+	entry, err := e.cat.Lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	ws := make([]core.WF, len(specs))
+	for i, s := range specs {
+		ws[i] = s.WF(i)
+	}
+	opt := core.Options{
+		Cost:      entry.CostParams(e.cfg.SortMemBytes, e.cfg.BlockSize),
+		DisableHS: e.cfg.DisableHS,
+		DisableSS: e.cfg.DisableSS,
+	}
+	switch e.cfg.Scheme {
+	case sql.SchemeBFO:
+		return core.BFO(ws, core.Unordered(), opt)
+	case sql.SchemeORCL:
+		return core.ORCL(ws, core.Unordered(), opt)
+	case sql.SchemePSQL:
+		return core.PSQL(ws, core.Unordered())
+	case sql.SchemeCSO, "":
+		return core.CSO(ws, core.Unordered(), opt)
+	}
+	return nil, fmt.Errorf("windowdb: unknown scheme %q", e.cfg.Scheme)
+}
+
+// EvaluateWindows plans and executes a set of window functions over a
+// registered table, returning the table extended with one derived column
+// per function (in chain order) plus execution metrics.
+func (e *Engine) EvaluateWindows(table string, specs []window.Spec) (*storage.Table, *exec.Metrics, error) {
+	entry, err := e.cat.Lookup(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := e.Plan(table, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := e.execConfig()
+	cfg.Distinct = entry.Distinct
+	if e.cfg.MFVBypass {
+		mem := e.cfg.SortMemBytes
+		cfg.MFV = func(key attrs.Set) map[string]bool {
+			return entry.MFVs(key, mem)
+		}
+	}
+	return exec.Run(entry.Table, specs, plan, cfg)
+}
+
+// EvaluateParallel evaluates a single window function with Section 3.5's
+// hash-partitioned parallelism.
+func (e *Engine) EvaluateParallel(table string, spec window.Spec, degree int) (*storage.Table, error) {
+	entry, err := e.cat.Lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	return exec.ParallelEvaluate(entry.Table, spec, degree, e.execConfig())
+}
+
+// Stats exposes a table's catalog statistics for cost-model inspection.
+func (e *Engine) Stats(table string) (*catalog.Entry, error) {
+	return e.cat.Lookup(table)
+}

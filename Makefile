@@ -1,0 +1,31 @@
+# Local targets mirroring .github/workflows/ci.yml.
+GO ?= go
+
+.PHONY: build test race bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke run, not a measurement. Use
+# cmd/windbench for the full-scale sweeps.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check race bench

@@ -19,6 +19,7 @@ package windowdb
 //	BenchmarkOperators/* — raw reordering operator throughput
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -356,6 +357,36 @@ func BenchmarkWindowFunctions(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := window.EvaluateSlice(sorted.Rows, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(d.Entry.ByteSize())
+		})
+	}
+}
+
+// BenchmarkParallel — the parallel multi-window executor (exec.ParallelRun)
+// on the Q6 chain at increasing degrees; degree 1 is the sequential
+// baseline. cmd/windbench -exp parallel runs the full-scale sweep with a
+// printed speedup table.
+func BenchmarkParallel(b *testing.B) {
+	d := dataset(b)
+	specs := paper.Q6()
+	mem := d.SchemeMemSweep()[0]
+	plan, err := core.CSO(paper.WFs(specs), core.Unordered(),
+		core.Options{Cost: d.Entry.CostParams(mem.Bytes(d.Cfg.BlockSize), d.Cfg.BlockSize)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := exec.Config{
+		MemoryBytes: mem.Bytes(d.Cfg.BlockSize),
+		BlockSize:   d.Cfg.BlockSize,
+		Distinct:    d.Entry.Distinct,
+	}
+	for _, degree := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Q6/degree%d", degree), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := exec.ParallelRun(d.WebSales, specs, plan, cfg, degree); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -10,6 +10,7 @@
 //	windbench -exp plans               # Tables 4, 6, 8, 10
 //	windbench -exp table11 -queries 5  # optimizer overheads
 //	windbench -exp ablation
+//	windbench -exp parallel            # parallel multi-window speedup sweep
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|all")
+		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|all")
 		rows      = flag.Int("rows", 120_000, "web_sales rows (paper: 72M at scale factor 100)")
 		seed      = flag.Int64("seed", 0, "generator seed (0 = default)")
 		blockSize = flag.Int("blocksize", 8192, "simulated page size in bytes")
@@ -43,7 +44,8 @@ func main() {
 	want := func(name string) bool { return all || wants[name] }
 
 	needData := all || wants["fig3"] || wants["fig4"] || wants["fig5"] ||
-		wants["fig6"] || wants["fig7"] || wants["fig8"] || wants["plans"] || wants["ablation"]
+		wants["fig6"] || wants["fig7"] || wants["fig8"] || wants["plans"] ||
+		wants["ablation"] || wants["parallel"]
 	var d *bench.Dataset
 	if needData {
 		start := time.Now()
@@ -91,6 +93,12 @@ func main() {
 	}
 	if want("ablation") {
 		if _, err := d.RunAblations(out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if want("parallel") {
+		if _, err := d.RunParallel(out); err != nil {
 			fail(err)
 		}
 	}

@@ -179,3 +179,34 @@ func TestAblations(t *testing.T) {
 	}
 	_ = core.ReorderSS
 }
+
+// TestParallelScenario — the parallel-speedup scenario runs at CI scale,
+// produces one result per degree, and exhibits the structural effect: spill
+// I/O shrinks monotonically with the degree (wall-clock speedups are host-
+// dependent and not asserted).
+func TestParallelScenario(t *testing.T) {
+	d := smallDataset(t)
+	results, err := d.RunParallel(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(parallelDegrees) {
+		t.Fatalf("%d results for %d degrees", len(results), len(parallelDegrees))
+	}
+	for i, res := range results {
+		if res.Degree != parallelDegrees[i] {
+			t.Errorf("result %d: degree %d, want %d", i, res.Degree, parallelDegrees[i])
+		}
+		if res.Elapsed <= 0 || res.Speedup <= 0 {
+			t.Errorf("degree %d: unmeasured run (%v, %.2fx)", res.Degree, res.Elapsed, res.Speedup)
+		}
+	}
+	// The structural effect: the highest degree spills strictly less than
+	// the sequential baseline. (Adjacent degrees may tie or wobble by a few
+	// partial runs; the endpoints may not.)
+	first, last := results[0], results[len(results)-1]
+	if last.Blocks >= first.Blocks {
+		t.Errorf("degree %d spills %d blocks, not less than degree %d's %d",
+			last.Degree, last.Blocks, first.Degree, first.Blocks)
+	}
+}

@@ -64,7 +64,14 @@ type Entry struct {
 
 	mu       sync.Mutex
 	distinct map[attrs.Set]int64
+	mfvs     map[mfvKey]map[string]bool
 	byteSize int64
+}
+
+// mfvKey caches MFVs per (attribute set, memory budget) pair.
+type mfvKey struct {
+	set attrs.Set
+	mem int
 }
 
 // Rows returns the row count.
@@ -106,9 +113,23 @@ func (e *Entry) Distinct(set attrs.Set) int64 {
 // MFVs returns the encoded values of the attribute set whose groups exceed
 // memBytes of tuple data — the candidates for the Hashed Sort bypass
 // optimization (Section 3.2). The encoding matches reorder.EncodeHashKey.
+// The result is cached per (set, budget) — parallel workers share one
+// full-table scan — and must be treated as read-only by callers.
 func (e *Entry) MFVs(set attrs.Set, memBytes int) map[string]bool {
 	if memBytes <= 0 {
 		return nil
+	}
+	key := mfvKey{set: set, mem: memBytes}
+	// The lock is held across the scan so simultaneous first callers (the
+	// parallel workers) really do share one computation; the scan touches
+	// only the immutable table, no other Entry state.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mfvs == nil {
+		e.mfvs = make(map[mfvKey]map[string]bool)
+	}
+	if m, ok := e.mfvs[key]; ok {
+		return m
 	}
 	sizes := make(map[string]int)
 	ids := set.IDs()
@@ -127,8 +148,9 @@ func (e *Entry) MFVs(set attrs.Set, memBytes int) map[string]bool {
 		}
 	}
 	if len(out) == 0 {
-		return nil
+		out = nil
 	}
+	e.mfvs[key] = out
 	return out
 }
 

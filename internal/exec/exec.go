@@ -6,6 +6,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/attrs"
@@ -41,6 +42,29 @@ type Config struct {
 	// groups exceed the sort budget (Section 3.2's bypass optimization);
 	// nil disables the bypass, matching the paper's prototype.
 	MFV func(key attrs.Set) map[string]bool
+	// Parallelism is the worker degree of the parallel chain executor
+	// (ParallelRun, Section 3.5 generalized to whole chains): values > 1
+	// hash-partition the input into that many data partitions, 1 or any
+	// negative value force the sequential pipeline, and 0 resolves to
+	// runtime.GOMAXPROCS(0). The parallel path is sequential-compatible —
+	// it computes exactly the sequential derived values over exactly the
+	// sequential row multiset — but emits rows in partition-index order
+	// rather than the sequential pipeline's final order. The sequential Run
+	// ignores this field; Engine facades and the SQL runner route through
+	// ParallelRun when the configured degree exceeds 1.
+	Parallelism int
+}
+
+// Degree resolves Parallelism to a concrete worker count (≥ 1).
+func (c Config) Degree() int {
+	switch {
+	case c.Parallelism > 0:
+		return c.Parallelism
+	case c.Parallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
 }
 
 func (c Config) blockSize() int {
@@ -69,6 +93,18 @@ type Metrics struct {
 	BlocksWritten int64
 	Comparisons   int64
 	Elapsed       time.Duration
+	// Concatenated reports that the output rows are a partition-index
+	// concatenation produced by the parallel executor rather than the
+	// sequential pipeline's output order: orderings implied by the plan's
+	// final stream property then hold only within each partition. False
+	// whenever the chain's final segment ran sequentially (a sequential
+	// segment after a parallel one always begins with an order-rebuilding
+	// reorder, which restores the plan's tracked property).
+	Concatenated bool
+	// PartitionedSteps counts the chain steps that executed hash-
+	// partitioned across workers; 0 means the whole chain ran on the
+	// sequential pipeline (always the case for Run).
+	PartitionedSteps int
 }
 
 // TotalBlocks returns read+written blocks, the paper's I/O cost unit.

@@ -48,6 +48,16 @@ type Result struct {
 	// SatisfiedPrefix counts the leading ORDER BY elements the chain's
 	// output ordering guaranteed.
 	SatisfiedPrefix int
+	// Parallelism is the worker degree the chain actually executed with:
+	// 1 when every step ran on the sequential pipeline — including chains
+	// the parallel executor fell back on for lack of a common partition
+	// key — and the configured degree when at least one segment ran
+	// hash-partitioned (Metrics.PartitionedSteps > 0). When the final
+	// segment ran partitioned (Metrics.Concatenated), the chain's nominal
+	// output ordering is not preserved and any ORDER BY is satisfied by a
+	// full explicit sort; chains run sequentially end to end keep
+	// Section 5's sort avoidance.
+	Parallelism int
 }
 
 // Query parses, plans and executes one window query block.
@@ -108,7 +118,7 @@ func (r *Runner) Run(q *Query) (*Result, error) {
 		specs = append(specs, spec)
 	}
 
-	result := &Result{FinalSort: "none"}
+	result := &Result{FinalSort: "none", Parallelism: 1}
 	executed := windowed
 	wfCol := map[int]int{} // wf ID -> column in executed table
 	// Section 5 integration: resolve the longest ORDER BY prefix whose
@@ -140,6 +150,13 @@ func (r *Runner) Run(q *Query) (*Result, error) {
 			plan, err = core.PSQL(ws, core.Unordered())
 		case SchemeCSO, "":
 			plan, err = core.CSOAligned(ws, core.Unordered(), opt, alignOrder)
+			// Alignment toward the ORDER BY cannot pay off when the parallel
+			// path will concatenate partitions (the output loses the chain's
+			// nominal order and is fully sorted anyway); take CSO's cheapest
+			// unaligned chain instead of paying for a dead alignment.
+			if err == nil && len(alignOrder) > 0 && r.Exec.Parallelism > 1 && exec.Concatenates(plan) {
+				plan, err = core.CSO(ws, core.Unordered(), opt)
+			}
 		default:
 			return nil, fmt.Errorf("sql: unknown scheme %q", r.Scheme)
 		}
@@ -150,7 +167,22 @@ func (r *Runner) Run(q *Query) (*Result, error) {
 		if cfg.Distinct == nil {
 			cfg.Distinct = entry.Distinct
 		}
-		out, metrics, err := exec.Run(windowed, specs, plan, cfg)
+		var (
+			out     *storage.Table
+			metrics *exec.Metrics
+		)
+		// Parallelism must be set explicitly (> 1) to engage the parallel
+		// chain executor here: a zero-value Runner stays on the sequential
+		// path (facades that want the GOMAXPROCS default resolve it before
+		// building the Runner, as windowdb.Engine does).
+		if cfg.Parallelism > 1 {
+			out, metrics, err = exec.ParallelRun(windowed, specs, plan, cfg, cfg.Parallelism)
+			if err == nil && metrics.PartitionedSteps > 0 {
+				result.Parallelism = cfg.Parallelism
+			}
+		} else {
+			out, metrics, err = exec.Run(windowed, specs, plan, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +265,11 @@ func (r *Runner) Run(q *Query) (*Result, error) {
 			key = append(key, attrs.Elem{Attr: attrs.ID(c), Desc: item.Desc, NullsFirst: item.NullsFirst})
 		}
 		sat := 0
-		if result.Plan != nil {
+		// A chain whose final segment ran hash-partitioned concatenates
+		// partitions, so the plan's nominal final ordering holds only
+		// within each partition; the ORDER BY must then be satisfied by a
+		// full sort.
+		if result.Plan != nil && (result.Metrics == nil || !result.Metrics.Concatenated) {
 			finalProps := result.Plan.FinalProps(core.Unordered())
 			sat = core.OrderSatisfiedPrefix(finalProps, alignOrder)
 			// The satisfied alignment elements must actually be the leading

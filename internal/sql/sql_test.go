@@ -364,3 +364,86 @@ func TestSelectDistinct(t *testing.T) {
 		t.Errorf("dept 1 size = %s", res2.Table.Rows[0][1])
 	}
 }
+
+// TestRunnerParallelExecution — a Runner with Parallelism > 1 routes the
+// chain through the parallel executor, agrees with the sequential runner
+// row-for-row, and satisfies ORDER BY with an explicit full sort (the
+// concatenated partition order never pre-satisfies it).
+func TestRunnerParallelExecution(t *testing.T) {
+	const query = `
+		SELECT ws_order_number, ws_item_sk,
+		       rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS r1,
+		       rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_bill_customer_sk) AS r2
+		FROM web_sales
+		ORDER BY ws_item_sk, ws_order_number`
+	seq := testRunner(t)
+	seqRes, err := seq.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := testRunner(t)
+	par.Exec.Parallelism = 4
+	parRes, err := par.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.Parallelism != 4 {
+		t.Errorf("Result.Parallelism = %d, want 4", parRes.Parallelism)
+	}
+	if seqRes.Parallelism != 1 {
+		t.Errorf("sequential Result.Parallelism = %d, want 1", seqRes.Parallelism)
+	}
+	if parRes.FinalSort != "full" {
+		t.Errorf("parallel FinalSort = %q, want full", parRes.FinalSort)
+	}
+	if parRes.Table.Len() != seqRes.Table.Len() {
+		t.Fatalf("parallel rows = %d, sequential %d", parRes.Table.Len(), seqRes.Table.Len())
+	}
+	// The ORDER BY key is unique per row, so both orders must agree exactly.
+	for i := range seqRes.Table.Rows {
+		a := string(storage.AppendTuple(nil, seqRes.Table.Rows[i]))
+		b := string(storage.AppendTuple(nil, parRes.Table.Rows[i]))
+		if a != b {
+			t.Fatalf("row %d differs between sequential and parallel runner", i)
+		}
+	}
+}
+
+// TestRunnerParallelKeepsSortAvoidance — a chain the parallel executor runs
+// sequentially end to end (its single function has an empty PARTITION BY, so
+// no common partition key exists) must keep Section 5's sort avoidance: the
+// output order really is the sequential plan's.
+func TestRunnerParallelKeepsSortAvoidance(t *testing.T) {
+	const query = `SELECT empnum, salary, rank() OVER (ORDER BY salary DESC NULLS LAST) AS r
+		FROM emptab ORDER BY salary DESC NULLS LAST`
+	seq := testRunner(t)
+	seqRes, err := seq.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := testRunner(t)
+	par.Exec.Parallelism = 4
+	parRes, err := par.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.Metrics.Concatenated {
+		t.Fatalf("empty-WPK chain reported concatenated output")
+	}
+	if parRes.Parallelism != 1 {
+		t.Errorf("sequential-fallback chain reports Parallelism = %d, want 1", parRes.Parallelism)
+	}
+	if seqRes.FinalSort != "avoided" {
+		t.Fatalf("precondition: sequential FinalSort = %q, want avoided", seqRes.FinalSort)
+	}
+	if parRes.FinalSort != seqRes.FinalSort {
+		t.Errorf("parallel FinalSort = %q, sequential %q", parRes.FinalSort, seqRes.FinalSort)
+	}
+	for i := range seqRes.Table.Rows {
+		a := string(storage.AppendTuple(nil, seqRes.Table.Rows[i]))
+		b := string(storage.AppendTuple(nil, parRes.Table.Rows[i]))
+		if a != b {
+			t.Fatalf("row %d differs between sequential and parallel runner", i)
+		}
+	}
+}

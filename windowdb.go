@@ -41,7 +41,8 @@ const (
 )
 
 // Config parameterizes an Engine. The zero value is usable: CSO planning,
-// 64 MB unit reorder memory, 8 KiB blocks, memory-backed spill store.
+// 64 MB unit reorder memory, 8 KiB blocks, memory-backed spill store, and
+// GOMAXPROCS-degree parallel chain execution.
 type Config struct {
 	// Scheme selects the plan generator for multi-window queries.
 	Scheme sql.Scheme
@@ -61,6 +62,14 @@ type Config struct {
 	// MFVBypass enables the Hashed Sort most-frequent-value optimization
 	// (Section 3.2), using catalog statistics.
 	MFVBypass bool
+	// Parallelism is the worker degree of the parallel multi-window
+	// executor (exec.ParallelRun): EvaluateWindows and Query route through
+	// it when the resolved degree exceeds 1. 0 is the GOMAXPROCS
+	// sequential-compatible default (identical derived values and row
+	// multiset; row order follows partition index, so ORDER BY queries are
+	// sorted explicitly); 1 or a negative value forces the sequential
+	// executor.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,7 +131,11 @@ func (e *Engine) execConfig() exec.Config {
 		BlockSize:   e.cfg.BlockSize,
 		FileBacked:  e.cfg.FileBackedSpill,
 		TempDir:     e.cfg.TempDir,
+		Parallelism: e.cfg.Parallelism,
 	}
+	// Resolve the 0 = GOMAXPROCS default here so downstream routing only
+	// has to compare against 1.
+	cfg.Parallelism = cfg.Degree()
 	return cfg
 }
 
@@ -174,6 +187,9 @@ func (e *Engine) EvaluateWindows(table string, specs []window.Spec) (*storage.Ta
 		cfg.MFV = func(key attrs.Set) map[string]bool {
 			return entry.MFVs(key, mem)
 		}
+	}
+	if cfg.Parallelism > 1 {
+		return exec.ParallelRun(entry.Table, specs, plan, cfg, cfg.Parallelism)
 	}
 	return exec.Run(entry.Table, specs, plan, cfg)
 }

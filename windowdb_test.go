@@ -87,6 +87,66 @@ func TestEngineParallel(t *testing.T) {
 	}
 }
 
+// TestEngineParallelism — Config.Parallelism routes EvaluateWindows and
+// Query through the parallel chain executor with results identical to the
+// sequential engine's.
+func TestEngineParallelism(t *testing.T) {
+	seq := testEngine(SchemeCSO)
+	par := New(Config{Scheme: SchemeCSO, SortMemBytes: 1 << 20, BlockSize: 4096, Parallelism: 4})
+	par.Register("web_sales", datagen.WebSales(datagen.WebSalesConfig{Rows: 2000, Seed: 3, PadBytes: 16}))
+
+	specs := paper.Q6()
+	seqOut, _, err := seq.EvaluateWindows("web_sales", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOut, metrics, err := par.EvaluateWindows("web_sales", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics == nil || len(metrics.Steps) != len(specs) {
+		t.Fatalf("parallel metrics missing per-step entries")
+	}
+	if parOut.Len() != seqOut.Len() {
+		t.Fatalf("parallel rows = %d, sequential %d", parOut.Len(), seqOut.Len())
+	}
+	byTag := func(tb *storage.Table) map[int64]string {
+		m := make(map[int64]string, tb.Len())
+		for _, r := range tb.Rows {
+			m[r[datagen.ColOrderNumber].Int64()] = string(storage.AppendTuple(nil, r))
+		}
+		return m
+	}
+	want, got := byTag(seqOut), byTag(parOut)
+	for tag, row := range want {
+		if got[tag] != row {
+			t.Fatalf("row %d differs between sequential and parallel engines", tag)
+		}
+	}
+
+	// The SQL path routes too, and ORDER BY keeps results deterministic.
+	const q = `SELECT ws_order_number, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS r
+		FROM web_sales ORDER BY ws_order_number`
+	seqRes, err := seq.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := par.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.Parallelism != 4 {
+		t.Errorf("Result.Parallelism = %d, want 4", parRes.Parallelism)
+	}
+	for i := range seqRes.Table.Rows {
+		a := string(storage.AppendTuple(nil, seqRes.Table.Rows[i]))
+		b := string(storage.AppendTuple(nil, parRes.Table.Rows[i]))
+		if a != b {
+			t.Fatalf("query row %d differs between engines", i)
+		}
+	}
+}
+
 func TestEngineMFVBypass(t *testing.T) {
 	eng := New(Config{MFVBypass: true, SortMemBytes: 32 << 10, BlockSize: 4096})
 	eng.Register("web_sales", datagen.WebSales(datagen.WebSalesConfig{Rows: 4000, Seed: 2, PadBytes: 16}))

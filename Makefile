@@ -1,7 +1,7 @@
 # Local targets mirroring .github/workflows/ci.yml.
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build test race bench fmt fmt-check vet serve bench-service load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,4 +28,37 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race bench
+# Run the HTTP query service on :8080 (see cmd/windserve -h for knobs).
+serve:
+	$(GO) run ./cmd/windserve -addr :8080
+
+# One short pass of the closed-loop serving load harness.
+bench-service:
+	$(GO) run ./cmd/windbench -exp service -servdur 500ms -servrows 4000
+
+# Boot windserve on a scratch port, wait for /healthz, fire a handful of
+# /query round trips and check /stats counted them. A serving smoke, not a
+# measurement — `make bench-service` runs the real harness.
+load-smoke: SMOKE_ADDR = 127.0.0.1:18091
+load-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/windserve-smoke ./cmd/windserve; \
+	/tmp/windserve-smoke -addr $(SMOKE_ADDR) -rows 2000 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=0; \
+	for i in $$(seq 1 100); do \
+		if curl -sf http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "load-smoke: windserve never became healthy" >&2; exit 1; }; \
+	for i in 1 2 3; do \
+		curl -sf -X POST http://$(SMOKE_ADDR)/query \
+			-d '{"sql":"SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales", "max_rows": 2}' \
+			| grep -q '"row_count":2000' || { echo "load-smoke: bad /query response" >&2; exit 1; }; \
+	done; \
+	curl -sf 'http://$(SMOKE_ADDR)/query?q=SELECT%20empnum%20FROM%20emptab%20LIMIT%201' >/dev/null; \
+	curl -sf http://$(SMOKE_ADDR)/stats | grep -q '"queries":4' || { echo "load-smoke: /stats miscounted" >&2; exit 1; }; \
+	curl -s -o /dev/null -w '%{http_code}' http://$(SMOKE_ADDR)/query?q=nonsense | grep -q 400; \
+	echo "load-smoke: OK"
+
+ci: build vet fmt-check race bench load-smoke

@@ -1,4 +1,7 @@
-package windowdb
+// Package windowdb_test: an external test package so these benchmarks can
+// depend on internal/bench, which itself builds on the public windowdb
+// facade (the serving harness wraps an Engine in internal/service).
+package windowdb_test
 
 // Benchmarks regenerating every table and figure of the paper's Section 6
 // (one benchmark family per artifact) plus operator-level and ablation

@@ -11,6 +11,7 @@
 //	windbench -exp table11 -queries 5  # optimizer overheads
 //	windbench -exp ablation
 //	windbench -exp parallel            # parallel multi-window speedup sweep
+//	windbench -exp service -servdur 2s # query-service closed-loop load
 package main
 
 import (
@@ -25,11 +26,13 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|all")
+		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|service|all")
 		rows      = flag.Int("rows", 120_000, "web_sales rows (paper: 72M at scale factor 100)")
 		seed      = flag.Int64("seed", 0, "generator seed (0 = default)")
 		blockSize = flag.Int("blocksize", 8192, "simulated page size in bytes")
 		queries   = flag.Int("queries", 5, "random queries per point for table11")
+		servDur   = flag.Duration("servdur", 2*time.Second, "service load duration per concurrency degree")
+		servRows  = flag.Int("servrows", 10_000, "web_sales rows for the service load harness")
 	)
 	flag.Parse()
 
@@ -99,6 +102,13 @@ func main() {
 	}
 	if want("parallel") {
 		if _, err := d.RunParallel(out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if want("service") {
+		scfg := bench.ServiceConfig{Rows: *servRows, Seed: *seed, Duration: *servDur}
+		if _, err := bench.RunService(scfg, out); err != nil {
 			fail(err)
 		}
 	}

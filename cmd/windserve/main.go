@@ -1,0 +1,90 @@
+// Command windserve is the HTTP/JSON front end of the query service: a
+// windowdb.Engine wrapped in internal/service's prepared-plan cache,
+// admission control and metrics, listening on three endpoints:
+//
+//	POST /query   {"sql": "SELECT ...", "max_rows": 100, "timeout_ms": 5000}
+//	GET  /query?q=SELECT+...
+//	GET  /stats   service counters (QPS, p50/p95/p99, cache, admission)
+//	GET  /healthz liveness probe
+//
+// It registers the same tables as windsql: emptab (Example 1 of the
+// paper), web_sales and its sorted/grouped variants (-rows controls size),
+// plus any -csv/-table pair. Example round trip:
+//
+//	windserve -addr :8080 -rows 20000 &
+//	curl -s localhost:8080/query -d '{"sql":"SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales", "max_rows": 3}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cli"
+	"repro/internal/service"
+	"repro/internal/sql"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		scheme  = flag.String("scheme", "CSO", "optimization scheme: CSO|BFO|ORCL|PSQL")
+		rows    = flag.Int("rows", 20_000, "generated web_sales rows")
+		mem     = flag.Int("mem", 8<<20, "unit reorder memory M in bytes")
+		budget  = flag.Int("budget", 0, "global reorder-memory budget in bytes (0 = 4 chains' worth)")
+		slots   = flag.Int("slots", 0, "execution slots (0 = budget / per-chain memory)")
+		queue   = flag.Int("queue", 64, "admission queue bound (-1 = no queue)")
+		cache   = flag.Int("cachesize", 256, "plan cache entries")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
+		// Serving concurrency comes from the clients; per-query parallel
+		// workers multiply each admitted chain's memory claim (the governor
+		// accounts M × degree per slot), so they are opt-in here.
+		parallelism = flag.Int("parallelism", 1, "per-query parallel worker degree (0 = GOMAXPROCS)")
+		csvPath     = flag.String("csv", "", "optional CSV file to load")
+		csvTable    = flag.String("table", "csv", "table name for the CSV file")
+	)
+	flag.Parse()
+
+	eng := windowdb.New(windowdb.Config{
+		Scheme:       sql.Scheme(*scheme),
+		SortMemBytes: *mem,
+		Parallelism:  *parallelism,
+	})
+	cli.RegisterStandardTables(eng, *rows)
+	if err := cli.RegisterCSV(eng, *csvPath, *csvTable); err != nil {
+		log.Fatalf("windserve: %v", err)
+	}
+
+	svc := service.New(eng, service.Config{
+		MemoryBudgetBytes: *budget,
+		Slots:             *slots,
+		MaxQueue:          *queue,
+		CacheEntries:      *cache,
+		DefaultTimeout:    *timeout,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("windserve: listening on %s (%d slots, queue %d, cache %d, tables %v)\n",
+		*addr, svc.Slots(), *queue, *cache, eng.Tables())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("windserve: %v", err)
+	}
+}

@@ -1,34 +1,41 @@
 // Command windsql runs window-function SQL against generated datasets or
 // CSV files, printing the result table, the window-function chain the
-// optimizer produced, and execution metrics.
+// optimizer produced, and per-statement execution metrics (wall time and
+// block I/O via the query service's metrics plumbing), so the shell
+// doubles as a manual latency probe.
 //
 // Usage:
 //
 //	windsql -q "SELECT empnum, rank() OVER (ORDER BY salary DESC) FROM emptab"
 //	windsql -scheme PSQL -rows 50000 -q "SELECT ... FROM web_sales"
 //	windsql -csv data.csv -table t -q "SELECT ... FROM t"
+//	windsql                            # shell: statements from stdin
 //
 // Registered tables: emptab (Example 1 of the paper), web_sales,
 // web_sales_s, web_sales_g (generated; -rows controls size), plus any
-// -csv/-table pair.
+// -csv/-table pair. Without -q, statements are read line by line from
+// stdin (a trailing ';' is accepted); repeating a statement shows the
+// prepared-plan cache at work — the second run skips parse+bind+plan.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
-	"repro/internal/csvio"
-	"repro/internal/datagen"
+	"repro/internal/cli"
+	"repro/internal/service"
 	"repro/internal/sql"
-	"repro/internal/storage"
 )
 
 func main() {
 	var (
-		query    = flag.String("q", "", "SQL to execute (required)")
+		query    = flag.String("q", "", "SQL to execute (default: read statements from stdin)")
 		scheme   = flag.String("scheme", "CSO", "optimization scheme: CSO|BFO|ORCL|PSQL")
 		rows     = flag.Int("rows", 20_000, "generated web_sales rows")
 		mem      = flag.Int("mem", 8<<20, "unit reorder memory in bytes")
@@ -38,53 +45,101 @@ func main() {
 		showPlan = flag.Bool("plan", true, "print the window-function chain")
 	)
 	flag.Parse()
-	if *query == "" {
-		fmt.Fprintln(os.Stderr, "windsql: -q is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 
 	eng := windowdb.New(windowdb.Config{
 		Scheme:       sql.Scheme(*scheme),
 		SortMemBytes: *mem,
 	})
-	eng.Register("emptab", datagen.Emptab())
-	gen := datagen.WebSalesConfig{Rows: *rows, Seed: 1}
-	eng.Register("web_sales", datagen.WebSales(gen))
-	eng.Register("web_sales_s", datagen.WebSalesSorted(gen))
-	eng.Register("web_sales_g", datagen.WebSalesGrouped(gen))
-	if *csvPath != "" {
-		t, err := loadCSV(*csvPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
-			os.Exit(1)
-		}
-		eng.Register(*csvTable, t)
-	}
-
-	start := time.Now()
-	res, err := eng.Query(*query)
-	if err != nil {
+	cli.RegisterStandardTables(eng, *rows)
+	if err := cli.RegisterCSV(eng, *csvPath, *csvTable); err != nil {
 		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(sql.FormatTable(res.Table, *maxRows))
-	fmt.Printf("\n(%d rows in %v)\n", res.Table.Len(), time.Since(start).Round(time.Millisecond))
-	if *showPlan && res.Plan != nil {
-		fmt.Printf("chain [%s]: %s\n", res.Plan.Scheme, res.Plan.PaperString())
-		if res.Metrics != nil {
-			fmt.Printf("spill I/O: %d blocks read, %d written; %d key comparisons\n",
-				res.Metrics.BlocksRead, res.Metrics.BlocksWritten, res.Metrics.Comparisons)
+
+	// One slot: an interactive shell runs one statement at a time, but the
+	// service supplies the plan cache and the metrics plumbing.
+	svc := service.New(eng, service.Config{Slots: 1})
+
+	if *query != "" {
+		if !runStatement(svc, *query, *maxRows, *showPlan) {
+			os.Exit(1)
 		}
+		return
+	}
+
+	// Shell mode: one statement per line from stdin.
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal(os.Stdin)
+	if interactive {
+		fmt.Printf("windsql shell — tables %v; one statement per line, \\q quits\n", eng.Tables())
+	}
+	failed := false
+	for {
+		if interactive {
+			fmt.Print("windsql> ")
+		}
+		if !in.Scan() {
+			break
+		}
+		stmt := strings.TrimSpace(strings.TrimRight(strings.TrimSpace(in.Text()), ";"))
+		if stmt == "" {
+			continue
+		}
+		if stmt == `\q` || strings.EqualFold(stmt, "exit") || strings.EqualFold(stmt, "quit") {
+			break
+		}
+		if !runStatement(svc, stmt, *maxRows, *showPlan) {
+			failed = true
+		}
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
+		os.Exit(1)
+	}
+	// Piped scripts check $?: any failed statement fails the run. An
+	// interactive session stays exit 0, like other SQL shells.
+	if failed && !interactive {
+		os.Exit(1)
 	}
 }
 
-// loadCSV reads a CSV with a header row, inferring column types.
-func loadCSV(path string) (*storage.Table, error) {
-	f, err := os.Open(path)
+// runStatement executes one statement through the service and prints the
+// result plus its latency line. It reports success.
+func runStatement(svc *service.Service, stmt string, maxRows int, showPlan bool) bool {
+	res, err := svc.Query(context.Background(), stmt)
 	if err != nil {
-		return nil, err
+		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
+		return false
 	}
-	defer f.Close()
-	return csvio.Read(f)
+	fmt.Print(sql.FormatTable(res.Table, maxRows))
+
+	// The manual latency probe: per-query wall time and block I/O from the
+	// service's metrics, plus the plan-cache disposition.
+	var blocks, read, written int64
+	if res.Metrics != nil {
+		read, written = res.Metrics.BlocksRead, res.Metrics.BlocksWritten
+		blocks = read + written
+	}
+	disposition := "plan cache miss"
+	if res.CacheHit {
+		disposition = "plan cache hit"
+	}
+	fmt.Printf("\n(%d rows in %v; %d I/O blocks: %d read, %d written; %s)\n",
+		res.Table.Len(), res.Elapsed.Round(time.Microsecond), blocks, read, written, disposition)
+	if showPlan && res.Plan != nil {
+		fmt.Printf("chain [%s]: %s\n", res.Plan.Scheme, res.Plan.PaperString())
+		if res.Metrics != nil {
+			fmt.Printf("%d key comparisons; final sort: %s\n", res.Metrics.Comparisons, res.FinalSort)
+		}
+	}
+	return true
+}
+
+func isTerminal(f *os.File) bool {
+	info, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
 }

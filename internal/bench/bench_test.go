@@ -3,6 +3,7 @@ package bench
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -208,5 +209,46 @@ func TestParallelScenario(t *testing.T) {
 	if last.Blocks >= first.Blocks {
 		t.Errorf("degree %d spills %d blocks, not less than degree %d's %d",
 			last.Degree, last.Blocks, first.Degree, first.Blocks)
+	}
+}
+
+// TestServiceScenario — the closed-loop serving harness runs at CI scale:
+// every configured degree produces a result, every query in the measured
+// window hits the warmed plan cache, no query fails, and admission never
+// admits more in-flight executions than slots. (Throughput scaling is
+// host-dependent and reported, not asserted.)
+func TestServiceScenario(t *testing.T) {
+	cfg := ServiceConfig{
+		Rows:        4000,
+		Duration:    150 * time.Millisecond,
+		Concurrency: []int{1, 4},
+		Slots:       2,
+	}
+	results, err := RunService(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cfg.Concurrency) {
+		t.Fatalf("%d results for %d degrees", len(results), len(cfg.Concurrency))
+	}
+	for _, res := range results {
+		if res.Errors > 0 {
+			t.Errorf("concurrency %d: %d failed queries", res.Concurrency, res.Errors)
+		}
+		if res.Queries == 0 {
+			t.Errorf("concurrency %d: no queries completed", res.Concurrency)
+		}
+		if res.HitRate < 0.9 {
+			t.Errorf("concurrency %d: plan-cache hit rate %.2f after warmup, want >= 0.90",
+				res.Concurrency, res.HitRate)
+		}
+		if res.MaxInFlight > int64(cfg.Slots) {
+			t.Errorf("concurrency %d: %d in-flight executions exceed %d slots",
+				res.Concurrency, res.MaxInFlight, cfg.Slots)
+		}
+		if res.P50 <= 0 || res.P50 > res.P95 || res.P95 > res.P99 {
+			t.Errorf("concurrency %d: implausible percentiles p50=%v p95=%v p99=%v",
+				res.Concurrency, res.P50, res.P95, res.P99)
+		}
 	}
 }

@@ -4,8 +4,10 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/attrs"
@@ -13,11 +15,20 @@ import (
 	"repro/internal/storage"
 )
 
-// Catalog maps table names to entries. Safe for concurrent reads after
-// registration.
+// ErrUnknownTable classifies Lookup failures; serving layers map it to a
+// not-found response. Test with errors.Is.
+var ErrUnknownTable = errors.New("catalog: unknown table")
+
+// Catalog maps table names to entries. Names are case-insensitive, like
+// the SQL dialect's column identifiers — "WEB_SALES" and "web_sales" are
+// the same table, so a query's outcome cannot depend on how a client
+// spells the name. All methods are safe for concurrent use; Register
+// bumps a generation counter that plan caches key against, so
+// re-registering a table invalidates every plan built on the old entry.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Entry
+	mu         sync.RWMutex
+	tables     map[string]*Entry // keyed by folded name
+	generation uint64
 }
 
 // New returns an empty catalog.
@@ -25,33 +36,45 @@ func New() *Catalog {
 	return &Catalog{tables: make(map[string]*Entry)}
 }
 
-// Register adds (or replaces) a table.
+// Register adds (or replaces) a table and advances the catalog generation.
+// Names differing only in case replace each other.
 func (c *Catalog) Register(name string, t *storage.Table) *Entry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := &Entry{Name: name, Table: t, distinct: make(map[attrs.Set]int64)}
-	c.tables[name] = e
+	c.tables[strings.ToLower(name)] = e
+	c.generation++
 	return e
 }
 
-// Lookup finds a table entry.
+// Generation returns the current catalog generation: the number of Register
+// calls so far. A cached plan is valid only while the generation it was
+// built under is current.
+func (c *Catalog) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.generation
+}
+
+// Lookup finds a table entry, case-insensitively. The error wraps
+// ErrUnknownTable when the name is not registered.
 func (c *Catalog) Lookup(name string) (*Entry, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	e, ok := c.tables[name]
+	e, ok := c.tables[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("catalog: unknown table %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownTable, name)
 	}
 	return e, nil
 }
 
-// Names lists registered tables in sorted order.
+// Names lists registered tables (as-registered spelling) in sorted order.
 func (c *Catalog) Names() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.tables))
-	for n := range c.tables {
-		names = append(names, n)
+	for _, e := range c.tables {
+		names = append(names, e.Name)
 	}
 	sort.Strings(names)
 	return names

@@ -1,6 +1,9 @@
 package catalog
 
 import (
+	"errors"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/attrs"
@@ -91,5 +94,118 @@ func TestCostParams(t *testing.T) {
 	}
 	if e.Blocks(4096) < 1 {
 		t.Errorf("blocks = %d", e.Blocks(4096))
+	}
+}
+
+// TestGeneration: Register (including replacement) advances the catalog
+// generation; lookups do not.
+func TestGeneration(t *testing.T) {
+	c := New()
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("fresh catalog generation %d, want 0", g)
+	}
+	c.Register("t", table([]int64{1, 2}))
+	c.Register("u", table([]int64{1, 2}))
+	if g := c.Generation(); g != 2 {
+		t.Fatalf("generation %d after two registrations, want 2", g)
+	}
+	if _, err := c.Lookup("t"); err != nil {
+		t.Fatal(err)
+	}
+	c.Register("t", table([]int64{9, 9})) // replacement counts too
+	if g := c.Generation(); g != 3 {
+		t.Fatalf("generation %d after replacement, want 3", g)
+	}
+}
+
+// TestUnknownTableError: Lookup failures carry the typed class the serving
+// layer's 404 mapping depends on.
+func TestUnknownTableError(t *testing.T) {
+	c := New()
+	_, err := c.Lookup("missing")
+	if !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("err = %v, want ErrUnknownTable", err)
+	}
+	if !strings.Contains(err.Error(), `"missing"`) {
+		t.Fatalf("err = %v, want the table name in the message", err)
+	}
+}
+
+// TestMFVContention hammers the per-(set, budget) MFV cache from many
+// goroutines over distinct and overlapping keys; under -race this is the
+// regression test for the PR-1 cache's concurrency. All callers of one key
+// must observe the identical (shared, read-only) map.
+func TestMFVContention(t *testing.T) {
+	c := New()
+	var rows [][]int64
+	for i := 0; i < 400; i++ {
+		rows = append(rows, []int64{int64(i % 3), int64(i)})
+	}
+	e := c.Register("t", table(rows...))
+	tupleSize := e.Table.Rows[0].Size()
+	budgets := []int{10 * tupleSize, 50 * tupleSize, 200 * tupleSize}
+	sets := []attrs.Set{attrs.MakeSet(0), attrs.MakeSet(1), attrs.MakeSet(0, 1)}
+
+	type obs struct {
+		set    attrs.Set
+		budget int
+		mfvs   map[string]bool
+	}
+	results := make(chan obs, 16*len(sets)*len(budgets))
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, set := range sets {
+				for _, budget := range budgets {
+					m := e.MFVs(set, budget)
+					for k := range m { // concurrent read of the shared map
+						_ = m[k]
+					}
+					results <- obs{set: set, budget: budget, mfvs: m}
+					e.Distinct(set) // contend on the sibling cache too
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	first := map[[2]int64]map[string]bool{}
+	for o := range results {
+		key := [2]int64{int64(o.set), int64(o.budget)}
+		if prev, ok := first[key]; ok {
+			if len(prev) != len(o.mfvs) {
+				t.Fatalf("set %v budget %d: observers saw different MFV maps (%d vs %d entries)",
+					o.set, o.budget, len(prev), len(o.mfvs))
+			}
+			continue
+		}
+		first[key] = o.mfvs
+	}
+}
+
+// TestLookupCaseInsensitive: table names fold like the dialect's column
+// identifiers, so a serving layer's case-folding cache key and the catalog
+// agree on which queries resolve.
+func TestLookupCaseInsensitive(t *testing.T) {
+	c := New()
+	c.Register("Web_Sales", table([]int64{1, 2}))
+	for _, name := range []string{"web_sales", "WEB_SALES", "Web_Sales"} {
+		e, err := c.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if e.Name != "Web_Sales" {
+			t.Fatalf("Lookup(%q).Name = %q", name, e.Name)
+		}
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "Web_Sales" {
+		t.Fatalf("Names() = %v", names)
+	}
+	// Re-registering under a different case replaces, not duplicates.
+	c.Register("WEB_SALES", table([]int64{3, 4}))
+	if names := c.Names(); len(names) != 1 {
+		t.Fatalf("case variant duplicated the table: %v", names)
 	}
 }

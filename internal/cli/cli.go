@@ -1,0 +1,43 @@
+// Package cli holds the table bootstrap shared by the command-line front
+// ends (windsql, windserve): the standard demo tables and CSV loading, so
+// the shells stay interchangeable — a query that works in one works in the
+// other.
+package cli
+
+import (
+	"os"
+
+	"repro"
+	"repro/internal/csvio"
+	"repro/internal/datagen"
+)
+
+// RegisterStandardTables registers the demo set every shell serves:
+// emptab (Example 1 of the paper) and the generated web_sales with its
+// sorted/grouped variants, sized by rows.
+func RegisterStandardTables(eng *windowdb.Engine, rows int) {
+	eng.Register("emptab", datagen.Emptab())
+	gen := datagen.WebSalesConfig{Rows: rows, Seed: 1}
+	eng.Register("web_sales", datagen.WebSales(gen))
+	eng.Register("web_sales_s", datagen.WebSalesSorted(gen))
+	eng.Register("web_sales_g", datagen.WebSalesGrouped(gen))
+}
+
+// RegisterCSV loads a CSV file (header row, inferred column types) and
+// registers it under name. A path of "" is a no-op.
+func RegisterCSV(eng *windowdb.Engine, path, name string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := csvio.Read(f)
+	if err != nil {
+		return err
+	}
+	eng.Register(name, t)
+	return nil
+}

@@ -5,6 +5,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -118,6 +119,14 @@ func (m *Metrics) TotalBlocks() int64 { return m.BlocksRead + m.BlocksWritten }
 // begins, so per-step metrics are exact; within a step the reorder and the
 // window invocation are pipelined exactly as in the paper's executor.
 func Run(table *storage.Table, specs []window.Spec, plan *core.Plan, cfg Config) (*storage.Table, *Metrics, error) {
+	return RunContext(context.Background(), table, specs, plan, cfg)
+}
+
+// RunContext is Run with cancellation: ctx is checked at every step
+// boundary (a chain step — reorder plus window evaluation — is the unit of
+// preemption, so a cancelled context stops the chain before the next
+// reorder begins). It returns ctx.Err() when the context is done.
+func RunContext(ctx context.Context, table *storage.Table, specs []window.Spec, plan *core.Plan, cfg Config) (*storage.Table, *Metrics, error) {
 	stats := &pagestore.Stats{}
 	var store *pagestore.Store
 	if cfg.FileBacked {
@@ -137,6 +146,9 @@ func Run(table *storage.Table, specs []window.Spec, plan *core.Plan, cfg Config)
 	tableBlocks := int64(table.ByteSize()) / int64(cfg.blockSize())
 
 	for _, step := range plan.Steps {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if step.WF.ID < 0 || step.WF.ID >= len(specs) {
 			return nil, nil, fmt.Errorf("exec: plan references wf%d outside specs", step.WF.ID)
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -191,6 +192,14 @@ func parallelSpan(steps []core.Step, lo int) (attrs.Set, int) {
 // degree ≤ 0 resolves through cfg.Degree() (Parallelism, 0 → GOMAXPROCS);
 // a resolved degree of 1 is exactly the sequential Run.
 func ParallelRun(table *storage.Table, specs []window.Spec, plan *core.Plan, cfg Config, degree int) (*storage.Table, *Metrics, error) {
+	return ParallelRunContext(context.Background(), table, specs, plan, cfg, degree)
+}
+
+// ParallelRunContext is ParallelRun with cancellation: ctx is checked at
+// every segment boundary and, inside each worker, at every step boundary of
+// the per-partition pipeline (the workers run RunContext). The first
+// ctx.Err() observed cancels the whole chain.
+func ParallelRunContext(ctx context.Context, table *storage.Table, specs []window.Spec, plan *core.Plan, cfg Config, degree int) (*storage.Table, *Metrics, error) {
 	if degree <= 0 {
 		degree = cfg.Degree()
 	}
@@ -198,12 +207,15 @@ func ParallelRun(table *storage.Table, specs []window.Spec, plan *core.Plan, cfg
 	// skipping the workers — and with them the per-step spec validation the
 	// sequential-compatibility contract promises.
 	if degree <= 1 || len(plan.Steps) == 0 || table.Len() == 0 {
-		return Run(table, specs, plan, cfg)
+		return RunContext(ctx, table, specs, plan, cfg)
 	}
 	start := time.Now()
 	metrics := &Metrics{}
 	cur := table
 	for _, seg := range planSegments(plan) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		sub := &core.Plan{Scheme: plan.Scheme, Steps: plan.Steps[seg.lo:seg.hi]}
 		var (
 			out *storage.Table
@@ -211,10 +223,10 @@ func ParallelRun(table *storage.Table, specs []window.Spec, plan *core.Plan, cfg
 			err error
 		)
 		if seg.Key.Empty() {
-			out, m, err = Run(cur, specs, sub, cfg)
+			out, m, err = RunContext(ctx, cur, specs, sub, cfg)
 			metrics.Concatenated = false
 		} else {
-			out, m, err = runPartitioned(cur, specs, sub, seg.Key, cfg, degree)
+			out, m, err = runPartitioned(ctx, cur, specs, sub, seg.Key, cfg, degree)
 			metrics.Concatenated = true
 			metrics.PartitionedSteps += len(sub.Steps)
 		}
@@ -234,7 +246,7 @@ func ParallelRun(table *storage.Table, specs []window.Spec, plan *core.Plan, cfg
 // runPartitioned executes one parallel segment: partition on key, run the
 // segment's pipeline per partition on a pool of degree workers, merge
 // metrics and concatenate outputs by partition index.
-func runPartitioned(table *storage.Table, specs []window.Spec, plan *core.Plan, key attrs.Set, cfg Config, degree int) (*storage.Table, *Metrics, error) {
+func runPartitioned(ctx context.Context, table *storage.Table, specs []window.Spec, plan *core.Plan, key attrs.Set, cfg Config, degree int) (*storage.Table, *Metrics, error) {
 	parts := partitionRows(table.Rows, key.IDs(), degree)
 	outs := make([]*storage.Table, degree)
 	mets := make([]*Metrics, degree)
@@ -249,7 +261,7 @@ func runPartitioned(table *storage.Table, specs []window.Spec, plan *core.Plan, 
 			defer wg.Done()
 			in := storage.NewTable(table.Schema)
 			in.Rows = parts[p]
-			outs[p], mets[p], errs[p] = Run(in, specs, plan, cfg)
+			outs[p], mets[p], errs[p] = RunContext(ctx, in, specs, plan, cfg)
 		}(p)
 	}
 	wg.Wait()

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded rejects a query when every execution slot is busy and the
+// admission queue is full. It is the service's typed backpressure signal;
+// the HTTP layer maps it to 429. Test with errors.Is.
+var ErrOverloaded = errors.New("service: overloaded, admission queue full")
+
+// governor is the admission controller: a semaphore of unit-memory
+// execution slots plus a bounded wait queue. Each in-flight execution
+// holds one slot, so at most cap(slots) chains run concurrently and each
+// can assume the full unit reorder memory M — N simultaneous queries
+// share the global budget honestly instead of each pretending to own M.
+type governor struct {
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+}
+
+func newGovernor(slots, maxQueue int) *governor {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &governor{slots: make(chan struct{}, slots), maxQueue: int64(maxQueue)}
+}
+
+// Slots returns the concurrent-execution bound.
+func (g *governor) Slots() int { return cap(g.slots) }
+
+// queueDepth returns the number of queries currently waiting for a slot.
+func (g *governor) queueDepth() int64 { return g.waiting.Load() }
+
+// acquire claims one execution slot, queueing when all are busy. A query
+// that cannot even enter the queue (maxQueue waiters already) fails fast
+// with ErrOverloaded; a queued query that is cancelled or times out
+// returns ctx.Err(). queued reports whether the query waited.
+func (g *governor) acquire(ctx context.Context) (queued bool, err error) {
+	select {
+	case g.slots <- struct{}{}:
+		return false, nil
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if g.waiting.Add(1) > g.maxQueue {
+		g.waiting.Add(-1)
+		return false, ErrOverloaded
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return true, nil
+	case <-ctx.Done():
+		return true, ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (g *governor) release() { <-g.slots }

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"unicode"
+
+	"repro/internal/sql"
+)
+
+// planCache is the prepared-statement cache: normalized SQL text maps to a
+// *sql.Prepared carrying the parse, bind and CSO-planning work. An entry is
+// valid only while the catalog generation it was prepared under is current;
+// a lookup that finds a stale entry drops it and counts an invalidation, so
+// re-registering a table flushes every plan built on the old data. Bounded
+// LRU: the least recently used entry is evicted past capacity.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	lastGen uint64     // generation observed by the latest lookup
+
+	hits, misses, invalidations, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	prep *sql.Prepared
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached statement for key when present and still valid
+// under the catalog generation gen. The first lookup after a generation
+// change sweeps every stale entry, not just this key's: a Prepared pins
+// its catalog entry (and that entry's whole table), so stale plans whose
+// SQL text never recurs must not keep superseded snapshots reachable in a
+// long-running, memory-budgeted server.
+func (c *planCache) get(key string, gen uint64) (*sql.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.lastGen {
+		c.lastGen = gen
+		var next *list.Element
+		for el := c.order.Front(); el != nil; el = next {
+			next = el.Next()
+			ent := el.Value.(*cacheEntry)
+			if ent.prep.Generation() != gen {
+				c.invalidations++
+				c.order.Remove(el)
+				delete(c.entries, ent.key)
+			}
+		}
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.prep.Generation() != gen {
+		c.invalidations++
+		c.misses++
+		c.order.Remove(el)
+		delete(c.entries, key)
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return ent.prep, true
+}
+
+// put stores a freshly prepared statement, evicting the LRU entry past
+// capacity. Concurrent misses on one key may both prepare; the entry
+// prepared under the newest catalog generation wins, so a slow prepare
+// racing a Register cannot clobber a fresher plan with a stale one (which
+// would make every later lookup invalidate and re-plan).
+func (c *planCache) put(key string, p *sql.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if p.Generation() >= ent.prep.Generation() {
+			ent.prep = p
+		}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, prep: p})
+	if c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStats is the cache counter snapshot exposed through Service.Stats.
+type CacheStats struct {
+	Size          int    `json:"size"`
+	Capacity      int    `json:"capacity"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Evictions     uint64 `json:"evictions"`
+}
+
+// HitRate returns hits / (hits + misses), 0 when no lookups happened.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:          c.order.Len(),
+		Capacity:      c.cap,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Evictions:     c.evictions,
+	}
+}
+
+// normalizeSQL collapses whitespace outside single-quoted strings so
+// spacing variants of one query ("SELECT  *", "SELECT *\n") share a cache
+// slot. Letter case is preserved: identifier case is semantic here — a
+// SELECT alias names the output column with its written spelling — and
+// keywords cannot be told from identifiers without parsing, so folding
+// case would let `AS E` and `AS e` collide and serve whichever column
+// spelling was cached first. It is a cache key, not a semantic rewrite:
+// the original text is what gets prepared on a miss.
+func normalizeSQL(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	inStr := false
+	pendingSpace := false
+	for _, r := range src {
+		if inStr {
+			b.WriteRune(r)
+			if r == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case unicode.IsSpace(r):
+			pendingSpace = true
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			if r == '\'' {
+				inStr = true
+			}
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Handler returns the HTTP/JSON serving surface:
+//
+//	POST /query   {"sql": "...", "max_rows": 100, "timeout_ms": 5000}
+//	GET  /query?q=SELECT+...
+//	GET  /stats   service Snapshot as JSON
+//	GET  /healthz "ok"
+//
+// Status taxonomy: client errors are distinguished from engine faults —
+// malformed requests and parse/bind errors are 400, unknown tables 404,
+// admission rejection 429, queries timed out under the server's control
+// 503, everything else (a genuine engine fault) 500. Error bodies are
+// {"error": "...", "kind": "..."} with kind one of request, parse, bind,
+// unknown_table, overloaded, timeout, canceled, internal.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// MaxRows truncates the returned rows (the query still executes fully);
+	// 0 means all rows.
+	MaxRows int `json:"max_rows"`
+	// TimeoutMillis bounds the query when > 0, overriding the service
+	// default.
+	TimeoutMillis int64 `json:"timeout_ms"`
+}
+
+type queryResponse struct {
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int      `json:"row_count"`
+	Truncated bool     `json:"truncated,omitempty"`
+
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	QueuedMillis  float64 `json:"queued_ms"`
+	CacheHit      bool    `json:"cache_hit"`
+
+	Chain         string `json:"chain,omitempty"`
+	FinalSort     string `json:"final_sort,omitempty"`
+	BlocksRead    int64  `json:"blocks_read"`
+	BlocksWritten int64  `json:"blocks_written"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// statusFor maps a serving error to its HTTP status and taxonomy kind.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, sql.ErrParse):
+		return http.StatusBadRequest, "parse"
+	case errors.Is(err, sql.ErrBind):
+		return http.StatusBadRequest, "bind"
+	case errors.Is(err, catalog.ErrUnknownTable):
+		return http.StatusNotFound, "unknown_table"
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, "timeout"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.SQL = r.URL.Query().Get("q")
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "request", fmt.Errorf("service: bad request body: %w", err))
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "request", errors.New("service: use GET ?q= or POST JSON"))
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "request", errors.New("service: empty query: pass ?q= or a JSON body with \"sql\""))
+		return
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.Query(ctx, req.SQL)
+	if err != nil {
+		status, kind := statusFor(err)
+		writeError(w, status, kind, err)
+		return
+	}
+
+	t := res.Table
+	resp := queryResponse{
+		Columns:       make([]string, t.Schema.Len()),
+		RowCount:      t.Len(),
+		ElapsedMillis: float64(res.Elapsed) / float64(time.Millisecond),
+		QueuedMillis:  float64(res.Queued) / float64(time.Millisecond),
+		CacheHit:      res.CacheHit,
+		FinalSort:     res.FinalSort,
+	}
+	for i, c := range t.Schema.Columns {
+		resp.Columns[i] = c.Name
+	}
+	if res.Plan != nil {
+		resp.Chain = res.Plan.PaperString()
+	}
+	if res.Metrics != nil {
+		resp.BlocksRead = res.Metrics.BlocksRead
+		resp.BlocksWritten = res.Metrics.BlocksWritten
+	}
+	rows := t.Rows
+	if req.MaxRows > 0 && len(rows) > req.MaxRows {
+		rows = rows[:req.MaxRows]
+		resp.Truncated = true
+	}
+	resp.Rows = make([][]any, len(rows))
+	for i, row := range rows {
+		out := make([]any, len(row))
+		for j, v := range row {
+			out[j] = jsonValue(v)
+		}
+		resp.Rows[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jsonValue maps a storage value to its natural JSON representation.
+func jsonValue(v storage.Value) any {
+	switch v.Kind() {
+	case storage.KindNull:
+		return nil
+	case storage.KindInt:
+		return v.Int64()
+	case storage.KindFloat:
+		return v.Float64()
+	case storage.KindString:
+		return v.Str()
+	default:
+		return v.String()
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// latencyHist is a fixed exponential-bucket histogram: bucket i covers
+// latencies up to base·growth^i. Quantiles are read as the upper bound of
+// the bucket where the cumulative count crosses the rank — resolution is
+// one growth factor (±25%), which is plenty for p50/p95/p99 serving
+// dashboards and keeps observation lock-free-cheap and allocation-free.
+type latencyHist struct {
+	counts [histBuckets]uint64
+	total  uint64
+}
+
+const (
+	histBuckets = 96
+	histGrowth  = 1.25
+)
+
+var histBase = float64(time.Microsecond)
+
+func histIndex(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	i := int(math.Log(float64(d)/histBase) / math.Log(histGrowth))
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+func histUpper(i int) time.Duration {
+	return time.Duration(histBase * math.Pow(histGrowth, float64(i+1)))
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.counts[histIndex(d)]++
+	h.total++
+}
+
+// quantile returns the latency below which fraction q of observations fall.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			return histUpper(i)
+		}
+	}
+	return histUpper(histBuckets - 1)
+}
+
+// Metrics aggregates service-level observability: query and failure
+// counters, the in-flight gauge with its high-water mark, the latency
+// histogram, and the per-query exec.Metrics sums (block I/O, comparisons).
+type Metrics struct {
+	start time.Time
+
+	queries  atomic.Uint64 // completed successfully
+	failures atomic.Uint64 // completed with any error
+	rejected atomic.Uint64 // of failures: ErrOverloaded rejections
+
+	inFlight    atomic.Int64 // executions currently holding a slot
+	maxInFlight atomic.Int64 // high-water mark of inFlight
+
+	mu            sync.Mutex
+	hist          latencyHist
+	blocksRead    int64
+	blocksWritten int64
+	comparisons   int64
+	rowsOut       int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// beginExec marks an execution entering its slot, maintaining the
+// high-water mark.
+func (m *Metrics) beginExec() {
+	n := m.inFlight.Add(1)
+	for {
+		max := m.maxInFlight.Load()
+		if n <= max || m.maxInFlight.CompareAndSwap(max, n) {
+			return
+		}
+	}
+}
+
+func (m *Metrics) endExec() { m.inFlight.Add(-1) }
+
+// observe records one finished query: its end-to-end latency, outcome, and
+// (on success) the executor's metrics.
+func (m *Metrics) observe(res *windowdb.Result, d time.Duration, err error) {
+	if err != nil {
+		m.failures.Add(1)
+		return
+	}
+	m.queries.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hist.observe(d)
+	if res != nil {
+		if res.Metrics != nil {
+			m.blocksRead += res.Metrics.BlocksRead
+			m.blocksWritten += res.Metrics.BlocksWritten
+			m.comparisons += res.Metrics.Comparisons
+		}
+		if res.Table != nil {
+			m.rowsOut += int64(res.Table.Len())
+		}
+	}
+}
+
+// Snapshot is a point-in-time view of the service counters, shaped for the
+// /stats JSON endpoint. Latency quantiles are histogram upper bounds.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queries       uint64  `json:"queries"`
+	Failures      uint64  `json:"failures"`
+	Rejected      uint64  `json:"rejected"`
+	QPS           float64 `json:"qps"`
+
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int64 `json:"max_in_flight"`
+	Slots       int   `json:"slots"`
+	QueueDepth  int64 `json:"queue_depth"`
+
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+
+	Cache CacheStats `json:"cache"`
+
+	BlocksRead    int64 `json:"blocks_read"`
+	BlocksWritten int64 `json:"blocks_written"`
+	Comparisons   int64 `json:"comparisons"`
+	RowsOut       int64 `json:"rows_out"`
+}
+
+func (m *Metrics) snapshot() Snapshot {
+	up := time.Since(m.start).Seconds()
+	s := Snapshot{
+		UptimeSeconds: up,
+		Queries:       m.queries.Load(),
+		Failures:      m.failures.Load(),
+		Rejected:      m.rejected.Load(),
+		InFlight:      m.inFlight.Load(),
+		MaxInFlight:   m.maxInFlight.Load(),
+	}
+	if up > 0 {
+		s.QPS = float64(s.Queries) / up
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.P50Millis = float64(m.hist.quantile(0.50)) / float64(time.Millisecond)
+	s.P95Millis = float64(m.hist.quantile(0.95)) / float64(time.Millisecond)
+	s.P99Millis = float64(m.hist.quantile(0.99)) / float64(time.Millisecond)
+	s.BlocksRead = m.blocksRead
+	s.BlocksWritten = m.blocksWritten
+	s.Comparisons = m.comparisons
+	s.RowsOut = m.rowsOut
+	return s
+}

@@ -1,0 +1,202 @@
+// Package service is the concurrent query-serving layer over
+// windowdb.Engine: the subsystem that turns the single-query reproduction
+// into a system that plans once and executes many.
+//
+// Three mechanisms compose:
+//
+//   - a prepared-statement cache (planCache): normalized SQL text maps to a
+//     *sql.Prepared — parse, bind and CSO planning paid once — keyed
+//     against the engine's catalog generation so re-registering a table
+//     invalidates every plan built on the old entry. Hit, miss,
+//     invalidation and eviction counters are exported.
+//
+//   - admission control (governor): a global reorder-memory budget is
+//     divided into unit-memory execution slots; at most Slots chains run
+//     concurrently, each entitled to the full unit reorder memory M of
+//     Section 6.1, in the spirit of the spill-budget discipline of Shi &
+//     Wang's aggregate-window spilling work. Excess queries wait in a
+//     bounded queue honoring context cancellation and deadlines (threaded
+//     down to chain-step boundaries in the executor); past the bound they
+//     fail fast with the typed ErrOverloaded.
+//
+//   - metrics: QPS, in-flight gauge with high-water mark, an exponential
+//     latency histogram read at p50/p95/p99, and aggregated exec.Metrics.
+//
+// The HTTP front end over this layer lives in http.go (Service.Handler);
+// cmd/windserve wires it to a socket, and internal/bench.RunService drives
+// it with an ostresser-style closed-loop load harness.
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro"
+)
+
+// Config parameterizes a Service. The zero value serves: 4 chain-memory
+// slots, a 64-entry admission queue, a 256-statement plan cache, no
+// implicit deadline.
+type Config struct {
+	// MemoryBudgetBytes is the global reorder-memory budget shared by all
+	// concurrent queries. It is divided by the per-chain memory cost —
+	// the engine's unit reorder memory M times its resolved parallel
+	// degree, since every worker of a parallel chain is entitled to the
+	// full M — into execution slots (minimum 1): with the default 0 the
+	// budget is 4 chains' worth. Ignored when Slots is set.
+	MemoryBudgetBytes int
+	// Slots overrides the derived slot count when > 0.
+	Slots int
+	// MaxQueue bounds the queries waiting for a slot; the MaxQueue+1-th
+	// waiter is rejected with ErrOverloaded. Default 64; negative means no
+	// queue (immediate rejection when all slots are busy).
+	MaxQueue int
+	// CacheEntries bounds the prepared-statement cache (default 256).
+	CacheEntries int
+	// DefaultTimeout is applied to queries whose context carries no
+	// deadline. 0 leaves them unbounded.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults(chainMem int) Config {
+	if c.Slots <= 0 {
+		budget := c.MemoryBudgetBytes
+		if budget <= 0 {
+			budget = 4 * chainMem
+		}
+		c.Slots = budget / chainMem
+		if c.Slots < 1 {
+			c.Slots = 1
+		}
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 64
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Service is a thread-safe query service over a windowdb.Engine. All
+// methods may be called concurrently.
+type Service struct {
+	eng     *windowdb.Engine
+	cfg     Config
+	gov     *governor
+	cache   *planCache
+	metrics *Metrics
+}
+
+// New builds a service over eng. The engine must not be shared with
+// another admission-controlled service (slots would not compose).
+func New(eng *windowdb.Engine, cfg Config) *Service {
+	// Per-chain memory cost: M per worker of the parallel executor
+	// (ResolvedConfig returns the concrete degree, ≥ 1).
+	rc := eng.ResolvedConfig()
+	cfg = cfg.withDefaults(rc.SortMemBytes * rc.Parallelism)
+	return &Service{
+		eng:     eng,
+		cfg:     cfg,
+		gov:     newGovernor(cfg.Slots, cfg.MaxQueue),
+		cache:   newPlanCache(cfg.CacheEntries),
+		metrics: newMetrics(),
+	}
+}
+
+// Engine returns the wrapped engine (for registration; Register invalidates
+// cached plans via the catalog generation).
+func (s *Service) Engine() *windowdb.Engine { return s.eng }
+
+// Slots returns the concurrent-execution bound the governor enforces.
+func (s *Service) Slots() int { return s.gov.Slots() }
+
+// QueryResult is one served query: the engine result plus serving-side
+// observations.
+type QueryResult struct {
+	*windowdb.Result
+	// CacheHit reports that the plan came from the prepared-statement cache
+	// (no parse/bind/plan work on this call).
+	CacheHit bool
+	// Queued is the time spent waiting for an execution slot.
+	Queued time.Duration
+	// Elapsed is the end-to-end service time: cache lookup or prepare,
+	// admission wait, and execution.
+	Elapsed time.Duration
+}
+
+// Query serves one query: plan-cache lookup (preparing and caching on
+// miss), slot admission, execution under ctx. Error classes: parse and
+// bind errors (sql.ErrParse/ErrBind), unknown tables
+// (catalog.ErrUnknownTable), admission rejection (ErrOverloaded), and
+// ctx.Err() for queries cancelled or timed out while queued or between
+// chain steps; anything else is an engine fault.
+func (s *Service) Query(ctx context.Context, src string) (*QueryResult, error) {
+	if s.cfg.DefaultTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	start := time.Now()
+	key := normalizeSQL(src)
+	prep, hit := s.cache.get(key, s.eng.Generation())
+	if !hit {
+		p, err := s.eng.Prepare(src)
+		if err != nil {
+			s.metrics.failures.Add(1)
+			return nil, err
+		}
+		s.cache.put(key, p)
+		prep = p
+	}
+
+	queueStart := time.Now()
+	if _, err := s.gov.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.metrics.rejected.Add(1)
+		}
+		s.metrics.failures.Add(1)
+		return nil, err
+	}
+	queued := time.Since(queueStart)
+
+	// Release the slot and the gauge via defer: a panicking execution
+	// (recovered per-request by net/http) must not leak a slot, or the
+	// governor would wedge shut while /healthz still answers ok.
+	res, err := func() (*windowdb.Result, error) {
+		defer s.gov.release()
+		s.metrics.beginExec()
+		defer s.metrics.endExec()
+		return prep.ExecuteContext(ctx)
+	}()
+
+	elapsed := time.Since(start)
+	s.metrics.observe(res, elapsed, err)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Result: res, CacheHit: hit, Queued: queued, Elapsed: elapsed}, nil
+}
+
+// ResetMaxInFlight re-arms the in-flight high-water mark to the current
+// gauge value, so load harnesses can read a per-window maximum instead of
+// the lifetime one.
+func (s *Service) ResetMaxInFlight() {
+	s.metrics.maxInFlight.Store(s.metrics.inFlight.Load())
+}
+
+// Stats snapshots the service counters, including admission and cache
+// state.
+func (s *Service) Stats() Snapshot {
+	snap := s.metrics.snapshot()
+	snap.Slots = s.gov.Slots()
+	snap.QueueDepth = s.gov.queueDepth()
+	snap.Cache = s.cache.stats()
+	return snap
+}

@@ -1,0 +1,33 @@
+package sql
+
+import "errors"
+
+// Error classes for the serving layer's status taxonomy. They are attached
+// with classify, which preserves the underlying message and chain while
+// making errors.Is(err, ErrParse) / errors.Is(err, ErrBind) report the
+// class: parse errors are malformed query text, bind errors are well-formed
+// queries naming unknown columns, functions or invalid clauses. Errors that
+// carry neither class (and do not wrap catalog.ErrUnknownTable) are engine
+// faults.
+var (
+	ErrParse = errors.New("sql: parse error")
+	ErrBind  = errors.New("sql: bind error")
+)
+
+// classedError tags err with an error class without changing its message.
+type classedError struct {
+	class error
+	err   error
+}
+
+func (e *classedError) Error() string        { return e.err.Error() }
+func (e *classedError) Unwrap() error        { return e.err }
+func (e *classedError) Is(target error) bool { return target == e.class }
+
+// classify wraps err (nil-safe) so errors.Is(result, class) holds.
+func classify(class, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classedError{class: class, err: err}
+}

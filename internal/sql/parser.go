@@ -6,20 +6,20 @@ import (
 	"strings"
 )
 
-// Parse parses one window query block.
+// Parse parses one window query block. Errors carry the ErrParse class.
 func Parse(src string) (*Query, error) {
 	lx := &lexer{src: src}
 	toks, err := lx.lex()
 	if err != nil {
-		return nil, err
+		return nil, classify(ErrParse, err)
 	}
 	p := &parser{toks: toks}
 	q, err := p.parseQuery()
 	if err != nil {
-		return nil, err
+		return nil, classify(ErrParse, err)
 	}
 	if !p.at(tokEOF, "") {
-		return nil, p.errorf("trailing input %q", p.cur().text)
+		return nil, classify(ErrParse, p.errorf("trailing input %q", p.cur().text))
 	}
 	return q, nil
 }

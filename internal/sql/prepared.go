@@ -1,0 +1,375 @@
+package sql
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/attrs"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/window"
+)
+
+// Prepared is a query carried through every phase that does not depend on
+// the data: parse, table lookup, window binding, CSO (or baseline)
+// planning, projection and ORDER BY resolution, and WHERE validation. What
+// remains — filtering, chain execution, projection, DISTINCT, the final
+// sort — happens in ExecuteContext, which may be called many times and
+// concurrently: a Prepared is immutable after Prepare, and every execution
+// builds its own spill stores and row buffers. This is the plan-once /
+// execute-many seam the serving layer's plan cache stores.
+//
+// A Prepared captures the catalog entry and the catalog generation at
+// prepare time. Generation returns the latter so caches can drop plans
+// whose table was re-registered; executing a stale Prepared is
+// memory-safe (the old entry and its table are immutable) but reads the
+// superseded data.
+type Prepared struct {
+	src    string
+	q      *Query
+	entry  *catalog.Entry
+	gen    uint64
+	scheme Scheme
+	cfg    exec.Config
+
+	specs      []window.Spec
+	plan       *core.Plan // nil when the query has no window functions
+	alignOrder attrs.Seq
+	wfCol      map[int]int // wf ID -> column index in the executed table
+
+	outCols []storage.Column
+	pick    []int // executed-table source column per output column
+
+	orderKey attrs.Seq // final ORDER BY over the output schema
+}
+
+// SQL returns the original query text.
+func (p *Prepared) SQL() string { return p.src }
+
+// Plan returns the planned window-function chain (nil for window-less
+// queries).
+func (p *Prepared) Plan() *core.Plan { return p.plan }
+
+// Generation returns the catalog generation the statement was prepared
+// under.
+func (p *Prepared) Generation() uint64 { return p.gen }
+
+// Prepare parses, binds and plans src against the runner's catalog without
+// executing it. Parse failures carry the ErrParse class, unknown tables
+// wrap catalog.ErrUnknownTable, and every other error a malformed-but-
+// parseable query can provoke (unknown columns, bad window clauses,
+// unsupported predicates) carries ErrBind — execution errors after a
+// successful Prepare are engine faults.
+func (r *Runner) Prepare(src string) (*Prepared, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return r.prepare(q, src)
+}
+
+// prepare performs every data-independent phase on a parsed query.
+func (r *Runner) prepare(q *Query, src string) (*Prepared, error) {
+	gen := r.Catalog.Generation()
+	entry, err := r.Catalog.Lookup(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := entry.Table.Schema
+	p := &Prepared{
+		src:    src,
+		q:      q,
+		entry:  entry,
+		gen:    gen,
+		scheme: r.Scheme,
+		cfg:    r.Exec,
+		wfCol:  map[int]int{},
+	}
+
+	if q.Where != nil {
+		if err := checkPredicate(q.Where, schema); err != nil {
+			return nil, classify(ErrBind, err)
+		}
+	}
+
+	// Bind the window calls in SELECT order.
+	windowItem := make([]int, len(q.Items)) // item index -> wf ID or -1
+	for i, item := range q.Items {
+		windowItem[i] = -1
+		if item.Window == nil {
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			name = item.Window.Func
+		}
+		spec, err := BindWindowCall(item.Window, schema, name)
+		if err != nil {
+			return nil, classify(ErrBind, err)
+		}
+		if err := spec.Validate(schema); err != nil {
+			return nil, classify(ErrBind, err)
+		}
+		windowItem[i] = len(p.specs)
+		p.specs = append(p.specs, spec)
+	}
+
+	// Section 5 integration: resolve the longest ORDER BY prefix whose
+	// columns are base-table columns of the output; CSO aligns its chain
+	// toward it. Resolution must honor SELECT-list aliases (an alias can
+	// shadow a base column name), so it goes through the projected names,
+	// not the base schema directly.
+	for _, item := range q.OrderBy {
+		c, isBase := resolveOutputColumn(q.Items, schema, item.Column)
+		if !isBase {
+			break
+		}
+		p.alignOrder = append(p.alignOrder, attrs.Elem{Attr: attrs.ID(c), Desc: item.Desc, NullsFirst: item.NullsFirst})
+	}
+
+	if len(p.specs) > 0 {
+		ws := make([]core.WF, len(p.specs))
+		for i, s := range p.specs {
+			ws[i] = s.WF(i)
+		}
+		opt := core.Options{Cost: entry.CostParams(r.Exec.MemoryBytes, r.Exec.BlockSize)}
+		var plan *core.Plan
+		switch r.Scheme {
+		case SchemeBFO:
+			plan, err = core.BFO(ws, core.Unordered(), opt)
+		case SchemeORCL:
+			plan, err = core.ORCL(ws, core.Unordered(), opt)
+		case SchemePSQL:
+			plan, err = core.PSQL(ws, core.Unordered())
+		case SchemeCSO, "":
+			plan, err = core.CSOAligned(ws, core.Unordered(), opt, p.alignOrder)
+			// Alignment toward the ORDER BY cannot pay off when the parallel
+			// path will concatenate partitions (the output loses the chain's
+			// nominal order and is fully sorted anyway); take CSO's cheapest
+			// unaligned chain instead of paying for a dead alignment.
+			if err == nil && len(p.alignOrder) > 0 && r.Exec.Parallelism > 1 && exec.Concatenates(plan) {
+				plan, err = core.CSO(ws, core.Unordered(), opt)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unknown scheme %q", r.Scheme)
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.plan = plan
+		for pos, step := range plan.Steps {
+			p.wfCol[step.WF.ID] = schema.Len() + pos
+		}
+	}
+
+	// Projection: the executed table is the base schema extended with one
+	// derived column per chain step, so output columns resolve statically.
+	for i, item := range q.Items {
+		switch {
+		case item.Star:
+			for c := 0; c < schema.Len(); c++ {
+				p.outCols = append(p.outCols, schema.Columns[c])
+				p.pick = append(p.pick, c)
+			}
+		case item.Window != nil:
+			srcCol := p.wfCol[windowItem[i]]
+			col := p.specs[windowItem[i]].OutputColumn()
+			if item.Alias != "" {
+				col.Name = item.Alias
+			}
+			p.outCols = append(p.outCols, col)
+			p.pick = append(p.pick, srcCol)
+		default:
+			c := schema.ColIndex(item.Column)
+			if c < 0 {
+				return nil, classify(ErrBind, fmt.Errorf("sql: unknown column %q", item.Column))
+			}
+			col := schema.Columns[c]
+			if item.Alias != "" {
+				col.Name = item.Alias
+			}
+			p.outCols = append(p.outCols, col)
+			p.pick = append(p.pick, c)
+		}
+	}
+
+	// Final ORDER BY over output columns.
+	outSchema := storage.NewSchema(p.outCols...)
+	for _, item := range q.OrderBy {
+		c := outSchema.ColIndex(item.Column)
+		if c < 0 {
+			return nil, classify(ErrBind, fmt.Errorf("sql: ORDER BY column %q not in output", item.Column))
+		}
+		p.orderKey = append(p.orderKey, attrs.Elem{Attr: attrs.ID(c), Desc: item.Desc, NullsFirst: item.NullsFirst})
+	}
+	return p, nil
+}
+
+// Execute runs the prepared query without a deadline.
+func (p *Prepared) Execute() (*Result, error) {
+	return p.ExecuteContext(context.Background())
+}
+
+// ExecuteContext runs the prepared query's data-dependent phases: WHERE
+// filtering, chain execution (honoring ctx at step boundaries), projection,
+// DISTINCT, the final ORDER BY and LIMIT. It is safe for concurrent use on
+// one Prepared.
+func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q := p.q
+	base := p.entry.Table
+	schema := base.Schema
+
+	// WHERE: filter into the windowed table WT (Section 5's loose
+	// integration: all clauses except ORDER BY run before the windows).
+	windowed := base
+	if q.Where != nil {
+		wt := storage.NewTable(schema)
+		for _, row := range base.Rows {
+			v, err := evalPredicate(q.Where, row, schema)
+			if err != nil {
+				return nil, err
+			}
+			if v == tTrue {
+				wt.Rows = append(wt.Rows, row)
+			}
+		}
+		windowed = wt
+	}
+
+	result := &Result{FinalSort: "none", Parallelism: 1}
+	executed := windowed
+	if p.plan != nil {
+		cfg := p.cfg
+		if cfg.Distinct == nil {
+			cfg.Distinct = p.entry.Distinct
+		}
+		var (
+			out     *storage.Table
+			metrics *exec.Metrics
+			err     error
+		)
+		// Parallelism must be set explicitly (> 1) to engage the parallel
+		// chain executor here: a zero-value Runner stays on the sequential
+		// path (facades that want the GOMAXPROCS default resolve it before
+		// building the Runner, as windowdb.Engine does).
+		if cfg.Parallelism > 1 {
+			out, metrics, err = exec.ParallelRunContext(ctx, windowed, p.specs, p.plan, cfg, cfg.Parallelism)
+			if err == nil && metrics.PartitionedSteps > 0 {
+				result.Parallelism = cfg.Parallelism
+			}
+		} else {
+			out, metrics, err = exec.RunContext(ctx, windowed, p.specs, p.plan, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		executed = out
+		result.Plan = p.plan
+		result.Metrics = metrics
+	}
+
+	// Projection.
+	outSchema := storage.NewSchema(p.outCols...)
+	outTable := storage.NewTable(outSchema)
+	outTable.Rows = make([]storage.Tuple, executed.Len())
+	for ri, row := range executed.Rows {
+		t := make(storage.Tuple, len(p.pick))
+		for ci, src := range p.pick {
+			t[ci] = row[src]
+		}
+		outTable.Rows[ri] = t
+	}
+
+	// DISTINCT: deduplicate projected rows (evaluated after the window
+	// functions, as in the paper's Section 1/5 decomposition; NULLs compare
+	// equal, per SQL DISTINCT semantics).
+	if q.Distinct {
+		seen := make(map[string]bool, outTable.Len())
+		dedup := outTable.Rows[:0]
+		for _, row := range outTable.Rows {
+			key := string(storage.AppendTuple(nil, row))
+			if !seen[key] {
+				seen[key] = true
+				dedup = append(dedup, row)
+			}
+		}
+		outTable.Rows = dedup
+	}
+
+	// Final ORDER BY over output columns. When the chain's output ordering
+	// already satisfies a prefix of the key (Section 5), the sort is
+	// avoided or downgraded to per-group partial sorting.
+	if len(p.orderKey) > 0 {
+		key := p.orderKey
+		sat := 0
+		// A chain whose final segment ran hash-partitioned concatenates
+		// partitions, so the plan's nominal final ordering holds only
+		// within each partition; the ORDER BY must then be satisfied by a
+		// full sort.
+		if result.Plan != nil && (result.Metrics == nil || !result.Metrics.Concatenated) {
+			finalProps := result.Plan.FinalProps(core.Unordered())
+			sat = core.OrderSatisfiedPrefix(finalProps, p.alignOrder)
+			// The satisfied alignment elements must actually be the leading
+			// ORDER BY items (alignOrder was built from that prefix).
+			if sat > len(key) {
+				sat = len(key)
+			}
+		}
+		result.SatisfiedPrefix = sat
+		switch {
+		case sat >= len(key):
+			result.FinalSort = "avoided"
+		case sat > 0:
+			result.FinalSort = "partial"
+			partialSort(outTable.Rows, key, sat)
+		default:
+			result.FinalSort = "full"
+			sort.SliceStable(outTable.Rows, func(i, j int) bool {
+				return storage.CompareSeq(outTable.Rows[i], outTable.Rows[j], key) < 0
+			})
+		}
+	}
+	if q.Limit >= 0 && int64(outTable.Len()) > q.Limit {
+		outTable.Rows = outTable.Rows[:q.Limit]
+	}
+	result.Table = outTable
+	return result, nil
+}
+
+// checkPredicate validates a WHERE tree against the schema at prepare time:
+// every column must resolve and every operator must be one evalPredicate
+// implements, so a prepared statement cannot fail at execution with a
+// client-side error.
+func checkPredicate(e Expr, schema *storage.Schema) error {
+	switch n := e.(type) {
+	case *ColumnRef:
+		if schema.ColIndex(n.Name) < 0 {
+			return fmt.Errorf("sql: unknown column %q", n.Name)
+		}
+	case *LitExpr:
+	case *NotExpr:
+		return checkPredicate(n.E, schema)
+	case *IsNullExpr:
+		return checkPredicate(n.E, schema)
+	case *BinaryExpr:
+		switch strings.ToUpper(n.Op) {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=":
+		default:
+			return fmt.Errorf("sql: unknown operator %q", n.Op)
+		}
+		if err := checkPredicate(n.L, schema); err != nil {
+			return err
+		}
+		return checkPredicate(n.R, schema)
+	default:
+		return fmt.Errorf("sql: unsupported predicate node %T", e)
+	}
+	return nil
+}

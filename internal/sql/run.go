@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,7 +11,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/storage"
-	"repro/internal/window"
 )
 
 // Scheme names a window-function optimization scheme.
@@ -62,241 +62,31 @@ type Result struct {
 
 // Query parses, plans and executes one window query block.
 func (r *Runner) Query(src string) (*Result, error) {
-	q, err := Parse(src)
+	return r.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with cancellation and deadline support: ctx is
+// threaded through the executor and checked at chain-step boundaries.
+func (r *Runner) QueryContext(ctx context.Context, src string) (*Result, error) {
+	p, err := r.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	return r.Run(q)
+	return p.ExecuteContext(ctx)
 }
 
 // Run executes a parsed query.
 func (r *Runner) Run(q *Query) (*Result, error) {
-	entry, err := r.Catalog.Lookup(q.Table)
+	return r.RunContext(context.Background(), q)
+}
+
+// RunContext prepares and executes a parsed query under ctx.
+func (r *Runner) RunContext(ctx context.Context, q *Query) (*Result, error) {
+	p, err := r.prepare(q, "")
 	if err != nil {
 		return nil, err
 	}
-	base := entry.Table
-	schema := base.Schema
-
-	// WHERE: filter into the windowed table WT (Section 5's loose
-	// integration: all clauses except ORDER BY run before the windows).
-	windowed := base
-	if q.Where != nil {
-		wt := storage.NewTable(schema)
-		for _, row := range base.Rows {
-			v, err := evalPredicate(q.Where, row, schema)
-			if err != nil {
-				return nil, err
-			}
-			if v == tTrue {
-				wt.Rows = append(wt.Rows, row)
-			}
-		}
-		windowed = wt
-	}
-
-	// Bind the window calls in SELECT order.
-	var specs []window.Spec
-	windowItem := make([]int, len(q.Items)) // item index -> wf ID or -1
-	for i, item := range q.Items {
-		windowItem[i] = -1
-		if item.Window == nil {
-			continue
-		}
-		name := item.Alias
-		if name == "" {
-			name = item.Window.Func
-		}
-		spec, err := BindWindowCall(item.Window, schema, name)
-		if err != nil {
-			return nil, err
-		}
-		if err := spec.Validate(schema); err != nil {
-			return nil, err
-		}
-		windowItem[i] = len(specs)
-		specs = append(specs, spec)
-	}
-
-	result := &Result{FinalSort: "none", Parallelism: 1}
-	executed := windowed
-	wfCol := map[int]int{} // wf ID -> column in executed table
-	// Section 5 integration: resolve the longest ORDER BY prefix whose
-	// columns are base-table columns of the output; CSO aligns its chain
-	// toward it. Resolution must honor SELECT-list aliases (an alias can
-	// shadow a base column name), so it goes through the projected names,
-	// not the base schema directly.
-	var alignOrder attrs.Seq
-	for _, item := range q.OrderBy {
-		c, isBase := resolveOutputColumn(q.Items, schema, item.Column)
-		if !isBase {
-			break
-		}
-		alignOrder = append(alignOrder, attrs.Elem{Attr: attrs.ID(c), Desc: item.Desc, NullsFirst: item.NullsFirst})
-	}
-	if len(specs) > 0 {
-		ws := make([]core.WF, len(specs))
-		for i, s := range specs {
-			ws[i] = s.WF(i)
-		}
-		opt := core.Options{Cost: entry.CostParams(r.Exec.MemoryBytes, r.Exec.BlockSize)}
-		var plan *core.Plan
-		switch r.Scheme {
-		case SchemeBFO:
-			plan, err = core.BFO(ws, core.Unordered(), opt)
-		case SchemeORCL:
-			plan, err = core.ORCL(ws, core.Unordered(), opt)
-		case SchemePSQL:
-			plan, err = core.PSQL(ws, core.Unordered())
-		case SchemeCSO, "":
-			plan, err = core.CSOAligned(ws, core.Unordered(), opt, alignOrder)
-			// Alignment toward the ORDER BY cannot pay off when the parallel
-			// path will concatenate partitions (the output loses the chain's
-			// nominal order and is fully sorted anyway); take CSO's cheapest
-			// unaligned chain instead of paying for a dead alignment.
-			if err == nil && len(alignOrder) > 0 && r.Exec.Parallelism > 1 && exec.Concatenates(plan) {
-				plan, err = core.CSO(ws, core.Unordered(), opt)
-			}
-		default:
-			return nil, fmt.Errorf("sql: unknown scheme %q", r.Scheme)
-		}
-		if err != nil {
-			return nil, err
-		}
-		cfg := r.Exec
-		if cfg.Distinct == nil {
-			cfg.Distinct = entry.Distinct
-		}
-		var (
-			out     *storage.Table
-			metrics *exec.Metrics
-		)
-		// Parallelism must be set explicitly (> 1) to engage the parallel
-		// chain executor here: a zero-value Runner stays on the sequential
-		// path (facades that want the GOMAXPROCS default resolve it before
-		// building the Runner, as windowdb.Engine does).
-		if cfg.Parallelism > 1 {
-			out, metrics, err = exec.ParallelRun(windowed, specs, plan, cfg, cfg.Parallelism)
-			if err == nil && metrics.PartitionedSteps > 0 {
-				result.Parallelism = cfg.Parallelism
-			}
-		} else {
-			out, metrics, err = exec.Run(windowed, specs, plan, cfg)
-		}
-		if err != nil {
-			return nil, err
-		}
-		executed = out
-		result.Plan = plan
-		result.Metrics = metrics
-		for pos, step := range plan.Steps {
-			wfCol[step.WF.ID] = schema.Len() + pos
-		}
-	}
-
-	// Projection.
-	var outCols []storage.Column
-	var pick []int // source column per output column
-	for i, item := range q.Items {
-		switch {
-		case item.Star:
-			for c := 0; c < schema.Len(); c++ {
-				outCols = append(outCols, schema.Columns[c])
-				pick = append(pick, c)
-			}
-		case item.Window != nil:
-			src := wfCol[windowItem[i]]
-			col := executed.Schema.Columns[src]
-			if item.Alias != "" {
-				col.Name = item.Alias
-			}
-			outCols = append(outCols, col)
-			pick = append(pick, src)
-		default:
-			c := schema.ColIndex(item.Column)
-			if c < 0 {
-				return nil, fmt.Errorf("sql: unknown column %q", item.Column)
-			}
-			col := schema.Columns[c]
-			if item.Alias != "" {
-				col.Name = item.Alias
-			}
-			outCols = append(outCols, col)
-			pick = append(pick, c)
-		}
-	}
-	outSchema := storage.NewSchema(outCols...)
-	outTable := storage.NewTable(outSchema)
-	outTable.Rows = make([]storage.Tuple, executed.Len())
-	for ri, row := range executed.Rows {
-		t := make(storage.Tuple, len(pick))
-		for ci, src := range pick {
-			t[ci] = row[src]
-		}
-		outTable.Rows[ri] = t
-	}
-
-	// DISTINCT: deduplicate projected rows (evaluated after the window
-	// functions, as in the paper's Section 1/5 decomposition; NULLs compare
-	// equal, per SQL DISTINCT semantics).
-	if q.Distinct {
-		seen := make(map[string]bool, outTable.Len())
-		dedup := outTable.Rows[:0]
-		for _, row := range outTable.Rows {
-			key := string(storage.AppendTuple(nil, row))
-			if !seen[key] {
-				seen[key] = true
-				dedup = append(dedup, row)
-			}
-		}
-		outTable.Rows = dedup
-	}
-
-	// Final ORDER BY over output columns. When the chain's output ordering
-	// already satisfies a prefix of the key (Section 5), the sort is
-	// avoided or downgraded to per-group partial sorting.
-	if len(q.OrderBy) > 0 {
-		var key attrs.Seq
-		for _, item := range q.OrderBy {
-			c := outSchema.ColIndex(item.Column)
-			if c < 0 {
-				return nil, fmt.Errorf("sql: ORDER BY column %q not in output", item.Column)
-			}
-			key = append(key, attrs.Elem{Attr: attrs.ID(c), Desc: item.Desc, NullsFirst: item.NullsFirst})
-		}
-		sat := 0
-		// A chain whose final segment ran hash-partitioned concatenates
-		// partitions, so the plan's nominal final ordering holds only
-		// within each partition; the ORDER BY must then be satisfied by a
-		// full sort.
-		if result.Plan != nil && (result.Metrics == nil || !result.Metrics.Concatenated) {
-			finalProps := result.Plan.FinalProps(core.Unordered())
-			sat = core.OrderSatisfiedPrefix(finalProps, alignOrder)
-			// The satisfied alignment elements must actually be the leading
-			// ORDER BY items (alignOrder was built from that prefix).
-			if sat > len(key) {
-				sat = len(key)
-			}
-		}
-		result.SatisfiedPrefix = sat
-		switch {
-		case sat >= len(key):
-			result.FinalSort = "avoided"
-		case sat > 0:
-			result.FinalSort = "partial"
-			partialSort(outTable.Rows, key, sat)
-		default:
-			result.FinalSort = "full"
-			sort.SliceStable(outTable.Rows, func(i, j int) bool {
-				return storage.CompareSeq(outTable.Rows[i], outTable.Rows[j], key) < 0
-			})
-		}
-	}
-	if q.Limit >= 0 && int64(outTable.Len()) > q.Limit {
-		outTable.Rows = outTable.Rows[:q.Limit]
-	}
-	result.Table = outTable
-	return result, nil
+	return p.ExecuteContext(ctx)
 }
 
 // resolveOutputColumn finds the first SELECT item whose visible name is

@@ -20,6 +20,7 @@
 package windowdb
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attrs"
@@ -82,10 +83,27 @@ func (c Config) withDefaults() Config {
 	if c.Scheme == "" {
 		c.Scheme = sql.SchemeCSO
 	}
+	// Resolve the parallel degree once, with exec.Config.Degree's mapping
+	// (0 = GOMAXPROCS, negative = sequential), so every consumer — the
+	// executor routing and the serving layer's per-chain memory accounting
+	// — sees the same concrete value.
+	c.Parallelism = exec.Config{Parallelism: c.Parallelism}.Degree()
 	return c
 }
 
 // Engine owns a catalog of tables and executes window queries against it.
+//
+// Concurrency contract: an Engine is safe for unrestricted concurrent use.
+// Query/QueryContext, Prepare, EvaluateWindows, Plan and the catalog
+// accessors may run from any number of goroutines, concurrently with
+// Register. Registered tables are treated as immutable — callers must not
+// mutate a *storage.Table after handing it to Register; replacing a table
+// re-registers under the same name and advances the catalog generation
+// (Generation), invalidating prepared statements built on the old entry.
+// Queries that already hold the old entry finish against the old (still
+// immutable) table — the snapshot-at-lookup semantics of the catalog.
+// Lazily computed statistics (distinct counts, MFVs) are mutex-guarded
+// inside each catalog entry and computed at most once per key.
 type Engine struct {
 	cfg Config
 	cat *catalog.Catalog
@@ -119,8 +137,39 @@ type Result = sql.Result
 
 // Query parses, plans and executes one window query block.
 func (e *Engine) Query(src string) (*Result, error) {
-	r := sql.Runner{Catalog: e.cat, Scheme: e.cfg.Scheme, Exec: e.execConfig()}
-	return r.Query(src)
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with cancellation and deadline support: ctx is
+// threaded down through the executor and checked at chain-step boundaries
+// (in the parallel executor, inside every worker's per-partition pipeline),
+// so a runaway chain stops at the next step once ctx is done.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	r := e.runner()
+	return r.QueryContext(ctx, src)
+}
+
+// Prepare parses, binds and plans a query without executing it. The
+// returned statement executes with this engine's scheme and resources, any
+// number of times and concurrently; it is valid while Generation is
+// unchanged (re-registering any table invalidates it — execution then reads
+// the superseded catalog entry). Serving layers cache these.
+func (e *Engine) Prepare(src string) (*sql.Prepared, error) {
+	r := e.runner()
+	return r.Prepare(src)
+}
+
+// Generation returns the engine's catalog generation: the count of Register
+// calls. Prepared statements record the generation they were built under.
+func (e *Engine) Generation() uint64 { return e.cat.Generation() }
+
+// ResolvedConfig returns the engine's configuration with defaults applied —
+// the actual unit reorder memory, block size and parallel degree queries
+// run with. Serving layers size admission-control slots from it.
+func (e *Engine) ResolvedConfig() Config { return e.cfg }
+
+func (e *Engine) runner() sql.Runner {
+	return sql.Runner{Catalog: e.cat, Scheme: e.cfg.Scheme, Exec: e.execConfig()}
 }
 
 // execConfig assembles the executor configuration; the MFV callback is

@@ -1,6 +1,9 @@
 package windowdb
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/attrs"
@@ -201,4 +204,104 @@ func TestTablesListing(t *testing.T) {
 	if len(names) != 2 || names[0] != "emptab" || names[1] != "web_sales" {
 		t.Errorf("Tables() = %v", names)
 	}
+}
+
+// TestEngineConcurrentRegisterQuery exercises the documented concurrency
+// contract: unrestricted Query/QueryContext/Prepare/EvaluateWindows from
+// many goroutines concurrent with Register on the same engine. Under
+// -race this is the engine's thread-safety proof.
+func TestEngineConcurrentRegisterQuery(t *testing.T) {
+	eng := testEngine(SchemeCSO)
+	const q = `SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales`
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := eng.QueryContext(ctx, q); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			// Replace web_sales (same schema, fresh entry) while queries run,
+			// and keep the statistics caches busy on the side.
+			eng.Register("web_sales", datagen.WebSales(datagen.WebSalesConfig{Rows: 1000 + 100*i, Seed: int64(i), PadBytes: 16}))
+			if _, _, err := eng.EvaluateWindows("web_sales", []window.Spec{{
+				Name: "r", Kind: window.Rank, Arg: -1,
+				PK: attrs.MakeSet(paper.Item), PKOrder: attrs.AscSeq(paper.Item),
+				OK: attrs.AscSeq(paper.Time),
+			}}); err != nil {
+				t.Errorf("evaluate: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if gen := eng.Generation(); gen < 10 {
+		t.Fatalf("generation %d, want >= 10 (2 initial + 8 replacements)", gen)
+	}
+}
+
+// TestEngineQueryContextCancel: a cancelled context stops the chain at the
+// next step boundary.
+func TestEngineQueryContextCancel(t *testing.T) {
+	eng := testEngine(SchemeCSO)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.QueryContext(ctx, `SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEnginePrepareReuse: one prepared statement executes repeatedly (and
+// concurrently) with identical results, skipping re-planning.
+func TestEnginePrepareReuse(t *testing.T) {
+	eng := testEngine(SchemeCSO)
+	p, err := eng.Prepare(`SELECT empnum, rank() OVER (ORDER BY salary DESC NULLS LAST) AS r FROM emptab ORDER BY r, empnum`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Generation() != eng.Generation() {
+		t.Fatalf("prepared under generation %d, engine at %d", p.Generation(), eng.Generation())
+	}
+	want, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				res, err := p.ExecuteContext(context.Background())
+				if err != nil {
+					t.Errorf("execute: %v", err)
+					return
+				}
+				if res.Table.Len() != want.Table.Len() {
+					t.Errorf("rows = %d, want %d", res.Table.Len(), want.Table.Len())
+					return
+				}
+				for ri, row := range res.Table.Rows {
+					for ci := range row {
+						if storage.Compare(row[ci], want.Table.Rows[ri][ci]) != 0 {
+							t.Errorf("row %d col %d differs across executions", ri, ci)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

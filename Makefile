@@ -1,7 +1,7 @@
 # Local targets mirroring .github/workflows/ci.yml.
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet serve bench-service load-smoke ci
+.PHONY: build test race bench fmt fmt-check vet serve bench-service load-smoke cluster-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,16 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Run the HTTP query service on :8080 (see cmd/windserve -h for knobs).
+# Run the HTTP query service (see cmd/windserve -h for knobs). Relocate
+# with PORT=9090 or a full ADDR=host:9090, so two local instances — or a
+# whole shard cluster — can coexist:
+#
+#	make serve PORT=8081 &
+#	make serve PORT=8082 &
+PORT ?=
+ADDR ?= $(if $(PORT),:$(PORT),:8080)
 serve:
-	$(GO) run ./cmd/windserve -addr :8080
+	$(GO) run ./cmd/windserve -addr $(ADDR)
 
 # One short pass of the closed-loop serving load harness.
 bench-service:
@@ -61,4 +68,37 @@ load-smoke:
 	curl -s -o /dev/null -w '%{http_code}' http://$(SMOKE_ADDR)/query?q=nonsense | grep -q 400; \
 	echo "load-smoke: OK"
 
-ci: build vet fmt-check race bench load-smoke
+# Boot two shard windserve processes plus a coordinator (and a reference
+# single-engine instance) on scratch ports, fire the sharded Q1 query over
+# HTTP, and assert the cluster's row count matches the single engine's and
+# the chain scattered across both shards. The two-process proof that
+# scatter-gather works over real sockets.
+cluster-smoke: SMOKE_Q = SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales
+cluster-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/windserve-csmoke ./cmd/windserve; \
+	/tmp/windserve-csmoke -shardnode -addr 127.0.0.1:18094 & s1=$$!; \
+	/tmp/windserve-csmoke -shardnode -addr 127.0.0.1:18095 & s2=$$!; \
+	/tmp/windserve-csmoke -addr 127.0.0.1:18096 -rows 2000 & se=$$!; \
+	co=; trap 'kill $$s1 $$s2 $$se $$co 2>/dev/null' EXIT; \
+	/tmp/windserve-csmoke -shards 127.0.0.1:18094,127.0.0.1:18095 -addr 127.0.0.1:18093 -rows 2000 & co=$$!; \
+	for url in 127.0.0.1:18093 127.0.0.1:18096; do \
+		ok=0; \
+		for i in $$(seq 1 150); do \
+			if curl -sf http://$$url/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+			sleep 0.1; \
+		done; \
+		[ "$$ok" = 1 ] || { echo "cluster-smoke: $$url never became healthy" >&2; exit 1; }; \
+	done; \
+	body='{"sql":"$(SMOKE_Q)","max_rows":1}'; \
+	single=$$(curl -sf -X POST http://127.0.0.1:18096/query -d "$$body"); \
+	clustered=$$(curl -sf -X POST http://127.0.0.1:18093/query -d "$$body"); \
+	sc=$$(printf '%s' "$$single" | grep -o '"row_count":[0-9]*'); \
+	cc=$$(printf '%s' "$$clustered" | grep -o '"row_count":[0-9]*'); \
+	[ -n "$$sc" ] && [ "$$sc" = "$$cc" ] || { echo "cluster-smoke: $$cc != single-engine $$sc" >&2; exit 1; }; \
+	printf '%s' "$$clustered" | grep -q '"route":"scatter"' || { echo "cluster-smoke: not scattered" >&2; exit 1; }; \
+	printf '%s' "$$clustered" | grep -q '"shards_used":2' || { echo "cluster-smoke: wrong shard count" >&2; exit 1; }; \
+	curl -sf http://127.0.0.1:18093/stats | grep -q '"shards":2' || { echo "cluster-smoke: /stats missing shards" >&2; exit 1; }; \
+	echo "cluster-smoke: OK ($$cc rows on both paths)"
+
+ci: build vet fmt-check race bench load-smoke cluster-smoke

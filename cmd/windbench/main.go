@@ -11,6 +11,7 @@
 //	windbench -exp table11 -queries 5  # optimizer overheads
 //	windbench -exp ablation
 //	windbench -exp parallel            # parallel multi-window speedup sweep
+//	windbench -exp sharded             # scatter-gather cluster scaleout sweep
 //	windbench -exp service -servdur 2s # query-service closed-loop load
 package main
 
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|service|all")
+		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|sharded|service|all")
 		rows      = flag.Int("rows", 120_000, "web_sales rows (paper: 72M at scale factor 100)")
 		seed      = flag.Int64("seed", 0, "generator seed (0 = default)")
 		blockSize = flag.Int("blocksize", 8192, "simulated page size in bytes")
@@ -48,7 +49,7 @@ func main() {
 
 	needData := all || wants["fig3"] || wants["fig4"] || wants["fig5"] ||
 		wants["fig6"] || wants["fig7"] || wants["fig8"] || wants["plans"] ||
-		wants["ablation"] || wants["parallel"]
+		wants["ablation"] || wants["parallel"] || wants["sharded"]
 	var d *bench.Dataset
 	if needData {
 		start := time.Now()
@@ -102,6 +103,12 @@ func main() {
 	}
 	if want("parallel") {
 		if _, err := d.RunParallel(out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if want("sharded") {
+		if _, err := d.RunSharded(out); err != nil {
 			fail(err)
 		}
 		fmt.Fprintln(out)

@@ -7,13 +7,28 @@
 //	GET  /stats   service counters (QPS, p50/p95/p99, cache, admission)
 //	GET  /healthz liveness probe
 //
-// It registers the same tables as windsql: emptab (Example 1 of the
-// paper), web_sales and its sorted/grouped variants (-rows controls size),
-// plus any -csv/-table pair. Example round trip:
+// plus the /shard/* routes (query/register/table/distinct) that let a
+// cluster coordinator use this process as a shard node.
 //
-//	windserve -addr :8080 -rows 20000 &
+// Three roles, selected by flags:
+//
+//	windserve                          # single engine (the default)
+//	windserve -shardnode               # shard node: starts with an empty
+//	                                   # catalog, a coordinator pushes
+//	                                   # partitions via /shard/register
+//	windserve -shards host1,host2,...  # coordinator: shards the standard
+//	                                   # tables across the named nodes and
+//	                                   # serves scatter-gather /query,
+//	                                   # aggregated /stats, fan-out /healthz
+//
+// A single-engine instance registers the same tables as windsql: emptab
+// (Example 1 of the paper), web_sales and its sorted/grouped variants
+// (-rows controls size), plus any -csv/-table pair. Example cluster:
+//
+//	windserve -shardnode -addr :8081 &
+//	windserve -shardnode -addr :8082 &
+//	windserve -shards 127.0.0.1:8081,127.0.0.1:8082 -addr :8080 &
 //	curl -s localhost:8080/query -d '{"sql":"SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales", "max_rows": 3}'
-//	curl -s localhost:8080/stats
 package main
 
 import (
@@ -25,12 +40,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/cli"
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/sql"
 )
 
@@ -41,7 +58,7 @@ func main() {
 		rows    = flag.Int("rows", 20_000, "generated web_sales rows")
 		mem     = flag.Int("mem", 8<<20, "unit reorder memory M in bytes")
 		budget  = flag.Int("budget", 0, "global reorder-memory budget in bytes (0 = 4 chains' worth)")
-		slots   = flag.Int("slots", 0, "execution slots (0 = budget / per-chain memory)")
+		slots   = flag.Int("slots", 0, "execution slots (0 = budget / per-chain memory); in -shards mode: coordinator gather slots (0 = 4)")
 		queue   = flag.Int("queue", 64, "admission queue bound (-1 = no queue)")
 		cache   = flag.Int("cachesize", 256, "plan cache entries")
 		timeout = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
@@ -51,17 +68,36 @@ func main() {
 		parallelism = flag.Int("parallelism", 1, "per-query parallel worker degree (0 = GOMAXPROCS)")
 		csvPath     = flag.String("csv", "", "optional CSV file to load")
 		csvTable    = flag.String("table", "csv", "table name for the CSV file")
+		shards      = flag.String("shards", "", "comma-separated shard node addresses: run as cluster coordinator")
+		shardNode   = flag.Bool("shardnode", false, "run as a shard node: empty catalog, tables arrive via /shard/register")
 	)
 	flag.Parse()
 
-	eng := windowdb.New(windowdb.Config{
+	engCfg := windowdb.Config{
 		Scheme:       sql.Scheme(*scheme),
 		SortMemBytes: *mem,
 		Parallelism:  *parallelism,
-	})
-	cli.RegisterStandardTables(eng, *rows)
-	if err := cli.RegisterCSV(eng, *csvPath, *csvTable); err != nil {
-		log.Fatalf("windserve: %v", err)
+	}
+
+	if *shards != "" {
+		// Coordinator role. -slots bounds coordinator-side gather chains;
+		// -budget and -queue govern the shard nodes' own admission and are
+		// set where those processes start.
+		serveCoordinator(coordinatorConfig{
+			shardList: *shards, addr: *addr, eng: engCfg,
+			rows: *rows, cacheEntries: *cache,
+			gatherSlots: *slots, timeout: *timeout,
+			csvPath: *csvPath, csvTable: *csvTable,
+		})
+		return
+	}
+
+	eng := windowdb.New(engCfg)
+	if !*shardNode {
+		cli.RegisterStandardTables(eng, *rows)
+		if err := cli.RegisterCSV(eng, *csvPath, *csvTable); err != nil {
+			log.Fatalf("windserve: %v", err)
+		}
 	}
 
 	svc := service.New(eng, service.Config{
@@ -70,9 +106,85 @@ func main() {
 		MaxQueue:          *queue,
 		CacheEntries:      *cache,
 		DefaultTimeout:    *timeout,
+		// Only shard nodes expose the /shard/* surface: register/table
+		// would let any client overwrite or dump tables on a public
+		// single-engine server.
+		ShardRoutes: *shardNode,
 	})
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	role := "engine"
+	if *shardNode {
+		role = "shard node"
+	}
+	fmt.Printf("windserve: %s listening on %s (%d slots, queue %d, cache %d, tables %v)\n",
+		role, *addr, svc.Slots(), *queue, *cache, eng.Tables())
+	serve(*addr, svc.Handler())
+}
+
+// coordinatorConfig carries the coordinator role's flag values.
+type coordinatorConfig struct {
+	shardList, addr    string
+	eng                windowdb.Config
+	rows, cacheEntries int
+	gatherSlots        int
+	timeout            time.Duration
+	csvPath, csvTable  string
+}
+
+// serveCoordinator forms a cluster over the named shard nodes, distributes
+// the standard tables, and serves the coordinator front end.
+func serveCoordinator(cfg coordinatorConfig) {
+	var transports []shard.Transport
+	var addrs []string
+	for _, a := range strings.Split(cfg.shardList, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		addrs = append(addrs, a)
+		transports = append(transports, shard.NewHTTP(a, nil))
+	}
+	cluster, err := shard.New(shard.Config{
+		Engine:         cfg.eng,
+		CacheEntries:   cfg.cacheEntries,
+		GatherSlots:    cfg.gatherSlots,
+		DefaultTimeout: cfg.timeout,
+	}, transports)
+	if err != nil {
+		log.Fatalf("windserve: %v", err)
+	}
+
+	// Wait for every node before pushing partitions: cluster boots race
+	// their shards' listeners.
+	waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		if err = cluster.Health(waitCtx); err == nil {
+			break
+		}
+		select {
+		case <-waitCtx.Done():
+			log.Fatalf("windserve: shards never became healthy: %v", err)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+
+	ctx := context.Background()
+	if err := cli.RegisterStandardTablesSharded(ctx, cluster, cfg.rows); err != nil {
+		log.Fatalf("windserve: sharding tables: %v", err)
+	}
+	if err := cli.RegisterCSVReplicated(ctx, cluster, cfg.csvPath, cfg.csvTable); err != nil {
+		log.Fatalf("windserve: %v", err)
+	}
+
+	fmt.Printf("windserve: coordinator listening on %s (%d shards: %s)\n",
+		cfg.addr, cluster.Shards(), strings.Join(addrs, ", "))
+	serve(cfg.addr, cluster.Handler())
+}
+
+// serve runs the HTTP server with graceful shutdown on SIGINT/SIGTERM.
+func serve(addr string, h http.Handler) {
+	srv := &http.Server{Addr: addr, Handler: h}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -81,9 +193,6 @@ func main() {
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}()
-
-	fmt.Printf("windserve: listening on %s (%d slots, queue %d, cache %d, tables %v)\n",
-		*addr, svc.Slots(), *queue, *cache, eng.Tables())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("windserve: %v", err)
 	}

@@ -9,9 +9,15 @@
 //	windsql -q "SELECT empnum, rank() OVER (ORDER BY salary DESC) FROM emptab"
 //	windsql -scheme PSQL -rows 50000 -q "SELECT ... FROM web_sales"
 //	windsql -csv data.csv -table t -q "SELECT ... FROM t"
+//	windsql -server localhost:8080 -q "SELECT ... FROM web_sales"
 //	windsql                            # shell: statements from stdin
 //
-// Registered tables: emptab (Example 1 of the paper), web_sales,
+// With -server, statements go to a running windserve — single engine or
+// cluster coordinator, the /query JSON surface is the same — instead of an
+// embedded engine; the latency line then reports the served elapsed time,
+// cache disposition and (against a coordinator) the scatter/gather route.
+//
+// Embedded tables: emptab (Example 1 of the paper), web_sales,
 // web_sales_s, web_sales_g (generated; -rows controls size), plus any
 // -csv/-table pair. Without -q, statements are read line by line from
 // stdin (a trailing ';' is accepted); repeating a statement shows the
@@ -20,9 +26,12 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -31,6 +40,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/service"
 	"repro/internal/sql"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -43,25 +53,35 @@ func main() {
 		csvTable = flag.String("table", "csv", "table name for the CSV file")
 		maxRows  = flag.Int("n", 40, "max rows to print (0 = all)")
 		showPlan = flag.Bool("plan", true, "print the window-function chain")
+		server   = flag.String("server", "", "send statements to a running windserve at this address instead of embedding an engine")
 	)
 	flag.Parse()
 
-	eng := windowdb.New(windowdb.Config{
-		Scheme:       sql.Scheme(*scheme),
-		SortMemBytes: *mem,
-	})
-	cli.RegisterStandardTables(eng, *rows)
-	if err := cli.RegisterCSV(eng, *csvPath, *csvTable); err != nil {
-		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
-		os.Exit(1)
+	var run func(stmt string) bool
+	var tables []string
+	if *server != "" {
+		client := newRemote(*server)
+		run = func(stmt string) bool { return client.run(stmt, *maxRows, *showPlan) }
+		tables = []string{"(remote: " + client.base + ")"}
+	} else {
+		eng := windowdb.New(windowdb.Config{
+			Scheme:       sql.Scheme(*scheme),
+			SortMemBytes: *mem,
+		})
+		cli.RegisterStandardTables(eng, *rows)
+		if err := cli.RegisterCSV(eng, *csvPath, *csvTable); err != nil {
+			fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
+			os.Exit(1)
+		}
+		// One slot: an interactive shell runs one statement at a time, but
+		// the service supplies the plan cache and the metrics plumbing.
+		svc := service.New(eng, service.Config{Slots: 1})
+		run = func(stmt string) bool { return runStatement(svc, stmt, *maxRows, *showPlan) }
+		tables = eng.Tables()
 	}
 
-	// One slot: an interactive shell runs one statement at a time, but the
-	// service supplies the plan cache and the metrics plumbing.
-	svc := service.New(eng, service.Config{Slots: 1})
-
 	if *query != "" {
-		if !runStatement(svc, *query, *maxRows, *showPlan) {
+		if !run(*query) {
 			os.Exit(1)
 		}
 		return
@@ -72,7 +92,7 @@ func main() {
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	interactive := isTerminal(os.Stdin)
 	if interactive {
-		fmt.Printf("windsql shell — tables %v; one statement per line, \\q quits\n", eng.Tables())
+		fmt.Printf("windsql shell — tables %v; one statement per line, \\q quits\n", tables)
 	}
 	failed := false
 	for {
@@ -89,7 +109,7 @@ func main() {
 		if stmt == `\q` || strings.EqualFold(stmt, "exit") || strings.EqualFold(stmt, "quit") {
 			break
 		}
-		if !runStatement(svc, stmt, *maxRows, *showPlan) {
+		if !run(stmt) {
 			failed = true
 		}
 	}
@@ -142,4 +162,111 @@ func isTerminal(f *os.File) bool {
 		return false
 	}
 	return info.Mode()&os.ModeCharDevice != 0
+}
+
+// remote is the -server client: statements ride the windserve /query
+// JSON surface (identical on a single engine and a cluster coordinator).
+type remote struct {
+	base   string
+	client *http.Client
+}
+
+func newRemote(addr string) *remote {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &remote{base: base, client: &http.Client{}}
+}
+
+// remoteResponse is the subset of the /query response the shell renders;
+// it tolerates both the engine's and the coordinator's shapes.
+type remoteResponse struct {
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int      `json:"row_count"`
+	Truncated bool     `json:"truncated"`
+
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	CacheHit      bool    `json:"cache_hit"`
+	Route         string  `json:"route"`
+	ShardsUsed    int     `json:"shards_used"`
+
+	Chain         string `json:"chain"`
+	FinalSort     string `json:"final_sort"`
+	BlocksRead    int64  `json:"blocks_read"`
+	BlocksWritten int64  `json:"blocks_written"`
+
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// run executes one statement remotely and prints the result in the same
+// shape as the embedded path.
+func (r *remote) run(stmt string, maxRows int, showPlan bool) bool {
+	body, _ := json.Marshal(map[string]any{"sql": stmt, "max_rows": maxRows})
+	resp, err := r.client.Post(r.base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
+		return false
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber() // keep the server's number formatting verbatim
+	var qr remoteResponse
+	if err := dec.Decode(&qr); err != nil {
+		fmt.Fprintf(os.Stderr, "windsql: %s: bad response: %v\n", resp.Status, err)
+		return false
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "windsql: %s (%s): %s\n", resp.Status, qr.Kind, qr.Error)
+		return false
+	}
+
+	// Rebuild a display table so remote results render exactly like
+	// embedded ones (FormatTable handles padding; NULL prints as "-").
+	cols := make([]storage.Column, len(qr.Columns))
+	for i, name := range qr.Columns {
+		cols[i] = storage.Column{Name: name, Type: storage.TypeString}
+	}
+	t := storage.NewTable(storage.NewSchema(cols...))
+	for _, row := range qr.Rows {
+		tuple := make(storage.Tuple, len(row))
+		for i, v := range row {
+			switch x := v.(type) {
+			case nil:
+				tuple[i] = storage.Null
+			case json.Number:
+				tuple[i] = storage.StringVal(x.String())
+			case string:
+				tuple[i] = storage.StringVal(x)
+			default:
+				tuple[i] = storage.StringVal(fmt.Sprint(x))
+			}
+		}
+		t.Rows = append(t.Rows, tuple)
+	}
+	fmt.Print(sql.FormatTable(t, 0))
+	if qr.Truncated {
+		fmt.Printf("... (%d more rows on the server)\n", qr.RowCount-len(qr.Rows))
+	}
+
+	blocks := qr.BlocksRead + qr.BlocksWritten
+	disposition := "plan cache miss"
+	if qr.CacheHit {
+		disposition = "plan cache hit"
+	}
+	elapsed := time.Duration(qr.ElapsedMillis * float64(time.Millisecond))
+	fmt.Printf("\n(%d rows in %v served; %d I/O blocks: %d read, %d written; %s)\n",
+		qr.RowCount, elapsed.Round(time.Microsecond), blocks, qr.BlocksRead, qr.BlocksWritten, disposition)
+	if qr.Route != "" {
+		fmt.Printf("route: %s over %d shard(s)\n", qr.Route, qr.ShardsUsed)
+	}
+	if showPlan && qr.Chain != "" {
+		fmt.Printf("chain: %s\n", qr.Chain)
+		if qr.FinalSort != "" {
+			fmt.Printf("final sort: %s\n", qr.FinalSort)
+		}
+	}
+	return true
 }

@@ -252,3 +252,39 @@ func TestServiceScenario(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedScenario — the sharded-cluster scenario runs at CI scale:
+// one result per shard count plus the HTTP round trip, every
+// configuration value-identical (asserted inside RunSharded). Shard-side
+// spill I/O must track the in-process parallel executor's — scatter IS
+// ParallelRun lifted across nodes — so 4 shards may not spill more than
+// 1 shard beyond partial-run noise; the merge-pass drop itself needs the
+// full-scale table (windbench -exp sharded), as in TestParallelScenario's
+// degree-8 point. Wall-clock scaleout is host-dependent and reported, not
+// asserted.
+func TestShardedScenario(t *testing.T) {
+	d := smallDataset(t)
+	results, err := d.RunSharded(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(shardCounts)+1 {
+		t.Fatalf("%d results for %d shard counts + http", len(results), len(shardCounts))
+	}
+	for i, res := range results[:len(shardCounts)] {
+		if res.Shards != shardCounts[i] || res.HTTP {
+			t.Errorf("result %d: shards %d http %v", i, res.Shards, res.HTTP)
+		}
+		if res.Elapsed <= 0 || res.Scaleout <= 0 {
+			t.Errorf("shards %d: unmeasured run (%v, %.2fx)", res.Shards, res.Elapsed, res.Scaleout)
+		}
+	}
+	first, last := results[0], results[len(shardCounts)-1]
+	if last.Blocks > first.Blocks+first.Blocks/20 {
+		t.Errorf("4 shards spill %d blocks, more than 1 shard's %d beyond noise", last.Blocks, first.Blocks)
+	}
+	httpRes := results[len(results)-1]
+	if !httpRes.HTTP || httpRes.Shards != 2 || httpRes.Elapsed <= 0 {
+		t.Errorf("http round trip: %+v", httpRes)
+	}
+}

@@ -47,6 +47,43 @@ func (c *Catalog) Register(name string, t *storage.Table) *Entry {
 	return e
 }
 
+// TableStats carries externally computed statistics for a stub
+// registration: a coordinator that sharded a table away keeps only the
+// schema plus these numbers, and plans against them exactly as it would
+// against locally scanned rows.
+type TableStats struct {
+	// Rows is the total row count across all shards.
+	Rows int64
+	// Bytes is the total serialized size (the B(R) of the cost models).
+	Bytes int64
+	// Distinct estimates D(set) for the union of the shards; nil disables
+	// distinct statistics (cost models fall back to their defaults).
+	// Implementations may consult remote nodes — results are cached per
+	// set inside the entry, so each set is resolved at most once.
+	Distinct func(set attrs.Set) int64
+}
+
+// RegisterStub adds (or replaces) a schema-only entry: a table with no
+// rows whose statistics come from stats instead of local scans. It is the
+// coordinator side of sharded registration — planning needs the schema,
+// B(R), |R| and D(·), none of which require the rows to be resident. Like
+// Register it advances the catalog generation. MFV statistics are
+// unavailable on stubs (the bypass needs the actual rows), so MFVs
+// returns nil.
+func (c *Catalog) RegisterStub(name string, schema *storage.Schema, stats TableStats) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &Entry{
+		Name:     name,
+		Table:    storage.NewTable(schema),
+		stats:    &stats,
+		distinct: make(map[attrs.Set]int64),
+	}
+	c.tables[strings.ToLower(name)] = e
+	c.generation++
+	return e
+}
+
 // Generation returns the current catalog generation: the number of Register
 // calls so far. A cached plan is valid only while the generation it was
 // built under is current.
@@ -80,10 +117,14 @@ func (c *Catalog) Names() []string {
 	return names
 }
 
-// Entry is one registered table plus lazily computed statistics.
+// Entry is one registered table plus lazily computed statistics. Stub
+// entries (RegisterStub) carry a rowless table and answer the statistics
+// accessors from injected TableStats instead of scanning.
 type Entry struct {
 	Name  string
 	Table *storage.Table
+
+	stats *TableStats // non-nil for stub entries
 
 	mu       sync.Mutex
 	distinct map[attrs.Set]int64
@@ -97,11 +138,23 @@ type mfvKey struct {
 	mem int
 }
 
+// Stub reports whether the entry is schema-only (registered through
+// RegisterStub): its Table holds no rows and its statistics are injected.
+func (e *Entry) Stub() bool { return e.stats != nil }
+
 // Rows returns the row count.
-func (e *Entry) Rows() int64 { return int64(e.Table.Len()) }
+func (e *Entry) Rows() int64 {
+	if e.stats != nil {
+		return e.stats.Rows
+	}
+	return int64(e.Table.Len())
+}
 
 // ByteSize returns (and caches) the serialized size.
 func (e *Entry) ByteSize() int64 {
+	if e.stats != nil {
+		return e.stats.Bytes
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.byteSize == 0 {
@@ -118,7 +171,11 @@ func (e *Entry) Blocks(blockSize int) int64 {
 	return (e.ByteSize() + int64(blockSize) - 1) / int64(blockSize)
 }
 
-// Distinct returns the exact distinct count of the attribute set, cached.
+// Distinct returns the distinct count of the attribute set, cached: exact
+// (a local scan) for regular entries, the injected estimator for stubs
+// (0 when the stub carries no estimator). The lock is released during the
+// computation — a scan or a potentially remote estimate must not block
+// the other statistics accessors.
 func (e *Entry) Distinct(set attrs.Set) int64 {
 	e.mu.Lock()
 	if d, ok := e.distinct[set]; ok {
@@ -126,7 +183,14 @@ func (e *Entry) Distinct(set attrs.Set) int64 {
 		return d
 	}
 	e.mu.Unlock()
-	d := int64(e.Table.DistinctCount(set))
+	var d int64
+	if e.stats != nil {
+		if e.stats.Distinct != nil {
+			d = e.stats.Distinct(set)
+		}
+	} else {
+		d = int64(e.Table.DistinctCount(set))
+	}
 	e.mu.Lock()
 	e.distinct[set] = d
 	e.mu.Unlock()

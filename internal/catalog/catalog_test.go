@@ -209,3 +209,54 @@ func TestLookupCaseInsensitive(t *testing.T) {
 		t.Fatalf("case variant duplicated the table: %v", names)
 	}
 }
+
+// TestRegisterStub: schema-only entries answer the statistics accessors
+// from injected TableStats, advance the generation like Register, cache
+// the distinct estimator per set, and never produce MFVs.
+func TestRegisterStub(t *testing.T) {
+	c := New()
+	gen0 := c.Generation()
+	calls := 0
+	schema := storage.NewSchema(
+		storage.Column{Name: "a", Type: storage.TypeInt},
+		storage.Column{Name: "b", Type: storage.TypeInt},
+	)
+	c.RegisterStub("remote", schema, TableStats{
+		Rows:  1000,
+		Bytes: 64 << 10,
+		Distinct: func(set attrs.Set) int64 {
+			calls++
+			return 77
+		},
+	})
+	if c.Generation() != gen0+1 {
+		t.Fatal("stub registration must advance the generation")
+	}
+	e, err := c.Lookup("REMOTE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Stub() || e.Rows() != 1000 || e.ByteSize() != 64<<10 || e.Table.Len() != 0 {
+		t.Fatalf("stub entry: rows=%d bytes=%d len=%d", e.Rows(), e.ByteSize(), e.Table.Len())
+	}
+	set := attrs.MakeSet(0)
+	if d := e.Distinct(set); d != 77 {
+		t.Fatalf("Distinct = %d, want 77", d)
+	}
+	if d := e.Distinct(set); d != 77 || calls != 1 {
+		t.Fatalf("Distinct must cache per set: d=%d calls=%d", d, calls)
+	}
+	if mfvs := e.MFVs(set, 1); mfvs != nil {
+		t.Fatalf("stub MFVs must be nil, got %v", mfvs)
+	}
+	cp := e.CostParams(8192*4, 8192)
+	if cp.TableBlocks != 8 || cp.TableTuples != 1000 {
+		t.Fatalf("stub cost params: %+v", cp)
+	}
+	// Stats without an estimator degrade to zero, not a panic.
+	c.RegisterStub("bare", schema, TableStats{Rows: 5, Bytes: 100})
+	be, _ := c.Lookup("bare")
+	if d := be.Distinct(set); d != 0 {
+		t.Fatalf("estimator-less stub Distinct = %d, want 0", d)
+	}
+}

@@ -1,15 +1,18 @@
 // Package cli holds the table bootstrap shared by the command-line front
 // ends (windsql, windserve): the standard demo tables and CSV loading, so
 // the shells stay interchangeable — a query that works in one works in the
-// other.
+// other, whether it lands on a single engine or a sharded cluster.
 package cli
 
 import (
+	"context"
 	"os"
 
 	"repro"
 	"repro/internal/csvio"
 	"repro/internal/datagen"
+	"repro/internal/shard"
+	"repro/internal/storage"
 )
 
 // RegisterStandardTables registers the demo set every shell serves:
@@ -23,21 +26,63 @@ func RegisterStandardTables(eng *windowdb.Engine, rows int) {
 	eng.Register("web_sales_g", datagen.WebSalesGrouped(gen))
 }
 
+// RegisterStandardTablesSharded distributes the demo set across a
+// cluster: web_sales and its variants hash-sharded on ws_item_sk (each
+// shard's partition is a subsequence of the original, so the sorted and
+// grouped variants keep their SS-enabling structure per shard), emptab —
+// the small dimension table — replicated.
+func RegisterStandardTablesSharded(ctx context.Context, c *shard.Cluster, rows int) error {
+	if err := c.RegisterReplicated(ctx, "emptab", datagen.Emptab()); err != nil {
+		return err
+	}
+	gen := datagen.WebSalesConfig{Rows: rows, Seed: 1}
+	for _, t := range []struct {
+		name  string
+		table *storage.Table
+	}{
+		{"web_sales", datagen.WebSales(gen)},
+		{"web_sales_s", datagen.WebSalesSorted(gen)},
+		{"web_sales_g", datagen.WebSalesGrouped(gen)},
+	} {
+		if err := c.RegisterSharded(ctx, t.name, t.table, "ws_item_sk"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RegisterCSV loads a CSV file (header row, inferred column types) and
 // registers it under name. A path of "" is a no-op.
 func RegisterCSV(eng *windowdb.Engine, path, name string) error {
 	if path == "" {
 		return nil
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	t, err := csvio.Read(f)
-	if err != nil {
+	t, err := readCSV(path)
+	if err != nil || t == nil {
 		return err
 	}
 	eng.Register(name, t)
 	return nil
+}
+
+// RegisterCSVReplicated loads a CSV file and replicates it across a
+// cluster. A path of "" is a no-op.
+func RegisterCSVReplicated(ctx context.Context, c *shard.Cluster, path, name string) error {
+	if path == "" {
+		return nil
+	}
+	t, err := readCSV(path)
+	if err != nil || t == nil {
+		return err
+	}
+	return c.RegisterReplicated(ctx, name, t)
+}
+
+func readCSV(path string) (*storage.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return csvio.Read(f)
 }

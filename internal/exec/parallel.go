@@ -310,6 +310,30 @@ func runPartitioned(ctx context.Context, table *storage.Table, specs []window.Sp
 	return out, merged, nil
 }
 
+// ChainCommonKey returns the partition key shared by every step of the
+// chain: the intersection of all window partitioning keys, empty when any
+// step has an empty WPK or the keys diverge to ∅. It is the whole-chain
+// form of the per-segment analysis in planSegments, and the routing
+// predicate of the sharded executor: a table hash-partitioned on a
+// non-empty K ⊆ ChainCommonKey can run the entire chain independently per
+// partition — every window partition of every function lands wholly inside
+// one data partition — so shard-local execution is value-identical to
+// single-engine execution (Section 3.5's condition, lifted from segments of
+// one process to nodes of a cluster). Unlike planSegments, no
+// reorder-kind condition applies: each partition runs the chain from its
+// own raw input, so there is no mid-chain concatenation for a later step
+// to observe.
+func ChainCommonKey(plan *core.Plan) attrs.Set {
+	if plan == nil || len(plan.Steps) == 0 {
+		return 0
+	}
+	key := plan.Steps[0].WF.PK
+	for _, step := range plan.Steps[1:] {
+		key = key.Intersect(step.WF.PK)
+	}
+	return key
+}
+
 // Concatenates reports whether ParallelRun at a degree > 1 would emit a
 // partition-index concatenation — i.e. the chain's final segment runs
 // hash-partitioned — voiding the plan's nominal output ordering. Planners
@@ -318,6 +342,16 @@ func runPartitioned(ctx context.Context, table *storage.Table, specs []window.Sp
 func Concatenates(plan *core.Plan) bool {
 	segs := planSegments(plan)
 	return len(segs) > 0 && !segs[len(segs)-1].Key.Empty()
+}
+
+// PartitionRows hash-partitions rows on the key attributes into degree
+// buckets, preserving scan order within each bucket. It uses the
+// tuple-encoding FNV hash shared by both parallel executors, and is
+// exported so sharded registration distributes a table's rows exactly as
+// the in-process executors would partition them — a chain that is
+// shard-local on key K sees the same data partitions either way.
+func PartitionRows(rows []storage.Tuple, ids []attrs.ID, degree int) [][]storage.Tuple {
+	return partitionRows(rows, ids, degree)
 }
 
 // partitionRows hash-partitions rows on the key attributes into degree

@@ -138,7 +138,7 @@ func (c *planCache) stats() CacheStats {
 	}
 }
 
-// normalizeSQL collapses whitespace outside single-quoted strings so
+// NormalizeSQL collapses whitespace outside single-quoted strings so
 // spacing variants of one query ("SELECT  *", "SELECT *\n") share a cache
 // slot. Letter case is preserved: identifier case is semantic here — a
 // SELECT alias names the output column with its written spelling — and
@@ -146,7 +146,7 @@ func (c *planCache) stats() CacheStats {
 // case would let `AS E` and `AS e` collide and serve whichever column
 // spelling was cached first. It is a cache key, not a semantic rewrite:
 // the original text is what gets prepared on a miss.
-func normalizeSQL(src string) string {
+func NormalizeSQL(src string) string {
 	var b strings.Builder
 	b.Grow(len(src))
 	inStr := false

@@ -20,6 +20,9 @@ import (
 //	GET  /stats   service Snapshot as JSON
 //	GET  /healthz "ok"
 //
+// With Config.ShardRoutes, the /shard/* node surface (shard.go) is
+// mounted too.
+//
 // Status taxonomy: client errors are distinguished from engine faults —
 // malformed requests and parse/bind errors are 400, unknown tables 404,
 // admission rejection 429, queries timed out under the server's control
@@ -31,6 +34,15 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.cfg.ShardRoutes {
+		// Shard-node surface (shard.go): what a cluster coordinator
+		// calls. Opt-in — register/table would let any client overwrite
+		// or dump tables on a public single-engine server.
+		mux.HandleFunc("/shard/query", s.handleShardQuery)
+		mux.HandleFunc("/shard/register", s.handleShardRegister)
+		mux.HandleFunc("/shard/table", s.handleShardTable)
+		mux.HandleFunc("/shard/distinct", s.handleShardDistinct)
+	}
 	return mux
 }
 
@@ -65,8 +77,10 @@ type errorResponse struct {
 	Kind  string `json:"kind"`
 }
 
-// statusFor maps a serving error to its HTTP status and taxonomy kind.
-func statusFor(err error) (int, string) {
+// StatusFor maps a serving error to its HTTP status and taxonomy kind.
+// Exported so the cluster coordinator's front end (internal/shard) serves
+// the same taxonomy.
+func StatusFor(err error) (int, string) {
 	switch {
 	case errors.Is(err, sql.ErrParse):
 		return http.StatusBadRequest, "parse"
@@ -124,7 +138,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Query(ctx, req.SQL)
 	if err != nil {
-		status, kind := statusFor(err)
+		status, kind := StatusFor(err)
 		writeError(w, status, kind, err)
 		return
 	}
@@ -157,15 +171,17 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, row := range rows {
 		out := make([]any, len(row))
 		for j, v := range row {
-			out[j] = jsonValue(v)
+			out[j] = JSONValue(v)
 		}
 		resp.Rows[i] = out
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// jsonValue maps a storage value to its natural JSON representation.
-func jsonValue(v storage.Value) any {
+// JSONValue maps a storage value to its natural JSON representation (the
+// human-facing /query row encoding; the lossless shard-transport encoding
+// is WireValue).
+func JSONValue(v storage.Value) any {
 	switch v.Kind() {
 	case storage.KindNull:
 		return nil

@@ -57,6 +57,12 @@ type Config struct {
 	// DefaultTimeout is applied to queries whose context carries no
 	// deadline. 0 leaves them unbounded.
 	DefaultTimeout time.Duration
+	// ShardRoutes mounts the /shard/* node surface (query, register,
+	// table, distinct) on Handler. Off by default: those routes let a
+	// cluster coordinator install tables and dump raw rows, so only
+	// processes meant to serve as shard nodes — deployed behind the
+	// cluster boundary, not on the public edge — should enable them.
+	ShardRoutes bool
 }
 
 func (c Config) withDefaults(chainMem int) Config {
@@ -136,6 +142,20 @@ type QueryResult struct {
 // ctx.Err() for queries cancelled or timed out while queued or between
 // chain steps; anything else is an engine fault.
 func (s *Service) Query(ctx context.Context, src string) (*QueryResult, error) {
+	return s.serve(ctx, src, false)
+}
+
+// QueryShardLocal serves the shard-local part of a statement: WHERE, the
+// window chain and projection, skipping DISTINCT, ORDER BY and LIMIT —
+// the phases a scatter-gather coordinator applies over the concatenation
+// of every shard's output. It shares Query's plan cache (the Prepared is
+// the same object; only the execution entry point differs), admission
+// control and metrics.
+func (s *Service) QueryShardLocal(ctx context.Context, src string) (*QueryResult, error) {
+	return s.serve(ctx, src, true)
+}
+
+func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*QueryResult, error) {
 	if s.cfg.DefaultTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
 			var cancel context.CancelFunc
@@ -144,7 +164,7 @@ func (s *Service) Query(ctx context.Context, src string) (*QueryResult, error) {
 		}
 	}
 	start := time.Now()
-	key := normalizeSQL(src)
+	key := NormalizeSQL(src)
 	prep, hit := s.cache.get(key, s.eng.Generation())
 	if !hit {
 		p, err := s.eng.Prepare(src)
@@ -173,6 +193,9 @@ func (s *Service) Query(ctx context.Context, src string) (*QueryResult, error) {
 		defer s.gov.release()
 		s.metrics.beginExec()
 		defer s.metrics.endExec()
+		if shardLocal {
+			return prep.ExecuteShardContext(ctx)
+		}
 		return prep.ExecuteContext(ctx)
 	}()
 

@@ -214,7 +214,7 @@ func TestNormalizeSQL(t *testing.T) {
 		{"SELECT a FROM t", "SELECT b FROM t", false},
 	}
 	for _, c := range cases {
-		if got := normalizeSQL(c.a) == normalizeSQL(c.b); got != c.same {
+		if got := NormalizeSQL(c.a) == NormalizeSQL(c.b); got != c.same {
 			t.Errorf("normalize(%q) vs normalize(%q): same=%v, want %v", c.a, c.b, got, c.same)
 		}
 	}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/attrs"
+)
+
+// Shard-side HTTP surface: the routes a windserve process exposes so a
+// cluster coordinator (internal/shard) can use it as a shard node. The
+// routes mount only under Config.ShardRoutes (windserve -shardnode).
+//
+//	POST /shard/query    {"sql": "...", "mode": "local"|"full"}
+//	POST /shard/register {"name": "t", "table": {wire table}}
+//	GET  /shard/table?name=t
+//	GET  /shard/distinct?table=t&attrs=3,4
+//
+// "local" mode executes the shard-local part of the statement (WHERE,
+// chain, projection — no DISTINCT/ORDER BY/LIMIT; see
+// Service.QueryShardLocal); "full" executes the entire statement, used for
+// replicated tables where one shard serves the whole query. /shard/register
+// installs a table partition (or replica) into the node's engine — like
+// every route here it is an intra-cluster interface: deploy shard nodes
+// behind the cluster boundary, not on the public edge. /shard/table returns
+// a table's raw rows (the gather path of key-divergent chains) and
+// /shard/distinct a distinct count for the coordinator's statistics stubs.
+
+// ShardQueryRequest asks a shard node to execute a statement.
+type ShardQueryRequest struct {
+	SQL string `json:"sql"`
+	// Mode is "local" (shard-local part only) or "full" (entire statement).
+	Mode string `json:"mode"`
+}
+
+// ShardQueryResponse carries the executed rows plus the execution
+// observations the coordinator aggregates.
+type ShardQueryResponse struct {
+	Table         WireTable `json:"table"`
+	CacheHit      bool      `json:"cache_hit"`
+	FinalSort     string    `json:"final_sort,omitempty"`
+	BlocksRead    int64     `json:"blocks_read"`
+	BlocksWritten int64     `json:"blocks_written"`
+	Comparisons   int64     `json:"comparisons"`
+	ElapsedMillis float64   `json:"elapsed_ms"`
+}
+
+// ShardRegisterRequest installs a table on a shard node.
+type ShardRegisterRequest struct {
+	Name  string    `json:"name"`
+	Table WireTable `json:"table"`
+}
+
+// ShardDistinctResponse is a shard-local distinct count.
+type ShardDistinctResponse struct {
+	Count int64 `json:"count"`
+}
+
+func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "request", errors.New("service: POST a ShardQueryRequest"))
+		return
+	}
+	var req ShardQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "request", fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "request", errors.New("service: empty query"))
+		return
+	}
+	var (
+		res *QueryResult
+		err error
+	)
+	switch req.Mode {
+	case "local":
+		res, err = s.QueryShardLocal(r.Context(), req.SQL)
+	case "full", "":
+		res, err = s.Query(r.Context(), req.SQL)
+	default:
+		writeError(w, http.StatusBadRequest, "request", fmt.Errorf("service: unknown shard query mode %q", req.Mode))
+		return
+	}
+	if err != nil {
+		status, kind := StatusFor(err)
+		writeError(w, status, kind, err)
+		return
+	}
+	resp := ShardQueryResponse{
+		Table:         EncodeTable(res.Table),
+		CacheHit:      res.CacheHit,
+		FinalSort:     res.FinalSort,
+		ElapsedMillis: float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if res.Metrics != nil {
+		resp.BlocksRead = res.Metrics.BlocksRead
+		resp.BlocksWritten = res.Metrics.BlocksWritten
+		resp.Comparisons = res.Metrics.Comparisons
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleShardRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "request", errors.New("service: POST a ShardRegisterRequest"))
+		return
+	}
+	var req ShardRegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "request", fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "request", errors.New("service: register needs a table name"))
+		return
+	}
+	t, err := req.Table.Decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request", err)
+		return
+	}
+	s.eng.Register(req.Name, t)
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "rows": t.Len()})
+}
+
+func (s *Service) handleShardTable(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "request", errors.New("service: pass ?name="))
+		return
+	}
+	t, err := s.eng.Table(name)
+	if err != nil {
+		status, kind := StatusFor(err)
+		writeError(w, status, kind, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EncodeTable(t))
+}
+
+func (s *Service) handleShardDistinct(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("table")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "request", errors.New("service: pass ?table="))
+		return
+	}
+	set, err := parseAttrSet(r.URL.Query().Get("attrs"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request", err)
+		return
+	}
+	entry, err := s.eng.Stats(name)
+	if err != nil {
+		status, kind := StatusFor(err)
+		writeError(w, status, kind, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ShardDistinctResponse{Count: entry.Distinct(set)})
+}
+
+// parseAttrSet parses a comma-separated attribute-ID list ("3,4") into a
+// set. The empty string is the empty set.
+func parseAttrSet(s string) (attrs.Set, error) {
+	var set attrs.Set
+	if s == "" {
+		return set, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || id < 0 || id >= 64 {
+			return 0, fmt.Errorf("service: bad attribute id %q", part)
+		}
+		set = set.Add(attrs.ID(id))
+	}
+	return set, nil
+}
+
+// FormatAttrSet renders a set as the comma-separated ID list
+// /shard/distinct accepts; the HTTP transport uses it to build requests.
+func FormatAttrSet(set attrs.Set) string {
+	ids := set.IDs()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(int(id))
+	}
+	return strings.Join(parts, ",")
+}

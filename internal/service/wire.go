@@ -1,0 +1,134 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/storage"
+)
+
+// Wire types for the shard transport: a lossless JSON encoding of tables
+// so a coordinator and its shard nodes exchange rows without collapsing
+// value kinds. The /query endpoint's row encoding (jsonValue) maps values
+// to their natural JSON forms — good for human clients, but it erases the
+// int/float distinction that the engine's canonical tuple encoding (and
+// therefore result-equivalence checking) preserves. WireValue instead tags
+// every value: null, {"i":"<int64>"} (string payload — JSON numbers lose
+// precision past 2^53), {"f":<float64>} or {"s":"<string>"}.
+
+// WireValue wraps one storage.Value for tagged JSON transport.
+type WireValue struct{ V storage.Value }
+
+// MarshalJSON encodes the value with an explicit kind tag.
+func (w WireValue) MarshalJSON() ([]byte, error) {
+	switch w.V.Kind() {
+	case storage.KindNull:
+		return []byte("null"), nil
+	case storage.KindInt:
+		return []byte(`{"i":"` + strconv.FormatInt(w.V.Int64(), 10) + `"}`), nil
+	case storage.KindFloat:
+		f := w.V.Float64()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("service: cannot encode non-finite float %v", f)
+		}
+		return json.Marshal(map[string]float64{"f": f})
+	case storage.KindString:
+		return json.Marshal(map[string]string{"s": w.V.Str()})
+	}
+	return nil, fmt.Errorf("service: cannot encode value kind %v", w.V.Kind())
+}
+
+// UnmarshalJSON decodes a tagged value.
+func (w *WireValue) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		w.V = storage.Null
+		return nil
+	}
+	var tag struct {
+		I *string  `json:"i"`
+		F *float64 `json:"f"`
+		S *string  `json:"s"`
+	}
+	if err := json.Unmarshal(data, &tag); err != nil {
+		return fmt.Errorf("service: bad wire value %q: %w", data, err)
+	}
+	switch {
+	case tag.I != nil:
+		n, err := strconv.ParseInt(*tag.I, 10, 64)
+		if err != nil {
+			return fmt.Errorf("service: bad wire int %q: %w", *tag.I, err)
+		}
+		w.V = storage.Int(n)
+	case tag.F != nil:
+		w.V = storage.Float(*tag.F)
+	case tag.S != nil:
+		w.V = storage.StringVal(*tag.S)
+	default:
+		return fmt.Errorf("service: wire value %q carries no kind tag", data)
+	}
+	return nil
+}
+
+// WireColumn is one schema column on the wire.
+type WireColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // INT | FLOAT | STRING
+}
+
+// WireTable is a schema plus tagged rows.
+type WireTable struct {
+	Columns []WireColumn  `json:"columns"`
+	Rows    [][]WireValue `json:"rows"`
+}
+
+// EncodeTable converts a table to its wire form.
+func EncodeTable(t *storage.Table) WireTable {
+	wt := WireTable{Columns: make([]WireColumn, t.Schema.Len())}
+	for i, c := range t.Schema.Columns {
+		wt.Columns[i] = WireColumn{Name: c.Name, Type: c.Type.String()}
+	}
+	wt.Rows = make([][]WireValue, t.Len())
+	for ri, row := range t.Rows {
+		out := make([]WireValue, len(row))
+		for ci, v := range row {
+			out[ci] = WireValue{V: v}
+		}
+		wt.Rows[ri] = out
+	}
+	return wt
+}
+
+// Decode converts a wire table back to a storage table, validating column
+// types and row arity.
+func (w WireTable) Decode() (*storage.Table, error) {
+	cols := make([]storage.Column, len(w.Columns))
+	for i, c := range w.Columns {
+		var typ storage.ColumnType
+		switch c.Type {
+		case "INT":
+			typ = storage.TypeInt
+		case "FLOAT":
+			typ = storage.TypeFloat
+		case "STRING":
+			typ = storage.TypeString
+		default:
+			return nil, fmt.Errorf("service: unknown wire column type %q", c.Type)
+		}
+		cols[i] = storage.Column{Name: c.Name, Type: typ}
+	}
+	t := storage.NewTable(storage.NewSchema(cols...))
+	t.Rows = make([]storage.Tuple, len(w.Rows))
+	for ri, row := range w.Rows {
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("service: wire row %d arity %d != schema arity %d", ri, len(row), len(cols))
+		}
+		tuple := make(storage.Tuple, len(row))
+		for ci, v := range row {
+			tuple[ci] = v.V
+		}
+		t.Rows[ri] = tuple
+	}
+	return t, nil
+}

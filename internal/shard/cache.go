@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/service"
+	"repro/internal/sql"
+)
+
+// planCache is the coordinator's prepared-statement cache: normalized SQL
+// (service.NormalizeSQL, the same key discipline as the shard nodes' own
+// caches) maps to a *sql.Prepared carrying the parse/bind/plan and routing
+// analysis. Entries are valid only under the coordinator catalog
+// generation they were prepared against; a generation change (any cluster
+// registration) flushes the cache wholesale — coordinators register
+// rarely, so the simple flush beats per-entry bookkeeping. Past capacity
+// the cache resets: shard nodes keep the heavyweight per-statement state
+// (their plan caches are LRU-bounded); this one only saves coordinator
+// CPU.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	gen     uint64
+	entries map[string]*sql.Prepared
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{cap: capacity, entries: make(map[string]*sql.Prepared)}
+}
+
+func (c *planCache) get(key string, gen uint64) (*sql.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		c.gen = gen
+		c.entries = make(map[string]*sql.Prepared)
+		return nil, false
+	}
+	p, ok := c.entries[key]
+	return p, ok
+}
+
+func (c *planCache) put(key string, p *sql.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.Generation() != c.gen {
+		if p.Generation() < c.gen {
+			return // prepared against a superseded catalog; don't cache
+		}
+		c.gen = p.Generation()
+		c.entries = make(map[string]*sql.Prepared)
+	}
+	if len(c.entries) >= c.cap {
+		c.entries = make(map[string]*sql.Prepared)
+	}
+	c.entries[key] = p
+}
+
+// normalizeSQL aliases the service's cache-key normalization.
+func normalizeSQL(src string) string { return service.NormalizeSQL(src) }

@@ -1,0 +1,203 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+// ClusterStats is the coordinator's /stats payload: cluster-level routing
+// counters plus every shard's service snapshot and their headline
+// aggregates.
+type ClusterStats struct {
+	Shards   int    `json:"shards"`
+	Queries  uint64 `json:"queries"`
+	Failures uint64 `json:"failures"`
+	Scatter  uint64 `json:"scatter"`
+	Gather   uint64 `json:"gather"`
+	Replica  uint64 `json:"replica"`
+
+	// Aggregates across the shard snapshots below.
+	ShardQueries  uint64 `json:"shard_queries"`
+	ShardRejected uint64 `json:"shard_rejected"`
+	BlocksRead    int64  `json:"blocks_read"`
+	BlocksWritten int64  `json:"blocks_written"`
+
+	ShardStats []service.Snapshot `json:"shard_stats"`
+}
+
+// Stats fans out to every shard and aggregates.
+func (c *Cluster) Stats(ctx context.Context) (*ClusterStats, error) {
+	snaps := make([]service.Snapshot, len(c.shards))
+	if err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+		s, err := tr.Stats(ctx)
+		snaps[i] = s
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	stats := &ClusterStats{
+		Shards:     len(c.shards),
+		Queries:    c.queries.Load(),
+		Failures:   c.failures.Load(),
+		Scatter:    c.scatter.Load(),
+		Gather:     c.gathered.Load(),
+		Replica:    c.replica.Load(),
+		ShardStats: snaps,
+	}
+	for _, s := range snaps {
+		stats.ShardQueries += s.Queries
+		stats.ShardRejected += s.Rejected
+		stats.BlocksRead += s.BlocksRead
+		stats.BlocksWritten += s.BlocksWritten
+	}
+	return stats, nil
+}
+
+// Handler returns the coordinator's HTTP/JSON front end, shaped like the
+// single-engine service's (clients don't care which one they talk to):
+//
+//	POST /query   {"sql": "...", "max_rows": 100, "timeout_ms": 5000}
+//	GET  /query?q=SELECT+...
+//	GET  /stats   ClusterStats (per-shard snapshots + routing counters)
+//	GET  /healthz fans out to every shard; 503 names the first down node
+//
+// /query responses add "route" (scatter|gather|replica) and "shards_used".
+// Errors reuse the service status taxonomy; shard-node errors unwrap
+// through RemoteError to the same sentinels, so an overloaded shard is a
+// 429 here too.
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/stats", c.handleStats)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	return mux
+}
+
+type queryRequest struct {
+	SQL           string `json:"sql"`
+	MaxRows       int    `json:"max_rows"`
+	TimeoutMillis int64  `json:"timeout_ms"`
+}
+
+type queryResponse struct {
+	Columns   []string `json:"columns"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int      `json:"row_count"`
+	Truncated bool     `json:"truncated,omitempty"`
+
+	Route      string `json:"route"`
+	ShardsUsed int    `json:"shards_used"`
+
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	CacheHit      bool    `json:"cache_hit"`
+
+	Chain         string `json:"chain,omitempty"`
+	FinalSort     string `json:"final_sort,omitempty"`
+	BlocksRead    int64  `json:"blocks_read"`
+	BlocksWritten int64  `json:"blocks_written"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, kind := service.StatusFor(err)
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+}
+
+func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.SQL = r.URL.Query().Get("q")
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("shard: bad request body: %v", err), Kind: "request"})
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "shard: use GET ?q= or POST JSON", Kind: "request"})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "shard: empty query: pass ?q= or a JSON body with \"sql\"", Kind: "request"})
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := c.Query(ctx, req.SQL)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	t := res.Table
+	resp := queryResponse{
+		Columns:       make([]string, t.Schema.Len()),
+		RowCount:      t.Len(),
+		Route:         res.Route,
+		ShardsUsed:    res.ShardsUsed,
+		ElapsedMillis: float64(res.Elapsed) / float64(time.Millisecond),
+		CacheHit:      res.CacheHit,
+		FinalSort:     res.FinalSort,
+		BlocksRead:    res.BlocksRead,
+		BlocksWritten: res.BlocksWritten,
+	}
+	for i, col := range t.Schema.Columns {
+		resp.Columns[i] = col.Name
+	}
+	if res.Plan != nil {
+		resp.Chain = res.Plan.PaperString()
+	}
+	rows := t.Rows
+	if req.MaxRows > 0 && len(rows) > req.MaxRows {
+		rows = rows[:req.MaxRows]
+		resp.Truncated = true
+	}
+	resp.Rows = make([][]any, len(rows))
+	for i, row := range rows {
+		out := make([]any, len(row))
+		for j, v := range row {
+			out[j] = service.JSONValue(v)
+		}
+		resp.Rows[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Cluster) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats, err := c.Stats(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (c *Cluster) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := c.Health(r.Context()); err != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/attrs"
+	"repro/internal/catalog"
+	"repro/internal/service"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// HTTP reaches a shard node over the /shard/* routes of its windserve
+// process, so multiple processes form a real cluster. Safe for concurrent
+// use (http.Client is).
+type HTTP struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTP builds a transport for a node address ("host:port" or a full
+// http:// URL). A nil client uses http.DefaultClient.
+func NewHTTP(addr string, client *http.Client) *HTTP {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTP{base: base, client: client}
+}
+
+// Addr returns the node's base URL.
+func (h *HTTP) Addr() string { return h.base }
+
+// RemoteError is a shard node's error response, preserving the service
+// status taxonomy across the wire: Unwrap maps the taxonomy kind back to
+// the matching sentinel, so errors.Is sees through the transport and the
+// coordinator front end re-serves the original status.
+type RemoteError struct {
+	Node   string
+	Status int
+	Kind   string
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("shard %s: %s (%s)", e.Node, e.Msg, e.Kind)
+}
+
+// Unwrap maps the remote taxonomy kind to its sentinel error.
+func (e *RemoteError) Unwrap() error {
+	switch e.Kind {
+	case "parse":
+		return sql.ErrParse
+	case "bind":
+		return sql.ErrBind
+	case "unknown_table":
+		return catalog.ErrUnknownTable
+	case "overloaded":
+		return service.ErrOverloaded
+	case "timeout":
+		return context.DeadlineExceeded
+	case "canceled":
+		return context.Canceled
+	}
+	return nil
+}
+
+// do runs one JSON round trip; a non-2xx response decodes into RemoteError.
+func (h *HTTP) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("shard %s: encode request: %w", h.base, err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, h.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", h.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+			Kind  string `json:"kind"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(msg, &e) != nil || e.Error == "" {
+			e.Error = strings.TrimSpace(string(msg))
+			if e.Error == "" {
+				e.Error = resp.Status
+			}
+		}
+		return &RemoteError{Node: h.base, Status: resp.StatusCode, Kind: e.Kind, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("shard %s: decode response: %w", h.base, err)
+	}
+	return nil
+}
+
+// Query implements Transport.
+func (h *HTTP) Query(ctx context.Context, src string, mode Mode) (*QueryOutcome, error) {
+	var resp service.ShardQueryResponse
+	err := h.do(ctx, http.MethodPost, "/shard/query", service.ShardQueryRequest{SQL: src, Mode: string(mode)}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	t, err := resp.Table.Decode()
+	if err != nil {
+		return nil, err
+	}
+	return &QueryOutcome{
+		Table:         t,
+		CacheHit:      resp.CacheHit,
+		FinalSort:     resp.FinalSort,
+		BlocksRead:    resp.BlocksRead,
+		BlocksWritten: resp.BlocksWritten,
+		Comparisons:   resp.Comparisons,
+	}, nil
+}
+
+// FetchTable implements Transport.
+func (h *HTTP) FetchTable(ctx context.Context, name string) (*storage.Table, error) {
+	var wt service.WireTable
+	if err := h.do(ctx, http.MethodGet, "/shard/table?name="+url.QueryEscape(name), nil, &wt); err != nil {
+		return nil, err
+	}
+	return wt.Decode()
+}
+
+// Register implements Transport.
+func (h *HTTP) Register(ctx context.Context, name string, t *storage.Table) error {
+	req := service.ShardRegisterRequest{Name: name, Table: service.EncodeTable(t)}
+	return h.do(ctx, http.MethodPost, "/shard/register", req, nil)
+}
+
+// Distinct implements Transport.
+func (h *HTTP) Distinct(ctx context.Context, table string, set attrs.Set) (int64, error) {
+	var resp service.ShardDistinctResponse
+	path := "/shard/distinct?table=" + url.QueryEscape(table) + "&attrs=" + service.FormatAttrSet(set)
+	if err := h.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Stats implements Transport.
+func (h *HTTP) Stats(ctx context.Context) (service.Snapshot, error) {
+	var snap service.Snapshot
+	err := h.do(ctx, http.MethodGet, "/stats", nil, &snap)
+	return snap, err
+}
+
+// Health implements Transport.
+func (h *HTTP) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", h.base, err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard %s: health %s", h.base, resp.Status)
+	}
+	return nil
+}

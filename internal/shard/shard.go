@@ -1,0 +1,467 @@
+// Package shard is the distributed execution subsystem: a Cluster
+// coordinator scattering window-function chains across N shard nodes, each
+// a full windowdb.Engine (private catalog, spill store, unit reorder
+// memory M) behind a Transport.
+//
+// The routing rule lifts Section 3.5 of the paper from threads of one
+// process to nodes of a cluster. RegisterSharded hash-partitions a table's
+// rows on a declared shard key with the executors' tuple-encoding hash
+// (exec.PartitionRows); small dimension tables replicate instead. A query
+// prepares once at the coordinator — against a schema-only catalog stub
+// whose statistics are aggregated from the shards — and then routes:
+//
+//   - scatter: when the chain's common partition key covers the shard key
+//     (exec.ChainCommonKey via sql.Prepared.ShardLocal), no window
+//     partition spans shards, so every shard runs the unchanged
+//     sequential/parallel pipeline over its own rows and the coordinator
+//     concatenates the outputs in shard-index order — deterministic and
+//     value-identical to single-engine execution — then finalizes
+//     (DISTINCT, ORDER BY as a full sort, LIMIT) over the concatenation,
+//     exactly as post-barrier segments restart in exec.ParallelRun;
+//   - gather: when the keys diverge, the coordinator fetches the raw rows
+//     and runs the chain itself — the concatenation arrives in arbitrary
+//     order, which is the Unordered property the plan was built from, so
+//     its first order-rebuilding FS/HS step absorbs the shuffle (the
+//     reshuffle-and-reorder cost the Factor-Windows line of work treats as
+//     the thing to avoid — hence scatter whenever the plan permits);
+//   - replica: queries over replicated tables go, whole, to one node
+//     round-robin.
+//
+// Transports come in two forms: Local (in-process service.Service — tests,
+// benches, single-binary scale-up) and HTTP (the /shard/* routes of a
+// remote windserve, so windserve -shards host1,host2 forms a real
+// cluster). Cluster.Handler serves the coordinator's own /query, /stats
+// (per-shard aggregation) and /healthz (fan-out) front end.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/attrs"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Engine configures the coordinator's planning-and-gather engine:
+	// scheme, unit reorder memory, block size, spill backing, parallelism
+	// (the gather path runs chains here with these resources).
+	Engine windowdb.Config
+	// CacheEntries bounds the coordinator's prepared-statement cache
+	// (default 256). Shard nodes keep their own plan caches; this one
+	// saves the coordinator's parse/bind/plan and routing work.
+	CacheEntries int
+	// GatherSlots bounds the gather-route chains executing concurrently
+	// at the coordinator (default 4, negative = 1) — the coordinator-side
+	// analogue of the shard nodes' admission governor: each gather chain
+	// assumes the full unit reorder memory M, so an unbounded count would
+	// reopen the overload hole admission control closes on single
+	// engines. Scatter and replica routes execute on the shards, whose
+	// own governors bound them.
+	GatherSlots int
+	// DefaultTimeout is applied to queries whose context carries no
+	// deadline (0 leaves them unbounded), covering shard fan-outs and
+	// coordinator-side execution alike.
+	DefaultTimeout time.Duration
+	// StatsTimeout bounds each statistics fan-out behind the
+	// coordinator's catalog stubs (default 15s). The D(·) estimator runs
+	// during planning, detached from any single query's context — one
+	// wedged shard must not hang every statement that needs a fresh
+	// distinct count.
+	StatsTimeout time.Duration
+}
+
+// Cluster coordinates query execution over shard nodes. All methods are
+// safe for concurrent use once the cluster's tables are registered;
+// registration itself may run concurrently with queries (catalog
+// generations invalidate cached plans, as on a single engine).
+type Cluster struct {
+	cfg    Config
+	shards []Transport
+	coord  *windowdb.Engine
+
+	mu     sync.RWMutex
+	tables map[string]*tableInfo // keyed by folded name
+
+	cache      *planCache
+	gatherSlot chan struct{} // bounds coordinator-side gather chains
+	rr         atomic.Uint64 // replica round-robin cursor
+
+	queries, failures          atomic.Uint64
+	scatter, gathered, replica atomic.Uint64
+}
+
+// tableInfo records how a table is distributed.
+type tableInfo struct {
+	name    string // as-registered spelling
+	sharded bool
+	keyCols []string
+	key     attrs.Set
+	rows    int64
+}
+
+// New builds a cluster over the given shard transports. At least one shard
+// is required; one shard is a degenerate but valid cluster (every scatter
+// has a single partition).
+func New(cfg Config, shards []Transport) (*Cluster, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("shard: a cluster needs at least one shard")
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	switch {
+	case cfg.GatherSlots == 0:
+		cfg.GatherSlots = 4
+	case cfg.GatherSlots < 0:
+		cfg.GatherSlots = 1
+	}
+	if cfg.StatsTimeout <= 0 {
+		cfg.StatsTimeout = 15 * time.Second
+	}
+	return &Cluster{
+		cfg:        cfg,
+		shards:     shards,
+		coord:      windowdb.New(cfg.Engine),
+		tables:     make(map[string]*tableInfo),
+		cache:      newPlanCache(cfg.CacheEntries),
+		gatherSlot: make(chan struct{}, cfg.GatherSlots),
+	}, nil
+}
+
+// Shards returns the number of shard nodes.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Coordinator returns the coordinator engine (stub catalog; the gather
+// path's executor). Tests inspect it.
+func (c *Cluster) Coordinator() *windowdb.Engine { return c.coord }
+
+// RegisterSharded hash-partitions t's rows on the named key columns and
+// installs one partition per shard, all under name. The coordinator keeps
+// only a schema stub with aggregated statistics: |R| and B(R) exactly,
+// D(·) as the capped sum of shard-local counts — exact whenever the set
+// contains the shard key (groups are then disjoint across shards), an
+// upper bound otherwise. Chains whose common partition key covers the
+// shard key will execute shard-locally (scatter); others fall back to
+// gather.
+func (c *Cluster) RegisterSharded(ctx context.Context, name string, t *storage.Table, keyCols ...string) error {
+	if len(keyCols) == 0 {
+		return fmt.Errorf("shard: sharded registration of %q needs a shard key", name)
+	}
+	var key attrs.Set
+	for _, col := range keyCols {
+		i := t.Schema.ColIndex(col)
+		if i < 0 {
+			return fmt.Errorf("shard: table %q has no column %q", name, col)
+		}
+		key = key.Add(attrs.ID(i))
+	}
+	parts := exec.PartitionRows(t.Rows, key.IDs(), len(c.shards))
+	if err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+		pt := storage.NewTable(t.Schema)
+		pt.Rows = parts[i]
+		return tr.Register(ctx, name, pt)
+	}); err != nil {
+		return fmt.Errorf("shard: registering %q: %w", name, err)
+	}
+	rows := int64(t.Len())
+	c.coord.RegisterStub(name, t.Schema, catalog.TableStats{
+		Rows:     rows,
+		Bytes:    int64(t.ByteSize()),
+		Distinct: c.distinctFn(name, rows),
+	})
+	c.mu.Lock()
+	c.tables[strings.ToLower(name)] = &tableInfo{
+		name: name, sharded: true, keyCols: keyCols, key: key, rows: rows,
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// RegisterReplicated installs the full table on every shard — the small
+// dimension-table path. Queries over it go, whole, to one node
+// round-robin; the coordinator keeps the table too, for exact statistics.
+func (c *Cluster) RegisterReplicated(ctx context.Context, name string, t *storage.Table) error {
+	if err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+		return tr.Register(ctx, name, t)
+	}); err != nil {
+		return fmt.Errorf("shard: replicating %q: %w", name, err)
+	}
+	c.coord.Register(name, t)
+	c.mu.Lock()
+	c.tables[strings.ToLower(name)] = &tableInfo{name: name, rows: int64(t.Len())}
+	c.mu.Unlock()
+	return nil
+}
+
+// distinctFn builds the stub's D(·) estimator: the capped sum of
+// shard-local distinct counts, resolved lazily per set (the catalog entry
+// caches each set's answer). A shard error degrades to the row count —
+// the most pessimistic well-defined estimate — rather than failing the
+// plan.
+func (c *Cluster) distinctFn(name string, rows int64) func(attrs.Set) int64 {
+	return func(set attrs.Set) int64 {
+		// The estimator runs during planning, outside any one query's
+		// context; bound it so a wedged shard cannot hang every statement
+		// that needs this set's count.
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.StatsTimeout)
+		defer cancel()
+		counts := make([]int64, len(c.shards))
+		err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+			d, err := tr.Distinct(ctx, name, set)
+			if err != nil {
+				return err
+			}
+			counts[i] = d
+			return nil
+		})
+		if err != nil {
+			return rows
+		}
+		var sum int64
+		for _, d := range counts {
+			sum += d
+		}
+		if sum > rows {
+			sum = rows
+		}
+		return sum
+	}
+}
+
+// eachShard runs fn for every shard concurrently. The first failure
+// cancels the peers — a query doomed by one shard must not keep burning
+// the others' execution slots for the slowest shard's full chain time.
+// The returned error is the first (by shard index) failure that is not
+// just the fallout of that cancellation; peer cancellation noise is
+// dropped when a real cause exists.
+func (c *Cluster) eachShard(ctx context.Context, fn func(ctx context.Context, i int, tr Transport) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, tr := range c.shards {
+		wg.Add(1)
+		go func(i int, tr Transport) {
+			defer wg.Done()
+			if err := fn(ctx, i, tr); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Result is one coordinated query: the final table plus how it was routed
+// and the aggregated execution observations.
+type Result struct {
+	Table *storage.Table
+	// Plan is the coordinator's planned chain (nil for window-less
+	// statements). Shards may plan differently against their local
+	// statistics; any valid chain computes the same values.
+	Plan *core.Plan
+	// Route is "scatter" (shard-local chains, coordinator finalize),
+	// "gather" (raw rows pulled to the coordinator) or "replica" (whole
+	// query on one node).
+	Route string
+	// ShardsUsed is the number of nodes that executed for this query.
+	ShardsUsed int
+	// CacheHit reports a coordinator plan-cache hit (shard-side caches are
+	// separate).
+	CacheHit bool
+	// FinalSort reports how an ORDER BY was satisfied at the final step.
+	FinalSort string
+	// Elapsed is the end-to-end coordinator time.
+	Elapsed time.Duration
+	// Block and comparison counters sum over every participating node
+	// (plus the coordinator's own chain on the gather path).
+	BlocksRead    int64
+	BlocksWritten int64
+	Comparisons   int64
+}
+
+// Query serves one statement: prepare (cached) at the coordinator, route,
+// execute, finalize. Error classes match the single-engine service:
+// sql.ErrParse/ErrBind, catalog.ErrUnknownTable, service.ErrOverloaded
+// (from a shard's admission control), ctx errors, and engine faults —
+// remote errors unwrap to the same sentinels (RemoteError).
+func (c *Cluster) Query(ctx context.Context, src string) (*Result, error) {
+	if c.cfg.DefaultTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	start := time.Now()
+	res, err := c.query(ctx, src)
+	if err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	c.queries.Add(1)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func (c *Cluster) query(ctx context.Context, src string) (*Result, error) {
+	prep, hit, err := c.prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	info := c.tables[strings.ToLower(prep.Table())]
+	c.mu.RUnlock()
+	if info == nil {
+		// Prepared against the coordinator catalog but never
+		// cluster-registered: nothing owns rows for it.
+		return nil, fmt.Errorf("%w %q (not cluster-registered)", catalog.ErrUnknownTable, prep.Table())
+	}
+	var res *Result
+	switch {
+	case !info.sharded:
+		res, err = c.queryReplica(ctx, src, prep)
+	case prep.ShardLocal(info.key):
+		res, err = c.queryScatter(ctx, src, prep)
+	default:
+		res, err = c.queryGather(ctx, prep, info)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.CacheHit = hit
+	return res, nil
+}
+
+// prepare resolves src through the coordinator's plan cache.
+func (c *Cluster) prepare(src string) (*sql.Prepared, bool, error) {
+	gen := c.coord.Generation()
+	key := normalizeSQL(src)
+	if prep, ok := c.cache.get(key, gen); ok {
+		return prep, true, nil
+	}
+	prep, err := c.coord.Prepare(src)
+	if err != nil {
+		return nil, false, err
+	}
+	c.cache.put(key, prep)
+	return prep, false, nil
+}
+
+// queryScatter runs the shard-local part on every shard concurrently,
+// concatenates in shard-index order and finalizes at the coordinator.
+func (c *Cluster) queryScatter(ctx context.Context, src string, prep *sql.Prepared) (*Result, error) {
+	c.scatter.Add(1)
+	outs := make([]*QueryOutcome, len(c.shards))
+	if err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+		out, err := tr.Query(ctx, src, ModeLocal)
+		outs[i] = out
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: prep.Plan(), Route: "scatter", ShardsUsed: len(c.shards)}
+	concat := storage.NewTable(outs[0].Table.Schema)
+	for _, out := range outs {
+		concat.Rows = append(concat.Rows, out.Table.Rows...)
+		res.BlocksRead += out.BlocksRead
+		res.BlocksWritten += out.BlocksWritten
+		res.Comparisons += out.Comparisons
+	}
+	fin := prep.FinalizeConcat(concat)
+	res.Table = fin.Table
+	res.FinalSort = fin.FinalSort
+	return res, nil
+}
+
+// queryGather pulls the table's raw rows from every shard and runs the
+// whole statement at the coordinator.
+func (c *Cluster) queryGather(ctx context.Context, prep *sql.Prepared, info *tableInfo) (*Result, error) {
+	c.gathered.Add(1)
+	// Coordinator-side admission: each gather chain assumes the full unit
+	// memory M, so at most GatherSlots of them (fetch included — the
+	// gathered rows are the memory-heavy part) run at once.
+	select {
+	case c.gatherSlot <- struct{}{}:
+		defer func() { <-c.gatherSlot }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	parts := make([]*storage.Table, len(c.shards))
+	if err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+		t, err := tr.FetchTable(ctx, info.name)
+		parts[i] = t
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	gatheredRows := storage.NewTable(parts[0].Schema)
+	for _, t := range parts {
+		gatheredRows.Rows = append(gatheredRows.Rows, t.Rows...)
+	}
+	sres, err := prep.ExecuteOverContext(ctx, gatheredRows)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Table:      sres.Table,
+		Plan:       sres.Plan,
+		Route:      "gather",
+		ShardsUsed: len(c.shards),
+		FinalSort:  sres.FinalSort,
+	}
+	if sres.Metrics != nil {
+		res.BlocksRead = sres.Metrics.BlocksRead
+		res.BlocksWritten = sres.Metrics.BlocksWritten
+		res.Comparisons = sres.Metrics.Comparisons
+	}
+	return res, nil
+}
+
+// queryReplica sends the whole statement to one node, round-robin.
+func (c *Cluster) queryReplica(ctx context.Context, src string, prep *sql.Prepared) (*Result, error) {
+	c.replica.Add(1)
+	i := int(c.rr.Add(1)-1) % len(c.shards)
+	out, err := c.shards[i].Query(ctx, src, ModeFull)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Table:         out.Table,
+		Plan:          prep.Plan(),
+		Route:         "replica",
+		ShardsUsed:    1,
+		FinalSort:     out.FinalSort,
+		BlocksRead:    out.BlocksRead,
+		BlocksWritten: out.BlocksWritten,
+		Comparisons:   out.Comparisons,
+	}, nil
+}
+
+// Health fans out to every shard and returns the first failure.
+func (c *Cluster) Health(ctx context.Context) error {
+	return c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+		if err := tr.Health(ctx); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		return nil
+	})
+}

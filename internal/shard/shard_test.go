@@ -1,0 +1,405 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"testing"
+
+	"repro"
+	"repro/internal/attrs"
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/paper"
+	"repro/internal/service"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// q6SQL is the Q6 chain (Table 3) as SQL: both functions share
+// WPK {ws_item_sk}, so a table sharded on ws_item_sk executes it
+// shard-locally.
+const q6SQL = `SELECT ws_item_sk, ws_sold_date_sk, ws_bill_customer_sk, ws_order_number,
+ rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS wf1,
+ rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_bill_customer_sk) AS wf2
+ FROM web_sales`
+
+// gatherSQL has an empty common partition key (wf1's WPK is empty), so it
+// cannot run shard-locally and must gather.
+const gatherSQL = `SELECT ws_item_sk, ws_order_number,
+ rank() OVER (ORDER BY ws_sold_time_sk) AS r
+ FROM web_sales`
+
+// divergeSQL has two non-empty but disjoint WPKs — ChainCommonKey is
+// empty, so it gathers.
+const divergeSQL = `SELECT ws_order_number,
+ rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a,
+ rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b
+ FROM web_sales`
+
+func testEngineConfig() windowdb.Config {
+	return windowdb.Config{SortMemBytes: 1 << 20, Parallelism: 1}
+}
+
+// newLocalCluster builds an n-shard in-process cluster with web_sales
+// sharded on ws_item_sk and emptab replicated.
+func newLocalCluster(t *testing.T, n int, rows int) *Cluster {
+	t.Helper()
+	shards := make([]Transport, n)
+	for i := range shards {
+		eng := windowdb.New(testEngineConfig())
+		shards[i] = NewLocal(service.New(eng, service.Config{}))
+	}
+	c, err := New(Config{Engine: testEngineConfig()}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterReplicated(ctx, "emptab", datagen.Emptab()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// singleEngine builds the single-engine reference over the same data.
+func singleEngine(rows int) *windowdb.Engine {
+	eng := windowdb.New(testEngineConfig())
+	eng.Register("web_sales", datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 7}))
+	eng.Register("emptab", datagen.Emptab())
+	return eng
+}
+
+// canonical is an order-insensitive fingerprint of a table.
+func canonical(t *storage.Table) []string {
+	out := make([]string, t.Len())
+	for i, r := range t.Rows {
+		out[i] = string(storage.AppendTuple(nil, r))
+	}
+	slices.Sort(out)
+	return out
+}
+
+func ordered(t *storage.Table) []string {
+	out := make([]string, t.Len())
+	for i, r := range t.Rows {
+		out[i] = string(storage.AppendTuple(nil, r))
+	}
+	return out
+}
+
+// TestScatterEquivalence is the acceptance bar: sharded Q6 over 1, 2 and 4
+// in-process shards is value-identical to the single-engine result.
+func TestScatterEquivalence(t *testing.T) {
+	const rows = 2500
+	ref, err := singleEngine(rows).Query(q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonical(ref.Table)
+	for _, n := range []int{1, 2, 4} {
+		c := newLocalCluster(t, n, rows)
+		res, err := c.Query(context.Background(), q6SQL)
+		if err != nil {
+			t.Fatalf("%d shards: %v", n, err)
+		}
+		if res.Route != "scatter" {
+			t.Fatalf("%d shards: route %q, want scatter", n, res.Route)
+		}
+		if res.ShardsUsed != n {
+			t.Fatalf("%d shards: used %d", n, res.ShardsUsed)
+		}
+		if !slices.Equal(canonical(res.Table), want) {
+			t.Fatalf("%d shards: result multiset differs from single engine", n)
+		}
+	}
+}
+
+// TestScatterOrderBy checks exact row order equality under a total ORDER
+// BY key: the coordinator's finalize full-sorts the concatenation into the
+// single-engine order.
+func TestScatterOrderBy(t *testing.T) {
+	const rows = 1200
+	q := q6SQL + ` ORDER BY ws_item_sk, ws_order_number`
+	ref, err := singleEngine(rows).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newLocalCluster(t, 3, rows)
+	res, err := c.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route != "scatter" {
+		t.Fatalf("route %q, want scatter", res.Route)
+	}
+	if res.FinalSort != "full" {
+		t.Fatalf("final sort %q, want full", res.FinalSort)
+	}
+	if !slices.Equal(ordered(res.Table), ordered(ref.Table)) {
+		t.Fatal("ordered rows differ from single engine")
+	}
+}
+
+// TestScatterLimit: ORDER BY + LIMIT must apply after the global sort.
+func TestScatterLimit(t *testing.T) {
+	const rows = 800
+	q := q6SQL + ` ORDER BY wf1 DESC, ws_order_number LIMIT 10`
+	ref, err := singleEngine(rows).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newLocalCluster(t, 4, rows)
+	res, err := c.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 10 {
+		t.Fatalf("limit: got %d rows", res.Table.Len())
+	}
+	if !slices.Equal(ordered(res.Table), ordered(ref.Table)) {
+		t.Fatal("top-10 differs from single engine")
+	}
+}
+
+// TestScatterWhereDistinct: WHERE is shard-local; DISTINCT re-deduplicates
+// at the coordinator (duplicates may span shards only when the projection
+// drops the shard key — forced here).
+func TestScatterWhereDistinct(t *testing.T) {
+	const rows = 1500
+	q := `SELECT DISTINCT ws_warehouse_sk, rank() OVER (PARTITION BY ws_item_sk, ws_warehouse_sk ORDER BY ws_sold_date_sk) AS r
+	 FROM web_sales WHERE ws_quantity <= 50 ORDER BY ws_warehouse_sk, r`
+	ref, err := singleEngine(rows).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newLocalCluster(t, 4, rows)
+	res, err := c.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route != "scatter" {
+		t.Fatalf("route %q, want scatter", res.Route)
+	}
+	if !slices.Equal(ordered(res.Table), ordered(ref.Table)) {
+		t.Fatal("DISTINCT result differs from single engine")
+	}
+}
+
+// TestGatherEquivalence: chains whose common partition key misses the
+// shard key pull raw rows to the coordinator and still match the single
+// engine.
+func TestGatherEquivalence(t *testing.T) {
+	const rows = 1000
+	for _, q := range []string{gatherSQL, divergeSQL} {
+		ref, err := singleEngine(rows).Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := newLocalCluster(t, 3, rows)
+		res, err := c.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Route != "gather" {
+			t.Fatalf("route %q, want gather", res.Route)
+		}
+		if !slices.Equal(canonical(res.Table), canonical(ref.Table)) {
+			t.Fatal("gather result multiset differs from single engine")
+		}
+	}
+}
+
+// TestReplicaRoute: replicated tables serve whole queries on one node.
+func TestReplicaRoute(t *testing.T) {
+	c := newLocalCluster(t, 3, 400)
+	ref, err := singleEngine(400).Query(`SELECT empnum, rank() OVER (ORDER BY salary DESC) AS r FROM emptab ORDER BY r, empnum`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // round-robin hits every node
+		res, err := c.Query(context.Background(), `SELECT empnum, rank() OVER (ORDER BY salary DESC) AS r FROM emptab ORDER BY r, empnum`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Route != "replica" || res.ShardsUsed != 1 {
+			t.Fatalf("route %q used %d, want replica/1", res.Route, res.ShardsUsed)
+		}
+		if !slices.Equal(ordered(res.Table), ordered(ref.Table)) {
+			t.Fatal("replica result differs from single engine")
+		}
+	}
+}
+
+// TestPlanCache: the second identical query hits the coordinator cache;
+// registration invalidates it.
+func TestPlanCache(t *testing.T) {
+	c := newLocalCluster(t, 2, 300)
+	ctx := context.Background()
+	r1, err := c.Query(ctx, q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first query cannot hit")
+	}
+	r2, err := c.Query(ctx, "  "+q6SQL+"  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("whitespace variant should hit the coordinator cache")
+	}
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: 300, Seed: 9})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := c.Query(ctx, q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Fatal("re-registration must invalidate the cached plan")
+	}
+}
+
+// TestUnknownTable maps to the catalog sentinel through the cluster.
+func TestUnknownTable(t *testing.T) {
+	c := newLocalCluster(t, 2, 100)
+	_, err := c.Query(context.Background(), `SELECT x FROM nope`)
+	if !errors.Is(err, catalog.ErrUnknownTable) {
+		t.Fatalf("got %v, want ErrUnknownTable", err)
+	}
+}
+
+// TestParseErrorClass: parse errors carry the sql sentinel through the
+// cluster path.
+func TestParseErrorClass(t *testing.T) {
+	c := newLocalCluster(t, 2, 100)
+	_, err := c.Query(context.Background(), `SELEC nonsense`)
+	if !errors.Is(err, sql.ErrParse) {
+		t.Fatalf("got %v, want ErrParse", err)
+	}
+}
+
+// TestStubStatistics: the coordinator's stub entry aggregates shard-local
+// statistics — exact row count and byte size, and an exact distinct count
+// for sets containing the shard key.
+func TestStubStatistics(t *testing.T) {
+	const rows = 900
+	c := newLocalCluster(t, 3, rows)
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 7})
+	entry, err := c.Coordinator().Stats("web_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !entry.Stub() {
+		t.Fatal("coordinator entry should be a stub")
+	}
+	if entry.Rows() != int64(rows) {
+		t.Fatalf("stub rows %d, want %d", entry.Rows(), rows)
+	}
+	if entry.ByteSize() != int64(ws.ByteSize()) {
+		t.Fatalf("stub bytes %d, want %d", entry.ByteSize(), ws.ByteSize())
+	}
+	itemSet := attrs.MakeSet(attrs.ID(datagen.ColItem))
+	if got, want := entry.Distinct(itemSet), int64(ws.DistinctCount(itemSet)); got != want {
+		t.Fatalf("stub D(item) = %d, want exact %d (set contains shard key)", got, want)
+	}
+	// A set not containing the shard key is an upper bound, capped by rows.
+	dateSet := attrs.MakeSet(attrs.ID(datagen.ColSoldDate))
+	if got := entry.Distinct(dateSet); got < int64(ws.DistinctCount(dateSet)) || got > int64(rows) {
+		t.Fatalf("stub D(date) = %d out of [exact, rows]", got)
+	}
+}
+
+// TestClusterStats: routing counters and shard fan-out aggregate.
+func TestClusterStats(t *testing.T) {
+	c := newLocalCluster(t, 2, 300)
+	ctx := context.Background()
+	if _, err := c.Query(ctx, q6SQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, gatherSQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, `SELECT empnum FROM emptab`); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != 3 || stats.Scatter != 1 || stats.Gather != 1 || stats.Replica != 1 {
+		t.Fatalf("counters: %+v", stats)
+	}
+	if len(stats.ShardStats) != 2 {
+		t.Fatalf("want 2 shard snapshots, got %d", len(stats.ShardStats))
+	}
+	// The scatter ran on both shards, the replica on one: 3 shard-side
+	// queries total (the gather path fetches raw rows, not queries).
+	if stats.ShardQueries != 3 {
+		t.Fatalf("shard queries %d, want 3", stats.ShardQueries)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentQueries hammers one cluster from many goroutines under
+// -race: scatter, gather and replica routes interleaved.
+func TestConcurrentQueries(t *testing.T) {
+	const rows = 600
+	c := newLocalCluster(t, 3, rows)
+	refQ6, err := singleEngine(rows).Query(q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonical(refQ6.Table)
+	queries := []string{q6SQL, gatherSQL, `SELECT empnum FROM emptab`}
+	done := make(chan error, 12)
+	for g := 0; g < 12; g++ {
+		go func(g int) {
+			q := queries[g%len(queries)]
+			res, err := c.Query(context.Background(), q)
+			if err == nil && q == q6SQL && !slices.Equal(canonical(res.Table), want) {
+				err = errors.New("concurrent scatter result differs")
+			}
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 12; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardLocalRouting pins the routing predicate to the paper queries:
+// every Q6 chain step shares WPK {item} (scatter on an item shard key);
+// Q7 includes wf4 with an empty WPK (gather).
+func TestShardLocalRouting(t *testing.T) {
+	eng := windowdb.New(testEngineConfig())
+	eng.Register("web_sales", datagen.WebSales(datagen.WebSalesConfig{Rows: 200, Seed: 7}))
+	item := attrs.MakeSet(paper.Item)
+	for _, tc := range []struct {
+		sql  string
+		want bool
+	}{
+		{q6SQL, true},
+		{gatherSQL, false},
+		{divergeSQL, false},
+		{`SELECT ws_item_sk FROM web_sales WHERE ws_quantity = 1`, true}, // window-less
+	} {
+		prep, err := eng.Prepare(tc.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := prep.ShardLocal(item); got != tc.want {
+			t.Errorf("ShardLocal(%q) = %v, want %v", tc.sql, got, tc.want)
+		}
+	}
+}

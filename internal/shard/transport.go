@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"context"
+
+	"repro/internal/attrs"
+	"repro/internal/service"
+	"repro/internal/storage"
+)
+
+// Mode selects how much of a statement a shard node executes.
+type Mode string
+
+const (
+	// ModeLocal executes the shard-local part: WHERE, chain, projection —
+	// no DISTINCT/ORDER BY/LIMIT, which the coordinator applies over the
+	// concatenation of every shard's output.
+	ModeLocal Mode = "local"
+	// ModeFull executes the entire statement; used for replicated tables
+	// where a single node serves the whole query.
+	ModeFull Mode = "full"
+)
+
+// QueryOutcome is one shard node's execution result plus the observations
+// the coordinator aggregates.
+type QueryOutcome struct {
+	Table         *storage.Table
+	CacheHit      bool
+	FinalSort     string
+	BlocksRead    int64
+	BlocksWritten int64
+	Comparisons   int64
+}
+
+// Transport reaches one shard node. Two implementations exist: Local wraps
+// an in-process service.Service (tests, benches and single-binary
+// scale-up), HTTP rides the /shard/* routes of a remote windserve so
+// multiple processes form a real cluster. All methods must be safe for
+// concurrent use — the coordinator scatters to every shard at once.
+type Transport interface {
+	// Query executes a statement on the node (see Mode).
+	Query(ctx context.Context, sql string, mode Mode) (*QueryOutcome, error)
+	// FetchTable returns the node's rows of a table — the gather path of
+	// chains whose partition keys diverge from the shard key.
+	FetchTable(ctx context.Context, name string) (*storage.Table, error)
+	// Register installs a table (partition or replica) on the node.
+	Register(ctx context.Context, name string, t *storage.Table) error
+	// Distinct returns the node-local distinct count of the attribute set,
+	// feeding the coordinator's statistics stubs.
+	Distinct(ctx context.Context, table string, set attrs.Set) (int64, error)
+	// Stats snapshots the node's service counters.
+	Stats(ctx context.Context) (service.Snapshot, error)
+	// Health reports nil when the node is serving.
+	Health(ctx context.Context) error
+}
+
+// Local is the in-process transport: a shard node living in this process
+// as a service.Service over its own engine (private catalog, spill store,
+// unit memory M). Used by tests, benches, and single-binary scale-up.
+type Local struct {
+	svc *service.Service
+}
+
+// NewLocal wraps an in-process service as a shard node.
+func NewLocal(svc *service.Service) *Local { return &Local{svc: svc} }
+
+// Service returns the wrapped service (tests inspect its counters).
+func (l *Local) Service() *service.Service { return l.svc }
+
+// Query implements Transport.
+func (l *Local) Query(ctx context.Context, sql string, mode Mode) (*QueryOutcome, error) {
+	var (
+		res *service.QueryResult
+		err error
+	)
+	if mode == ModeLocal {
+		res, err = l.svc.QueryShardLocal(ctx, sql)
+	} else {
+		res, err = l.svc.Query(ctx, sql)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryOutcome{Table: res.Table, CacheHit: res.CacheHit, FinalSort: res.FinalSort}
+	if res.Metrics != nil {
+		out.BlocksRead = res.Metrics.BlocksRead
+		out.BlocksWritten = res.Metrics.BlocksWritten
+		out.Comparisons = res.Metrics.Comparisons
+	}
+	return out, nil
+}
+
+// FetchTable implements Transport. The returned table is the node's
+// registered (immutable) table; callers must not mutate its rows.
+func (l *Local) FetchTable(ctx context.Context, name string) (*storage.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.svc.Engine().Table(name)
+}
+
+// Register implements Transport.
+func (l *Local) Register(ctx context.Context, name string, t *storage.Table) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.svc.Engine().Register(name, t)
+	return nil
+}
+
+// Distinct implements Transport.
+func (l *Local) Distinct(ctx context.Context, table string, set attrs.Set) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	entry, err := l.svc.Engine().Stats(table)
+	if err != nil {
+		return 0, err
+	}
+	return entry.Distinct(set), nil
+}
+
+// Stats implements Transport.
+func (l *Local) Stats(ctx context.Context) (service.Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return service.Snapshot{}, err
+	}
+	return l.svc.Stats(), nil
+}
+
+// Health implements Transport.
+func (l *Local) Health(ctx context.Context) error { return ctx.Err() }

@@ -50,9 +50,31 @@ type Prepared struct {
 // SQL returns the original query text.
 func (p *Prepared) SQL() string { return p.src }
 
+// Table returns the FROM table's name as written in the query.
+func (p *Prepared) Table() string { return p.q.Table }
+
 // Plan returns the planned window-function chain (nil for window-less
 // queries).
 func (p *Prepared) Plan() *core.Plan { return p.plan }
+
+// ShardLocal reports whether this statement may execute independently on
+// shards hash-partitioned on shardKey, with the results concatenated and
+// finalized (FinalizeConcat) at a coordinator, and still produce the
+// single-engine values. The condition is exec.ChainCommonKey's: every
+// window function's partitioning key must contain the shard key, so no
+// window partition spans shards. WHERE filtering and projection are
+// row-local and always distribute; DISTINCT, ORDER BY and LIMIT are not
+// shard-local and belong to the coordinator's finalize step. Window-less
+// statements are trivially shard-local.
+func (p *Prepared) ShardLocal(shardKey attrs.Set) bool {
+	if shardKey.Empty() {
+		return false
+	}
+	if p.plan == nil {
+		return true
+	}
+	return shardKey.SubsetOf(exec.ChainCommonKey(p.plan))
+}
 
 // Generation returns the catalog generation the statement was prepared
 // under.
@@ -136,7 +158,11 @@ func (r *Runner) prepare(q *Query, src string) (*Prepared, error) {
 		for i, s := range p.specs {
 			ws[i] = s.WF(i)
 		}
-		opt := core.Options{Cost: entry.CostParams(r.Exec.MemoryBytes, r.Exec.BlockSize)}
+		opt := core.Options{
+			Cost:      entry.CostParams(r.Exec.MemoryBytes, r.Exec.BlockSize),
+			DisableHS: r.DisableHS,
+			DisableSS: r.DisableSS,
+		}
 		var plan *core.Plan
 		switch r.Scheme {
 		case SchemeBFO:
@@ -219,11 +245,63 @@ func (p *Prepared) Execute() (*Result, error) {
 // DISTINCT, the final ORDER BY and LIMIT. It is safe for concurrent use on
 // one Prepared.
 func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
+	return p.execute(ctx, p.entry.Table, true)
+}
+
+// ExecuteOverContext runs the full prepared pipeline over base instead of
+// the catalog entry's rows. base must share the entry's schema; it is how
+// a scatter-gather coordinator executes a plan prepared against a
+// schema-only stub over rows just gathered from the shards — the gathered
+// concatenation arrives in arbitrary order, which is exactly the
+// Unordered input property the plan was built from, so the chain's first
+// order-rebuilding reorder (FS/HS) absorbs it, mirroring how post-barrier
+// segments restart in exec.ParallelRun.
+func (p *Prepared) ExecuteOverContext(ctx context.Context, base *storage.Table) (*Result, error) {
+	return p.execute(ctx, base, true)
+}
+
+// ExecuteShardContext runs the shard-local part of the statement over the
+// catalog entry's rows: WHERE, the window chain and projection — skipping
+// DISTINCT, ORDER BY and LIMIT, which only the coordinator can apply
+// correctly over the concatenation of every shard's output
+// (FinalizeConcat). Only meaningful when the caller established
+// ShardLocal for the cluster's shard key.
+func (p *Prepared) ExecuteShardContext(ctx context.Context) (*Result, error) {
+	return p.execute(ctx, p.entry.Table, false)
+}
+
+// FinalizeConcat applies the coordinator-side phases — DISTINCT, the final
+// ORDER BY and LIMIT — to the concatenation of shard-local outputs
+// (ExecuteShardContext results appended in shard-index order). The
+// concatenation voids any ordering the per-shard chains produced, so an
+// ORDER BY is always satisfied by a full sort, exactly as after a
+// partition-concatenating parallel chain. t is finalized in place and
+// returned inside the Result.
+func (p *Prepared) FinalizeConcat(t *storage.Table) *Result {
+	result := &Result{FinalSort: "none", Parallelism: 1, Plan: p.plan, Table: t}
+	if p.q.Distinct {
+		distinctRows(t)
+	}
+	if len(p.orderKey) > 0 {
+		result.FinalSort = "full"
+		key := p.orderKey
+		sort.SliceStable(t.Rows, func(i, j int) bool {
+			return storage.CompareSeq(t.Rows[i], t.Rows[j], key) < 0
+		})
+	}
+	if p.q.Limit >= 0 && int64(t.Len()) > p.q.Limit {
+		t.Rows = t.Rows[:p.q.Limit]
+	}
+	return result
+}
+
+// execute is the shared execution body: WHERE, chain, projection, and —
+// when finalize is set — DISTINCT, ORDER BY and LIMIT.
+func (p *Prepared) execute(ctx context.Context, base *storage.Table, finalize bool) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	q := p.q
-	base := p.entry.Table
 	schema := base.Schema
 
 	// WHERE: filter into the windowed table WT (Section 5's loose
@@ -287,20 +365,18 @@ func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
 		outTable.Rows[ri] = t
 	}
 
+	if !finalize {
+		// Shard-local execution stops at the projection: DISTINCT, ORDER BY
+		// and LIMIT are the coordinator's to apply over the concatenation.
+		result.Table = outTable
+		return result, nil
+	}
+
 	// DISTINCT: deduplicate projected rows (evaluated after the window
 	// functions, as in the paper's Section 1/5 decomposition; NULLs compare
 	// equal, per SQL DISTINCT semantics).
 	if q.Distinct {
-		seen := make(map[string]bool, outTable.Len())
-		dedup := outTable.Rows[:0]
-		for _, row := range outTable.Rows {
-			key := string(storage.AppendTuple(nil, row))
-			if !seen[key] {
-				seen[key] = true
-				dedup = append(dedup, row)
-			}
-		}
-		outTable.Rows = dedup
+		distinctRows(outTable)
 	}
 
 	// Final ORDER BY over output columns. When the chain's output ordering
@@ -341,6 +417,21 @@ func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
 	}
 	result.Table = outTable
 	return result, nil
+}
+
+// distinctRows deduplicates a table's rows in place, keeping the first
+// occurrence (NULLs compare equal, per SQL DISTINCT semantics).
+func distinctRows(t *storage.Table) {
+	seen := make(map[string]bool, t.Len())
+	dedup := t.Rows[:0]
+	for _, row := range t.Rows {
+		key := string(storage.AppendTuple(nil, row))
+		if !seen[key] {
+			seen[key] = true
+			dedup = append(dedup, row)
+		}
+	}
+	t.Rows = dedup
 }
 
 // checkPredicate validates a WHERE tree against the schema at prepare time:

@@ -31,6 +31,10 @@ type Runner struct {
 	Scheme Scheme
 	// Exec carries the execution resources (unit reorder memory etc.).
 	Exec exec.Config
+	// DisableHS / DisableSS restrict the optimizer to the paper's CSO(v1)
+	// / CSO(v2) ablation variants, matching windowdb.Config's switches.
+	DisableHS bool
+	DisableSS bool
 }
 
 // Result is an executed query: the output table plus the window chain and

@@ -1,0 +1,157 @@
+package sql
+
+import (
+	"context"
+	"slices"
+	"testing"
+
+	"repro/internal/attrs"
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// TestShardPhasesComposeToExecute: manually hash-partitioning the table,
+// running ExecuteShardContext per partition, concatenating and finalizing
+// must reproduce ExecuteContext exactly — the algebraic identity the
+// cluster's scatter path rests on.
+func TestShardPhasesComposeToExecute(t *testing.T) {
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: 700, Seed: 3})
+	src := `SELECT ws_item_sk, ws_order_number,
+	 rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS r
+	 FROM web_sales WHERE ws_quantity <= 70 ORDER BY ws_item_sk, ws_order_number LIMIT 200`
+	key := attrs.MakeSet(attrs.ID(datagen.ColItem))
+
+	full := catalog.New()
+	full.Register("web_sales", ws)
+	runner := Runner{Catalog: full, Exec: exec.Config{MemoryBytes: 1 << 20}}
+	prep, err := runner.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.ShardLocal(key) {
+		t.Fatal("statement should be shard-local on the item key")
+	}
+	want, err := prep.ExecuteContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	parts := exec.PartitionRows(ws.Rows, key.IDs(), shards)
+	var concat *storage.Table
+	for i := 0; i < shards; i++ {
+		cat := catalog.New()
+		pt := storage.NewTable(ws.Schema)
+		pt.Rows = parts[i]
+		cat.Register("web_sales", pt)
+		r := Runner{Catalog: cat, Exec: exec.Config{MemoryBytes: 1 << 20}}
+		p, err := r.Prepare(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.ExecuteShardContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if concat == nil {
+			concat = storage.NewTable(res.Table.Schema)
+		}
+		concat.Rows = append(concat.Rows, res.Table.Rows...)
+	}
+	got := prep.FinalizeConcat(concat)
+	if got.FinalSort != "full" {
+		t.Fatalf("finalize sort %q, want full", got.FinalSort)
+	}
+	if got.Table.Len() != want.Table.Len() {
+		t.Fatalf("row count %d, want %d", got.Table.Len(), want.Table.Len())
+	}
+	for i := range want.Table.Rows {
+		a := storage.AppendTuple(nil, got.Table.Rows[i])
+		b := storage.AppendTuple(nil, want.Table.Rows[i])
+		if !slices.Equal(a, b) {
+			t.Fatalf("row %d differs after scatter composition", i)
+		}
+	}
+}
+
+// TestExecuteOverContext: a plan prepared against a schema-only stub
+// executes over externally supplied rows (the gather path) and matches a
+// directly prepared execution.
+func TestExecuteOverContext(t *testing.T) {
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: 400, Seed: 5})
+	src := `SELECT ws_order_number, rank() OVER (ORDER BY ws_sold_time_sk) AS r FROM web_sales ORDER BY ws_order_number`
+
+	stub := catalog.New()
+	stub.RegisterStub("web_sales", ws.Schema, catalog.TableStats{
+		Rows:  int64(ws.Len()),
+		Bytes: int64(ws.ByteSize()),
+		Distinct: func(set attrs.Set) int64 {
+			return int64(ws.DistinctCount(set))
+		},
+	})
+	rStub := Runner{Catalog: stub, Exec: exec.Config{MemoryBytes: 1 << 20}}
+	prep, err := rStub.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prep.ExecuteOverContext(context.Background(), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := catalog.New()
+	full.Register("web_sales", ws)
+	rFull := Runner{Catalog: full, Exec: exec.Config{MemoryBytes: 1 << 20}}
+	want, err := rFull.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table.Len() != want.Table.Len() {
+		t.Fatalf("rows %d, want %d", got.Table.Len(), want.Table.Len())
+	}
+	for i := range want.Table.Rows {
+		a := storage.AppendTuple(nil, got.Table.Rows[i])
+		b := storage.AppendTuple(nil, want.Table.Rows[i])
+		if !slices.Equal(a, b) {
+			t.Fatalf("row %d differs between stub-over and direct execution", i)
+		}
+	}
+}
+
+// TestShardLocalPredicate pins the routing rule on crafted chains.
+func TestShardLocalPredicate(t *testing.T) {
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: 50, Seed: 1})
+	cat := catalog.New()
+	cat.Register("web_sales", ws)
+	r := Runner{Catalog: cat, Exec: exec.Config{MemoryBytes: 1 << 20}}
+	item := attrs.MakeSet(attrs.ID(datagen.ColItem))
+	itemBill := attrs.MakeSet(attrs.ID(datagen.ColItem), attrs.ID(datagen.ColBill))
+	cases := []struct {
+		src  string
+		key  attrs.Set
+		want bool
+	}{
+		// Chain common key {item,bill} covers both {item} and {item,bill}.
+		{`SELECT rank() OVER (PARTITION BY ws_item_sk, ws_bill_customer_sk ORDER BY ws_quantity) AS r FROM web_sales`, item, true},
+		{`SELECT rank() OVER (PARTITION BY ws_item_sk, ws_bill_customer_sk ORDER BY ws_quantity) AS r FROM web_sales`, itemBill, true},
+		// Shard key {item,bill} is not contained in WPK {item}: one
+		// item-partition spans shards (its rows hash by bill too), so the
+		// chain cannot run shard-locally.
+		{`SELECT rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_quantity) AS r FROM web_sales`, itemBill, false},
+		// Empty shard key never routes shard-local.
+		{`SELECT ws_item_sk FROM web_sales`, 0, false},
+		// Window-less statements distribute trivially.
+		{`SELECT ws_item_sk FROM web_sales`, item, true},
+	}
+	for _, tc := range cases {
+		prep, err := r.Prepare(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := prep.ShardLocal(tc.key); got != tc.want {
+			t.Errorf("ShardLocal(%q, %v) = %v, want %v", tc.src, tc.key, got, tc.want)
+		}
+	}
+}

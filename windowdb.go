@@ -120,6 +120,16 @@ func (e *Engine) Register(name string, t *storage.Table) {
 	e.cat.Register(name, t)
 }
 
+// RegisterStub adds (or replaces) a schema-only catalog entry backed by
+// externally supplied statistics: the coordinator side of sharded
+// registration. Planning sees the schema, B(R), |R| and D(·) of a table
+// whose rows live on shard nodes; executing a statement prepared on a stub
+// directly reads zero rows — cluster coordinators execute through the
+// scatter (shard-local) or gather (ExecuteOverContext) paths instead.
+func (e *Engine) RegisterStub(name string, schema *storage.Schema, stats catalog.TableStats) {
+	e.cat.RegisterStub(name, schema, stats)
+}
+
 // Tables lists registered table names.
 func (e *Engine) Tables() []string { return e.cat.Names() }
 
@@ -169,7 +179,13 @@ func (e *Engine) Generation() uint64 { return e.cat.Generation() }
 func (e *Engine) ResolvedConfig() Config { return e.cfg }
 
 func (e *Engine) runner() sql.Runner {
-	return sql.Runner{Catalog: e.cat, Scheme: e.cfg.Scheme, Exec: e.execConfig()}
+	return sql.Runner{
+		Catalog:   e.cat,
+		Scheme:    e.cfg.Scheme,
+		Exec:      e.execConfig(),
+		DisableHS: e.cfg.DisableHS,
+		DisableSS: e.cfg.DisableSS,
+	}
 }
 
 // execConfig assembles the executor configuration; the MFV callback is

@@ -1,7 +1,7 @@
 # Local targets mirroring .github/workflows/ci.yml.
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet serve bench-service load-smoke cluster-smoke ci
+.PHONY: build test race bench fmt fmt-check vet serve bench-service bench-json load-smoke cluster-smoke ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,11 @@ serve:
 # One short pass of the closed-loop serving load harness.
 bench-service:
 	$(GO) run ./cmd/windbench -exp service -servdur 500ms -servrows 4000
+
+# The perf-baseline artifact CI uploads: parallel + sharded + service
+# sweeps serialized as JSON (see bench.Trajectory).
+bench-json:
+	$(GO) run ./cmd/windbench -exp parallel,sharded,service -servdur 200ms -servrows 4000 -json BENCH_pr4.json
 
 # Boot windserve on a scratch port, wait for /healthz, fire a handful of
 # /query round trips and check /stats counted them. A serving smoke, not a

@@ -13,6 +13,13 @@
 //	windbench -exp parallel            # parallel multi-window speedup sweep
 //	windbench -exp sharded             # scatter-gather cluster scaleout sweep
 //	windbench -exp service -servdur 2s # query-service closed-loop load
+//
+// With -json PATH, the parallel, sharded and service results (whichever of
+// them ran) are additionally written as a bench.Trajectory artifact — the
+// perf baseline CI records per change so later work has a recorded
+// trajectory to diff against:
+//
+//	windbench -exp parallel,sharded,service -json BENCH_pr4.json
 package main
 
 import (
@@ -34,6 +41,7 @@ func main() {
 		queries   = flag.Int("queries", 5, "random queries per point for table11")
 		servDur   = flag.Duration("servdur", 2*time.Second, "service load duration per concurrency degree")
 		servRows  = flag.Int("servrows", 10_000, "web_sales rows for the service load harness")
+		jsonPath  = flag.String("json", "", "write the parallel/sharded/service results as a JSON trajectory artifact to this path")
 	)
 	flag.Parse()
 
@@ -101,22 +109,35 @@ func main() {
 		}
 		fmt.Fprintln(out)
 	}
+	traj := bench.NewTrajectory(cfg)
 	if want("parallel") {
-		if _, err := d.RunParallel(out); err != nil {
+		res, err := d.RunParallel(out)
+		if err != nil {
 			fail(err)
 		}
+		traj.Parallel = res
 		fmt.Fprintln(out)
 	}
 	if want("sharded") {
-		if _, err := d.RunSharded(out); err != nil {
+		res, err := d.RunSharded(out)
+		if err != nil {
 			fail(err)
 		}
+		traj.Sharded = res
 		fmt.Fprintln(out)
 	}
 	if want("service") {
 		scfg := bench.ServiceConfig{Rows: *servRows, Seed: *seed, Duration: *servDur}
-		if _, err := bench.RunService(scfg, out); err != nil {
+		res, err := bench.RunService(scfg, out)
+		if err != nil {
 			fail(err)
 		}
+		traj.Service = res
+	}
+	if *jsonPath != "" {
+		if err := traj.Write(*jsonPath); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "trajectory artifact written to %s\n", *jsonPath)
 	}
 }

@@ -10,6 +10,11 @@
 // plus the /shard/* routes (query/register/table/distinct) that let a
 // cluster coordinator use this process as a shard node.
 //
+// /query answers buffered JSON by default; "stream":true, ?stream=1 or
+// `Accept: application/x-ndjson` switches to the chunked NDJSON row
+// stream (service.Client and windsql -server consume it), whose
+// admission slot is released the moment the client disconnects.
+//
 // Three roles, selected by flags:
 //
 //	windserve                          # single engine (the default)

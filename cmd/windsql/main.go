@@ -1,21 +1,30 @@
 // Command windsql runs window-function SQL against generated datasets or
-// CSV files, printing the result table, the window-function chain the
-// optimizer produced, and per-statement execution metrics (wall time and
-// block I/O via the query service's metrics plumbing), so the shell
-// doubles as a manual latency probe.
+// CSV files, printing rows incrementally as the result cursor yields them,
+// plus the window-function chain the optimizer produced and per-statement
+// execution metrics (wall time and block I/O), so the shell doubles as a
+// manual latency probe.
 //
 // Usage:
 //
 //	windsql -q "SELECT empnum, rank() OVER (ORDER BY salary DESC) FROM emptab"
 //	windsql -scheme PSQL -rows 50000 -q "SELECT ... FROM web_sales"
 //	windsql -csv data.csv -table t -q "SELECT ... FROM t"
+//	windsql -format csv -q "SELECT ... FROM web_sales" > out.csv
 //	windsql -server localhost:8080 -q "SELECT ... FROM web_sales"
 //	windsql                            # shell: statements from stdin
 //
-// With -server, statements go to a running windserve — single engine or
-// cluster coordinator, the /query JSON surface is the same — instead of an
-// embedded engine; the latency line then reports the served elapsed time,
-// cache disposition and (against a coordinator) the scatter/gather route.
+// Local and remote modes speak the same windowdb.Queryer surface: local
+// statements go through a one-slot query service over an embedded engine,
+// remote ones through service.Client's streaming NDJSON /query connection
+// to a running windserve — single engine or cluster coordinator — so rows
+// print as the server emits them, long before the result is complete. The
+// latency line reports the served elapsed time, cache disposition and
+// (against a coordinator) the scatter/gather route.
+//
+// -format selects the output shape: "table" (padded columns; the first
+// rows are buffered to size the columns, the rest stream), "csv"
+// (streaming, header row first) or "json" (streaming, one object per
+// line, column order preserved).
 //
 // Embedded tables: emptab (Example 1 of the paper), web_sales,
 // web_sales_s, web_sales_g (generated; -rows controls size), plus any
@@ -28,15 +37,16 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
+	"io"
 	"os"
 	"strings"
 	"time"
 
-	"repro"
+	windowdb "repro"
 	"repro/internal/cli"
 	"repro/internal/service"
 	"repro/internal/sql"
@@ -53,16 +63,24 @@ func main() {
 		csvTable = flag.String("table", "csv", "table name for the CSV file")
 		maxRows  = flag.Int("n", 40, "max rows to print (0 = all)")
 		showPlan = flag.Bool("plan", true, "print the window-function chain")
+		format   = flag.String("format", "table", "output format: table|csv|json")
 		server   = flag.String("server", "", "send statements to a running windserve at this address instead of embedding an engine")
 	)
 	flag.Parse()
 
-	var run func(stmt string) bool
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "windsql: unknown -format %q (want table, csv or json)\n", *format)
+		os.Exit(2)
+	}
+
+	var q windowdb.Queryer
 	var tables []string
 	if *server != "" {
-		client := newRemote(*server)
-		run = func(stmt string) bool { return client.run(stmt, *maxRows, *showPlan) }
-		tables = []string{"(remote: " + client.base + ")"}
+		client := service.NewClient(*server, nil)
+		q = client
+		tables = []string{"(remote: " + client.Addr() + ")"}
 	} else {
 		eng := windowdb.New(windowdb.Config{
 			Scheme:       sql.Scheme(*scheme),
@@ -75,10 +93,11 @@ func main() {
 		}
 		// One slot: an interactive shell runs one statement at a time, but
 		// the service supplies the plan cache and the metrics plumbing.
-		svc := service.New(eng, service.Config{Slots: 1})
-		run = func(stmt string) bool { return runStatement(svc, stmt, *maxRows, *showPlan) }
+		q = service.New(eng, service.Config{Slots: 1})
 		tables = eng.Tables()
 	}
+
+	run := func(stmt string) bool { return runStatement(q, stmt, *maxRows, *showPlan, *format) }
 
 	if *query != "" {
 		if !run(*query) {
@@ -124,36 +143,243 @@ func main() {
 	}
 }
 
-// runStatement executes one statement through the service and prints the
-// result plus its latency line. It reports success.
-func runStatement(svc *service.Service, stmt string, maxRows int, showPlan bool) bool {
-	res, err := svc.Query(context.Background(), stmt)
+// runStatement executes one statement through the Queryer, prints rows
+// incrementally in the selected format, then the latency line. It reports
+// success.
+func runStatement(q windowdb.Queryer, stmt string, maxRows int, showPlan bool, format string) bool {
+	start := time.Now()
+	rows, err := q.QueryContext(context.Background(), stmt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
 		return false
 	}
-	fmt.Print(sql.FormatTable(res.Table, maxRows))
+	defer rows.Close()
 
-	// The manual latency probe: per-query wall time and block I/O from the
-	// service's metrics, plus the plan-cache disposition.
-	var blocks, read, written int64
-	if res.Metrics != nil {
-		read, written = res.Metrics.BlocksRead, res.Metrics.BlocksWritten
-		blocks = read + written
+	n, truncated, err := printRows(os.Stdout, rows, maxRows, format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
+		return false
 	}
+	// Ending the cursor (drain or truncation Close) finalizes the metrics.
+	_ = rows.Close()
+	elapsed := time.Since(start)
+
+	if truncated {
+		fmt.Printf("... (first %d rows; -n 0 prints all)\n", n)
+	}
+	m := rows.Metrics()
+	if m == nil {
+		// A remote stream closed before its trailer has no confirmed
+		// metadata; report what the client observed.
+		fmt.Printf("\n(%d rows in %v)\n", n, elapsed.Round(time.Microsecond))
+		return true
+	}
+	blocks := m.BlocksRead + m.BlocksWritten
 	disposition := "plan cache miss"
-	if res.CacheHit {
+	if m.CacheHit {
 		disposition = "plan cache hit"
 	}
 	fmt.Printf("\n(%d rows in %v; %d I/O blocks: %d read, %d written; %s)\n",
-		res.Table.Len(), res.Elapsed.Round(time.Microsecond), blocks, read, written, disposition)
-	if showPlan && res.Plan != nil {
-		fmt.Printf("chain [%s]: %s\n", res.Plan.Scheme, res.Plan.PaperString())
-		if res.Metrics != nil {
-			fmt.Printf("%d key comparisons; final sort: %s\n", res.Metrics.Comparisons, res.FinalSort)
-		}
+		n, elapsed.Round(time.Microsecond), blocks, m.BlocksRead, m.BlocksWritten, disposition)
+	if m.Route != "" {
+		fmt.Printf("route: %s over %d shard(s)\n", m.Route, m.ShardsUsed)
+	}
+	if showPlan && m.Chain != "" {
+		fmt.Printf("chain: %s\n", m.Chain)
+		fmt.Printf("%d key comparisons; final sort: %s\n", m.Comparisons, m.FinalSort)
 	}
 	return true
+}
+
+// printRows renders the cursor incrementally. It returns the number of
+// rows printed and whether output stopped at maxRows with the stream
+// still flowing.
+func printRows(w io.Writer, rows *windowdb.Rows, maxRows int, format string) (int, bool, error) {
+	var n int
+	var truncated bool
+	var err error
+	switch format {
+	case "csv":
+		n, truncated, err = printCSV(w, rows, maxRows)
+	case "json":
+		n, truncated, err = printJSON(w, rows, maxRows)
+	default:
+		n, truncated, err = printTable(w, rows, maxRows)
+	}
+	if err != nil {
+		return n, truncated, err
+	}
+	return n, truncated, rows.Err()
+}
+
+// printCSV streams rows through encoding/csv, header first.
+func printCSV(w io.Writer, rows *windowdb.Rows, maxRows int) (int, bool, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rows.Columns()); err != nil {
+		return 0, false, err
+	}
+	n := 0
+	record := make([]string, len(rows.Columns()))
+	for rows.Next() {
+		for i, v := range rows.Row() {
+			if v.IsNull() {
+				record[i] = ""
+			} else {
+				record[i] = v.String()
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return n, false, err
+		}
+		n++
+		if n%64 == 0 {
+			cw.Flush()
+		}
+		if maxRows > 0 && n >= maxRows {
+			cw.Flush()
+			// Probe one more row: an exact-boundary result is complete,
+			// not truncated (and a remote cursor gets to read its trailer).
+			return n, rows.Next(), cw.Error()
+		}
+	}
+	cw.Flush()
+	return n, false, cw.Error()
+}
+
+// printJSON streams one JSON object per line, preserving column order.
+func printJSON(w io.Writer, rows *windowdb.Rows, maxRows int) (int, bool, error) {
+	bw := bufio.NewWriter(w)
+	cols := rows.Columns()
+	names := make([][]byte, len(cols))
+	for i, c := range cols {
+		names[i], _ = json.Marshal(c)
+	}
+	n := 0
+	var buf bytes.Buffer
+	for rows.Next() {
+		buf.Reset()
+		buf.WriteByte('{')
+		for i, v := range rows.Row() {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.Write(names[i])
+			buf.WriteByte(':')
+			jv, err := json.Marshal(service.JSONValue(v))
+			if err != nil {
+				return n, false, err
+			}
+			buf.Write(jv)
+		}
+		buf.WriteString("}\n")
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return n, false, err
+		}
+		n++
+		if n%64 == 0 {
+			if err := bw.Flush(); err != nil {
+				return n, false, err
+			}
+		}
+		if maxRows > 0 && n >= maxRows {
+			if err := bw.Flush(); err != nil {
+				return n, false, err
+			}
+			return n, rows.Next(), nil
+		}
+	}
+	return n, false, bw.Flush()
+}
+
+// tableProbeRows is how many rows the table format buffers to size its
+// columns before streaming the rest with fixed widths.
+const tableProbeRows = 64
+
+// printTable renders padded columns. Column widths come from the header
+// and the first tableProbeRows rows; later, wider values overflow their
+// cell rather than re-layout — the price of streaming output.
+func printTable(w io.Writer, rows *windowdb.Rows, maxRows int) (int, bool, error) {
+	bw := bufio.NewWriter(w)
+	cols := rows.Columns()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+
+	probe := tableProbeRows
+	if maxRows > 0 && maxRows < probe {
+		probe = maxRows
+	}
+	var buffered []storage.Tuple
+	doneEarly := false
+	for len(buffered) < probe {
+		if !rows.Next() {
+			doneEarly = true
+			break
+		}
+		row := rows.Row()
+		buffered = append(buffered, row)
+		for i, v := range row {
+			if l := len(v.String()); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+
+	writeRow := func(cells []string) error {
+		for i, s := range cells {
+			if i > 0 {
+				bw.WriteString("  ")
+			}
+			fmt.Fprintf(bw, "%-*s", widths[i], s)
+		}
+		return bw.WriteByte('\n')
+	}
+	header := make([]string, len(cols))
+	for i, c := range cols {
+		header[i] = strings.ToUpper(c)
+	}
+	if err := writeRow(header); err != nil {
+		return 0, false, err
+	}
+	cells := make([]string, len(cols))
+	render := func(row storage.Tuple) error {
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		return writeRow(cells)
+	}
+	n := 0
+	for _, row := range buffered {
+		if err := render(row); err != nil {
+			return n, false, err
+		}
+		n++
+	}
+	if maxRows > 0 && n >= maxRows && !doneEarly {
+		// More rows may be flowing; report truncation only if one more
+		// actually arrives.
+		more := rows.Next()
+		return n, more, bw.Flush()
+	}
+	if !doneEarly {
+		for rows.Next() {
+			if err := render(rows.Row()); err != nil {
+				return n, false, err
+			}
+			n++
+			if n%64 == 0 {
+				if err := bw.Flush(); err != nil {
+					return n, false, err
+				}
+			}
+			if maxRows > 0 && n >= maxRows {
+				more := rows.Next()
+				return n, more, bw.Flush()
+			}
+		}
+	}
+	return n, false, bw.Flush()
 }
 
 func isTerminal(f *os.File) bool {
@@ -162,111 +388,4 @@ func isTerminal(f *os.File) bool {
 		return false
 	}
 	return info.Mode()&os.ModeCharDevice != 0
-}
-
-// remote is the -server client: statements ride the windserve /query
-// JSON surface (identical on a single engine and a cluster coordinator).
-type remote struct {
-	base   string
-	client *http.Client
-}
-
-func newRemote(addr string) *remote {
-	base := strings.TrimRight(addr, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	return &remote{base: base, client: &http.Client{}}
-}
-
-// remoteResponse is the subset of the /query response the shell renders;
-// it tolerates both the engine's and the coordinator's shapes.
-type remoteResponse struct {
-	Columns   []string `json:"columns"`
-	Rows      [][]any  `json:"rows"`
-	RowCount  int      `json:"row_count"`
-	Truncated bool     `json:"truncated"`
-
-	ElapsedMillis float64 `json:"elapsed_ms"`
-	CacheHit      bool    `json:"cache_hit"`
-	Route         string  `json:"route"`
-	ShardsUsed    int     `json:"shards_used"`
-
-	Chain         string `json:"chain"`
-	FinalSort     string `json:"final_sort"`
-	BlocksRead    int64  `json:"blocks_read"`
-	BlocksWritten int64  `json:"blocks_written"`
-
-	Error string `json:"error"`
-	Kind  string `json:"kind"`
-}
-
-// run executes one statement remotely and prints the result in the same
-// shape as the embedded path.
-func (r *remote) run(stmt string, maxRows int, showPlan bool) bool {
-	body, _ := json.Marshal(map[string]any{"sql": stmt, "max_rows": maxRows})
-	resp, err := r.client.Post(r.base+"/query", "application/json", bytes.NewReader(body))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
-		return false
-	}
-	defer resp.Body.Close()
-	dec := json.NewDecoder(resp.Body)
-	dec.UseNumber() // keep the server's number formatting verbatim
-	var qr remoteResponse
-	if err := dec.Decode(&qr); err != nil {
-		fmt.Fprintf(os.Stderr, "windsql: %s: bad response: %v\n", resp.Status, err)
-		return false
-	}
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "windsql: %s (%s): %s\n", resp.Status, qr.Kind, qr.Error)
-		return false
-	}
-
-	// Rebuild a display table so remote results render exactly like
-	// embedded ones (FormatTable handles padding; NULL prints as "-").
-	cols := make([]storage.Column, len(qr.Columns))
-	for i, name := range qr.Columns {
-		cols[i] = storage.Column{Name: name, Type: storage.TypeString}
-	}
-	t := storage.NewTable(storage.NewSchema(cols...))
-	for _, row := range qr.Rows {
-		tuple := make(storage.Tuple, len(row))
-		for i, v := range row {
-			switch x := v.(type) {
-			case nil:
-				tuple[i] = storage.Null
-			case json.Number:
-				tuple[i] = storage.StringVal(x.String())
-			case string:
-				tuple[i] = storage.StringVal(x)
-			default:
-				tuple[i] = storage.StringVal(fmt.Sprint(x))
-			}
-		}
-		t.Rows = append(t.Rows, tuple)
-	}
-	fmt.Print(sql.FormatTable(t, 0))
-	if qr.Truncated {
-		fmt.Printf("... (%d more rows on the server)\n", qr.RowCount-len(qr.Rows))
-	}
-
-	blocks := qr.BlocksRead + qr.BlocksWritten
-	disposition := "plan cache miss"
-	if qr.CacheHit {
-		disposition = "plan cache hit"
-	}
-	elapsed := time.Duration(qr.ElapsedMillis * float64(time.Millisecond))
-	fmt.Printf("\n(%d rows in %v served; %d I/O blocks: %d read, %d written; %s)\n",
-		qr.RowCount, elapsed.Round(time.Microsecond), blocks, qr.BlocksRead, qr.BlocksWritten, disposition)
-	if qr.Route != "" {
-		fmt.Printf("route: %s over %d shard(s)\n", qr.Route, qr.ShardsUsed)
-	}
-	if showPlan && qr.Chain != "" {
-		fmt.Printf("chain: %s\n", qr.Chain)
-		if qr.FinalSort != "" {
-			fmt.Printf("final sort: %s\n", qr.FinalSort)
-		}
-	}
-	return true
 }

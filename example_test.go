@@ -1,19 +1,23 @@
 package windowdb_test
 
 import (
+	"context"
+	"database/sql"
 	"fmt"
 
 	windowdb "repro"
 	"repro/internal/datagen"
+	_ "repro/sqldriver"
 )
 
-// Example reproduces the paper's Example 1: each employee's salary rank
-// within their department and across the whole company.
+// Example reproduces the paper's Example 1 on the streaming cursor
+// surface: each employee's salary rank within their department and across
+// the whole company, scanned row by row.
 func Example() {
 	eng := windowdb.New(windowdb.Config{})
 	eng.Register("emptab", datagen.Emptab())
 
-	res, err := eng.Query(`
+	rows, err := eng.QueryContext(context.Background(), `
 		SELECT empnum,
 		       rank() OVER (PARTITION BY dept ORDER BY salary DESC NULLS LAST) AS rank_in_dept,
 		       rank() OVER (ORDER BY salary DESC NULLS LAST) AS globalrank
@@ -23,11 +27,58 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	for _, row := range res.Table.Rows {
-		fmt.Printf("emp %s: dept rank %s, global rank %s\n", row[0], row[1], row[2])
+	defer rows.Close()
+	for rows.Next() {
+		var emp, deptRank, globalRank int64
+		if err := rows.Scan(&emp, &deptRank, &globalRank); err != nil {
+			panic(err)
+		}
+		fmt.Printf("emp %d: dept rank %d, global rank %d\n", emp, deptRank, globalRank)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
 	}
 	// Output:
 	// emp 6: dept rank 1, global rank 1
 	// emp 10: dept rank 2, global rank 2
 	// emp 8: dept rank 3, global rank 3
+}
+
+// Example_databaseSQL plugs the engine into the standard database/sql
+// ecosystem through the sqldriver package: register the engine under a
+// DSN name, open it with the "windowdb" driver, and use plain *sql.DB
+// scanning. A "http://host:port" DSN reaches a remote windserve the same
+// way.
+func Example_databaseSQL() {
+	eng := windowdb.New(windowdb.Config{})
+	eng.Register("emptab", datagen.Emptab())
+	windowdb.RegisterDSN("example", eng)
+
+	db, err := sql.Open("windowdb", "example")
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	rows, err := db.Query(`
+		SELECT empnum, rank() OVER (ORDER BY salary DESC NULLS LAST) AS r
+		FROM emptab ORDER BY r, empnum LIMIT 3`)
+	if err != nil {
+		panic(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var emp, rank int64
+		if err := rows.Scan(&emp, &rank); err != nil {
+			panic(err)
+		}
+		fmt.Printf("emp %d: rank %d\n", emp, rank)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// emp 2: rank 1
+	// emp 6: rank 2
+	// emp 4: rank 3
 }

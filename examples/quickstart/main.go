@@ -1,27 +1,30 @@
-// Quickstart: the paper's Example 1, end to end.
+// Quickstart: the paper's Example 1, end to end, on the streaming cursor
+// API.
 //
 // Builds the 10-row emptab relation, runs the introductory window query —
 // each employee's salary rank within their department and across the whole
-// company — and prints the result table along with the window-function
-// chain the cover-set optimizer produced.
+// company — scans the Rows cursor as the engine yields it, and prints the
+// window-function chain the cover-set optimizer produced (from the
+// post-drain metrics).
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro"
 	"repro/internal/datagen"
-	"repro/internal/sql"
 )
 
 func main() {
 	eng := windowdb.New(windowdb.Config{})
 	eng.Register("emptab", datagen.Emptab())
 
-	res, err := eng.Query(`
+	rows, err := eng.QueryContext(context.Background(), `
 		SELECT empnum, dept, salary,
 		       rank() OVER (PARTITION BY dept ORDER BY salary DESC NULLS LAST) AS rank_in_dept,
 		       rank() OVER (ORDER BY salary DESC NULLS LAST) AS globalrank
@@ -30,10 +33,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rows.Close()
 
 	fmt.Println("Example 1 of the paper — sample output:")
-	fmt.Print(sql.FormatTable(res.Table, 0))
-	fmt.Printf("\nwindow-function chain (%s): %s\n", res.Plan.Scheme, res.Plan.PaperString())
+	fmt.Println(strings.ToUpper(strings.Join(rows.Columns(), "  ")))
+	for rows.Next() {
+		cells := make([]string, 0, len(rows.Columns()))
+		for _, v := range rows.Row() {
+			cells = append(cells, v.String())
+		}
+		fmt.Println(strings.Join(cells, "  "))
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Post-drain metrics carry the plan and the executor's I/O accounting.
+	m := rows.Metrics()
+	fmt.Printf("\nwindow-function chain (%s): %s\n", m.Plan.Scheme, m.Chain)
 	fmt.Printf("spill I/O: %d blocks (10-row table: everything stays in memory)\n",
-		res.Metrics.TotalBlocks())
+		m.Exec.TotalBlocks())
 }

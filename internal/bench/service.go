@@ -106,15 +106,15 @@ func ServiceMix() []string {
 
 // ServiceResult is one concurrency degree of the serving sweep.
 type ServiceResult struct {
-	Concurrency int
-	Queries     int64
-	Errors      int64
-	QPS         float64
-	HitRate     float64 // plan-cache hit rate over the measured window
-	P50         time.Duration
-	P95         time.Duration
-	P99         time.Duration
-	MaxInFlight int64 // in-flight high-water mark within this degree's window
+	Concurrency int           `json:"concurrency"`
+	Queries     int64         `json:"queries"`
+	Errors      int64         `json:"errors"`
+	QPS         float64       `json:"qps"`
+	HitRate     float64       `json:"hit_rate"` // plan-cache hit rate over the measured window
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	MaxInFlight int64         `json:"max_in_flight"` // in-flight high-water mark within this degree's window
 }
 
 // RunService drives the query service with an ostresser-style closed-loop

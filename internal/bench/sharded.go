@@ -17,14 +17,14 @@ import (
 // ShardedResult is one shard-count measurement of the sharded-cluster
 // scenario.
 type ShardedResult struct {
-	Query    string
-	Shards   int
-	Elapsed  time.Duration
-	Blocks   int64 // summed shard-side spill I/O
-	Scaleout float64
+	Query    string        `json:"query"`
+	Shards   int           `json:"shards"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Blocks   int64         `json:"blocks"` // summed shard-side spill I/O
+	Scaleout float64       `json:"scaleout"`
 	// HTTP marks the extra HTTP-transport round trip appended after the
 	// in-process sweep.
-	HTTP bool
+	HTTP bool `json:"http,omitempty"`
 }
 
 // shardedQ6 is the Q6 chain (Table 3) as SQL: both functions share WPK

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Trajectory is the machine-readable perf baseline windbench -json writes:
+// the parallel, sharded and service scenario results plus enough host and
+// workload metadata to judge whether two artifacts are comparable. CI
+// uploads one per run (BENCH_pr4.json and successors), so later changes
+// diff their hot paths against a recorded trajectory instead of a memory.
+//
+// Durations serialize as nanoseconds (Go's default for time.Duration);
+// consumers divide by 1e6 for milliseconds.
+type Trajectory struct {
+	// Schema versions the artifact shape.
+	Schema int `json:"schema"`
+	// GeneratedAt is the RFC 3339 write time.
+	GeneratedAt string `json:"generated_at"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	// Rows and BlockSize echo the workload configuration of the parallel
+	// and sharded scenarios (the service scenario sizes itself).
+	Rows      int `json:"rows"`
+	BlockSize int `json:"block_size"`
+
+	Parallel []ParallelResult `json:"parallel,omitempty"`
+	Sharded  []ShardedResult  `json:"sharded,omitempty"`
+	Service  []ServiceResult  `json:"service,omitempty"`
+}
+
+// NewTrajectory stamps an empty artifact with the host and workload
+// metadata.
+func NewTrajectory(cfg Config) *Trajectory {
+	return &Trajectory{
+		Schema:      1,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.GOMAXPROCS(0),
+		Rows:        cfg.Rows,
+		BlockSize:   cfg.BlockSize,
+	}
+}
+
+// Write serializes the artifact to path, indented for diff-friendliness.
+func (t *Trajectory) Write(path string) error {
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}

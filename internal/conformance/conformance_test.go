@@ -1,0 +1,317 @@
+// Package conformance holds the shared Queryer contract suite: every
+// backend of the repository — in-process Engine, admission-controlled
+// service.Service, remote service.Client (NDJSON over /query, against
+// both a single-engine windserve and a cluster coordinator), and the
+// scatter-gather shard.Cluster — must serve the same values, the same
+// ORDER BY order, the same DISTINCT/LIMIT semantics and the same error
+// taxonomy through the one Rows cursor surface.
+package conformance
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"testing"
+
+	windowdb "repro"
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/service"
+	"repro/internal/shard"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+const dataRows = 2000
+
+func dataset() (*storage.Table, *storage.Table) {
+	return datagen.WebSales(datagen.WebSalesConfig{Rows: dataRows, Seed: 11}), datagen.Emptab()
+}
+
+func engCfg() windowdb.Config {
+	return windowdb.Config{SortMemBytes: 2 << 20, Parallelism: 1}
+}
+
+func newEngine() *windowdb.Engine {
+	ws, emp := dataset()
+	eng := windowdb.New(engCfg())
+	eng.Register("web_sales", ws)
+	eng.Register("emptab", emp)
+	return eng
+}
+
+// backend is one Queryer under test.
+type backend struct {
+	name string
+	q    windowdb.Queryer
+	// ordered reports whether the backend guarantees the single-engine
+	// row order even without a total ORDER BY (clusters concatenate
+	// per-shard outputs, so only ORDER BY queries have defined order).
+	ordered bool
+}
+
+// backends builds every Queryer implementation over the same dataset.
+// Cleanups are registered on t.
+func backends(t *testing.T) []backend {
+	t.Helper()
+	ws, emp := dataset()
+
+	eng := newEngine()
+	svc := service.New(newEngine(), service.Config{Slots: 2})
+
+	srv := httptest.NewServer(service.New(newEngine(), service.Config{Slots: 2}).Handler())
+	t.Cleanup(srv.Close)
+	client := service.NewClient(srv.URL, srv.Client())
+
+	newCluster := func() *shard.Cluster {
+		shards := make([]shard.Transport, 2)
+		for i := range shards {
+			shards[i] = shard.NewLocal(service.New(windowdb.New(engCfg()), service.Config{Slots: 2}))
+		}
+		c, err := shard.New(shard.Config{Engine: engCfg()}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RegisterReplicated(ctx, "emptab", emp); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cluster := newCluster()
+
+	coordSrv := httptest.NewServer(newCluster().Handler())
+	t.Cleanup(coordSrv.Close)
+	coordClient := service.NewClient(coordSrv.URL, coordSrv.Client())
+
+	return []backend{
+		{"engine", eng, true},
+		{"service", svc, true},
+		{"client-engine", client, true},
+		{"cluster", cluster, false},
+		{"client-coordinator", coordClient, false},
+	}
+}
+
+// conformanceQueries exercises the contract dimensions: plain projection,
+// window chains, WHERE, total ORDER BY (exact order must match), DISTINCT,
+// LIMIT composed with ORDER BY, and window-less statements. orderedOnly
+// marks queries whose row order is fully determined by a total ORDER BY.
+var conformanceQueries = []struct {
+	name    string
+	sql     string
+	ordered bool // a total ORDER BY pins the exact row order
+}{
+	{"q6-chain", `SELECT ws_item_sk, ws_order_number,
+		rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS wf1,
+		rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_bill_customer_sk) AS wf2 FROM web_sales`, false},
+	{"where", `SELECT ws_item_sk, ws_order_number, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r
+		FROM web_sales WHERE ws_quantity > 50`, false},
+	{"orderby", `SELECT ws_item_sk, ws_order_number, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r
+		FROM web_sales ORDER BY r, ws_item_sk, ws_order_number`, true},
+	{"orderby-desc", `SELECT ws_item_sk, ws_order_number FROM web_sales ORDER BY ws_item_sk DESC, ws_order_number`, true},
+	{"distinct", `SELECT DISTINCT ws_item_sk FROM web_sales ORDER BY ws_item_sk`, true},
+	{"limit", `SELECT ws_item_sk, ws_order_number FROM web_sales ORDER BY ws_order_number, ws_item_sk LIMIT 17`, true},
+	{"windowless", `SELECT empnum, salary FROM emptab ORDER BY empnum`, true},
+	{"emptab-rank", `SELECT empnum, rank() OVER (ORDER BY salary DESC NULLS LAST) AS r FROM emptab ORDER BY r, empnum`, true},
+}
+
+// fingerprint encodes each drained row; ordered keeps sequence, otherwise
+// the multiset is canonicalized by sorting.
+func fingerprint(rows [][]byte, ordered bool) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = string(r)
+	}
+	if !ordered {
+		slices.Sort(out)
+	}
+	return out
+}
+
+func drain(t *testing.T, q windowdb.Queryer, src string) ([]string, [][]byte) {
+	t.Helper()
+	rows, err := q.QueryContext(context.Background(), src)
+	if err != nil {
+		t.Fatalf("QueryContext: %v", err)
+	}
+	defer rows.Close()
+	var encoded [][]byte
+	for rows.Next() {
+		encoded = append(encoded, storage.AppendTuple(nil, rows.Row()))
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return rows.Columns(), encoded
+}
+
+// TestQueryerValueIdentity: every backend's cursor yields exactly the
+// reference Engine.Query result — identical columns, identical values;
+// identical order whenever a total ORDER BY pins it.
+func TestQueryerValueIdentity(t *testing.T) {
+	ref := newEngine()
+	for _, bk := range backends(t) {
+		t.Run(bk.name, func(t *testing.T) {
+			for _, cq := range conformanceQueries {
+				want, err := ref.Query(cq.sql)
+				if err != nil {
+					t.Fatalf("%s: reference: %v", cq.name, err)
+				}
+				wantEnc := make([][]byte, want.Table.Len())
+				for i, r := range want.Table.Rows {
+					wantEnc[i] = storage.AppendTuple(nil, r)
+				}
+				cols, gotEnc := drain(t, bk.q, cq.sql)
+
+				wantCols := make([]string, want.Table.Schema.Len())
+				for i, c := range want.Table.Schema.Columns {
+					wantCols[i] = c.Name
+				}
+				if !slices.Equal(cols, wantCols) {
+					t.Fatalf("%s: columns %v, want %v", cq.name, cols, wantCols)
+				}
+				ordered := cq.ordered || bk.ordered
+				got := fingerprint(gotEnc, ordered)
+				exp := fingerprint(wantEnc, ordered)
+				if !slices.Equal(got, exp) {
+					t.Fatalf("%s: result differs from Engine.Query (%d vs %d rows, ordered=%v)",
+						cq.name, len(got), len(exp), ordered)
+				}
+			}
+		})
+	}
+}
+
+// TestQueryerErrorTaxonomy: parse, bind and unknown-table failures carry
+// the same sentinels through every backend, local or remote.
+func TestQueryerErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		want error
+	}{
+		{"parse", `SELEKT 1`, sql.ErrParse},
+		{"bind", `SELECT nosuch FROM emptab`, sql.ErrBind},
+		{"unknown-table", `SELECT * FROM nosuch`, catalog.ErrUnknownTable},
+	}
+	for _, bk := range backends(t) {
+		t.Run(bk.name, func(t *testing.T) {
+			for _, c := range cases {
+				_, err := bk.q.QueryContext(context.Background(), c.sql)
+				if !errors.Is(err, c.want) {
+					t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestQueryerPreparedStatements: PrepareContext round-trips on every
+// backend and executes repeatedly with identical results.
+func TestQueryerPreparedStatements(t *testing.T) {
+	const q = `SELECT empnum, rank() OVER (ORDER BY salary DESC NULLS LAST) AS r FROM emptab ORDER BY r, empnum`
+	for _, bk := range backends(t) {
+		t.Run(bk.name, func(t *testing.T) {
+			st, err := bk.q.PrepareContext(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			var first []string
+			for run := 0; run < 2; run++ {
+				rows, err := st.QueryContext(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				var enc [][]byte
+				for rows.Next() {
+					enc = append(enc, storage.AppendTuple(nil, rows.Row()))
+				}
+				if err := rows.Err(); err != nil {
+					t.Fatal(err)
+				}
+				got := fingerprint(enc, true)
+				if run == 0 {
+					first = got
+					if len(first) == 0 {
+						t.Fatal("no rows")
+					}
+				} else if !slices.Equal(first, got) {
+					t.Fatal("prepared statement runs differ")
+				}
+			}
+		})
+	}
+}
+
+// TestQueryerCancelledContext: an already-cancelled context fails
+// promptly on every backend with context.Canceled.
+func TestQueryerCancelledContext(t *testing.T) {
+	const q = `SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales`
+	for _, bk := range backends(t) {
+		t.Run(bk.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			rows, err := bk.q.QueryContext(ctx, q)
+			if err == nil {
+				// Remote backends may only notice at first read.
+				for rows.Next() {
+				}
+				err = rows.Err()
+				rows.Close()
+			}
+			if err == nil {
+				t.Fatal("cancelled context served a full result")
+			}
+			if !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), "context canceled") {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestQueryerMetricsAfterDrain: every backend reports post-drain metrics
+// with the row count and (where it has one) the routing decision.
+func TestQueryerMetricsAfterDrain(t *testing.T) {
+	const q = `SELECT ws_item_sk, ws_order_number,
+		rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS wf1,
+		rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_bill_customer_sk) AS wf2 FROM web_sales`
+	for _, bk := range backends(t) {
+		t.Run(bk.name, func(t *testing.T) {
+			rows, err := bk.q.QueryContext(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m := rows.Metrics(); m != nil {
+				t.Fatal("metrics non-nil before drain")
+			}
+			var n int64
+			for rows.Next() {
+				n++
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatal(err)
+			}
+			m := rows.Metrics()
+			if m == nil {
+				t.Fatal("metrics nil after drain")
+			}
+			if m.Rows != n {
+				t.Fatalf("metrics rows %d, drained %d", m.Rows, n)
+			}
+			if m.Chain == "" {
+				t.Fatal("chain missing from metrics")
+			}
+			isCluster := bk.name == "cluster" || bk.name == "client-coordinator"
+			if isCluster && m.Route != "scatter" {
+				t.Fatalf("route = %q, want scatter", m.Route)
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// RemoteError is a serving process's error response, preserving the
+// service status taxonomy across the wire: Unwrap maps the taxonomy kind
+// back to the matching sentinel, so errors.Is sees through the transport
+// and front ends re-serve the original status. Both the cluster's shard
+// transport and Client speak it.
+type RemoteError struct {
+	Node   string
+	Status int
+	Kind   string
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote %s: %s (%s)", e.Node, e.Msg, e.Kind)
+}
+
+// Unwrap maps the remote taxonomy kind to its sentinel error.
+func (e *RemoteError) Unwrap() error {
+	switch e.Kind {
+	case "parse":
+		return sql.ErrParse
+	case "bind":
+		return sql.ErrBind
+	case "unknown_table":
+		return catalog.ErrUnknownTable
+	case "overloaded":
+		return ErrOverloaded
+	case "timeout":
+		return context.DeadlineExceeded
+	case "canceled":
+		return context.Canceled
+	}
+	return nil
+}
+
+// DecodeRemoteError turns a non-2xx response into a *RemoteError, reading
+// (a bounded prefix of) the body for the taxonomy payload.
+func DecodeRemoteError(node string, resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(msg, &e) != nil || e.Error == "" {
+		e.Error = strings.TrimSpace(string(msg))
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+	}
+	return &RemoteError{Node: node, Status: resp.StatusCode, Kind: e.Kind, Msg: e.Error}
+}
+
+// Client is the remote windowdb.Queryer: it speaks the NDJSON streaming
+// /query surface of a running windserve — single engine or cluster
+// coordinator, the wire shape is the same — yielding rows incrementally
+// as the server emits them. Closing a half-drained Rows closes the
+// response body, which the server observes as a disconnect and releases
+// its admission slot.
+//
+// A Client is safe for concurrent use (http.Client is).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ windowdb.Queryer = (*Client)(nil)
+
+// NewClient builds a client for a serving address ("host:port" or a full
+// http:// URL). A nil http.Client uses http.DefaultClient.
+func NewClient(addr string, hc *http.Client) *Client {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// Addr returns the server's base URL.
+func (c *Client) Addr() string { return c.base }
+
+// QueryContext executes src on the server and returns a cursor over the
+// response stream.
+func (c *Client) QueryContext(ctx context.Context, src string) (*windowdb.Rows, error) {
+	start := time.Now()
+	sr, err := OpenStream(ctx, c.hc, c.base+"/query", queryRequest{SQL: src, Stream: true})
+	if err != nil {
+		return nil, err
+	}
+	return windowdb.NewRows(&clientSource{sr: sr, start: start}), nil
+}
+
+// PrepareContext returns a statement bound to this client. The server
+// keeps the plan in its own cache keyed by the SQL text, so preparation
+// needs no round trip; validation errors surface on first execution.
+func (c *Client) PrepareContext(ctx context.Context, src string) (windowdb.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &clientStmt{c: c, src: src}, nil
+}
+
+type clientStmt struct {
+	c   *Client
+	src string
+}
+
+func (st *clientStmt) QueryContext(ctx context.Context) (*windowdb.Rows, error) {
+	return st.c.QueryContext(ctx, st.src)
+}
+
+func (st *clientStmt) Close() error { return nil }
+
+// clientSource adapts a StreamReader to the RowSource contract.
+type clientSource struct {
+	sr    *StreamReader
+	start time.Time
+	meta  *windowdb.QueryMetrics
+}
+
+func (cs *clientSource) Columns() []storage.Column { return cs.sr.Columns() }
+
+func (cs *clientSource) Next() (storage.Tuple, error) {
+	t, err := cs.sr.Next()
+	if err == io.EOF {
+		cs.meta = metaFromTrailer(cs.sr.Trailer())
+		cs.meta.Elapsed = time.Since(cs.start)
+	}
+	return t, err
+}
+
+func (cs *clientSource) Close() error { return cs.sr.Close() }
+
+// Metrics returns the trailer-derived metadata; nil when the stream was
+// closed before the trailer arrived (there is nothing trustworthy to
+// report about a query whose outcome the server never confirmed).
+func (cs *clientSource) Metrics() *windowdb.QueryMetrics { return cs.meta }
+
+// metaFromTrailer lifts a stream trailer into the public metrics shape.
+// Elapsed is overwritten by the caller with the client-observed time; the
+// trailer's ElapsedMillis is the server-side figure.
+func metaFromTrailer(t *StreamTrailer) *windowdb.QueryMetrics {
+	if t == nil {
+		return &windowdb.QueryMetrics{FinalSort: "none", Parallelism: 1}
+	}
+	return &windowdb.QueryMetrics{
+		Chain:         t.Chain,
+		FinalSort:     t.FinalSort,
+		Parallelism:   1,
+		CacheHit:      t.CacheHit,
+		Route:         t.Route,
+		ShardsUsed:    t.ShardsUsed,
+		Queued:        time.Duration(t.QueuedMillis * float64(time.Millisecond)),
+		BlocksRead:    t.BlocksRead,
+		BlocksWritten: t.BlocksWritten,
+		Comparisons:   t.Comparisons,
+	}
+}

@@ -20,6 +20,12 @@ import (
 //	GET  /stats   service Snapshot as JSON
 //	GET  /healthz "ok"
 //
+// /query answers with a buffered JSON body by default; a request carrying
+// "stream":true, ?stream=1 or `Accept: application/x-ndjson` gets the
+// chunked NDJSON stream instead (stream.go) — rows leave as the cursor
+// yields them and the admission slot is released when the stream ends or
+// the client disconnects. service.Client is the Go consumer of that shape.
+//
 // With Config.ShardRoutes, the /shard/* node surface (shard.go) is
 // mounted too.
 //
@@ -54,6 +60,10 @@ type queryRequest struct {
 	// TimeoutMillis bounds the query when > 0, overriding the service
 	// default.
 	TimeoutMillis int64 `json:"timeout_ms"`
+	// Stream asks for the NDJSON streamed response (stream.go) instead of
+	// the buffered JSON body; `Accept: application/x-ndjson` and `?stream=1`
+	// are equivalent spellings.
+	Stream bool `json:"stream,omitempty"`
 }
 
 type queryResponse struct {
@@ -136,6 +146,18 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
 		defer cancel()
 	}
+
+	if req.Stream || NDJSONRequested(r) {
+		rows, err := s.QueryContext(ctx, req.SQL)
+		if err != nil {
+			status, kind := StatusFor(err)
+			writeError(w, status, kind, err)
+			return
+		}
+		WriteStream(r.Context(), w, rows, req.MaxRows)
+		return
+	}
+
 	res, err := s.Query(ctx, req.SQL)
 	if err != nil {
 		status, kind := StatusFor(err)

@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro"
+	"repro/internal/exec"
 )
 
 // latencyHist is a fixed exponential-bucket histogram: bucket i covers
@@ -77,6 +77,7 @@ type Metrics struct {
 	queries  atomic.Uint64 // completed successfully
 	failures atomic.Uint64 // completed with any error
 	rejected atomic.Uint64 // of failures: ErrOverloaded rejections
+	aborted  atomic.Uint64 // streams closed before their last row (disconnects, truncation)
 
 	inFlight    atomic.Int64 // executions currently holding a slot
 	maxInFlight atomic.Int64 // high-water mark of inFlight
@@ -107,9 +108,11 @@ func (m *Metrics) beginExec() {
 
 func (m *Metrics) endExec() { m.inFlight.Add(-1) }
 
-// observe records one finished query: its end-to-end latency, outcome, and
-// (on success) the executor's metrics.
-func (m *Metrics) observe(res *windowdb.Result, d time.Duration, err error) {
+// observe records one finished query: its end-to-end latency, outcome,
+// rows served and (on success) the executor's metrics. Streaming queries
+// observe at stream end — rowsOut then counts the rows actually yielded,
+// not the rows the statement could have produced.
+func (m *Metrics) observe(execM *exec.Metrics, rowsOut int64, d time.Duration, err error) {
 	if err != nil {
 		m.failures.Add(1)
 		return
@@ -118,16 +121,12 @@ func (m *Metrics) observe(res *windowdb.Result, d time.Duration, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.hist.observe(d)
-	if res != nil {
-		if res.Metrics != nil {
-			m.blocksRead += res.Metrics.BlocksRead
-			m.blocksWritten += res.Metrics.BlocksWritten
-			m.comparisons += res.Metrics.Comparisons
-		}
-		if res.Table != nil {
-			m.rowsOut += int64(res.Table.Len())
-		}
+	if execM != nil {
+		m.blocksRead += execM.BlocksRead
+		m.blocksWritten += execM.BlocksWritten
+		m.comparisons += execM.Comparisons
 	}
+	m.rowsOut += rowsOut
 }
 
 // Snapshot is a point-in-time view of the service counters, shaped for the
@@ -137,7 +136,11 @@ type Snapshot struct {
 	Queries       uint64  `json:"queries"`
 	Failures      uint64  `json:"failures"`
 	Rejected      uint64  `json:"rejected"`
-	QPS           float64 `json:"qps"`
+	// Aborted counts streamed queries whose cursor was closed before the
+	// last row — client disconnects and deliberate truncations. They are
+	// neither successes nor failures and contribute no latency sample.
+	Aborted uint64  `json:"aborted"`
+	QPS     float64 `json:"qps"`
 
 	InFlight    int64 `json:"in_flight"`
 	MaxInFlight int64 `json:"max_in_flight"`
@@ -163,6 +166,7 @@ func (m *Metrics) snapshot() Snapshot {
 		Queries:       m.queries.Load(),
 		Failures:      m.failures.Load(),
 		Rejected:      m.rejected.Load(),
+		Aborted:       m.aborted.Load(),
 		InFlight:      m.inFlight.Load(),
 		MaxInFlight:   m.maxInFlight.Load(),
 	}

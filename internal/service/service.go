@@ -30,9 +30,14 @@ package service
 import (
 	"context"
 	"errors"
+	"io"
+	"sync"
 	"time"
 
 	"repro"
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/storage"
 )
 
 // Config parameterizes a Service. The zero value serves: 4 chain-memory
@@ -200,11 +205,212 @@ func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*Quer
 	}()
 
 	elapsed := time.Since(start)
-	s.metrics.observe(res, elapsed, err)
+	var execM *exec.Metrics
+	var rowsOut int64
+	if res != nil {
+		execM = res.Metrics
+		if res.Table != nil {
+			rowsOut = int64(res.Table.Len())
+		}
+	}
+	s.metrics.observe(execM, rowsOut, elapsed, err)
 	if err != nil {
 		return nil, err
 	}
 	return &QueryResult{Result: res, CacheHit: hit, Queued: queued, Elapsed: elapsed}, nil
+}
+
+// Service implements windowdb.Queryer: QueryContext serves a statement as
+// an incremental Rows cursor whose admission slot is held for the cursor's
+// whole lifetime — acquired before execution, released when the cursor is
+// drained or closed. A client that stops consuming must Close (the HTTP
+// layer does so on disconnect), or its slot stays occupied; a cancelled
+// context unblocks a half-drained cursor at the next row stride and
+// releases the slot the same way.
+var _ windowdb.Queryer = (*Service)(nil)
+
+// QueryContext serves one query as a streaming cursor. The error classes
+// match Query's.
+func (s *Service) QueryContext(ctx context.Context, src string) (*windowdb.Rows, error) {
+	return s.stream(ctx, src, false)
+}
+
+// StreamShardLocal is QueryContext for the shard-local part of a statement
+// (WHERE, chain, projection — no DISTINCT/ORDER BY/LIMIT): what a shard
+// node streams back to a scatter-gather coordinator. Because the
+// shard-local pipeline never finalizes, rows leave the node the moment the
+// final chain segment's projection yields them.
+func (s *Service) StreamShardLocal(ctx context.Context, src string) (*windowdb.Rows, error) {
+	return s.stream(ctx, src, true)
+}
+
+// PrepareContext validates and plans src through the service's plan cache,
+// returning a statement that executes via the streaming path.
+func (s *Service) PrepareContext(ctx context.Context, src string) (windowdb.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := NormalizeSQL(src)
+	if _, hit := s.cache.get(key, s.eng.Generation()); !hit {
+		p, err := s.eng.Prepare(src)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(key, p)
+	}
+	return &serviceStmt{s: s, src: src}, nil
+}
+
+// serviceStmt re-resolves through the plan cache per execution, so a
+// statement survives table re-registration (the cache re-prepares under
+// the new catalog generation).
+type serviceStmt struct {
+	s   *Service
+	src string
+}
+
+func (st *serviceStmt) QueryContext(ctx context.Context) (*windowdb.Rows, error) {
+	return st.s.QueryContext(ctx, st.src)
+}
+
+func (st *serviceStmt) Close() error { return nil }
+
+func (s *Service) stream(ctx context.Context, src string, shardLocal bool) (*windowdb.Rows, error) {
+	var cancel context.CancelFunc
+	if s.cfg.DefaultTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			// The timeout must cover the cursor's whole lifetime, so the
+			// cancel travels with the stream and fires when it finishes.
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+		}
+	}
+	fail := func(err error) error {
+		s.metrics.failures.Add(1)
+		if cancel != nil {
+			cancel()
+		}
+		return err
+	}
+	start := time.Now()
+	key := NormalizeSQL(src)
+	prep, hit := s.cache.get(key, s.eng.Generation())
+	if !hit {
+		p, err := s.eng.Prepare(src)
+		if err != nil {
+			return nil, fail(err)
+		}
+		s.cache.put(key, p)
+		prep = p
+	}
+
+	queueStart := time.Now()
+	if _, err := s.gov.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.metrics.rejected.Add(1)
+		}
+		return nil, fail(err)
+	}
+	queued := time.Since(queueStart)
+	s.metrics.beginExec()
+	// Until the slot is handed to the cursor, release it on every exit —
+	// error or panic (recovered per-request by net/http): a panicking
+	// chain must not wedge the governor shut while /healthz still answers
+	// ok, same discipline as serve()'s deferred release.
+	handoff := false
+	defer func() {
+		if !handoff {
+			s.gov.release()
+			s.metrics.endExec()
+		}
+	}()
+
+	var (
+		cur *sql.Cursor
+		err error
+	)
+	if shardLocal {
+		cur, err = prep.StreamShardContext(ctx)
+	} else {
+		cur, err = prep.StreamContext(ctx)
+	}
+	if err != nil {
+		s.metrics.observe(nil, 0, time.Since(start), err)
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	handoff = true
+	return windowdb.NewRows(&servedSource{
+		svc: s, cur: cur, start: start, queued: queued, cacheHit: hit, cancel: cancel,
+	}), nil
+}
+
+// servedSource adapts an execution cursor to the Rows contract while
+// holding the service-side resources: the admission slot and the in-flight
+// gauge, both released exactly once when the stream ends — drained, failed
+// or closed early. The three endings classify differently: a full drain
+// is a query, an execution error a failure, and an early Close (client
+// disconnect, deliberate truncation) an abort — counted on its own
+// gauge, with no latency sample, so partial deliveries don't masquerade
+// as fast successes in the histogram.
+type servedSource struct {
+	svc      *Service
+	cur      *sql.Cursor
+	start    time.Time
+	queued   time.Duration
+	cacheHit bool
+	cancel   context.CancelFunc
+
+	rows      int64
+	completed bool // a terminal Next (io.EOF) was observed
+	once      sync.Once
+	meta      *windowdb.QueryMetrics
+}
+
+func (ss *servedSource) Columns() []storage.Column { return ss.cur.Columns() }
+
+func (ss *servedSource) Next() (storage.Tuple, error) {
+	t, err := ss.cur.Next()
+	switch {
+	case err == io.EOF:
+		ss.completed = true
+		ss.finish(nil)
+	case err != nil:
+		ss.finish(err)
+	default:
+		ss.rows++
+	}
+	return t, err
+}
+
+func (ss *servedSource) Close() error {
+	ss.finish(nil)
+	return ss.cur.Close()
+}
+
+func (ss *servedSource) Metrics() *windowdb.QueryMetrics { return ss.meta }
+
+func (ss *servedSource) finish(err error) {
+	ss.once.Do(func() {
+		ss.svc.gov.release()
+		ss.svc.metrics.endExec()
+		elapsed := time.Since(ss.start)
+		meta := windowdb.MetaFromResult(ss.cur.Meta())
+		meta.CacheHit, meta.Queued, meta.Elapsed = ss.cacheHit, ss.queued, elapsed
+		ss.meta = meta
+		switch {
+		case err != nil:
+			ss.svc.metrics.observe(nil, 0, elapsed, err)
+		case !ss.completed:
+			ss.svc.metrics.aborted.Add(1)
+		default:
+			ss.svc.metrics.observe(ss.cur.Meta().Metrics, ss.rows, elapsed, nil)
+		}
+		if ss.cancel != nil {
+			ss.cancel()
+		}
+	})
 }
 
 // ResetMaxInFlight re-arms the in-flight high-water mark to the current

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/attrs"
 )
 
@@ -36,6 +37,10 @@ type ShardQueryRequest struct {
 	SQL string `json:"sql"`
 	// Mode is "local" (shard-local part only) or "full" (entire statement).
 	Mode string `json:"mode"`
+	// Stream asks for the NDJSON row stream (stream.go) instead of the
+	// buffered WireTable body: the coordinator's scatter path uses it to
+	// bound its resident rows by the wire batch instead of |R|.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // ShardQueryResponse carries the executed rows plus the execution
@@ -76,6 +81,29 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request", errors.New("service: empty query"))
 		return
 	}
+	if req.Stream {
+		var (
+			rows *windowdb.Rows
+			err  error
+		)
+		switch req.Mode {
+		case "local":
+			rows, err = s.StreamShardLocal(r.Context(), req.SQL)
+		case "full", "":
+			rows, err = s.QueryContext(r.Context(), req.SQL)
+		default:
+			writeError(w, http.StatusBadRequest, "request", fmt.Errorf("service: unknown shard query mode %q", req.Mode))
+			return
+		}
+		if err != nil {
+			status, kind := StatusFor(err)
+			writeError(w, status, kind, err)
+			return
+		}
+		WriteStream(r.Context(), w, rows, 0)
+		return
+	}
+
 	var (
 		res *QueryResult
 		err error

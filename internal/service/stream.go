@@ -1,0 +1,299 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/storage"
+)
+
+// The streaming wire format: one query result as newline-delimited JSON
+// (Content-Type application/x-ndjson), so a client renders — and a
+// coordinator forwards — rows as they arrive instead of buffering the
+// whole body. Three frame shapes, one per line:
+//
+//	{"columns":[{"name":"r","type":"INT"}, ...]}   header, first line
+//	[{"i":"42"}, {"s":"x"}, null, ...]             one row, WireValue-tagged
+//	{"done":true, "row_count":N, ...}              trailer, last line
+//
+// Rows use the lossless kind-tagged WireValue encoding (wire.go), so a
+// streamed result decodes to exactly the values a local cursor yields —
+// int64s past 2^53 included. Errors discovered after the 200 header has
+// been sent arrive in the trailer as {"done":true,"error":...,"kind":...}
+// with the same taxonomy kinds the buffered surface maps to HTTP statuses;
+// a missing trailer means the stream was cut and the client reports a
+// truncation error rather than silently serving a prefix.
+//
+// Both /query (engine and coordinator front ends) and /shard/query (node
+// scatter surface) speak this format when the request asks for it
+// (NDJSONRequested); service.Client and the cluster's HTTP shard transport
+// are the two consumers.
+
+// ContentTypeNDJSON is the streamed response content type.
+const ContentTypeNDJSON = "application/x-ndjson"
+
+// streamHeader is the first NDJSON line: the output schema.
+type streamHeader struct {
+	Columns []WireColumn `json:"columns"`
+}
+
+// StreamTrailer is the last NDJSON line: the query's outcome and serving
+// observations (the streamed analogue of the buffered response's metadata
+// fields, plus the error slot for mid-stream failures).
+type StreamTrailer struct {
+	Done  bool   `json:"done"`
+	Error string `json:"error,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+
+	RowCount  int64 `json:"row_count"`
+	Truncated bool  `json:"truncated,omitempty"`
+
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	QueuedMillis  float64 `json:"queued_ms"`
+	CacheHit      bool    `json:"cache_hit"`
+
+	Chain      string `json:"chain,omitempty"`
+	FinalSort  string `json:"final_sort,omitempty"`
+	Route      string `json:"route,omitempty"`
+	ShardsUsed int    `json:"shards_used,omitempty"`
+
+	BlocksRead    int64 `json:"blocks_read"`
+	BlocksWritten int64 `json:"blocks_written"`
+	Comparisons   int64 `json:"comparisons"`
+}
+
+// TrailerFor renders a cursor's post-drain metrics as the stream trailer.
+func TrailerFor(m *windowdb.QueryMetrics) StreamTrailer {
+	t := StreamTrailer{Done: true}
+	if m == nil {
+		return t
+	}
+	t.RowCount = m.Rows
+	t.ElapsedMillis = float64(m.Elapsed) / float64(time.Millisecond)
+	t.QueuedMillis = float64(m.Queued) / float64(time.Millisecond)
+	t.CacheHit = m.CacheHit
+	t.Chain = m.Chain
+	t.FinalSort = m.FinalSort
+	t.Route = m.Route
+	t.ShardsUsed = m.ShardsUsed
+	t.BlocksRead = m.BlocksRead
+	t.BlocksWritten = m.BlocksWritten
+	t.Comparisons = m.Comparisons
+	return t
+}
+
+// NDJSONRequested reports whether an HTTP request asked for the streamed
+// response shape: an Accept header naming application/x-ndjson or a
+// stream=1 query parameter (the GET-friendly spelling).
+func NDJSONRequested(r *http.Request) bool {
+	if strings.Contains(r.Header.Get("Accept"), ContentTypeNDJSON) {
+		return true
+	}
+	v := r.URL.Query().Get("stream")
+	return v == "1" || strings.EqualFold(v, "true")
+}
+
+// streamFlushStride is how many rows go out between explicit flushes: low
+// enough that a slow consumer sees steady progress, high enough that the
+// syscall cost disappears into the encoding work.
+const streamFlushStride = 64
+
+// WriteStream serves rows as an NDJSON stream and closes the cursor. It
+// owns the response from the first byte: callers must not have written a
+// status. maxRows > 0 truncates the stream after that many rows (the
+// trailer marks it). ctx — the request context — aborts the stream between
+// flushes when the client disconnects, which is what releases the cursor's
+// admission slot mid-stream.
+func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int) {
+	defer rows.Close()
+	w.Header().Set("Content-Type", ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(streamHeader{Columns: WireColumns(rows.ColumnTypes())}); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var n int64
+	truncated := false
+	for rows.Next() {
+		row := rows.Row()
+		wr := make([]WireValue, len(row))
+		for i, v := range row {
+			wr[i] = WireValue{V: v}
+		}
+		if err := enc.Encode(wr); err != nil {
+			return // client gone; the deferred Close releases the slot
+		}
+		n++
+		if n%streamFlushStride == 0 {
+			flush()
+			if ctx.Err() != nil {
+				return
+			}
+		}
+		if maxRows > 0 && n >= int64(maxRows) {
+			// Probe one more row before declaring truncation: an
+			// exact-boundary result was fully delivered (and the probe's
+			// io.EOF lets the source classify the query as completed, not
+			// aborted).
+			truncated = rows.Next()
+			break
+		}
+	}
+
+	// Close before reading Metrics: post-drain metadata is finalized when
+	// the stream ends, and a truncated drain ends it via Close.
+	_ = rows.Close()
+	var trailer StreamTrailer
+	if err := rows.Err(); err != nil {
+		_, kind := StatusFor(err)
+		trailer = StreamTrailer{Done: true, Error: err.Error(), Kind: kind, RowCount: n}
+	} else {
+		trailer = TrailerFor(rows.Metrics())
+		trailer.RowCount = n
+		trailer.Truncated = truncated
+	}
+	_ = enc.Encode(trailer)
+	flush()
+}
+
+// StreamReader consumes one NDJSON result stream: the client half of
+// WriteStream. Next yields decoded tuples and io.EOF at the trailer;
+// Trailer exposes the trailer after EOF. A stream that ends without a
+// trailer (a cut connection) surfaces an error instead of a silent prefix.
+type StreamReader struct {
+	node    string
+	body    io.ReadCloser
+	br      *bufio.Reader
+	cols    []storage.Column
+	trailer *StreamTrailer
+	err     error
+}
+
+// OpenStream POSTs body as JSON to url with the NDJSON accept header and
+// returns a reader over the response stream. Non-2xx responses decode into
+// *RemoteError carrying the service error taxonomy.
+func OpenStream(ctx context.Context, hc *http.Client, url string, reqBody any) (*StreamReader, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	buf, err := json.Marshal(reqBody)
+	if err != nil {
+		return nil, fmt.Errorf("service: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", ContentTypeNDJSON)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: %s: %w", url, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		return nil, DecodeRemoteError(url, resp)
+	}
+	sr := &StreamReader{node: url, body: resp.Body, br: bufio.NewReaderSize(resp.Body, 64<<10)}
+	hdr, err := sr.readLine()
+	if err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("service: %s: reading stream header: %w", url, err)
+	}
+	var h streamHeader
+	if err := json.Unmarshal(hdr, &h); err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("service: %s: bad stream header %q: %w", url, hdr, err)
+	}
+	cols, err := DecodeColumns(h.Columns)
+	if err != nil {
+		resp.Body.Close()
+		return nil, err
+	}
+	sr.cols = cols
+	return sr, nil
+}
+
+// Columns returns the streamed schema from the header line.
+func (sr *StreamReader) Columns() []storage.Column { return sr.cols }
+
+// readLine returns the next non-empty line without its terminator.
+func (sr *StreamReader) readLine() ([]byte, error) {
+	for {
+		line, err := sr.br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			return trimmed, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Next returns the next row, io.EOF after the trailer, or an error — a
+// decode failure, a mid-stream server error from the trailer (unwrapping
+// to the taxonomy sentinels via RemoteError), or a truncated stream.
+func (sr *StreamReader) Next() (storage.Tuple, error) {
+	if sr.trailer != nil {
+		return nil, io.EOF
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	line, err := sr.readLine()
+	if err != nil {
+		sr.err = fmt.Errorf("service: %s: stream cut before trailer: %w", sr.node, err)
+		return nil, sr.err
+	}
+	if line[0] == '[' {
+		var row []WireValue
+		if err := json.Unmarshal(line, &row); err != nil {
+			sr.err = fmt.Errorf("service: %s: bad stream row: %w", sr.node, err)
+			return nil, sr.err
+		}
+		if len(row) != len(sr.cols) {
+			sr.err = fmt.Errorf("service: %s: stream row arity %d != schema arity %d", sr.node, len(row), len(sr.cols))
+			return nil, sr.err
+		}
+		t := make(storage.Tuple, len(row))
+		for i, v := range row {
+			t[i] = v.V
+		}
+		return t, nil
+	}
+	var trailer StreamTrailer
+	if err := json.Unmarshal(line, &trailer); err != nil {
+		sr.err = fmt.Errorf("service: %s: bad stream trailer %q: %w", sr.node, line, err)
+		return nil, sr.err
+	}
+	if trailer.Error != "" {
+		sr.err = &RemoteError{Node: sr.node, Status: http.StatusOK, Kind: trailer.Kind, Msg: trailer.Error}
+		return nil, sr.err
+	}
+	sr.trailer = &trailer
+	return nil, io.EOF
+}
+
+// Trailer returns the stream trailer, nil until Next returned io.EOF.
+func (sr *StreamReader) Trailer() *StreamTrailer { return sr.trailer }
+
+// Close releases the underlying response body; closing a half-read stream
+// is how a client disconnects (the server sees the write fail or the
+// request context cancel, and releases its slot).
+func (sr *StreamReader) Close() error { return sr.body.Close() }

@@ -85,10 +85,7 @@ type WireTable struct {
 
 // EncodeTable converts a table to its wire form.
 func EncodeTable(t *storage.Table) WireTable {
-	wt := WireTable{Columns: make([]WireColumn, t.Schema.Len())}
-	for i, c := range t.Schema.Columns {
-		wt.Columns[i] = WireColumn{Name: c.Name, Type: c.Type.String()}
-	}
+	wt := WireTable{Columns: WireColumns(t.Schema.Columns)}
 	wt.Rows = make([][]WireValue, t.Len())
 	for ri, row := range t.Rows {
 		out := make([]WireValue, len(row))
@@ -100,11 +97,21 @@ func EncodeTable(t *storage.Table) WireTable {
 	return wt
 }
 
-// Decode converts a wire table back to a storage table, validating column
-// types and row arity.
-func (w WireTable) Decode() (*storage.Table, error) {
-	cols := make([]storage.Column, len(w.Columns))
-	for i, c := range w.Columns {
+// WireColumns converts a schema's columns to their wire form: the header
+// line of the NDJSON stream and the column block of WireTable.
+func WireColumns(cols []storage.Column) []WireColumn {
+	out := make([]WireColumn, len(cols))
+	for i, c := range cols {
+		out[i] = WireColumn{Name: c.Name, Type: c.Type.String()}
+	}
+	return out
+}
+
+// DecodeColumns converts wire columns back to schema columns, validating
+// the type names.
+func DecodeColumns(wc []WireColumn) ([]storage.Column, error) {
+	cols := make([]storage.Column, len(wc))
+	for i, c := range wc {
 		var typ storage.ColumnType
 		switch c.Type {
 		case "INT":
@@ -117,6 +124,16 @@ func (w WireTable) Decode() (*storage.Table, error) {
 			return nil, fmt.Errorf("service: unknown wire column type %q", c.Type)
 		}
 		cols[i] = storage.Column{Name: c.Name, Type: typ}
+	}
+	return cols, nil
+}
+
+// Decode converts a wire table back to a storage table, validating column
+// types and row arity.
+func (w WireTable) Decode() (*storage.Table, error) {
+	cols, err := DecodeColumns(w.Columns)
+	if err != nil {
+		return nil, err
 	}
 	t := storage.NewTable(storage.NewSchema(cols...))
 	t.Rows = make([]storage.Tuple, len(w.Rows))

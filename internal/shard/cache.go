@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/service"
@@ -10,53 +11,114 @@ import (
 // planCache is the coordinator's prepared-statement cache: normalized SQL
 // (service.NormalizeSQL, the same key discipline as the shard nodes' own
 // caches) maps to a *sql.Prepared carrying the parse/bind/plan and routing
-// analysis. Entries are valid only under the coordinator catalog
-// generation they were prepared against; a generation change (any cluster
-// registration) flushes the cache wholesale — coordinators register
-// rarely, so the simple flush beats per-entry bookkeeping. Past capacity
-// the cache resets: shard nodes keep the heavyweight per-statement state
-// (their plan caches are LRU-bounded); this one only saves coordinator
-// CPU.
+// analysis. Invalidation is per table: RegisterSharded and
+// RegisterReplicated drop only the plans prepared against the table they
+// replace (invalidateTable), so a catalog that gains or refreshes one
+// table keeps every other table's plans hot — the first slice of the
+// shard-aware plan cache (ROADMAP), replacing the earlier
+// flush-everything-on-any-generation-change discipline.
+//
+// The generation guard remains only as a put-time race check: a prepare
+// that raced a registration (its generation is no longer current) is not
+// cached, because invalidateTable may already have swept the table it was
+// built against. Past capacity the cache resets wholesale: shard nodes
+// keep the heavyweight per-statement state (their plan caches are
+// LRU-bounded); this one only saves coordinator CPU.
 type planCache struct {
 	mu      sync.Mutex
 	cap     int
-	gen     uint64
-	entries map[string]*sql.Prepared
+	entries map[string]*coordEntry            // normalized SQL -> entry
+	byTable map[string]map[string]*coordEntry // folded table -> keys of its plans
+
+	hits, misses, invalidations uint64
+}
+
+type coordEntry struct {
+	key   string
+	table string // folded FROM-table name
+	prep  *sql.Prepared
 }
 
 func newPlanCache(capacity int) *planCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &planCache{cap: capacity, entries: make(map[string]*sql.Prepared)}
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[string]*coordEntry),
+		byTable: make(map[string]map[string]*coordEntry),
+	}
 }
 
-func (c *planCache) get(key string, gen uint64) (*sql.Prepared, bool) {
+func (c *planCache) get(key string) (*sql.Prepared, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if gen != c.gen {
-		c.gen = gen
-		c.entries = make(map[string]*sql.Prepared)
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
 		return nil, false
 	}
-	p, ok := c.entries[key]
-	return p, ok
+	c.hits++
+	return e.prep, true
 }
 
-func (c *planCache) put(key string, p *sql.Prepared) {
+// put stores a freshly prepared statement. genNow reads the live
+// coordinator catalog generation and is evaluated inside the cache lock:
+// when the statement's generation differs from it, a registration ran
+// concurrently and the plan may already be stale, so it is not cached
+// (the next lookup re-prepares). Reading under the lock closes the race
+// with invalidateTable — a registration's sweep takes this same lock
+// strictly after its generation bump, so an insert either passes the
+// check before the sweep (and is swept) or reads the bumped generation
+// (and is rejected); a pre-read generation snapshot would leave a window
+// where a stale plan outlives the sweep.
+func (c *planCache) put(key string, p *sql.Prepared, genNow func() uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if p.Generation() != c.gen {
-		if p.Generation() < c.gen {
-			return // prepared against a superseded catalog; don't cache
-		}
-		c.gen = p.Generation()
-		c.entries = make(map[string]*sql.Prepared)
+	if p.Generation() != genNow() {
+		return
 	}
 	if len(c.entries) >= c.cap {
-		c.entries = make(map[string]*sql.Prepared)
+		if _, ok := c.entries[key]; !ok {
+			c.entries = make(map[string]*coordEntry)
+			c.byTable = make(map[string]map[string]*coordEntry)
+		}
 	}
-	c.entries[key] = p
+	table := strings.ToLower(p.Table())
+	e := &coordEntry{key: key, table: table, prep: p}
+	c.entries[key] = e
+	keys := c.byTable[table]
+	if keys == nil {
+		keys = make(map[string]*coordEntry)
+		c.byTable[table] = keys
+	}
+	keys[key] = e
+}
+
+// invalidateTable drops every plan prepared against table (folded name),
+// leaving other tables' plans in place.
+func (c *planCache) invalidateTable(table string) {
+	table = strings.ToLower(table)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key := range c.byTable[table] {
+		delete(c.entries, key)
+		c.invalidations++
+	}
+	delete(c.byTable, table)
+}
+
+// stats snapshots the coordinator cache counters.
+func (c *planCache) stats() service.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return service.CacheStats{
+		Size:          len(c.entries),
+		Capacity:      c.cap,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+	}
 }
 
 // normalizeSQL aliases the service's cache-key normalization.

@@ -17,15 +17,22 @@ type ClusterStats struct {
 	Shards   int    `json:"shards"`
 	Queries  uint64 `json:"queries"`
 	Failures uint64 `json:"failures"`
-	Scatter  uint64 `json:"scatter"`
-	Gather   uint64 `json:"gather"`
-	Replica  uint64 `json:"replica"`
+	// Aborted counts streamed queries closed before their last row
+	// (client disconnects, deliberate truncation) — neither successes
+	// nor failures.
+	Aborted uint64 `json:"aborted"`
+	Scatter uint64 `json:"scatter"`
+	Gather  uint64 `json:"gather"`
+	Replica uint64 `json:"replica"`
 
 	// Aggregates across the shard snapshots below.
 	ShardQueries  uint64 `json:"shard_queries"`
 	ShardRejected uint64 `json:"shard_rejected"`
 	BlocksRead    int64  `json:"blocks_read"`
 	BlocksWritten int64  `json:"blocks_written"`
+
+	// CoordCache is the coordinator's per-table-invalidated plan cache.
+	CoordCache service.CacheStats `json:"coord_cache"`
 
 	ShardStats []service.Snapshot `json:"shard_stats"`
 }
@@ -44,9 +51,11 @@ func (c *Cluster) Stats(ctx context.Context) (*ClusterStats, error) {
 		Shards:     len(c.shards),
 		Queries:    c.queries.Load(),
 		Failures:   c.failures.Load(),
+		Aborted:    c.aborted.Load(),
 		Scatter:    c.scatter.Load(),
 		Gather:     c.gathered.Load(),
 		Replica:    c.replica.Load(),
+		CoordCache: c.cache.stats(),
 		ShardStats: snaps,
 	}
 	for _, s := range snaps {
@@ -67,9 +76,13 @@ func (c *Cluster) Stats(ctx context.Context) (*ClusterStats, error) {
 //	GET  /healthz fans out to every shard; 503 names the first down node
 //
 // /query responses add "route" (scatter|gather|replica) and "shards_used".
-// Errors reuse the service status taxonomy; shard-node errors unwrap
-// through RemoteError to the same sentinels, so an overloaded shard is a
-// 429 here too.
+// A request carrying "stream":true, ?stream=1 or `Accept:
+// application/x-ndjson` gets the chunked NDJSON stream: on the scatter
+// route the coordinator forwards per-node streams in shard-index order
+// without materializing the result, so the response memory at the
+// coordinator is bounded by the wire batch, not |R|. Errors reuse the
+// service status taxonomy; shard-node errors unwrap through RemoteError
+// to the same sentinels, so an overloaded shard is a 429 here too.
 func (c *Cluster) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", c.handleQuery)
@@ -82,6 +95,7 @@ type queryRequest struct {
 	SQL           string `json:"sql"`
 	MaxRows       int    `json:"max_rows"`
 	TimeoutMillis int64  `json:"timeout_ms"`
+	Stream        bool   `json:"stream,omitempty"`
 }
 
 type queryResponse struct {
@@ -143,6 +157,20 @@ func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
 		defer cancel()
 	}
+
+	if req.Stream || service.NDJSONRequested(r) {
+		// The streamed shape: on the scatter route the response body is the
+		// merge-concatenation of the per-node streams — rows transit the
+		// coordinator without ever forming a whole-result buffer.
+		rows, err := c.QueryContext(ctx, req.SQL)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		service.WriteStream(r.Context(), w, rows, req.MaxRows)
+		return
+	}
+
 	res, err := c.Query(ctx, req.SQL)
 	if err != nil {
 		writeError(w, err)

@@ -11,9 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/attrs"
-	"repro/internal/catalog"
 	"repro/internal/service"
-	"repro/internal/sql"
 	"repro/internal/storage"
 )
 
@@ -42,39 +40,10 @@ func NewHTTP(addr string, client *http.Client) *HTTP {
 func (h *HTTP) Addr() string { return h.base }
 
 // RemoteError is a shard node's error response, preserving the service
-// status taxonomy across the wire: Unwrap maps the taxonomy kind back to
-// the matching sentinel, so errors.Is sees through the transport and the
-// coordinator front end re-serves the original status.
-type RemoteError struct {
-	Node   string
-	Status int
-	Kind   string
-	Msg    string
-}
-
-// Error implements error.
-func (e *RemoteError) Error() string {
-	return fmt.Sprintf("shard %s: %s (%s)", e.Node, e.Msg, e.Kind)
-}
-
-// Unwrap maps the remote taxonomy kind to its sentinel error.
-func (e *RemoteError) Unwrap() error {
-	switch e.Kind {
-	case "parse":
-		return sql.ErrParse
-	case "bind":
-		return sql.ErrBind
-	case "unknown_table":
-		return catalog.ErrUnknownTable
-	case "overloaded":
-		return service.ErrOverloaded
-	case "timeout":
-		return context.DeadlineExceeded
-	case "canceled":
-		return context.Canceled
-	}
-	return nil
-}
+// status taxonomy across the wire. It now lives in the service package
+// (the streaming Client speaks it too); the alias keeps the shard-side
+// name.
+type RemoteError = service.RemoteError
 
 // do runs one JSON round trip; a non-2xx response decodes into RemoteError.
 func (h *HTTP) do(ctx context.Context, method, path string, body, out any) error {
@@ -99,18 +68,7 @@ func (h *HTTP) do(ctx context.Context, method, path string, body, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
-			Kind  string `json:"kind"`
-		}
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
-		if json.Unmarshal(msg, &e) != nil || e.Error == "" {
-			e.Error = strings.TrimSpace(string(msg))
-			if e.Error == "" {
-				e.Error = resp.Status
-			}
-		}
-		return &RemoteError{Node: h.base, Status: resp.StatusCode, Kind: e.Kind, Msg: e.Error}
+		return service.DecodeRemoteError(h.base, resp)
 	}
 	if out == nil {
 		return nil
@@ -120,6 +78,46 @@ func (h *HTTP) do(ctx context.Context, method, path string, body, out any) error
 	}
 	return nil
 }
+
+// QueryStream implements Transport over the node's NDJSON /shard/query
+// stream: rows decode one wire line at a time, so the coordinator's
+// resident state per node is one row plus the transport's read buffer.
+func (h *HTTP) QueryStream(ctx context.Context, src string, mode Mode) (RowStream, error) {
+	sr, err := service.OpenStream(ctx, h.client, h.base+"/shard/query",
+		service.ShardQueryRequest{SQL: src, Mode: string(mode), Stream: true})
+	if err != nil {
+		return nil, err
+	}
+	return &httpStream{sr: sr}, nil
+}
+
+// httpStream adapts a service.StreamReader to the transport's RowStream.
+type httpStream struct {
+	sr      *service.StreamReader
+	outcome *QueryOutcome
+}
+
+func (hs *httpStream) Columns() []storage.Column { return hs.sr.Columns() }
+
+func (hs *httpStream) Next() (storage.Tuple, error) {
+	t, err := hs.sr.Next()
+	if err == io.EOF && hs.outcome == nil {
+		if tr := hs.sr.Trailer(); tr != nil {
+			hs.outcome = &QueryOutcome{
+				CacheHit:      tr.CacheHit,
+				FinalSort:     tr.FinalSort,
+				BlocksRead:    tr.BlocksRead,
+				BlocksWritten: tr.BlocksWritten,
+				Comparisons:   tr.Comparisons,
+			}
+		}
+	}
+	return t, err
+}
+
+func (hs *httpStream) Outcome() *QueryOutcome { return hs.outcome }
+
+func (hs *httpStream) Close() error { return hs.sr.Close() }
 
 // Query implements Transport.
 func (h *HTTP) Query(ctx context.Context, src string, mode Mode) (*QueryOutcome, error) {

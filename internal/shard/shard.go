@@ -38,6 +38,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -94,11 +95,12 @@ type Cluster struct {
 	mu     sync.RWMutex
 	tables map[string]*tableInfo // keyed by folded name
 
-	cache      *planCache
-	gatherSlot chan struct{} // bounds coordinator-side gather chains
-	rr         atomic.Uint64 // replica round-robin cursor
+	cache          *planCache
+	gatherSlot     chan struct{} // bounds coordinator-side gather chains
+	gatherInFlight atomic.Int64  // gather chains currently holding a slot
+	rr             atomic.Uint64 // replica round-robin cursor
 
-	queries, failures          atomic.Uint64
+	queries, failures, aborted atomic.Uint64
 	scatter, gathered, replica atomic.Uint64
 }
 
@@ -186,6 +188,9 @@ func (c *Cluster) RegisterSharded(ctx context.Context, name string, t *storage.T
 		name: name, sharded: true, keyCols: keyCols, key: key, rows: rows,
 	}
 	c.mu.Unlock()
+	// Per-table invalidation: only plans prepared against this table are
+	// built on the superseded entry; other tables' plans stay hot.
+	c.cache.invalidateTable(name)
 	return nil
 }
 
@@ -202,6 +207,7 @@ func (c *Cluster) RegisterReplicated(ctx context.Context, name string, t *storag
 	c.mu.Lock()
 	c.tables[strings.ToLower(name)] = &tableInfo{name: name, rows: int64(t.Len())}
 	c.mu.Unlock()
+	c.cache.invalidateTable(name)
 	return nil
 }
 
@@ -298,31 +304,99 @@ type Result struct {
 	Comparisons   int64
 }
 
-// Query serves one statement: prepare (cached) at the coordinator, route,
-// execute, finalize. Error classes match the single-engine service:
+// Query serves one statement and materializes its result: prepare
+// (cached) at the coordinator, route, execute, finalize. It is the
+// compatibility wrapper over QueryContext — the cursor drained into a
+// table. Error classes match the single-engine service:
 // sql.ErrParse/ErrBind, catalog.ErrUnknownTable, service.ErrOverloaded
 // (from a shard's admission control), ctx errors, and engine faults —
 // remote errors unwrap to the same sentinels (RemoteError).
 func (c *Cluster) Query(ctx context.Context, src string) (*Result, error) {
-	if c.cfg.DefaultTimeout > 0 {
-		if _, ok := ctx.Deadline(); !ok {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, c.cfg.DefaultTimeout)
-			defer cancel()
-		}
-	}
 	start := time.Now()
-	res, err := c.query(ctx, src)
+	rows, err := c.QueryContext(ctx, src)
 	if err != nil {
-		c.failures.Add(1)
 		return nil, err
 	}
-	c.queries.Add(1)
-	res.Elapsed = time.Since(start)
+	defer rows.Close()
+	t := storage.NewTable(storage.NewSchema(rows.ColumnTypes()...))
+	for rows.Next() {
+		t.Rows = append(t.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{Table: t, Route: "scatter", ShardsUsed: len(c.shards), Elapsed: time.Since(start)}
+	if m := rows.Metrics(); m != nil {
+		res.Plan = m.Plan
+		res.Route = m.Route
+		res.ShardsUsed = m.ShardsUsed
+		res.CacheHit = m.CacheHit
+		res.FinalSort = m.FinalSort
+		res.BlocksRead = m.BlocksRead
+		res.BlocksWritten = m.BlocksWritten
+		res.Comparisons = m.Comparisons
+	}
 	return res, nil
 }
 
-func (c *Cluster) query(ctx context.Context, src string) (*Result, error) {
+// Cluster implements windowdb.Queryer.
+var _ windowdb.Queryer = (*Cluster)(nil)
+
+// QueryContext serves one statement as an incremental Rows cursor. The
+// scatter route merge-concatenates the per-node row streams in
+// shard-index order — the coordinator holds in-flight rows, not node
+// responses, so its memory is bounded by the wire batch size × shard
+// count instead of |R| — except when DISTINCT or ORDER BY force the
+// finalize pass to materialize the concatenation first. The gather route
+// holds its coordinator execution slot, and every route its shard
+// streams, until the cursor is drained or closed.
+func (c *Cluster) QueryContext(ctx context.Context, src string) (*windowdb.Rows, error) {
+	var cancel context.CancelFunc
+	if c.cfg.DefaultTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			ctx, cancel = context.WithTimeout(ctx, c.cfg.DefaultTimeout)
+		}
+	}
+	rows, err := c.streamQuery(ctx, src, cancel)
+	if err != nil {
+		c.failures.Add(1)
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PrepareContext validates and plans src at the coordinator (through the
+// plan cache), returning a statement that executes via the streaming
+// path.
+func (c *Cluster) PrepareContext(ctx context.Context, src string) (windowdb.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if _, _, err := c.prepare(src); err != nil {
+		return nil, err
+	}
+	return &clusterStmt{c: c, src: src}, nil
+}
+
+type clusterStmt struct {
+	c   *Cluster
+	src string
+}
+
+func (st *clusterStmt) QueryContext(ctx context.Context) (*windowdb.Rows, error) {
+	return st.c.QueryContext(ctx, st.src)
+}
+
+func (st *clusterStmt) Close() error { return nil }
+
+// streamQuery prepares, routes and opens the statement's row stream.
+// cancel, when non-nil, is the coordinator-imposed timeout; it must fire
+// when the stream finishes, so it travels into the stream source.
+func (c *Cluster) streamQuery(ctx context.Context, src string, cancel context.CancelFunc) (*windowdb.Rows, error) {
+	start := time.Now()
 	prep, hit, err := c.prepare(src)
 	if err != nil {
 		return nil, err
@@ -335,76 +409,172 @@ func (c *Cluster) query(ctx context.Context, src string) (*Result, error) {
 		// cluster-registered: nothing owns rows for it.
 		return nil, fmt.Errorf("%w %q (not cluster-registered)", catalog.ErrUnknownTable, prep.Table())
 	}
-	var res *Result
 	switch {
 	case !info.sharded:
-		res, err = c.queryReplica(ctx, src, prep)
+		return c.streamReplica(ctx, src, prep, hit, cancel, start)
 	case prep.ShardLocal(info.key):
-		res, err = c.queryScatter(ctx, src, prep)
+		return c.streamScatter(ctx, src, prep, hit, cancel, start)
 	default:
-		res, err = c.queryGather(ctx, prep, info)
+		return c.streamGather(ctx, prep, info, hit, cancel, start)
 	}
-	if err != nil {
-		return nil, err
-	}
-	res.CacheHit = hit
-	return res, nil
 }
 
-// prepare resolves src through the coordinator's plan cache.
-func (c *Cluster) prepare(src string) (*sql.Prepared, bool, error) {
-	gen := c.coord.Generation()
-	key := normalizeSQL(src)
-	if prep, ok := c.cache.get(key, gen); ok {
-		return prep, true, nil
+// openStreams opens one row stream per transport concurrently (the nodes
+// execute their chains in parallel exactly as the buffered scatter did).
+// The first open failure cancels and closes the others; cancellation
+// noise is stripped from the reported error as in eachShard. The returned
+// cancel stops every stream and must be called when the merge finishes.
+func (c *Cluster) openStreams(ctx context.Context, src string, mode Mode, shards []Transport) ([]RowStream, context.CancelFunc, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	streams := make([]RowStream, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, tr := range shards {
+		wg.Add(1)
+		go func(i int, tr Transport) {
+			defer wg.Done()
+			s, err := tr.QueryStream(sctx, src, mode)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			streams[i] = s
+		}(i, tr)
 	}
-	prep, err := c.coord.Prepare(src)
-	if err != nil {
-		return nil, false, err
+	wg.Wait()
+	var failure error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			failure = err
+			break
+		}
 	}
-	c.cache.put(key, prep)
-	return prep, false, nil
+	if failure == nil {
+		failure = errors.Join(errs...)
+	}
+	if failure != nil {
+		for _, s := range streams {
+			if s != nil {
+				_ = s.Close()
+			}
+		}
+		cancel()
+		return nil, nil, failure
+	}
+	return streams, cancel, nil
 }
 
-// queryScatter runs the shard-local part on every shard concurrently,
-// concatenates in shard-index order and finalizes at the coordinator.
-func (c *Cluster) queryScatter(ctx context.Context, src string, prep *sql.Prepared) (*Result, error) {
+// streamScatter runs the shard-local part on every shard and emits the
+// concatenation of their streams in shard-index order. Statements whose
+// finalize phase streams (no DISTINCT/ORDER BY) flow through with LIMIT
+// applied by early termination; the rest drain into a buffer, finalize at
+// the coordinator (FinalizeConcat) and stream the finalized table.
+func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
 	c.scatter.Add(1)
-	outs := make([]*QueryOutcome, len(c.shards))
-	if err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
-		out, err := tr.Query(ctx, src, ModeLocal)
-		outs[i] = out
-		return err
-	}); err != nil {
+	streams, streamCancel, err := c.openStreams(ctx, src, ModeLocal, c.shards)
+	if err != nil {
 		return nil, err
 	}
-	res := &Result{Plan: prep.Plan(), Route: "scatter", ShardsUsed: len(c.shards)}
-	concat := storage.NewTable(outs[0].Table.Schema)
-	for _, out := range outs {
-		concat.Rows = append(concat.Rows, out.Table.Rows...)
-		res.BlocksRead += out.BlocksRead
-		res.BlocksWritten += out.BlocksWritten
-		res.Comparisons += out.Comparisons
+	// Until the streams are handed to a source (or drained below), close
+	// them on every exit — error or panic — so node admission slots are
+	// not leaked past a recovered panic.
+	handoff := false
+	defer func() {
+		if !handoff {
+			closeStreams(streams)
+			streamCancel()
+		}
+	}()
+	if prep.StreamsConcat() {
+		handoff = true
+		return windowdb.NewRows(&scatterSource{
+			c: c, cols: streams[0].Columns(), streams: streams,
+			streamCancel: streamCancel, cancel: cancel,
+			prep: prep, cacheHit: hit,
+			limit: prep.Limit(), start: start,
+		}), nil
 	}
+
+	// DISTINCT or ORDER BY: the concatenation must materialize before the
+	// first output row is known. Drain the node streams (still incremental
+	// on the wire), finalize, stream the result.
+	concat := storage.NewTable(storage.NewSchema(streams[0].Columns()...))
+	var blocksRead, blocksWritten, comparisons int64
+	for _, s := range streams {
+		for {
+			t, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			concat.Rows = append(concat.Rows, t)
+		}
+		if out := s.Outcome(); out != nil {
+			blocksRead += out.BlocksRead
+			blocksWritten += out.BlocksWritten
+			comparisons += out.Comparisons
+		}
+	}
+	closeStreams(streams)
+	streamCancel()
+	handoff = true // streams fully drained and closed above
 	fin := prep.FinalizeConcat(concat)
-	res.Table = fin.Table
-	res.FinalSort = fin.FinalSort
-	return res, nil
+	cur := sql.TableCursor(fin.Table, fin)
+	return windowdb.NewRows(&coordCursorSource{
+		c: c, cur: cur, route: "scatter", shardsUsed: len(c.shards), cacheHit: hit,
+		baseRead: blocksRead, baseWritten: blocksWritten, baseCmp: comparisons,
+		cancel: cancel, start: start,
+	}), nil
 }
 
-// queryGather pulls the table's raw rows from every shard and runs the
-// whole statement at the coordinator.
-func (c *Cluster) queryGather(ctx context.Context, prep *sql.Prepared, info *tableInfo) (*Result, error) {
+// streamReplica streams the whole statement from one node, round-robin.
+func (c *Cluster) streamReplica(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
+	c.replica.Add(1)
+	i := int(c.rr.Add(1)-1) % len(c.shards)
+	streams, streamCancel, err := c.openStreams(ctx, src, ModeFull, c.shards[i:i+1])
+	if err != nil {
+		return nil, err
+	}
+	return windowdb.NewRows(&scatterSource{
+		c: c, cols: streams[0].Columns(), streams: streams,
+		streamCancel: streamCancel, cancel: cancel,
+		replica: true, prep: prep, cacheHit: hit,
+		limit: -1, start: start,
+	}), nil
+}
+
+// streamGather pulls the table's raw rows from every shard, runs the
+// whole statement at the coordinator, and streams the coordinator
+// cursor. The gather execution slot is held until the cursor is drained
+// or closed.
+func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *tableInfo, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
 	c.gathered.Add(1)
 	// Coordinator-side admission: each gather chain assumes the full unit
 	// memory M, so at most GatherSlots of them (fetch included — the
 	// gathered rows are the memory-heavy part) run at once.
 	select {
 	case c.gatherSlot <- struct{}{}:
-		defer func() { <-c.gatherSlot }()
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	c.gatherInFlight.Add(1)
+	release := func() {
+		<-c.gatherSlot
+		c.gatherInFlight.Add(-1)
+	}
+	// Until the slot is handed to the cursor, release it on every exit —
+	// error or panic (recovered per-request by net/http): a panicking
+	// fetch or chain must not consume one of the few gather slots for the
+	// process lifetime.
+	handoff := false
+	defer func() {
+		if !handoff {
+			release()
+		}
+	}()
 	parts := make([]*storage.Table, len(c.shards))
 	if err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
 		t, err := tr.FetchTable(ctx, info.name)
@@ -417,43 +587,214 @@ func (c *Cluster) queryGather(ctx context.Context, prep *sql.Prepared, info *tab
 	for _, t := range parts {
 		gatheredRows.Rows = append(gatheredRows.Rows, t.Rows...)
 	}
-	sres, err := prep.ExecuteOverContext(ctx, gatheredRows)
+	cur, err := prep.StreamOverContext(ctx, gatheredRows)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Table:      sres.Table,
-		Plan:       sres.Plan,
-		Route:      "gather",
-		ShardsUsed: len(c.shards),
-		FinalSort:  sres.FinalSort,
-	}
-	if sres.Metrics != nil {
-		res.BlocksRead = sres.Metrics.BlocksRead
-		res.BlocksWritten = sres.Metrics.BlocksWritten
-		res.Comparisons = sres.Metrics.Comparisons
-	}
-	return res, nil
+	handoff = true
+	return windowdb.NewRows(&coordCursorSource{
+		c: c, cur: cur, route: "gather", shardsUsed: len(c.shards), cacheHit: hit,
+		release: release, cancel: cancel, start: start,
+	}), nil
 }
 
-// queryReplica sends the whole statement to one node, round-robin.
-func (c *Cluster) queryReplica(ctx context.Context, src string, prep *sql.Prepared) (*Result, error) {
-	c.replica.Add(1)
-	i := int(c.rr.Add(1)-1) % len(c.shards)
-	out, err := c.shards[i].Query(ctx, src, ModeFull)
-	if err != nil {
-		return nil, err
+func closeStreams(streams []RowStream) {
+	for _, s := range streams {
+		_ = s.Close()
 	}
-	return &Result{
-		Table:         out.Table,
-		Plan:          prep.Plan(),
-		Route:         "replica",
-		ShardsUsed:    1,
-		FinalSort:     out.FinalSort,
-		BlocksRead:    out.BlocksRead,
-		BlocksWritten: out.BlocksWritten,
-		Comparisons:   out.Comparisons,
-	}, nil
+}
+
+// GatherInFlight returns the number of gather-route chains currently
+// holding a coordinator execution slot; tests assert it returns to zero
+// after mid-stream cancellation.
+func (c *Cluster) GatherInFlight() int64 { return c.gatherInFlight.Load() }
+
+// scatterSource merge-concatenates per-node row streams in shard-index
+// order: the stream currently draining contributes one in-flight row at
+// the coordinator, the ones behind it at most their transport's read
+// buffer. It serves both the streaming scatter route and (with a single
+// stream and replica set) the replica route. LIMIT terminates the merge
+// early, cancelling the remaining node streams.
+type scatterSource struct {
+	c            *Cluster
+	cols         []storage.Column
+	streams      []RowStream
+	streamCancel context.CancelFunc
+	cancel       context.CancelFunc // coordinator DefaultTimeout, when armed
+	prep         *sql.Prepared
+	cacheHit     bool
+	replica      bool
+	limit        int64 // remaining LIMIT budget; -1 = unlimited
+	start        time.Time
+
+	idx       int
+	outcomes  []*QueryOutcome
+	completed bool // the merge reached its natural end (EOF or LIMIT)
+	once      sync.Once
+	meta      *windowdb.QueryMetrics
+}
+
+func (ss *scatterSource) Columns() []storage.Column { return ss.cols }
+
+func (ss *scatterSource) Next() (storage.Tuple, error) {
+	for ss.idx < len(ss.streams) && ss.limit != 0 {
+		t, err := ss.streams[ss.idx].Next()
+		if err == io.EOF {
+			if out := ss.streams[ss.idx].Outcome(); out != nil {
+				ss.outcomes = append(ss.outcomes, out)
+			}
+			ss.idx++
+			continue
+		}
+		if err != nil {
+			ss.finish(err)
+			return nil, err
+		}
+		if ss.limit > 0 {
+			ss.limit--
+		}
+		return t, nil
+	}
+	ss.completed = true
+	ss.finish(nil)
+	return nil, io.EOF
+}
+
+func (ss *scatterSource) Close() error {
+	ss.finish(nil)
+	return nil
+}
+
+func (ss *scatterSource) Metrics() *windowdb.QueryMetrics { return ss.meta }
+
+func (ss *scatterSource) finish(err error) {
+	ss.once.Do(func() {
+		closeStreams(ss.streams)
+		ss.streamCancel()
+		meta := &windowdb.QueryMetrics{
+			Plan:        ss.prep.Plan(),
+			FinalSort:   "none",
+			Parallelism: 1,
+			CacheHit:    ss.cacheHit,
+			Route:       "scatter",
+			ShardsUsed:  len(ss.streams),
+			Elapsed:     time.Since(ss.start),
+		}
+		if meta.Plan != nil {
+			meta.Chain = meta.Plan.PaperString()
+		}
+		for _, out := range ss.outcomes {
+			meta.BlocksRead += out.BlocksRead
+			meta.BlocksWritten += out.BlocksWritten
+			meta.Comparisons += out.Comparisons
+		}
+		if ss.replica {
+			meta.Route = "replica"
+			if len(ss.outcomes) > 0 {
+				meta.FinalSort = ss.outcomes[0].FinalSort
+			}
+		}
+		ss.meta = meta
+		switch {
+		case err != nil:
+			ss.c.failures.Add(1)
+		case !ss.completed:
+			// Closed before the merge's natural end: a client disconnect
+			// or deliberate truncation, neither success nor failure.
+			ss.c.aborted.Add(1)
+		default:
+			ss.c.queries.Add(1)
+		}
+		if ss.cancel != nil {
+			ss.cancel()
+		}
+	})
+}
+
+// coordCursorSource streams a coordinator-side execution cursor — the
+// gather route's chain, or a finalized scatter concatenation — adding the
+// cluster bookkeeping: node counter baselines, the gather slot release,
+// and the routing metadata.
+type coordCursorSource struct {
+	c           *Cluster
+	cur         *sql.Cursor
+	route       string
+	shardsUsed  int
+	cacheHit    bool
+	baseRead    int64
+	baseWritten int64
+	baseCmp     int64
+	release     func() // gather slot, when held
+	cancel      context.CancelFunc
+	start       time.Time
+
+	completed bool // a terminal Next (io.EOF) was observed
+	once      sync.Once
+	meta      *windowdb.QueryMetrics
+}
+
+func (cs *coordCursorSource) Columns() []storage.Column { return cs.cur.Columns() }
+
+func (cs *coordCursorSource) Next() (storage.Tuple, error) {
+	t, err := cs.cur.Next()
+	switch {
+	case err == io.EOF:
+		cs.completed = true
+		cs.finish(nil)
+	case err != nil:
+		cs.finish(err)
+	}
+	return t, err
+}
+
+func (cs *coordCursorSource) Close() error {
+	cs.finish(nil)
+	return cs.cur.Close()
+}
+
+func (cs *coordCursorSource) Metrics() *windowdb.QueryMetrics { return cs.meta }
+
+func (cs *coordCursorSource) finish(err error) {
+	cs.once.Do(func() {
+		if cs.release != nil {
+			cs.release()
+		}
+		meta := windowdb.MetaFromResult(cs.cur.Meta())
+		meta.Route = cs.route
+		meta.ShardsUsed = cs.shardsUsed
+		meta.CacheHit = cs.cacheHit
+		meta.BlocksRead += cs.baseRead
+		meta.BlocksWritten += cs.baseWritten
+		meta.Comparisons += cs.baseCmp
+		meta.Elapsed = time.Since(cs.start)
+		cs.meta = meta
+		switch {
+		case err != nil:
+			cs.c.failures.Add(1)
+		case !cs.completed:
+			cs.c.aborted.Add(1)
+		default:
+			cs.c.queries.Add(1)
+		}
+		if cs.cancel != nil {
+			cs.cancel()
+		}
+	})
+}
+
+// prepare resolves src through the coordinator's per-table-invalidated
+// plan cache.
+func (c *Cluster) prepare(src string) (*sql.Prepared, bool, error) {
+	key := normalizeSQL(src)
+	if prep, ok := c.cache.get(key); ok {
+		return prep, true, nil
+	}
+	prep, err := c.coord.Prepare(src)
+	if err != nil {
+		return nil, false, err
+	}
+	c.cache.put(key, prep, c.coord.Generation)
+	return prep, false, nil
 }
 
 // Health fans out to every shard and returns the first failure.

@@ -1,0 +1,447 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	windowdb "repro"
+	"repro/internal/datagen"
+	"repro/internal/service"
+	"repro/internal/storage"
+)
+
+// residencyGauge counts rows resident in coordinator-owned buffers: a
+// counting codec charged on batch arrival and credited as the consumer
+// takes rows.
+type residencyGauge struct {
+	mu       sync.Mutex
+	resident int
+	peak     int
+}
+
+func (g *residencyGauge) add(n int) {
+	g.mu.Lock()
+	g.resident += n
+	if g.resident > g.peak {
+		g.peak = g.resident
+	}
+	g.mu.Unlock()
+}
+
+func (g *residencyGauge) sub(n int) {
+	g.mu.Lock()
+	g.resident -= n
+	g.mu.Unlock()
+}
+
+func (g *residencyGauge) Peak() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+func (g *residencyGauge) Resident() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.resident
+}
+
+// countingTransport wraps a Transport and delivers QueryStream rows
+// through fixed-size batches — the wire-batch model — while accounting
+// every row resident at the coordinator against a shared gauge. It is the
+// measuring instrument for the bounded-memory scatter assertion.
+type countingTransport struct {
+	Transport
+	batch int
+	gauge *residencyGauge
+}
+
+func (ct *countingTransport) QueryStream(ctx context.Context, sql string, mode Mode) (RowStream, error) {
+	inner, err := ct.Transport.QueryStream(ctx, sql, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &countingStream{inner: inner, batch: ct.batch, gauge: ct.gauge}, nil
+}
+
+type countingStream struct {
+	inner RowStream
+	batch int
+	gauge *residencyGauge
+	buf   []storage.Tuple
+	done  bool
+}
+
+func (cs *countingStream) Columns() []storage.Column { return cs.inner.Columns() }
+
+func (cs *countingStream) Next() (storage.Tuple, error) {
+	if len(cs.buf) == 0 && !cs.done {
+		for len(cs.buf) < cs.batch {
+			t, err := cs.inner.Next()
+			if err == io.EOF {
+				cs.done = true
+				break
+			}
+			if err != nil {
+				cs.gauge.sub(len(cs.buf))
+				cs.buf = nil
+				return nil, err
+			}
+			cs.buf = append(cs.buf, t)
+			cs.gauge.add(1)
+		}
+	}
+	if len(cs.buf) == 0 {
+		return nil, io.EOF
+	}
+	t := cs.buf[0]
+	cs.buf = cs.buf[1:]
+	cs.gauge.sub(1)
+	return t, nil
+}
+
+func (cs *countingStream) Outcome() *QueryOutcome { return cs.inner.Outcome() }
+
+func (cs *countingStream) Close() error {
+	cs.gauge.sub(len(cs.buf))
+	cs.buf = nil
+	return cs.inner.Close()
+}
+
+// tupleChecksum is an order-insensitive multiset fingerprint: the sum of
+// per-tuple FNV-64 hashes. It lets the residency test verify
+// value-identity on 120k rows without holding either result set.
+func tupleChecksum(sum uint64, row storage.Tuple) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(storage.AppendTuple(nil, row))
+	return sum + h.Sum64()
+}
+
+// TestScatterStreamBoundedResidency is the acceptance test for the
+// streaming scatter path: a 4-shard scatter of the 120k-row Q6 chain
+// flows through the coordinator with peak resident rows bounded by the
+// wire batch size × shard count, not |R| — while producing exactly the
+// single-engine multiset. Node-side memory is the nodes' own (they hold
+// their partitions); what this bounds is the coordinator, the process the
+// ROADMAP item called out for materializing whole scatter responses.
+func TestScatterStreamBoundedResidency(t *testing.T) {
+	const (
+		rows   = 120_000
+		nShard = 4
+		batch  = 256
+	)
+	engCfg := windowdb.Config{SortMemBytes: 32 << 20, Parallelism: 1}
+	gauge := &residencyGauge{}
+	shards := make([]Transport, nShard)
+	for i := range shards {
+		eng := windowdb.New(engCfg)
+		shards[i] = &countingTransport{
+			Transport: NewLocal(service.New(eng, service.Config{})),
+			batch:     batch,
+			gauge:     gauge,
+		}
+	}
+	c, err := New(Config{Engine: engCfg}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-engine reference checksum.
+	eng := windowdb.New(engCfg)
+	eng.Register("web_sales", ws)
+	ref, err := eng.Query(q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSum uint64
+	for _, row := range ref.Table.Rows {
+		wantSum = tupleChecksum(wantSum, row)
+	}
+
+	rc, err := c.QueryContext(ctx, q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	var gotSum uint64
+	for rc.Next() {
+		gotSum = tupleChecksum(gotSum, rc.Row())
+		n++
+	}
+	if err := rc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != rows {
+		t.Fatalf("streamed %d rows, want %d", n, rows)
+	}
+	if gotSum != wantSum {
+		t.Fatal("streamed multiset differs from the single-engine result")
+	}
+	m := rc.Metrics()
+	if m == nil || m.Route != "scatter" {
+		t.Fatalf("metrics = %+v, want scatter route", m)
+	}
+
+	// The bound: every node may have one full batch parked at the
+	// coordinator, nothing more. |R| would be 120 000.
+	if peak := gauge.Peak(); peak > batch*nShard {
+		t.Fatalf("peak resident rows %d exceeds batch*shards = %d", peak, batch*nShard)
+	}
+	if res := gauge.Resident(); res != 0 {
+		t.Fatalf("resident rows %d after drain, want 0", res)
+	}
+}
+
+// streamCluster builds an n-shard cluster keeping handles to the node
+// services, for slot-gauge assertions.
+func streamCluster(t *testing.T, n, rows int, cfg Config) (*Cluster, []*service.Service) {
+	t.Helper()
+	svcs := make([]*service.Service, n)
+	shards := make([]Transport, n)
+	for i := range shards {
+		eng := windowdb.New(testEngineConfig())
+		svcs[i] = service.New(eng, service.Config{Slots: 1, MaxQueue: -1})
+		shards[i] = NewLocal(svcs[i])
+	}
+	if cfg.Engine.SortMemBytes == 0 {
+		cfg.Engine = testEngineConfig()
+	}
+	c, err := New(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterReplicated(ctx, "emptab", datagen.Emptab()); err != nil {
+		t.Fatal(err)
+	}
+	return c, svcs
+}
+
+// waitNodeSlotsFree polls every node's in-flight gauge back to zero.
+func waitNodeSlotsFree(t *testing.T, svcs []*service.Service) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		busy := false
+		for _, s := range svcs {
+			if s.Stats().InFlight != 0 {
+				busy = true
+			}
+		}
+		if !busy {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, s := range svcs {
+		if got := s.Stats().InFlight; got != 0 {
+			t.Fatalf("node %d in-flight gauge stuck at %d", i, got)
+		}
+	}
+}
+
+// TestScatterCloseReleasesNodeSlots: closing a half-drained scatter
+// stream closes the per-node streams, releasing every node's admission
+// slot.
+func TestScatterCloseReleasesNodeSlots(t *testing.T) {
+	c, svcs := streamCluster(t, 2, 4000, Config{})
+	rows, err := c.QueryContext(context.Background(), q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended early: %v", rows.Err())
+		}
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitNodeSlotsFree(t, svcs)
+	if got := c.aborted.Load(); got != 1 {
+		t.Fatalf("cluster aborted = %d, want 1 (early close is neither success nor failure)", got)
+	}
+	// Nodes admit again: a fresh scatter completes.
+	if _, err := c.Query(context.Background(), q6SQL); err != nil {
+		t.Fatalf("scatter after close: %v", err)
+	}
+}
+
+// TestScatterCancelMidDrain: a context cancelled while the scatter
+// stream is half-drained surfaces context.Canceled and releases the node
+// slots.
+func TestScatterCancelMidDrain(t *testing.T) {
+	c, svcs := streamCluster(t, 2, 4000, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := c.QueryContext(ctx, q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended early: %v", rows.Err())
+		}
+	}
+	cancel()
+	for rows.Next() {
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitNodeSlotsFree(t, svcs)
+}
+
+// TestGatherSlotReleasedOnCancel: the coordinator's gather execution slot
+// is released when a half-drained gather cursor is cancelled — the
+// in-flight gauge returns to zero and the single slot admits the next
+// gather.
+func TestGatherSlotReleasedOnCancel(t *testing.T) {
+	c, svcs := streamCluster(t, 2, 4000, Config{GatherSlots: -1}) // 1 slot
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := c.QueryContext(ctx, gatherSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GatherInFlight(); got != 1 {
+		t.Fatalf("gather in-flight = %d with an open cursor, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended early: %v", rows.Err())
+		}
+	}
+	cancel()
+	for rows.Next() {
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := c.GatherInFlight(); got != 0 {
+		t.Fatalf("gather in-flight = %d after cancel, want 0", got)
+	}
+	waitNodeSlotsFree(t, svcs)
+	// The released slot admits the next gather immediately.
+	res, err := c.Query(context.Background(), gatherSQL)
+	if err != nil {
+		t.Fatalf("gather after cancel: %v", err)
+	}
+	if res.Route != "gather" {
+		t.Fatalf("route = %q, want gather", res.Route)
+	}
+}
+
+// TestGatherSlotReleasedOnClose: early Close releases the gather slot
+// too.
+func TestGatherSlotReleasedOnClose(t *testing.T) {
+	c, _ := streamCluster(t, 2, 2000, Config{GatherSlots: -1})
+	rows, err := c.QueryContext(context.Background(), gatherSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows: %v", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GatherInFlight(); got != 0 {
+		t.Fatalf("gather in-flight = %d after Close, want 0", got)
+	}
+}
+
+// TestScatterStreamLimitStopsEarly: LIMIT on a streamable scatter
+// terminates the merge early and still releases every stream.
+func TestScatterStreamLimitStopsEarly(t *testing.T) {
+	c, svcs := streamCluster(t, 2, 4000, Config{})
+	rows, err := c.QueryContext(context.Background(), q6SQL+` LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("got %d rows, want 5", n)
+	}
+	waitNodeSlotsFree(t, svcs)
+}
+
+// TestCoordCachePerTableInvalidation is the shard-aware plan cache
+// slice: registering one table invalidates only that table's plans.
+func TestCoordCachePerTableInvalidation(t *testing.T) {
+	c, _ := streamCluster(t, 2, 1000, Config{})
+	ctx := context.Background()
+
+	// Prime both tables' plans.
+	if _, err := c.Query(ctx, q6SQL); err != nil {
+		t.Fatal(err)
+	}
+	empQ := `SELECT empnum, rank() OVER (ORDER BY salary DESC NULLS LAST) AS r FROM emptab`
+	if _, err := c.Query(ctx, empQ); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(ctx, q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("second q6 run missed the coordinator cache")
+	}
+
+	// Re-registering emptab must not evict web_sales plans...
+	if err := c.RegisterReplicated(ctx, "emptab", datagen.Emptab()); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Query(ctx, q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("re-registering emptab invalidated web_sales plans")
+	}
+	// ...but it does evict emptab's.
+	res, err = c.Query(ctx, empQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("re-registering emptab kept its stale plan")
+	}
+
+	// And re-registering web_sales evicts the q6 plan.
+	before := c.cache.stats().Invalidations
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: 1000, Seed: 8})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.cache.stats().Invalidations; got <= before {
+		t.Fatalf("invalidations %d not advanced past %d", got, before)
+	}
+	res, err = c.Query(ctx, q6SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("re-registering web_sales kept its stale plan")
+	}
+}

@@ -2,7 +2,9 @@ package shard
 
 import (
 	"context"
+	"io"
 
+	"repro"
 	"repro/internal/attrs"
 	"repro/internal/service"
 	"repro/internal/storage"
@@ -32,6 +34,25 @@ type QueryOutcome struct {
 	Comparisons   int64
 }
 
+// RowStream is one shard node's incremental query response: rows pulled
+// one at a time, io.EOF at end of stream, and the node's execution
+// observations (Outcome) available once the stream has ended. Closing a
+// half-drained stream tells the node to stop — over HTTP by closing the
+// response body, in-process by closing the node's cursor — which releases
+// the node's admission slot.
+type RowStream interface {
+	// Columns returns the streamed output schema.
+	Columns() []storage.Column
+	// Next returns the next row, io.EOF at end of stream, or the error
+	// that cut the stream.
+	Next() (storage.Tuple, error)
+	// Outcome returns the node's execution observations; nil until the
+	// stream ended cleanly.
+	Outcome() *QueryOutcome
+	// Close releases the stream.
+	Close() error
+}
+
 // Transport reaches one shard node. Two implementations exist: Local wraps
 // an in-process service.Service (tests, benches and single-binary
 // scale-up), HTTP rides the /shard/* routes of a remote windserve so
@@ -40,6 +61,10 @@ type QueryOutcome struct {
 type Transport interface {
 	// Query executes a statement on the node (see Mode).
 	Query(ctx context.Context, sql string, mode Mode) (*QueryOutcome, error)
+	// QueryStream executes a statement and streams its rows: the scatter
+	// path's transport primitive, bounding coordinator memory by what is
+	// in flight instead of the node's whole response.
+	QueryStream(ctx context.Context, sql string, mode Mode) (RowStream, error)
 	// FetchTable returns the node's rows of a table — the gather path of
 	// chains whose partition keys diverge from the shard key.
 	FetchTable(ctx context.Context, name string) (*storage.Table, error)
@@ -89,6 +114,65 @@ func (l *Local) Query(ctx context.Context, sql string, mode Mode) (*QueryOutcome
 	}
 	return out, nil
 }
+
+// QueryStream implements Transport: the node's service cursor, adapted.
+// The node-side admission slot is held until the stream is drained or
+// closed, exactly as for a remote node.
+func (l *Local) QueryStream(ctx context.Context, sql string, mode Mode) (RowStream, error) {
+	var (
+		rows *windowdb.Rows
+		err  error
+	)
+	if mode == ModeLocal {
+		rows, err = l.svc.StreamShardLocal(ctx, sql)
+	} else {
+		rows, err = l.svc.QueryContext(ctx, sql)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &rowsStream{rows: rows}, nil
+}
+
+// rowsStream adapts a windowdb.Rows to the transport's RowStream shape.
+type rowsStream struct {
+	rows    *windowdb.Rows
+	outcome *QueryOutcome
+}
+
+func (rs *rowsStream) Columns() []storage.Column { return rs.rows.ColumnTypes() }
+
+func (rs *rowsStream) Next() (storage.Tuple, error) {
+	if rs.rows.Next() {
+		return rs.rows.Row(), nil
+	}
+	if err := rs.rows.Err(); err != nil {
+		return nil, err
+	}
+	rs.finish()
+	return nil, io.EOF
+}
+
+func (rs *rowsStream) finish() {
+	if rs.outcome != nil {
+		return
+	}
+	m := rs.rows.Metrics()
+	if m == nil {
+		return
+	}
+	rs.outcome = &QueryOutcome{
+		CacheHit:      m.CacheHit,
+		FinalSort:     m.FinalSort,
+		BlocksRead:    m.BlocksRead,
+		BlocksWritten: m.BlocksWritten,
+		Comparisons:   m.Comparisons,
+	}
+}
+
+func (rs *rowsStream) Outcome() *QueryOutcome { return rs.outcome }
+
+func (rs *rowsStream) Close() error { return rs.rows.Close() }
 
 // FetchTable implements Transport. The returned table is the node's
 // registered (immutable) table; callers must not mutate its rows.

@@ -1,0 +1,145 @@
+package sql
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/storage"
+)
+
+// Cursor is the pull seam over a prepared statement's execution: an
+// incremental iterator over the statement's output rows. The phases that
+// inherently materialize — WHERE filtering and the window chain's
+// reordering operators — run eagerly when the cursor is built, exactly as
+// in ExecuteContext; what the cursor defers is everything after the final
+// chain segment. For statements without DISTINCT or ORDER BY the
+// projection runs lazily, one row per Next, honoring LIMIT by early
+// termination and the context at a fixed row stride; statements that need
+// a finalize pass (DISTINCT deduplication, the final sort) project and
+// finalize eagerly and then stream the finalized buffer.
+//
+// A Cursor is single-consumer and not safe for concurrent use; a Prepared
+// may serve any number of concurrent cursors.
+type Cursor struct {
+	cols []storage.Column
+	meta *Result // Table nil: the executed statement's metadata
+	ctx  context.Context
+
+	src    []storage.Tuple
+	pick   []int // non-nil: lazily project each row through pick
+	limit  int64 // remaining LIMIT budget; -1 = unlimited
+	pos    int
+	stride int
+	closed bool
+}
+
+// cursorCtxStride is how many rows the lazy path emits between context
+// checks: small enough that a cancelled client stops promptly, large
+// enough that the check never shows up in a profile.
+const cursorCtxStride = 128
+
+// Columns returns the output schema.
+func (c *Cursor) Columns() []storage.Column { return c.cols }
+
+// Meta returns the executed statement's metadata — the plan, executor
+// metrics, final-sort disposition and parallel degree of Result, with
+// Table nil. It is valid from cursor creation (the chain has already
+// run).
+func (c *Cursor) Meta() *Result { return c.meta }
+
+// Next returns the next output row, or io.EOF when the stream is
+// exhausted (or the cursor closed), or the context's error when it was
+// cancelled mid-stream. Returned tuples are owned by the caller: lazily
+// projected rows are freshly allocated, buffered rows are immutable.
+func (c *Cursor) Next() (storage.Tuple, error) {
+	if c.closed || c.limit == 0 || c.pos >= len(c.src) {
+		return nil, io.EOF
+	}
+	c.stride++
+	if c.stride >= cursorCtxStride {
+		c.stride = 0
+		if err := c.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	row := c.src[c.pos]
+	c.pos++
+	if c.limit > 0 {
+		c.limit--
+	}
+	if c.pick != nil {
+		row = c.projectRow(row)
+	}
+	return row, nil
+}
+
+func (c *Cursor) projectRow(row storage.Tuple) storage.Tuple {
+	t := make(storage.Tuple, len(c.pick))
+	for ci, src := range c.pick {
+		t[ci] = row[src]
+	}
+	return t
+}
+
+// Close releases the cursor; further Next calls return io.EOF. Idempotent.
+func (c *Cursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.src = nil
+	return nil
+}
+
+// StreamContext runs the prepared query and returns a Cursor over its
+// output: the streaming sibling of ExecuteContext.
+func (p *Prepared) StreamContext(ctx context.Context) (*Cursor, error) {
+	return p.stream(ctx, p.entry.Table, true)
+}
+
+// StreamShardContext streams the shard-local part of the statement (WHERE,
+// chain, projection — no DISTINCT/ORDER BY/LIMIT): the streaming sibling
+// of ExecuteShardContext. Because the shard-local part never finalizes,
+// this path always projects lazily — the seam a shard node streams its
+// scatter response through.
+func (p *Prepared) StreamShardContext(ctx context.Context) (*Cursor, error) {
+	return p.stream(ctx, p.entry.Table, false)
+}
+
+// StreamOverContext streams the full prepared pipeline over base instead
+// of the catalog entry's rows: the streaming sibling of
+// ExecuteOverContext (the coordinator's gather path).
+func (p *Prepared) StreamOverContext(ctx context.Context, base *storage.Table) (*Cursor, error) {
+	return p.stream(ctx, base, true)
+}
+
+func (p *Prepared) stream(ctx context.Context, base *storage.Table, finalize bool) (*Cursor, error) {
+	executed, result, err := p.runChain(ctx, base)
+	if err != nil {
+		return nil, err
+	}
+	if finalize && (p.q.Distinct || len(p.orderKey) > 0) {
+		// DISTINCT and ORDER BY need every projected row before the first
+		// output row is known; project and finalize eagerly (LIMIT
+		// included) and stream the finalized buffer.
+		out := p.project(executed)
+		p.finalize(out, result)
+		return &Cursor{cols: p.outCols, src: out.Rows, meta: result, ctx: ctx, limit: -1}, nil
+	}
+	limit := int64(-1)
+	if finalize {
+		limit = p.q.Limit
+	}
+	return &Cursor{
+		cols: p.outCols, src: executed.Rows, pick: p.pick,
+		meta: result, ctx: ctx, limit: limit,
+	}, nil
+}
+
+// TableCursor wraps an already-materialized result as a Cursor, for
+// serving layers that had to buffer rows (a coordinator finalizing a shard
+// concatenation) but speak the cursor surface outward. meta may carry the
+// table too; the cursor streams t's rows as-is.
+func TableCursor(t *storage.Table, meta *Result) *Cursor {
+	return &Cursor{cols: t.Schema.Columns, src: t.Rows, meta: meta, ctx: context.Background(), limit: -1}
+}

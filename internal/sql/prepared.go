@@ -80,6 +80,25 @@ func (p *Prepared) ShardLocal(shardKey attrs.Set) bool {
 // under.
 func (p *Prepared) Generation() uint64 { return p.gen }
 
+// Distinct reports whether the statement carries SELECT DISTINCT.
+func (p *Prepared) Distinct() bool { return p.q.Distinct }
+
+// HasOrderBy reports whether the statement carries a final ORDER BY.
+func (p *Prepared) HasOrderBy() bool { return len(p.orderKey) > 0 }
+
+// Limit returns the statement's LIMIT, -1 when absent.
+func (p *Prepared) Limit() int64 { return p.q.Limit }
+
+// StreamsConcat reports whether the finalize phase over a shard
+// concatenation is order-insensitive and row-local — no DISTINCT and no
+// ORDER BY — so a coordinator may emit the concatenation of per-shard
+// output streams incrementally (applying LIMIT by early termination)
+// instead of buffering it. DISTINCT and ORDER BY force materialization at
+// the concatenating side.
+func (p *Prepared) StreamsConcat() bool {
+	return !p.q.Distinct && len(p.orderKey) == 0
+}
+
 // Prepare parses, binds and plans src against the runner's catalog without
 // executing it. Parse failures carry the ErrParse class, unknown tables
 // wrap catalog.ErrUnknownTable, and every other error a malformed-but-
@@ -295,11 +314,32 @@ func (p *Prepared) FinalizeConcat(t *storage.Table) *Result {
 	return result
 }
 
-// execute is the shared execution body: WHERE, chain, projection, and —
-// when finalize is set — DISTINCT, ORDER BY and LIMIT.
+// execute is the shared eager execution body: WHERE, chain, projection,
+// and — when finalize is set — DISTINCT, ORDER BY and LIMIT. The streaming
+// surface (StreamContext and friends, cursor.go) composes the same three
+// phases but defers the projection to pull time when the statement needs
+// no finalize pass.
 func (p *Prepared) execute(ctx context.Context, base *storage.Table, finalize bool) (*Result, error) {
-	if err := ctx.Err(); err != nil {
+	executed, result, err := p.runChain(ctx, base)
+	if err != nil {
 		return nil, err
+	}
+	outTable := p.project(executed)
+	result.Table = outTable
+	if finalize {
+		// Shard-local execution skips this: DISTINCT, ORDER BY and LIMIT
+		// are the coordinator's to apply over the concatenation.
+		p.finalize(outTable, result)
+	}
+	return result, nil
+}
+
+// runChain runs the data-dependent phases up to (and including) the window
+// chain: WHERE filtering and chain execution. The returned Result carries
+// the plan, metrics and parallel degree but no table yet.
+func (p *Prepared) runChain(ctx context.Context, base *storage.Table) (*storage.Table, *Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	q := p.q
 	schema := base.Schema
@@ -312,7 +352,7 @@ func (p *Prepared) execute(ctx context.Context, base *storage.Table, finalize bo
 		for _, row := range base.Rows {
 			v, err := evalPredicate(q.Where, row, schema)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if v == tTrue {
 				wt.Rows = append(wt.Rows, row)
@@ -346,36 +386,41 @@ func (p *Prepared) execute(ctx context.Context, base *storage.Table, finalize bo
 			out, metrics, err = exec.RunContext(ctx, windowed, p.specs, p.plan, cfg)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		executed = out
 		result.Plan = p.plan
 		result.Metrics = metrics
 	}
+	return executed, result, nil
+}
 
-	// Projection.
-	outSchema := storage.NewSchema(p.outCols...)
-	outTable := storage.NewTable(outSchema)
+// project materializes the projection of every executed row.
+func (p *Prepared) project(executed *storage.Table) *storage.Table {
+	outTable := storage.NewTable(storage.NewSchema(p.outCols...))
 	outTable.Rows = make([]storage.Tuple, executed.Len())
 	for ri, row := range executed.Rows {
-		t := make(storage.Tuple, len(p.pick))
-		for ci, src := range p.pick {
-			t[ci] = row[src]
-		}
-		outTable.Rows[ri] = t
+		outTable.Rows[ri] = p.projectRow(row)
 	}
+	return outTable
+}
 
-	if !finalize {
-		// Shard-local execution stops at the projection: DISTINCT, ORDER BY
-		// and LIMIT are the coordinator's to apply over the concatenation.
-		result.Table = outTable
-		return result, nil
+// projectRow maps one executed-table row to the output schema.
+func (p *Prepared) projectRow(row storage.Tuple) storage.Tuple {
+	t := make(storage.Tuple, len(p.pick))
+	for ci, src := range p.pick {
+		t[ci] = row[src]
 	}
+	return t
+}
 
+// finalize applies the statement's terminal phases in place: DISTINCT, the
+// final ORDER BY (with Section 5's sort avoidance) and LIMIT.
+func (p *Prepared) finalize(outTable *storage.Table, result *Result) {
 	// DISTINCT: deduplicate projected rows (evaluated after the window
 	// functions, as in the paper's Section 1/5 decomposition; NULLs compare
 	// equal, per SQL DISTINCT semantics).
-	if q.Distinct {
+	if p.q.Distinct {
 		distinctRows(outTable)
 	}
 
@@ -412,11 +457,9 @@ func (p *Prepared) execute(ctx context.Context, base *storage.Table, finalize bo
 			})
 		}
 	}
-	if q.Limit >= 0 && int64(outTable.Len()) > q.Limit {
-		outTable.Rows = outTable.Rows[:q.Limit]
+	if p.q.Limit >= 0 && int64(outTable.Len()) > p.q.Limit {
+		outTable.Rows = outTable.Rows[:p.q.Limit]
 	}
-	result.Table = outTable
-	return result, nil
 }
 
 // distinctRows deduplicates a table's rows in place, keeping the first

@@ -1,0 +1,306 @@
+package windowdb
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// Queryer is the one result surface every backend of this repository
+// implements: the in-process Engine, the admission-controlled
+// service.Service, the remote service.Client (NDJSON over /query), and
+// the scatter-gather shard.Cluster. Code written against Queryer runs
+// unchanged over any of them — and over database/sql via the sqldriver
+// package, whose "windowdb" driver adapts any registered Queryer.
+//
+// QueryContext returns an incremental Rows cursor; backends hold their
+// per-query resources (admission slots, shard streams, HTTP bodies) for
+// the cursor's lifetime and release them on Close or when the cursor is
+// drained.
+type Queryer interface {
+	// QueryContext executes one window-query block and returns a cursor
+	// over its output rows.
+	QueryContext(ctx context.Context, query string) (*Rows, error)
+	// PrepareContext validates (and, where the backend can, plans) a
+	// statement for repeated execution. Backends without a local planner
+	// may defer validation to the statement's first QueryContext.
+	PrepareContext(ctx context.Context, query string) (Stmt, error)
+}
+
+// Stmt is a prepared statement bound to its Queryer.
+type Stmt interface {
+	// QueryContext executes the statement and returns a cursor.
+	QueryContext(ctx context.Context) (*Rows, error)
+	// Close releases the statement.
+	Close() error
+}
+
+// RowSource is the backend contract behind a Rows cursor. Next returns
+// io.EOF at end of stream; Metrics returns the query's execution metadata
+// once the stream has ended (and nil before — partial observations after
+// an early Close are allowed but not required).
+type RowSource interface {
+	Columns() []storage.Column
+	Next() (storage.Tuple, error)
+	Close() error
+	Metrics() *QueryMetrics
+}
+
+// QueryMetrics is the post-drain metadata of a Rows cursor: how the query
+// planned, executed and was served. Remote backends fill the flattened
+// counters from their wire trailers; in-process backends additionally
+// expose the planned chain and full executor metrics.
+type QueryMetrics struct {
+	// Plan is the planned window chain (nil for window-less statements and
+	// for remote backends, which see only Chain).
+	Plan *core.Plan
+	// Chain is the chain in the paper's notation, "" when windowless.
+	Chain string
+	// Exec carries the full executor metrics when the chain ran in this
+	// process; nil for remote backends.
+	Exec *exec.Metrics
+	// FinalSort reports how the final ORDER BY was satisfied: "none",
+	// "full", "partial" or "avoided" (Section 5 integration).
+	FinalSort string
+	// SatisfiedPrefix counts the leading ORDER BY elements the chain's
+	// output ordering guaranteed (in-process backends only).
+	SatisfiedPrefix int
+	// Parallelism is the worker degree the chain executed with.
+	Parallelism int
+	// CacheHit reports a prepared-plan cache hit at the serving layer.
+	CacheHit bool
+	// Route is the cluster routing decision ("scatter", "gather",
+	// "replica"), "" for single-engine backends.
+	Route string
+	// ShardsUsed is the number of nodes that executed, 0 for single-engine
+	// backends.
+	ShardsUsed int
+	// Rows counts the rows the cursor yielded.
+	Rows int64
+	// Queued is the time spent waiting for an admission slot.
+	Queued time.Duration
+	// Elapsed is the end-to-end time from query start to stream end.
+	Elapsed time.Duration
+	// Block and comparison counters, summed over every participating node.
+	BlocksRead    int64
+	BlocksWritten int64
+	Comparisons   int64
+}
+
+// Rows is the incremental result cursor of the Queryer surface, shaped
+// after database/sql: Next advances, Scan (or Row) reads the current row,
+// Err reports what terminated iteration, Close releases the backend's
+// per-query resources early. A fully drained cursor closes itself;
+// Metrics is available after the drain (or after Close, when the backend
+// can still provide it).
+//
+// A Rows is single-consumer; it is not safe for concurrent use.
+type Rows struct {
+	src    RowSource
+	cols   []storage.Column
+	names  []string
+	cur    storage.Tuple
+	err    error
+	count  int64
+	done   bool
+	closed bool
+}
+
+// NewRows wraps a backend row source in the public cursor. Backends call
+// this; applications receive Rows from Queryer.QueryContext.
+func NewRows(src RowSource) *Rows {
+	cols := src.Columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return &Rows{src: src, cols: cols, names: names}
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.names }
+
+// ColumnTypes returns the output schema with types.
+func (r *Rows) ColumnTypes() []storage.Column { return r.cols }
+
+// Next advances to the next row, reporting false at end of stream or on
+// error (distinguish with Err). The cursor closes itself when the stream
+// ends either way.
+func (r *Rows) Next() bool {
+	if r.done || r.closed {
+		return false
+	}
+	t, err := r.src.Next()
+	switch {
+	case err == io.EOF:
+		r.done = true
+		r.cur = nil
+		_ = r.Close()
+		return false
+	case err != nil:
+		r.done = true
+		r.cur = nil
+		r.err = err
+		_ = r.Close()
+		return false
+	}
+	r.cur = t
+	r.count++
+	return true
+}
+
+// Row returns the current row's tuple (valid after a true Next). The
+// tuple is owned by the caller and remains valid across further Next
+// calls.
+func (r *Rows) Row() storage.Tuple { return r.cur }
+
+// Scan copies the current row into dest, one target per output column.
+// Supported targets: *int, *int64, *float64, *string, *bool is not
+// supported (the engine has no boolean storage kind), *storage.Value, and
+// *any (NULL scans as nil, integers as int64, floats as float64, strings
+// as string). Numeric kinds convert to the numeric targets; everything
+// converts to *string via the value's display form.
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("windowdb: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("windowdb: Scan expected %d destinations, got %d", len(r.cur), len(dest))
+	}
+	for i, d := range dest {
+		if err := scanValue(r.cur[i], d, r.names[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func scanValue(v storage.Value, dest any, col string) error {
+	switch d := dest.(type) {
+	case *storage.Value:
+		*d = v
+		return nil
+	case *any:
+		switch v.Kind() {
+		case storage.KindNull:
+			*d = nil
+		case storage.KindInt:
+			*d = v.Int64()
+		case storage.KindFloat:
+			*d = v.Float64()
+		default:
+			*d = v.Str()
+		}
+		return nil
+	case *string:
+		if v.IsNull() {
+			return fmt.Errorf("windowdb: column %q is NULL, use *any or *storage.Value", col)
+		}
+		*d = v.String()
+		return nil
+	}
+	if v.IsNull() {
+		return fmt.Errorf("windowdb: column %q is NULL, use *any or *storage.Value", col)
+	}
+	switch d := dest.(type) {
+	case *int64:
+		switch v.Kind() {
+		case storage.KindInt:
+			*d = v.Int64()
+		case storage.KindFloat:
+			*d = int64(v.Float64())
+		default:
+			return fmt.Errorf("windowdb: column %q (%v) does not scan into *int64", col, v.Kind())
+		}
+	case *int:
+		switch v.Kind() {
+		case storage.KindInt:
+			*d = int(v.Int64())
+		case storage.KindFloat:
+			*d = int(v.Float64())
+		default:
+			return fmt.Errorf("windowdb: column %q (%v) does not scan into *int", col, v.Kind())
+		}
+	case *float64:
+		switch v.Kind() {
+		case storage.KindInt:
+			*d = float64(v.Int64())
+		case storage.KindFloat:
+			*d = v.Float64()
+		default:
+			return fmt.Errorf("windowdb: column %q (%v) does not scan into *float64", col, v.Kind())
+		}
+	default:
+		return fmt.Errorf("windowdb: unsupported Scan destination %T for column %q", dest, col)
+	}
+	return nil
+}
+
+// Err returns the error, if any, that terminated iteration. It is nil
+// after a complete drain.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor's backend resources (admission slots, shard
+// streams, HTTP bodies). Safe to call any number of times and after a
+// full drain.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.src.Close()
+}
+
+// Metrics returns the query's execution metadata. It is non-nil once the
+// cursor has been drained or closed, provided the backend could still
+// observe its trailer (a remote stream closed mid-flight has none). The
+// Rows count reflects rows this cursor yielded.
+func (r *Rows) Metrics() *QueryMetrics {
+	if !r.done && !r.closed {
+		return nil
+	}
+	m := r.src.Metrics()
+	if m != nil {
+		m.Rows = r.count
+	}
+	return m
+}
+
+// DSN registry: named in-process Queryers for database/sql. The sqldriver
+// package resolves non-HTTP DSNs here, so
+//
+//	windowdb.RegisterDSN("analytics", engine)
+//	db, _ := sql.Open("windowdb", "analytics")
+//
+// plugs an embedded engine (or service, or cluster) into the standard
+// ecosystem.
+var (
+	dsnMu sync.RWMutex
+	dsns  = map[string]Queryer{}
+)
+
+// RegisterDSN makes q reachable as a database/sql DSN under name,
+// replacing any previous registration of that name.
+func RegisterDSN(name string, q Queryer) {
+	dsnMu.Lock()
+	defer dsnMu.Unlock()
+	if q == nil {
+		delete(dsns, name)
+		return
+	}
+	dsns[name] = q
+}
+
+// LookupDSN resolves a name registered with RegisterDSN.
+func LookupDSN(name string) (Queryer, bool) {
+	dsnMu.RLock()
+	defer dsnMu.RUnlock()
+	q, ok := dsns[name]
+	return q, ok
+}

@@ -1,0 +1,131 @@
+package sqldriver_test
+
+import (
+	"database/sql"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	windowdb "repro"
+	"repro/internal/datagen"
+	"repro/internal/service"
+	wsql "repro/internal/sql"
+	_ "repro/sqldriver"
+)
+
+func newEngine() *windowdb.Engine {
+	eng := windowdb.New(windowdb.Config{Parallelism: 1})
+	eng.Register("emptab", datagen.Emptab())
+	return eng
+}
+
+// ranksQuery orders employees by descending salary; emptab is Example 1
+// of the paper.
+const ranksQuery = `SELECT empnum, rank() OVER (ORDER BY salary DESC NULLS LAST) AS r FROM emptab ORDER BY r, empnum`
+
+// drive runs the shared assertions against one DSN.
+func drive(t *testing.T, dsn string) {
+	t.Helper()
+	db, err := sql.Open("windowdb", dsn)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+
+	rows, err := db.Query(ranksQuery)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatalf("Columns: %v", err)
+	}
+	if len(cols) != 2 || cols[0] != "empnum" || cols[1] != "r" {
+		t.Fatalf("columns = %v", cols)
+	}
+	var n int
+	lastRank := int64(0)
+	for rows.Next() {
+		var emp, rank int64
+		if err := rows.Scan(&emp, &rank); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		if rank < lastRank {
+			t.Fatalf("ranks not ordered: %d after %d", rank, lastRank)
+		}
+		lastRank = rank
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("no rows")
+	}
+
+	// Prepared statements execute repeatedly.
+	st, err := db.Prepare(ranksQuery)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	defer st.Close()
+	for i := 0; i < 2; i++ {
+		var count int
+		rs, err := st.Query()
+		if err != nil {
+			t.Fatalf("stmt.Query: %v", err)
+		}
+		for rs.Next() {
+			count++
+		}
+		if err := rs.Err(); err != nil {
+			t.Fatalf("stmt rows: %v", err)
+		}
+		rs.Close()
+		if count != n {
+			t.Fatalf("prepared run %d: %d rows, want %d", i, count, n)
+		}
+	}
+
+	// Errors surface through database/sql with the taxonomy intact.
+	if _, err := db.Query(`SELECT nope FROM emptab`); !errors.Is(err, wsql.ErrBind) {
+		t.Fatalf("bind error = %v, want sql.ErrBind", err)
+	}
+}
+
+// TestInProcessDSN drives an embedded engine through database/sql via the
+// windowdb.RegisterDSN registry.
+func TestInProcessDSN(t *testing.T) {
+	windowdb.RegisterDSN("driver-test", newEngine())
+	defer windowdb.RegisterDSN("driver-test", nil)
+	drive(t, "driver-test")
+}
+
+// TestServiceDSN registers a full service (plan cache + admission) as the
+// backend.
+func TestServiceDSN(t *testing.T) {
+	svc := service.New(newEngine(), service.Config{Slots: 2})
+	windowdb.RegisterDSN("driver-test-svc", svc)
+	defer windowdb.RegisterDSN("driver-test-svc", nil)
+	drive(t, "driver-test-svc")
+}
+
+// TestRemoteDSN drives a windserve-shaped HTTP server through the
+// streaming client.
+func TestRemoteDSN(t *testing.T) {
+	svc := service.New(newEngine(), service.Config{Slots: 2})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	drive(t, srv.URL)
+}
+
+// TestUnknownDSN: a DSN that is neither a URL nor registered fails at
+// Open (the driver resolves connectors eagerly).
+func TestUnknownDSN(t *testing.T) {
+	db, err := sql.Open("windowdb", "no-such-backend")
+	if err == nil {
+		db.Close()
+		t.Fatal("Open succeeded on an unknown DSN")
+	}
+}

@@ -9,19 +9,32 @@
 // reordering operators — Full Sort, Hashed Sort and Segmented Sort — are
 // faithful streaming implementations with exact block-I/O accounting.
 //
+// The package also defines the repository-wide result surface: the
+// Queryer interface (QueryContext returning an incremental Rows cursor,
+// plus PrepareContext) that Engine, service.Service, service.Client and
+// shard.Cluster all implement, and the sqldriver package adapts to
+// database/sql.
+//
 // Quick start:
 //
 //	eng := windowdb.New(windowdb.Config{})
 //	eng.Register("emptab", table)
-//	res, err := eng.Query(`SELECT empnum, rank() OVER (ORDER BY salary DESC) FROM emptab`)
+//	rows, err := eng.QueryContext(ctx, `SELECT empnum, rank() OVER (ORDER BY salary DESC) AS r FROM emptab`)
+//	defer rows.Close()
+//	for rows.Next() {
+//		var emp, r int64
+//		_ = rows.Scan(&emp, &r)
+//	}
 //
-// See the examples directory for complete programs and DESIGN.md for the
-// system inventory.
+// Query returns the materialized *Result of the original API, as a thin
+// wrapper that drains the cursor. See the examples directory for complete
+// programs and DESIGN.md for the system inventory.
 package windowdb
 
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/attrs"
 	"repro/internal/catalog"
@@ -109,6 +122,10 @@ type Engine struct {
 	cat *catalog.Catalog
 }
 
+// Engine implements Queryer; the service, client and cluster backends
+// assert the same in their packages.
+var _ Queryer = (*Engine)(nil)
+
 // New creates an engine.
 func New(cfg Config) *Engine {
 	return &Engine{cfg: cfg.withDefaults(), cat: catalog.New()}
@@ -142,21 +159,148 @@ func (e *Engine) Table(name string) (*storage.Table, error) {
 	return entry.Table, nil
 }
 
-// Result re-exports the SQL result type.
+// Result re-exports the SQL result type: the fully-materialized form the
+// original API served and Query still returns, now assembled by draining
+// the streaming cursor.
 type Result = sql.Result
 
-// Query parses, plans and executes one window query block.
+// Query parses, plans and executes one window query block, returning the
+// materialized result. It is the compatibility wrapper over the streaming
+// surface: QueryContext's Rows cursor, drained into a table.
 func (e *Engine) Query(src string) (*Result, error) {
-	return e.QueryContext(context.Background(), src)
+	rows, err := e.QueryContext(context.Background(), src)
+	if err != nil {
+		return nil, err
+	}
+	return DrainResult(rows)
 }
 
-// QueryContext is Query with cancellation and deadline support: ctx is
-// threaded down through the executor and checked at chain-step boundaries
-// (in the parallel executor, inside every worker's per-partition pipeline),
-// so a runaway chain stops at the next step once ctx is done.
-func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+// QueryContext executes one query and returns an incremental Rows cursor
+// over its output — the Queryer surface shared with service.Service,
+// service.Client and shard.Cluster. ctx is threaded down through the
+// executor and checked at chain-step boundaries (in the parallel executor,
+// inside every worker's per-partition pipeline) while the chain runs, and
+// at a fixed row stride while the cursor streams, so a runaway query stops
+// shortly after ctx is done.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Rows, error) {
+	start := time.Now()
 	r := e.runner()
-	return r.QueryContext(ctx, src)
+	p, err := r.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := p.StreamContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return NewRows(&cursorSource{cur: cur, start: start}), nil
+}
+
+// PrepareContext validates, binds and plans a statement for repeated
+// cursor execution: the Queryer counterpart of Prepare.
+func (e *Engine) PrepareContext(ctx context.Context, src string) (Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, err := e.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return &engineStmt{prep: p}, nil
+}
+
+// engineStmt adapts a *sql.Prepared to the Stmt interface.
+type engineStmt struct {
+	prep *sql.Prepared
+}
+
+func (s *engineStmt) QueryContext(ctx context.Context) (*Rows, error) {
+	start := time.Now()
+	cur, err := s.prep.StreamContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return NewRows(&cursorSource{cur: cur, start: start}), nil
+}
+
+func (s *engineStmt) Close() error { return nil }
+
+// cursorSource adapts the sql package's execution cursor to the public
+// RowSource contract, translating its metadata into QueryMetrics.
+type cursorSource struct {
+	cur   *sql.Cursor
+	start time.Time
+	meta  *QueryMetrics
+}
+
+func (cs *cursorSource) Columns() []storage.Column { return cs.cur.Columns() }
+
+func (cs *cursorSource) Next() (storage.Tuple, error) {
+	t, err := cs.cur.Next()
+	if err != nil {
+		cs.finish()
+	}
+	return t, err
+}
+
+func (cs *cursorSource) Close() error {
+	cs.finish()
+	return cs.cur.Close()
+}
+
+func (cs *cursorSource) finish() {
+	if cs.meta != nil {
+		return
+	}
+	cs.meta = MetaFromResult(cs.cur.Meta())
+	cs.meta.Elapsed = time.Since(cs.start)
+}
+
+func (cs *cursorSource) Metrics() *QueryMetrics { return cs.meta }
+
+// MetaFromResult translates a sql.Result's metadata (the table, if any, is
+// ignored) into the public QueryMetrics shape. Serving layers use it when
+// adapting their execution paths to the Rows surface.
+func MetaFromResult(res *sql.Result) *QueryMetrics {
+	m := &QueryMetrics{
+		Plan:            res.Plan,
+		Exec:            res.Metrics,
+		FinalSort:       res.FinalSort,
+		SatisfiedPrefix: res.SatisfiedPrefix,
+		Parallelism:     res.Parallelism,
+	}
+	if res.Plan != nil {
+		m.Chain = res.Plan.PaperString()
+	}
+	if res.Metrics != nil {
+		m.BlocksRead = res.Metrics.BlocksRead
+		m.BlocksWritten = res.Metrics.BlocksWritten
+		m.Comparisons = res.Metrics.Comparisons
+	}
+	return m
+}
+
+// DrainResult consumes a Rows cursor into the materialized Result shape of
+// the original API: the table plus plan, metrics and final-sort
+// disposition. The cursor is closed when DrainResult returns.
+func DrainResult(rows *Rows) (*Result, error) {
+	defer rows.Close()
+	t := storage.NewTable(storage.NewSchema(rows.ColumnTypes()...))
+	for rows.Next() {
+		t.Rows = append(t.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{Table: t, FinalSort: "none", Parallelism: 1}
+	if m := rows.Metrics(); m != nil {
+		res.Plan = m.Plan
+		res.Metrics = m.Exec
+		res.FinalSort = m.FinalSort
+		res.SatisfiedPrefix = m.SatisfiedPrefix
+		res.Parallelism = m.Parallelism
+	}
+	return res, nil
 }
 
 // Prepare parses, binds and plans a query without executing it. The

@@ -43,10 +43,10 @@ serve:
 bench-service:
 	$(GO) run ./cmd/windbench -exp service -servdur 500ms -servrows 4000
 
-# The perf-baseline artifact CI uploads: parallel + sharded + service
-# sweeps serialized as JSON (see bench.Trajectory).
+# The perf-baseline artifact CI uploads: parallel + sharded + shuffle +
+# service sweeps serialized as JSON (see bench.Trajectory).
 bench-json:
-	$(GO) run ./cmd/windbench -exp parallel,sharded,service -servdur 200ms -servrows 4000 -json BENCH_pr4.json
+	$(GO) run ./cmd/windbench -exp parallel,sharded,shuffle,service -servdur 200ms -servrows 4000 -json BENCH_pr5.json
 
 # Boot windserve on a scratch port, wait for /healthz, fire a handful of
 # /query round trips and check /stats counted them. A serving smoke, not a
@@ -76,9 +76,14 @@ load-smoke:
 # Boot two shard windserve processes plus a coordinator (and a reference
 # single-engine instance) on scratch ports, fire the sharded Q1 query over
 # HTTP, and assert the cluster's row count matches the single engine's and
-# the chain scattered across both shards. The two-process proof that
-# scatter-gather works over real sockets.
+# the chain scattered across both shards; then fire a key-divergent chain
+# (two segments with different PARTITION BY) and assert it executed with
+# route=shuffle — the per-segment distributed path whose re-shuffled rows
+# move node-to-node over the /shard/shuffle data plane — with the same row
+# count as the single engine. The two-process proof that scatter and
+# shuffle both work over real sockets.
 cluster-smoke: SMOKE_Q = SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales
+cluster-smoke: SMOKE_DIVQ = SELECT ws_order_number, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a, rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b FROM web_sales
 cluster-smoke:
 	@set -e; \
 	$(GO) build -o /tmp/windserve-csmoke ./cmd/windserve; \
@@ -103,7 +108,15 @@ cluster-smoke:
 	[ -n "$$sc" ] && [ "$$sc" = "$$cc" ] || { echo "cluster-smoke: $$cc != single-engine $$sc" >&2; exit 1; }; \
 	printf '%s' "$$clustered" | grep -q '"route":"scatter"' || { echo "cluster-smoke: not scattered" >&2; exit 1; }; \
 	printf '%s' "$$clustered" | grep -q '"shards_used":2' || { echo "cluster-smoke: wrong shard count" >&2; exit 1; }; \
+	divbody='{"sql":"$(SMOKE_DIVQ)","max_rows":1}'; \
+	divsingle=$$(curl -sf -X POST http://127.0.0.1:18096/query -d "$$divbody"); \
+	divclustered=$$(curl -sf -X POST http://127.0.0.1:18093/query -d "$$divbody"); \
+	dsc=$$(printf '%s' "$$divsingle" | grep -o '"row_count":[0-9]*'); \
+	dcc=$$(printf '%s' "$$divclustered" | grep -o '"row_count":[0-9]*'); \
+	[ -n "$$dsc" ] && [ "$$dsc" = "$$dcc" ] || { echo "cluster-smoke: divergent $$dcc != single-engine $$dsc" >&2; exit 1; }; \
+	printf '%s' "$$divclustered" | grep -q '"route":"shuffle"' || { echo "cluster-smoke: key-divergent chain not shuffled" >&2; exit 1; }; \
 	curl -sf http://127.0.0.1:18093/stats | grep -q '"shards":2' || { echo "cluster-smoke: /stats missing shards" >&2; exit 1; }; \
-	echo "cluster-smoke: OK ($$cc rows on both paths)"
+	curl -sf http://127.0.0.1:18093/stats | grep -q '"shuffle":1' || { echo "cluster-smoke: /stats missing shuffle count" >&2; exit 1; }; \
+	echo "cluster-smoke: OK ($$cc rows scattered, $$dcc rows shuffled)"
 
 ci: build vet fmt-check race bench load-smoke cluster-smoke

@@ -12,14 +12,15 @@
 //	windbench -exp ablation
 //	windbench -exp parallel            # parallel multi-window speedup sweep
 //	windbench -exp sharded             # scatter-gather cluster scaleout sweep
+//	windbench -exp shuffle             # key-divergent per-segment shuffle sweep
 //	windbench -exp service -servdur 2s # query-service closed-loop load
 //
-// With -json PATH, the parallel, sharded and service results (whichever of
-// them ran) are additionally written as a bench.Trajectory artifact — the
-// perf baseline CI records per change so later work has a recorded
-// trajectory to diff against:
+// With -json PATH, the parallel, sharded, shuffle and service results
+// (whichever of them ran) are additionally written as a bench.Trajectory
+// artifact — the perf baseline CI records per change so later work has a
+// recorded trajectory to diff against:
 //
-//	windbench -exp parallel,sharded,service -json BENCH_pr4.json
+//	windbench -exp parallel,sharded,shuffle,service -json BENCH_pr5.json
 package main
 
 import (
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|sharded|service|all")
+		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|sharded|shuffle|service|all")
 		rows      = flag.Int("rows", 120_000, "web_sales rows (paper: 72M at scale factor 100)")
 		seed      = flag.Int64("seed", 0, "generator seed (0 = default)")
 		blockSize = flag.Int("blocksize", 8192, "simulated page size in bytes")
@@ -57,7 +58,7 @@ func main() {
 
 	needData := all || wants["fig3"] || wants["fig4"] || wants["fig5"] ||
 		wants["fig6"] || wants["fig7"] || wants["fig8"] || wants["plans"] ||
-		wants["ablation"] || wants["parallel"] || wants["sharded"]
+		wants["ablation"] || wants["parallel"] || wants["sharded"] || wants["shuffle"]
 	var d *bench.Dataset
 	if needData {
 		start := time.Now()
@@ -124,6 +125,14 @@ func main() {
 			fail(err)
 		}
 		traj.Sharded = res
+		fmt.Fprintln(out)
+	}
+	if want("shuffle") {
+		res, err := d.RunShuffle(out)
+		if err != nil {
+			fail(err)
+		}
+		traj.Shuffle = res
 		fmt.Fprintln(out)
 	}
 	if want("service") {

@@ -288,3 +288,26 @@ func TestShardedScenario(t *testing.T) {
 		t.Errorf("http round trip: %+v", httpRes)
 	}
 }
+
+func TestShuffleScenario(t *testing.T) {
+	d := smallDataset(t)
+	results, err := d.RunShuffle(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(shardCounts)+1 {
+		t.Fatalf("%d results for %d shard counts + http", len(results), len(shardCounts))
+	}
+	for i, res := range results[:len(shardCounts)] {
+		if res.Shards != shardCounts[i] || res.HTTP || res.Query != "Q6d" {
+			t.Errorf("result %d: %+v", i, res)
+		}
+		if res.Elapsed <= 0 || res.Scaleout <= 0 {
+			t.Errorf("shards %d: unmeasured run (%v, %.2fx)", res.Shards, res.Elapsed, res.Scaleout)
+		}
+	}
+	httpRes := results[len(results)-1]
+	if !httpRes.HTTP || httpRes.Shards != 2 || httpRes.Elapsed <= 0 {
+		t.Errorf("http round trip: %+v", httpRes)
+	}
+}

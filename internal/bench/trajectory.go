@@ -30,7 +30,11 @@ type Trajectory struct {
 
 	Parallel []ParallelResult `json:"parallel,omitempty"`
 	Sharded  []ShardedResult  `json:"sharded,omitempty"`
-	Service  []ServiceResult  `json:"service,omitempty"`
+	// Shuffle is the key-divergent per-segment distributed scenario
+	// (route "shuffle"): the Q6 variant whose second segment partitions on
+	// a different key, re-shuffled node-to-node between segments.
+	Shuffle []ShardedResult `json:"shuffle,omitempty"`
+	Service []ServiceResult `json:"service,omitempty"`
 }
 
 // NewTrajectory stamps an empty artifact with the host and workload

@@ -119,7 +119,32 @@ var conformanceQueries = []struct {
 	{"limit", `SELECT ws_item_sk, ws_order_number FROM web_sales ORDER BY ws_order_number, ws_item_sk LIMIT 17`, true},
 	{"windowless", `SELECT empnum, salary FROM emptab ORDER BY empnum`, true},
 	{"emptab-rank", `SELECT empnum, rank() OVER (ORDER BY salary DESC NULLS LAST) AS r FROM emptab ORDER BY r, empnum`, true},
+	// Key-divergent chains: consecutive segments disagree on PARTITION BY,
+	// so a cluster cannot scatter the whole chain — it re-shuffles rows
+	// between nodes on the next segment's key (route "shuffle") and must
+	// still serve single-engine values through every backend.
+	{"divergent-2seg", divergentSQL, false},
+	{"divergent-3seg", `SELECT ws_order_number,
+		rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a,
+		rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b,
+		rank() OVER (PARTITION BY ws_bill_customer_sk ORDER BY ws_sold_date_sk) AS c FROM web_sales`, false},
+	{"divergent-orderby", divergentSQL + ` ORDER BY ws_item_sk, ws_order_number`, true},
+	{"divergent-where-limit", `SELECT ws_order_number, ws_warehouse_sk,
+		rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a,
+		rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b
+		FROM web_sales WHERE ws_quantity <= 60 ORDER BY b DESC, ws_order_number LIMIT 23`, true},
+	{"divergent-distinct", `SELECT DISTINCT ws_warehouse_sk,
+		rank() OVER (PARTITION BY ws_item_sk, ws_warehouse_sk ORDER BY ws_sold_date_sk) AS a,
+		rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_time_sk) AS b
+		FROM web_sales ORDER BY ws_warehouse_sk, a, b`, true},
 }
+
+// divergentSQL is the canonical two-segment key-divergent chain: wf a
+// partitions on the shard key (item), wf b on warehouse, so the cluster
+// backends re-shuffle between the segments.
+const divergentSQL = `SELECT ws_item_sk, ws_warehouse_sk, ws_order_number,
+	rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a,
+	rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b FROM web_sales`
 
 // fingerprint encodes each drained row; ordered keeps sequence, otherwise
 // the multiset is canonicalized by sorting.
@@ -271,6 +296,80 @@ func TestQueryerCancelledContext(t *testing.T) {
 			}
 			if !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), "context canceled") {
 				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestKeyDivergentChains: the key-divergent contract dimensions in one
+// place — cluster backends route the canonical two-segment chain as
+// "shuffle" while staying value-identical (TestQueryerValueIdentity
+// already pins values and exact ORDER BY order across every divergent
+// query), and a half-drained divergent stream survives both an early
+// Close and a mid-stream context cancel on every backend, leaving it
+// serving.
+func TestKeyDivergentChains(t *testing.T) {
+	for _, bk := range backends(t) {
+		t.Run(bk.name, func(t *testing.T) {
+			// Routing: cluster-shaped backends must shuffle, not gather.
+			rows, err := bk.q.QueryContext(context.Background(), divergentSQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var n int
+			for rows.Next() {
+				n++
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if n != dataRows {
+				t.Fatalf("drained %d rows, want %d", n, dataRows)
+			}
+			m := rows.Metrics()
+			if m == nil {
+				t.Fatal("no metrics after drain")
+			}
+			isCluster := bk.name == "cluster" || bk.name == "client-coordinator"
+			if isCluster && m.Route != "shuffle" {
+				t.Fatalf("route = %q, want shuffle", m.Route)
+			}
+
+			// Early Close on a half-drained stream.
+			rows, err = bk.q.QueryContext(context.Background(), divergentSQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 7; i++ {
+				if !rows.Next() {
+					t.Fatalf("stream ended early: %v", rows.Err())
+				}
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Mid-stream context cancel.
+			ctx, cancel := context.WithCancel(context.Background())
+			rows, err = bk.q.QueryContext(ctx, divergentSQL)
+			if err != nil {
+				cancel()
+				t.Fatal(err)
+			}
+			for i := 0; i < 7; i++ {
+				if !rows.Next() {
+					t.Fatalf("stream ended early: %v", rows.Err())
+				}
+			}
+			cancel()
+			for rows.Next() {
+			}
+			rows.Close()
+
+			// The backend still serves the same statement completely.
+			_, enc := drain(t, bk.q, divergentSQL)
+			if len(enc) != dataRows {
+				t.Fatalf("post-cancel drain: %d rows, want %d", len(enc), dataRows)
 			}
 		})
 	}

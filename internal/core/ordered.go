@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// OrderedPlan plans ws strictly in the given slice order, choosing the
+// cheapest applicable reorder for each step: none when the running stream
+// property already matches (Definition 2 — unlike PSQL's literal-prefix
+// test, alternative WPK permutations count), otherwise the cost minimum
+// over SS (when applicable), HS and FS.
+//
+// It exists for executors that must honor an externally fixed evaluation
+// order: the distributed shuffle path ships the coordinator's step order to
+// every shard node so all nodes extend the row schema with derived columns
+// in the same sequence, whatever their local statistics say — the local
+// cost model may only influence the reorder operators, never the order.
+func OrderedPlan(ws []WF, in Props, opt Options) (*Plan, error) {
+	plan := &Plan{Scheme: "SEQ"}
+	props := in
+	for _, wf := range ws {
+		step := Step{WF: wf, In: props}
+		if props.Matches(wf) {
+			step.Reorder = ReorderNone
+			step.Out = props
+		} else {
+			key := wf.PK.AscSeq().Concat(wf.OK)
+			best := Step{
+				WF: wf, Reorder: ReorderFS, SortKey: key,
+				In: props, Out: TotallyOrdered(key),
+			}
+			bestCost := opt.Cost.FSCost()
+			if !opt.DisableHS && HSReorderable(wf) {
+				if c := opt.Cost.HSCost(wf.PK); c < bestCost {
+					best = Step{
+						WF: wf, Reorder: ReorderHS, HashKey: wf.PK, SortKey: key,
+						In: props, Out: Props{X: wf.PK, Y: key},
+					}
+					bestCost = c
+				}
+			}
+			if !opt.DisableSS {
+				if choice, ok := PlanSS(props, wf); ok {
+					if c := opt.Cost.SSCost(props, choice); c < bestCost {
+						best = Step{
+							WF: wf, Reorder: ReorderSS, SortKey: choice.Target,
+							Alpha: choice.Alpha, Beta: choice.Beta,
+							In: props, Out: choice.Out,
+						}
+						bestCost = c
+					}
+				}
+			}
+			step = best
+		}
+		props = step.Out
+		plan.Steps = append(plan.Steps, step)
+	}
+	if err := plan.Validate(ws, in); err != nil {
+		return nil, fmt.Errorf("core: OrderedPlan produced invalid plan: %w", err)
+	}
+	return plan, nil
+}

@@ -334,6 +334,60 @@ func ChainCommonKey(plan *core.Plan) attrs.Set {
 	return key
 }
 
+// Segment is one key-divergence segment of a chain: the maximal step run
+// [Lo, Hi) whose window partitioning keys share the non-empty common Key —
+// ChainCommonKey restricted to the run.
+type Segment struct {
+	Lo, Hi int
+	Key    attrs.Set
+}
+
+// DivergentSegments splits a chain at its key-divergence points: each
+// returned segment is a maximal step run with a non-empty common partition
+// key (ChainCommonKey applied per segment). A table hash-partitioned on a
+// segment's Key runs that segment fully partitioned — Section 3.5's
+// condition per segment instead of per chain — so a distributed executor
+// can run every segment scattered, re-shuffling rows on the next segment's
+// key between segments (Cao et al., VLDB 2012).
+//
+// Two conditions void the split, returning nil (the caller falls back to
+// single-site execution):
+//
+//   - a step with an empty WPK, or a divergence down to ∅ mid-segment:
+//     that segment has no usable shuffle key;
+//   - a segment whose first step (after the first segment) does not
+//     rebuild order from scratch (FS/HS): the shuffled rows arrive in
+//     arbitrary interleaved order, weaker than the stream property the
+//     planner tracked across the cut, so only an order-rebuilding reorder
+//     may lead a post-shuffle segment — the same condition planSegments
+//     imposes on post-concatenation segments in one process.
+//
+// A chain with a non-empty whole-chain common key yields one segment.
+func DivergentSegments(plan *core.Plan) []Segment {
+	if plan == nil || len(plan.Steps) == 0 {
+		return nil
+	}
+	steps := plan.Steps
+	key := steps[0].WF.PK
+	if key.Empty() {
+		return nil
+	}
+	var segs []Segment
+	lo := 0
+	for i := 1; i < len(steps); i++ {
+		if next := key.Intersect(steps[i].WF.PK); !next.Empty() {
+			key = next
+			continue
+		}
+		if steps[i].WF.PK.Empty() || !rebuildsOrder(steps[i].Reorder) {
+			return nil
+		}
+		segs = append(segs, Segment{Lo: lo, Hi: i, Key: key})
+		lo, key = i, steps[i].WF.PK
+	}
+	return append(segs, Segment{Lo: lo, Hi: len(steps), Key: key})
+}
+
 // Concatenates reports whether ParallelRun at a degree > 1 would emit a
 // partition-index concatenation — i.e. the chain's final segment runs
 // hash-partitioned — voiding the plan's nominal output ordering. Planners

@@ -48,6 +48,9 @@ func (s *Service) Handler() http.Handler {
 		mux.HandleFunc("/shard/register", s.handleShardRegister)
 		mux.HandleFunc("/shard/table", s.handleShardTable)
 		mux.HandleFunc("/shard/distinct", s.handleShardDistinct)
+		mux.HandleFunc("/shard/shuffle", s.handleShuffleIngest)
+		mux.HandleFunc("/shard/shuffle/run", s.handleShuffleRun)
+		mux.HandleFunc("/shard/shuffle/drop", s.handleShuffleDrop)
 	}
 	return mux
 }

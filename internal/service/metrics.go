@@ -79,6 +79,8 @@ type Metrics struct {
 	rejected atomic.Uint64 // of failures: ErrOverloaded rejections
 	aborted  atomic.Uint64 // streams closed before their last row (disconnects, truncation)
 
+	shuffleRounds atomic.Uint64 // executed shuffle stages (RunShuffleStep)
+
 	inFlight    atomic.Int64 // executions currently holding a slot
 	maxInFlight atomic.Int64 // high-water mark of inFlight
 
@@ -141,6 +143,10 @@ type Snapshot struct {
 	// neither successes nor failures and contribute no latency sample.
 	Aborted uint64  `json:"aborted"`
 	QPS     float64 `json:"qps"`
+	// ShuffleRounds counts the shuffle stages this node executed for a
+	// cluster coordinator's per-segment distributed chains (each stage is a
+	// slot-holding chain-segment execution, not a query).
+	ShuffleRounds uint64 `json:"shuffle_rounds"`
 
 	InFlight    int64 `json:"in_flight"`
 	MaxInFlight int64 `json:"max_in_flight"`
@@ -167,6 +173,7 @@ func (m *Metrics) snapshot() Snapshot {
 		Failures:      m.failures.Load(),
 		Rejected:      m.rejected.Load(),
 		Aborted:       m.aborted.Load(),
+		ShuffleRounds: m.shuffleRounds.Load(),
 		InFlight:      m.inFlight.Load(),
 		MaxInFlight:   m.maxInFlight.Load(),
 	}

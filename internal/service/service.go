@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"net/http"
 	"sync"
 	"time"
 
@@ -63,11 +64,24 @@ type Config struct {
 	// deadline. 0 leaves them unbounded.
 	DefaultTimeout time.Duration
 	// ShardRoutes mounts the /shard/* node surface (query, register,
-	// table, distinct) on Handler. Off by default: those routes let a
-	// cluster coordinator install tables and dump raw rows, so only
+	// table, distinct, shuffle) on Handler. Off by default: those routes
+	// let a cluster coordinator install tables and dump raw rows, so only
 	// processes meant to serve as shard nodes — deployed behind the
 	// cluster boundary, not on the public edge — should enable them.
 	ShardRoutes bool
+	// PeerClient is the HTTP client shuffle stages use to deliver
+	// re-shuffled rows to peer nodes (their /shard/shuffle routes); nil
+	// uses http.DefaultClient. Configure it when the node-to-node data
+	// plane needs TLS, a custom CA or dial timeouts — the coordinator's
+	// own transport client never carries this traffic.
+	PeerClient *http.Client
+	// ShuffleTTL expires idle shuffle-inbox buffers: a coordinator that
+	// dies between delivering a round and consuming it can never send its
+	// cleanup drop, so nodes sweep buffers untouched for this long
+	// (lazily, on shuffle activity and Stats). 0 means the 5-minute
+	// default — generously past any round barrier a live coordinator
+	// would tolerate — and negative disables expiry.
+	ShuffleTTL time.Duration
 }
 
 func (c Config) withDefaults(chainMem int) Config {
@@ -90,6 +104,12 @@ func (c Config) withDefaults(chainMem int) Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
 	}
+	switch {
+	case c.ShuffleTTL == 0:
+		c.ShuffleTTL = 5 * time.Minute
+	case c.ShuffleTTL < 0:
+		c.ShuffleTTL = 0 // disabled
+	}
 	return c
 }
 
@@ -101,6 +121,7 @@ type Service struct {
 	gov     *governor
 	cache   *planCache
 	metrics *Metrics
+	inbox   shuffleInbox
 }
 
 // New builds a service over eng. The engine must not be shared with
@@ -122,6 +143,22 @@ func New(eng *windowdb.Engine, cfg Config) *Service {
 // Engine returns the wrapped engine (for registration; Register invalidates
 // cached plans via the catalog generation).
 func (s *Service) Engine() *windowdb.Engine { return s.eng }
+
+// resolve turns statement text into its Prepared through the plan cache,
+// preparing and caching on a miss. The bool reports a cache hit.
+func (s *Service) resolve(src string) (*sql.Prepared, bool, error) {
+	key := NormalizeSQL(src)
+	prep, hit := s.cache.get(key, s.eng.Generation())
+	if !hit {
+		p, err := s.eng.Prepare(src)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cache.put(key, p)
+		prep = p
+	}
+	return prep, hit, nil
+}
 
 // Slots returns the concurrent-execution bound the governor enforces.
 func (s *Service) Slots() int { return s.gov.Slots() }
@@ -169,16 +206,10 @@ func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*Quer
 		}
 	}
 	start := time.Now()
-	key := NormalizeSQL(src)
-	prep, hit := s.cache.get(key, s.eng.Generation())
-	if !hit {
-		p, err := s.eng.Prepare(src)
-		if err != nil {
-			s.metrics.failures.Add(1)
-			return nil, err
-		}
-		s.cache.put(key, p)
-		prep = p
+	prep, hit, err := s.resolve(src)
+	if err != nil {
+		s.metrics.failures.Add(1)
+		return nil, err
 	}
 
 	queueStart := time.Now()
@@ -250,13 +281,8 @@ func (s *Service) PrepareContext(ctx context.Context, src string) (windowdb.Stmt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	key := NormalizeSQL(src)
-	if _, hit := s.cache.get(key, s.eng.Generation()); !hit {
-		p, err := s.eng.Prepare(src)
-		if err != nil {
-			return nil, err
-		}
-		s.cache.put(key, p)
+	if _, _, err := s.resolve(src); err != nil {
+		return nil, err
 	}
 	return &serviceStmt{s: s, src: src}, nil
 }
@@ -276,6 +302,19 @@ func (st *serviceStmt) QueryContext(ctx context.Context) (*windowdb.Rows, error)
 func (st *serviceStmt) Close() error { return nil }
 
 func (s *Service) stream(ctx context.Context, src string, shardLocal bool) (*windowdb.Rows, error) {
+	return s.streamCursor(ctx, src, func(ctx context.Context, prep *sql.Prepared) (*sql.Cursor, error) {
+		if shardLocal {
+			return prep.StreamShardContext(ctx)
+		}
+		return prep.StreamContext(ctx)
+	})
+}
+
+// streamCursor is the shared streaming-serve body: plan-cache resolution,
+// admission, and the handoff-guarded slot-to-cursor transfer, with the
+// execution cursor opened by open (the full statement, its shard-local
+// part, or a shuffle segment).
+func (s *Service) streamCursor(ctx context.Context, src string, open func(context.Context, *sql.Prepared) (*sql.Cursor, error)) (*windowdb.Rows, error) {
 	var cancel context.CancelFunc
 	if s.cfg.DefaultTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
@@ -292,15 +331,9 @@ func (s *Service) stream(ctx context.Context, src string, shardLocal bool) (*win
 		return err
 	}
 	start := time.Now()
-	key := NormalizeSQL(src)
-	prep, hit := s.cache.get(key, s.eng.Generation())
-	if !hit {
-		p, err := s.eng.Prepare(src)
-		if err != nil {
-			return nil, fail(err)
-		}
-		s.cache.put(key, p)
-		prep = p
+	prep, hit, err := s.resolve(src)
+	if err != nil {
+		return nil, fail(err)
 	}
 
 	queueStart := time.Now()
@@ -324,15 +357,7 @@ func (s *Service) stream(ctx context.Context, src string, shardLocal bool) (*win
 		}
 	}()
 
-	var (
-		cur *sql.Cursor
-		err error
-	)
-	if shardLocal {
-		cur, err = prep.StreamShardContext(ctx)
-	} else {
-		cur, err = prep.StreamContext(ctx)
-	}
+	cur, err := open(ctx, prep)
 	if err != nil {
 		s.metrics.observe(nil, 0, time.Since(start), err)
 		if cancel != nil {
@@ -421,8 +446,12 @@ func (s *Service) ResetMaxInFlight() {
 }
 
 // Stats snapshots the service counters, including admission and cache
-// state.
+// state. It doubles as the shuffle inbox's periodic sweep trigger: /stats
+// polling is the one call path a node sees regularly even when no new
+// shuffles arrive, so orphaned buffers expire without a background
+// goroutine.
 func (s *Service) Stats() Snapshot {
+	s.sweepShuffle()
 	snap := s.metrics.snapshot()
 	snap.Slots = s.gov.Slots()
 	snap.QueueDepth = s.gov.queueDepth()

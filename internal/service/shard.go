@@ -11,36 +11,56 @@ import (
 
 	"repro"
 	"repro/internal/attrs"
+	"repro/internal/sql"
 )
 
 // Shard-side HTTP surface: the routes a windserve process exposes so a
 // cluster coordinator (internal/shard) can use it as a shard node. The
 // routes mount only under Config.ShardRoutes (windserve -shardnode).
 //
-//	POST /shard/query    {"sql": "...", "mode": "local"|"full"}
-//	POST /shard/register {"name": "t", "table": {wire table}}
-//	GET  /shard/table?name=t
+//	POST /shard/query        {"sql": "...", "mode": "local"|"full"|"segment"}
+//	POST /shard/register     {"name": "t", "table": {wire table}}
+//	GET  /shard/table?name=t (NDJSON row stream)
 //	GET  /shard/distinct?table=t&attrs=3,4
+//	POST /shard/shuffle/run  {ShuffleRunRequest}
+//	POST /shard/shuffle      (NDJSON peer row stream — node-to-node)
+//	POST /shard/shuffle/drop {"shuffle_id": "..."}
 //
 // "local" mode executes the shard-local part of the statement (WHERE,
 // chain, projection — no DISTINCT/ORDER BY/LIMIT; see
 // Service.QueryShardLocal); "full" executes the entire statement, used for
-// replicated tables where one shard serves the whole query. /shard/register
+// replicated tables where one shard serves the whole query; "segment"
+// executes the final segment of a coordinator SegmentPlan over the node's
+// shuffle inbox (StreamSegment — always streamed). /shard/register
 // installs a table partition (or replica) into the node's engine — like
 // every route here it is an intra-cluster interface: deploy shard nodes
-// behind the cluster boundary, not on the public edge. /shard/table returns
-// a table's raw rows (the gather path of key-divergent chains) and
-// /shard/distinct a distinct count for the coordinator's statistics stubs.
+// behind the cluster boundary, not on the public edge. /shard/table
+// streams a table's raw rows with the NDJSON framing (the gather path of
+// chains with no usable shuffle key) and /shard/distinct answers a
+// distinct count for the coordinator's statistics stubs. The two
+// /shard/shuffle data-plane routes carry the per-segment distributed
+// execution of key-divergent chains: "run" executes one stage
+// (RunShuffleStep), the bare route ingests a peer's re-shuffled rows into
+// the node's inbox — node-to-node traffic that never transits the
+// coordinator.
 
 // ShardQueryRequest asks a shard node to execute a statement.
 type ShardQueryRequest struct {
 	SQL string `json:"sql"`
-	// Mode is "local" (shard-local part only) or "full" (entire statement).
+	// Mode is "local" (shard-local part only), "full" (entire statement)
+	// or "segment" (final shuffle segment over the node's inbox).
 	Mode string `json:"mode"`
 	// Stream asks for the NDJSON row stream (stream.go) instead of the
 	// buffered WireTable body: the coordinator's scatter path uses it to
 	// bound its resident rows by the wire batch instead of |R|.
 	Stream bool `json:"stream,omitempty"`
+
+	// Mode "segment" only: the coordinator's segmentation decision and the
+	// inbox generation holding the final segment's shuffled input.
+	Plan      *sql.SegmentPlan `json:"plan,omitempty"`
+	ShuffleID string           `json:"shuffle_id,omitempty"`
+	Round     int              `json:"round,omitempty"`
+	Senders   int              `json:"senders,omitempty"`
 }
 
 // ShardQueryResponse carries the executed rows plus the execution
@@ -89,6 +109,8 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		switch req.Mode {
 		case "local":
 			rows, err = s.StreamShardLocal(r.Context(), req.SQL)
+		case "segment":
+			rows, err = s.StreamSegment(r.Context(), req)
 		case "full", "":
 			rows, err = s.QueryContext(r.Context(), req.SQL)
 		default:
@@ -111,6 +133,9 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 	switch req.Mode {
 	case "local":
 		res, err = s.QueryShardLocal(r.Context(), req.SQL)
+	case "segment":
+		writeError(w, http.StatusBadRequest, "request", errors.New("service: segment mode is stream-only"))
+		return
 	case "full", "":
 		res, err = s.Query(r.Context(), req.SQL)
 	default:
@@ -172,7 +197,9 @@ func (s *Service) handleShardTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, kind, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EncodeTable(t))
+	// Chunked NDJSON, never a whole JSON body: the gather data plane ships
+	// raw rows with the same framing as /query's streamed responses.
+	WriteTableStream(r.Context(), w, t)
 }
 
 func (s *Service) handleShardDistinct(w http.ResponseWriter, r *http.Request) {

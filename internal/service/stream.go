@@ -106,6 +106,50 @@ func NDJSONRequested(r *http.Request) bool {
 // syscall cost disappears into the encoding work.
 const streamFlushStride = 64
 
+// encodeWireRow writes one tuple as a WireValue-tagged NDJSON array line —
+// the single definition of the row frame every stream writer (/query,
+// /shard/table, the shuffle data plane) emits.
+func encodeWireRow(enc *json.Encoder, row storage.Tuple) error {
+	wr := make([]WireValue, len(row))
+	for i, v := range row {
+		wr[i] = WireValue{V: v}
+	}
+	return enc.Encode(wr)
+}
+
+// readNDJSONLine returns the next non-empty line without its terminator:
+// the frame scanner shared by every stream reader.
+func readNDJSONLine(br *bufio.Reader) ([]byte, error) {
+	for {
+		line, err := br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			return trimmed, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// decodeWireRow decodes one NDJSON row line into a tuple, validating the
+// arity against the stream's schema — the single definition of row-frame
+// decoding, shared by StreamReader and the shuffle ingest handler.
+func decodeWireRow(line []byte, arity int) (storage.Tuple, error) {
+	var row []WireValue
+	if err := json.Unmarshal(line, &row); err != nil {
+		return nil, fmt.Errorf("bad stream row: %w", err)
+	}
+	if len(row) != arity {
+		return nil, fmt.Errorf("stream row arity %d != schema arity %d", len(row), arity)
+	}
+	t := make(storage.Tuple, len(row))
+	for i, v := range row {
+		t[i] = v.V
+	}
+	return t, nil
+}
+
 // WriteStream serves rows as an NDJSON stream and closes the cursor. It
 // owns the response from the first byte: callers must not have written a
 // status. maxRows > 0 truncates the stream after that many rows (the
@@ -130,12 +174,7 @@ func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows
 	var n int64
 	truncated := false
 	for rows.Next() {
-		row := rows.Row()
-		wr := make([]WireValue, len(row))
-		for i, v := range row {
-			wr[i] = WireValue{V: v}
-		}
-		if err := enc.Encode(wr); err != nil {
+		if err := encodeWireRow(enc, rows.Row()); err != nil {
 			return // client gone; the deferred Close releases the slot
 		}
 		n++
@@ -171,6 +210,40 @@ func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows
 	flush()
 }
 
+// WriteTableStream serves a materialized table as an NDJSON stream with
+// WriteStream's framing (header, WireValue rows, trailer): the
+// /shard/table response shape, so the gather data plane ships raw rows
+// without either side materializing a whole HTTP body. ctx aborts the
+// stream between flushes when the client disconnects.
+func WriteTableStream(ctx context.Context, w http.ResponseWriter, t *storage.Table) {
+	w.Header().Set("Content-Type", ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(streamHeader{Columns: WireColumns(t.Schema.Columns)}); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	var n int64
+	for _, row := range t.Rows {
+		if err := encodeWireRow(enc, row); err != nil {
+			return
+		}
+		n++
+		if n%streamFlushStride == 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}
+	_ = enc.Encode(StreamTrailer{Done: true, RowCount: n})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
 // StreamReader consumes one NDJSON result stream: the client half of
 // WriteStream. Next yields decoded tuples and io.EOF at the trailer;
 // Trailer exposes the trailer after EOF. A stream that ends without a
@@ -188,9 +261,6 @@ type StreamReader struct {
 // returns a reader over the response stream. Non-2xx responses decode into
 // *RemoteError carrying the service error taxonomy.
 func OpenStream(ctx context.Context, hc *http.Client, url string, reqBody any) (*StreamReader, error) {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
 	buf, err := json.Marshal(reqBody)
 	if err != nil {
 		return nil, fmt.Errorf("service: encode request: %w", err)
@@ -200,6 +270,23 @@ func OpenStream(ctx context.Context, hc *http.Client, url string, reqBody any) (
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	return openStream(hc, req, url)
+}
+
+// OpenStreamGet is OpenStream for body-less GET routes (/shard/table).
+func OpenStreamGet(ctx context.Context, hc *http.Client, url string) (*StreamReader, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return openStream(hc, req, url)
+}
+
+// openStream issues req and wraps the NDJSON response in a StreamReader.
+func openStream(hc *http.Client, req *http.Request, url string) (*StreamReader, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
 	req.Header.Set("Accept", ContentTypeNDJSON)
 	resp, err := hc.Do(req)
 	if err != nil {
@@ -234,16 +321,7 @@ func (sr *StreamReader) Columns() []storage.Column { return sr.cols }
 
 // readLine returns the next non-empty line without its terminator.
 func (sr *StreamReader) readLine() ([]byte, error) {
-	for {
-		line, err := sr.br.ReadBytes('\n')
-		trimmed := bytes.TrimSpace(line)
-		if len(trimmed) > 0 {
-			return trimmed, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
+	return readNDJSONLine(sr.br)
 }
 
 // Next returns the next row, io.EOF after the trailer, or an error — a
@@ -262,18 +340,10 @@ func (sr *StreamReader) Next() (storage.Tuple, error) {
 		return nil, sr.err
 	}
 	if line[0] == '[' {
-		var row []WireValue
-		if err := json.Unmarshal(line, &row); err != nil {
-			sr.err = fmt.Errorf("service: %s: bad stream row: %w", sr.node, err)
+		t, err := decodeWireRow(line, len(sr.cols))
+		if err != nil {
+			sr.err = fmt.Errorf("service: %s: %w", sr.node, err)
 			return nil, sr.err
-		}
-		if len(row) != len(sr.cols) {
-			sr.err = fmt.Errorf("service: %s: stream row arity %d != schema arity %d", sr.node, len(row), len(sr.cols))
-			return nil, sr.err
-		}
-		t := make(storage.Tuple, len(row))
-		for i, v := range row {
-			t[i] = v.V
 		}
 		return t, nil
 	}

@@ -22,14 +22,20 @@ type ClusterStats struct {
 	// nor failures.
 	Aborted uint64 `json:"aborted"`
 	Scatter uint64 `json:"scatter"`
+	// Shuffle counts key-divergent chains executed per segment with
+	// node-to-node re-shuffles instead of a coordinator gather.
+	Shuffle uint64 `json:"shuffle"`
 	Gather  uint64 `json:"gather"`
 	Replica uint64 `json:"replica"`
 
 	// Aggregates across the shard snapshots below.
-	ShardQueries  uint64 `json:"shard_queries"`
-	ShardRejected uint64 `json:"shard_rejected"`
-	BlocksRead    int64  `json:"blocks_read"`
-	BlocksWritten int64  `json:"blocks_written"`
+	ShardQueries uint64 `json:"shard_queries"`
+	// ShardShuffleRounds sums the shuffle stages the nodes executed for
+	// this coordinator's per-segment distributed chains.
+	ShardShuffleRounds uint64 `json:"shard_shuffle_rounds"`
+	ShardRejected      uint64 `json:"shard_rejected"`
+	BlocksRead         int64  `json:"blocks_read"`
+	BlocksWritten      int64  `json:"blocks_written"`
 
 	// CoordCache is the coordinator's per-table-invalidated plan cache.
 	CoordCache service.CacheStats `json:"coord_cache"`
@@ -53,6 +59,7 @@ func (c *Cluster) Stats(ctx context.Context) (*ClusterStats, error) {
 		Failures:   c.failures.Load(),
 		Aborted:    c.aborted.Load(),
 		Scatter:    c.scatter.Load(),
+		Shuffle:    c.shuffled.Load(),
 		Gather:     c.gathered.Load(),
 		Replica:    c.replica.Load(),
 		CoordCache: c.cache.stats(),
@@ -60,6 +67,7 @@ func (c *Cluster) Stats(ctx context.Context) (*ClusterStats, error) {
 	}
 	for _, s := range snaps {
 		stats.ShardQueries += s.Queries
+		stats.ShardShuffleRounds += s.ShuffleRounds
 		stats.ShardRejected += s.Rejected
 		stats.BlocksRead += s.BlocksRead
 		stats.BlocksWritten += s.BlocksWritten

@@ -140,13 +140,49 @@ func (h *HTTP) Query(ctx context.Context, src string, mode Mode) (*QueryOutcome,
 	}, nil
 }
 
-// FetchTable implements Transport.
-func (h *HTTP) FetchTable(ctx context.Context, name string) (*storage.Table, error) {
-	var wt service.WireTable
-	if err := h.do(ctx, http.MethodGet, "/shard/table?name="+url.QueryEscape(name), nil, &wt); err != nil {
+// TableStream implements Transport over the node's NDJSON /shard/table
+// stream: the gather data plane rides the same chunked framing as query
+// streams, so neither side ever materializes a whole table body.
+func (h *HTTP) TableStream(ctx context.Context, name string) (RowStream, error) {
+	sr, err := service.OpenStreamGet(ctx, h.client, h.base+"/shard/table?name="+url.QueryEscape(name))
+	if err != nil {
 		return nil, err
 	}
-	return wt.Decode()
+	return &httpStream{sr: sr}, nil
+}
+
+// ShuffleRun implements Transport: one buffered JSON control round trip;
+// the heavy row traffic the stage produces flows node-to-node over the
+// peers' own /shard/shuffle routes, never through this connection.
+func (h *HTTP) ShuffleRun(ctx context.Context, req service.ShuffleRunRequest) (*service.ShuffleRunResult, error) {
+	var res service.ShuffleRunResult
+	if err := h.do(ctx, http.MethodPost, "/shard/shuffle/run", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SegmentStream implements Transport over the node's streamed
+// mode="segment" /shard/query response.
+func (h *HTTP) SegmentStream(ctx context.Context, req service.ShardQueryRequest) (RowStream, error) {
+	req.Mode = "segment"
+	req.Stream = true
+	sr, err := service.OpenStream(ctx, h.client, h.base+"/shard/query", req)
+	if err != nil {
+		return nil, err
+	}
+	return &httpStream{sr: sr}, nil
+}
+
+// AcceptShuffle implements Transport: a streamed NDJSON POST to the node's
+// /shard/shuffle ingest route.
+func (h *HTTP) AcceptShuffle(ctx context.Context, b *service.ShuffleBatch) error {
+	return service.SendShuffleHTTP(ctx, h.client, h.base, b)
+}
+
+// ShuffleDrop implements Transport.
+func (h *HTTP) ShuffleDrop(ctx context.Context, id string) error {
+	return h.do(ctx, http.MethodPost, "/shard/shuffle/drop", map[string]string{"shuffle_id": id}, nil)
 }
 
 // Register implements Transport.

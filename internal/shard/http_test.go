@@ -57,6 +57,7 @@ func TestHTTPTransportRoundTrip(t *testing.T) {
 	}{
 		{q6SQL, "scatter"},
 		{gatherSQL, "gather"},
+		{divergeSQL, "shuffle"},
 		{`SELECT empnum, salary FROM emptab`, "replica"},
 	} {
 		ref, err := eng.Query(tc.sql)
@@ -81,8 +82,11 @@ func TestHTTPTransportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Shards != 2 || stats.Queries != 3 {
+	if stats.Shards != 2 || stats.Queries != 4 || stats.Shuffle != 1 {
 		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.ShardShuffleRounds == 0 {
+		t.Fatal("shuffle stages over HTTP not counted on the nodes")
 	}
 }
 
@@ -166,6 +170,44 @@ func TestCoordinatorHandler(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown table: %s", resp.Status)
+	}
+}
+
+// TestMixedTopologyShuffleFallback: a cluster mixing in-process and HTTP
+// transports cannot run the shuffle data plane (a remote node has no
+// address for an in-process peer), so key-divergent chains keep the
+// gather fallback — and still match the single engine.
+func TestMixedTopologyShuffleFallback(t *testing.T) {
+	const rows = 600
+	engHTTP := windowdb.New(testEngineConfig())
+	srv := httptest.NewServer(service.New(engHTTP, service.Config{ShardRoutes: true}).Handler())
+	t.Cleanup(srv.Close)
+	shards := []Transport{
+		NewLocal(service.New(windowdb.New(testEngineConfig()), service.Config{})),
+		NewHTTP(srv.URL, srv.Client()),
+	}
+	c, err := New(Config{Engine: testEngineConfig()}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := singleEngine(rows).Query(divergeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(ctx, divergeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route != "gather" {
+		t.Fatalf("mixed topology routed %q, want gather fallback", res.Route)
+	}
+	if !slices.Equal(canonical(res.Table), canonical(ref.Table)) {
+		t.Fatal("mixed-topology gather differs from single engine")
 	}
 }
 

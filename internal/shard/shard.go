@@ -18,12 +18,22 @@
 //     value-identical to single-engine execution — then finalizes
 //     (DISTINCT, ORDER BY as a full sort, LIMIT) over the concatenation,
 //     exactly as post-barrier segments restart in exec.ParallelRun;
-//   - gather: when the keys diverge, the coordinator fetches the raw rows
-//     and runs the chain itself — the concatenation arrives in arbitrary
-//     order, which is the Unordered property the plan was built from, so
-//     its first order-rebuilding FS/HS step absorbs the shuffle (the
-//     reshuffle-and-reorder cost the Factor-Windows line of work treats as
-//     the thing to avoid — hence scatter whenever the plan permits);
+//   - shuffle: when the keys diverge but every key-divergence segment of
+//     the chain keeps a non-empty common key (exec.DivergentSegments — the
+//     Section 3.5 condition applied per segment instead of per chain), the
+//     segments run scattered one round at a time, each node re-shuffling
+//     its output rows directly to the peer nodes hash-partitioned on the
+//     next segment's key (the service's /shard/shuffle data plane); the
+//     coordinator only drives the rounds and merge-concatenates the final
+//     segment's streams exactly as scatter does, so its resident rows stay
+//     bounded by the wire batch × shard count while the re-shuffled rows
+//     never leave the node tier;
+//   - gather: when no usable key exists (an empty PARTITION BY, or a
+//     post-divergence segment that does not rebuild order), the
+//     coordinator streams the raw rows to itself and runs the chain — the
+//     concatenation arrives in arbitrary order, which is the Unordered
+//     property the plan was built from, so its first order-rebuilding
+//     FS/HS step absorbs the shuffle;
 //   - replica: queries over replicated tables go, whole, to one node
 //     round-robin.
 //
@@ -36,6 +46,8 @@ package shard
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -49,6 +61,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/service"
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
@@ -100,8 +113,27 @@ type Cluster struct {
 	gatherInFlight atomic.Int64  // gather chains currently holding a slot
 	rr             atomic.Uint64 // replica round-robin cursor
 
-	queries, failures, aborted atomic.Uint64
-	scatter, gathered, replica atomic.Uint64
+	// Shuffle identity: every per-segment distributed query names its
+	// buffered state on the nodes with nonce-seq, so concurrent queries —
+	// and queries from other coordinators sharing the nodes — never
+	// collide.
+	shuffleNonce string
+	shuffleSeq   atomic.Uint64
+	// peerAddrs[i] is shard i's base URL when its transport exposes one
+	// (HTTP); remote nodes address each other with these on the shuffle
+	// data plane. In-process transports deliver through deliverShuffle
+	// instead.
+	peerAddrs []string
+	// shuffleOK reports that every node can reach every peer on the
+	// shuffle data plane: either all nodes are addressable (remote nodes
+	// send to the Peers URLs) or none is (in-process nodes deliver
+	// through deliverShuffle). A mixed topology would strand a remote
+	// node without an address for an in-process peer, so key-divergent
+	// chains there keep the gather fallback.
+	shuffleOK bool
+
+	queries, failures, aborted           atomic.Uint64
+	scatter, shuffled, gathered, replica atomic.Uint64
 }
 
 // tableInfo records how a table is distributed.
@@ -132,14 +164,51 @@ func New(cfg Config, shards []Transport) (*Cluster, error) {
 	if cfg.StatsTimeout <= 0 {
 		cfg.StatsTimeout = 15 * time.Second
 	}
+	addrs := make([]string, len(shards))
+	addressable := 0
+	for i, tr := range shards {
+		if a, ok := tr.(interface{ Addr() string }); ok {
+			addrs[i] = a.Addr()
+			addressable++
+		}
+	}
 	return &Cluster{
-		cfg:        cfg,
-		shards:     shards,
-		coord:      windowdb.New(cfg.Engine),
-		tables:     make(map[string]*tableInfo),
-		cache:      newPlanCache(cfg.CacheEntries),
-		gatherSlot: make(chan struct{}, cfg.GatherSlots),
+		shuffleOK:    addressable == 0 || addressable == len(shards),
+		cfg:          cfg,
+		shards:       shards,
+		coord:        windowdb.New(cfg.Engine),
+		tables:       make(map[string]*tableInfo),
+		cache:        newPlanCache(cfg.CacheEntries),
+		gatherSlot:   make(chan struct{}, cfg.GatherSlots),
+		shuffleNonce: shuffleNonce(),
+		peerAddrs:    addrs,
 	}, nil
+}
+
+// shuffleNonce generates the coordinator's shuffle-id prefix. Random, not
+// clock-derived: two coordinators sharing the same shard nodes must never
+// produce colliding ids (their batches would intermix in one inbox
+// buffer), and same-tick construction with identical sequence counters is
+// exactly the collision a wall clock permits.
+func shuffleNonce() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to
+		// the clock rather than refusing to build a cluster.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// deliverShuffle routes one re-shuffled batch to the peer's transport: the
+// in-process data plane (Local nodes ingest directly, HTTP nodes get the
+// NDJSON POST their transport speaks). Remote nodes executing a stage use
+// the request's peer addresses instead and never call back here.
+func (c *Cluster) deliverShuffle(ctx context.Context, peer int, b *service.ShuffleBatch) error {
+	if peer < 0 || peer >= len(c.shards) {
+		return fmt.Errorf("shard: shuffle delivery to unknown peer %d", peer)
+	}
+	return c.shards[peer].AcceptShuffle(ctx, b)
 }
 
 // Shards returns the number of shard nodes.
@@ -285,8 +354,9 @@ type Result struct {
 	// statistics; any valid chain computes the same values.
 	Plan *core.Plan
 	// Route is "scatter" (shard-local chains, coordinator finalize),
-	// "gather" (raw rows pulled to the coordinator) or "replica" (whole
-	// query on one node).
+	// "shuffle" (per-segment scattered execution with node-to-node
+	// re-shuffles between key-divergent segments), "gather" (raw rows
+	// pulled to the coordinator) or "replica" (whole query on one node).
 	Route string
 	// ShardsUsed is the number of nodes that executed for this query.
 	ShardsUsed int
@@ -415,32 +485,41 @@ func (c *Cluster) streamQuery(ctx context.Context, src string, cancel context.Ca
 	case prep.ShardLocal(info.key):
 		return c.streamScatter(ctx, src, prep, hit, cancel, start)
 	default:
+		// Key-divergent chain: run it per segment with node-to-node
+		// re-shuffles when every segment keeps a usable key and the
+		// topology lets every node reach its peers (shuffleOK); plans with
+		// no usable key (empty PARTITION BY, or a post-divergence segment
+		// that cannot rebuild order) and mixed local/remote topologies
+		// fall back to hauling raw rows.
+		if sp := prep.SegmentPlan(); sp != nil && c.shuffleOK {
+			return c.streamShuffle(ctx, src, prep, sp, info, hit, cancel, start)
+		}
 		return c.streamGather(ctx, prep, info, hit, cancel, start)
 	}
 }
 
-// openStreams opens one row stream per transport concurrently (the nodes
+// openStreams opens n row streams concurrently through open (the nodes
 // execute their chains in parallel exactly as the buffered scatter did).
 // The first open failure cancels and closes the others; cancellation
 // noise is stripped from the reported error as in eachShard. The returned
 // cancel stops every stream and must be called when the merge finishes.
-func (c *Cluster) openStreams(ctx context.Context, src string, mode Mode, shards []Transport) ([]RowStream, context.CancelFunc, error) {
+func (c *Cluster) openStreams(ctx context.Context, n int, open func(ctx context.Context, i int) (RowStream, error)) ([]RowStream, context.CancelFunc, error) {
 	sctx, cancel := context.WithCancel(ctx)
-	streams := make([]RowStream, len(shards))
-	errs := make([]error, len(shards))
+	streams := make([]RowStream, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i, tr := range shards {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func(i int, tr Transport) {
+		go func(i int) {
 			defer wg.Done()
-			s, err := tr.QueryStream(sctx, src, mode)
+			s, err := open(sctx, i)
 			if err != nil {
 				errs[i] = err
 				cancel()
 				return
 			}
 			streams[i] = s
-		}(i, tr)
+		}(i)
 	}
 	wg.Wait()
 	var failure error
@@ -466,19 +545,28 @@ func (c *Cluster) openStreams(ctx context.Context, src string, mode Mode, shards
 }
 
 // streamScatter runs the shard-local part on every shard and emits the
-// concatenation of their streams in shard-index order. Statements whose
-// finalize phase streams (no DISTINCT/ORDER BY) flow through with LIMIT
-// applied by early termination; the rest drain into a buffer, finalize at
-// the coordinator (FinalizeConcat) and stream the finalized table.
+// concatenation of their streams in shard-index order.
 func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
 	c.scatter.Add(1)
-	streams, streamCancel, err := c.openStreams(ctx, src, ModeLocal, c.shards)
+	streams, streamCancel, err := c.openStreams(ctx, len(c.shards), func(ctx context.Context, i int) (RowStream, error) {
+		return c.shards[i].QueryStream(ctx, src, ModeLocal)
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Until the streams are handed to a source (or drained below), close
-	// them on every exit — error or panic — so node admission slots are
-	// not leaked past a recovered panic.
+	return c.emitStreams("scatter", prep, hit, streams, streamCancel, cancel, start, 0, 0, 0)
+}
+
+// emitStreams turns per-node output streams into the public cursor for a
+// scatter-shaped route. Statements whose finalize phase streams (no
+// DISTINCT/ORDER BY) flow through with LIMIT applied by early termination;
+// the rest drain into a buffer (still incremental on the wire), finalize
+// at the coordinator (FinalizeConcat) and stream the finalized table. The
+// base counters carry work done before the final streams opened (shuffle
+// rounds). Until the streams are handed to a source (or drained here),
+// they are closed on every exit — error or panic — so node admission
+// slots are not leaked past a recovered panic.
+func (c *Cluster) emitStreams(route string, prep *sql.Prepared, hit bool, streams []RowStream, streamCancel, cancel context.CancelFunc, start time.Time, baseRead, baseWritten, baseCmp int64) (*windowdb.Rows, error) {
 	handoff := false
 	defer func() {
 		if !handoff {
@@ -491,7 +579,8 @@ func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepa
 		return windowdb.NewRows(&scatterSource{
 			c: c, cols: streams[0].Columns(), streams: streams,
 			streamCancel: streamCancel, cancel: cancel,
-			prep: prep, cacheHit: hit,
+			prep: prep, cacheHit: hit, route: route,
+			baseRead: baseRead, baseWritten: baseWritten, baseCmp: baseCmp,
 			limit: prep.Limit(), start: start,
 		}), nil
 	}
@@ -500,7 +589,6 @@ func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepa
 	// first output row is known. Drain the node streams (still incremental
 	// on the wire), finalize, stream the result.
 	concat := storage.NewTable(storage.NewSchema(streams[0].Columns()...))
-	var blocksRead, blocksWritten, comparisons int64
 	for _, s := range streams {
 		for {
 			t, err := s.Next()
@@ -513,9 +601,9 @@ func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepa
 			concat.Rows = append(concat.Rows, t)
 		}
 		if out := s.Outcome(); out != nil {
-			blocksRead += out.BlocksRead
-			blocksWritten += out.BlocksWritten
-			comparisons += out.Comparisons
+			baseRead += out.BlocksRead
+			baseWritten += out.BlocksWritten
+			baseCmp += out.Comparisons
 		}
 	}
 	closeStreams(streams)
@@ -524,8 +612,8 @@ func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepa
 	fin := prep.FinalizeConcat(concat)
 	cur := sql.TableCursor(fin.Table, fin)
 	return windowdb.NewRows(&coordCursorSource{
-		c: c, cur: cur, route: "scatter", shardsUsed: len(c.shards), cacheHit: hit,
-		baseRead: blocksRead, baseWritten: blocksWritten, baseCmp: comparisons,
+		c: c, cur: cur, route: route, shardsUsed: len(streams), cacheHit: hit,
+		baseRead: baseRead, baseWritten: baseWritten, baseCmp: baseCmp,
 		cancel: cancel, start: start,
 	}), nil
 }
@@ -533,23 +621,133 @@ func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepa
 // streamReplica streams the whole statement from one node, round-robin.
 func (c *Cluster) streamReplica(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
 	c.replica.Add(1)
-	i := int(c.rr.Add(1)-1) % len(c.shards)
-	streams, streamCancel, err := c.openStreams(ctx, src, ModeFull, c.shards[i:i+1])
+	node := int(c.rr.Add(1)-1) % len(c.shards)
+	streams, streamCancel, err := c.openStreams(ctx, 1, func(ctx context.Context, _ int) (RowStream, error) {
+		return c.shards[node].QueryStream(ctx, src, ModeFull)
+	})
 	if err != nil {
 		return nil, err
 	}
 	return windowdb.NewRows(&scatterSource{
 		c: c, cols: streams[0].Columns(), streams: streams,
 		streamCancel: streamCancel, cancel: cancel,
-		replica: true, prep: prep, cacheHit: hit,
+		route: "replica", prep: prep, cacheHit: hit,
 		limit: -1, start: start,
 	}), nil
 }
 
-// streamGather pulls the table's raw rows from every shard, runs the
-// whole statement at the coordinator, and streams the coordinator
-// cursor. The gather execution slot is held until the cursor is drained
-// or closed.
+// streamShuffle executes a key-divergent chain per segment: every segment
+// runs scattered on all nodes, and between segments each node re-shuffles
+// its output rows directly to its peers, hash-partitioned on the next
+// segment's key. The coordinator drives one barriered round per non-final
+// stage — a ShuffleRun returns only when every peer ingested its partition
+// — and then merge-concatenates the final segment's streams exactly like
+// scatter, so coordinator-resident rows stay bounded by the wire batch ×
+// shard count while every intermediate row moves node-to-node. A failing
+// stage cancels its peers (eachShard) and drops every node's buffered
+// shuffle state before surfacing the error.
+func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepared, sp *sql.SegmentPlan, info *tableInfo, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
+	c.shuffled.Add(1)
+	id := fmt.Sprintf("%s-%d", c.shuffleNonce, c.shuffleSeq.Add(1))
+	n := len(c.shards)
+
+	segKey := func(i int) attrs.Set {
+		var key attrs.Set
+		for _, col := range sp.Keys[i] {
+			key = key.Add(attrs.ID(col))
+		}
+		return key
+	}
+	// Stage list: when the shard key already covers the first segment's
+	// key, segment 0 reads each node's local partition directly; otherwise
+	// a raw stage (WHERE only) shuffles the base rows onto that key first.
+	// Every later segment reads the inbox its predecessor filled. The
+	// final stage always reads the inbox (a single covered segment would
+	// have routed scatter), and streams instead of shuffling on.
+	type stage struct {
+		segment int // -1 = raw pass-through
+		source  string
+	}
+	var stages []stage
+	if info.key.SubsetOf(segKey(0)) {
+		stages = append(stages, stage{segment: 0, source: "local"})
+	} else {
+		stages = append(stages, stage{segment: -1, source: "local"}, stage{segment: 0, source: "inbox"})
+	}
+	for s := 1; s < sp.Segments(); s++ {
+		stages = append(stages, stage{segment: s, source: "inbox"})
+	}
+
+	// cleanup drops every node's buffered rounds of this shuffle: the
+	// failure path's guarantee that an aborted query leaves no state
+	// behind on the node tier. Detached from ctx — the query's context is
+	// typically already cancelled when cleanup runs.
+	cleanup := func() {
+		dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer dcancel()
+		_ = c.eachShard(dctx, func(ctx context.Context, i int, tr Transport) error {
+			_ = tr.ShuffleDrop(ctx, id)
+			return nil
+		})
+	}
+
+	var mu sync.Mutex
+	var baseRead, baseWritten, baseCmp int64
+	for si := 0; si < len(stages)-1; si++ {
+		st := stages[si]
+		outKey := sp.Keys[stages[si+1].segment]
+		err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+			res, err := tr.ShuffleRun(ctx, service.ShuffleRunRequest{
+				SQL: src, Plan: sp, Segment: st.segment, Source: st.source,
+				ShuffleID: id, Round: si, Senders: n,
+				OutKey: outKey, Peers: c.peerAddrs, Self: i,
+				Deliver: c.deliverShuffle,
+			})
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			baseRead += res.BlocksRead
+			baseWritten += res.BlocksWritten
+			baseCmp += res.Comparisons
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+
+	freq := service.ShardQueryRequest{
+		SQL: src, Mode: "segment", Stream: true, Plan: sp,
+		ShuffleID: id, Round: len(stages) - 1, Senders: n,
+	}
+	streams, streamCancel, err := c.openStreams(ctx, n, func(ctx context.Context, i int) (RowStream, error) {
+		return c.shards[i].SegmentStream(ctx, freq)
+	})
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	rows, err := c.emitStreams("shuffle", prep, hit, streams, streamCancel, cancel, start, baseRead, baseWritten, baseCmp)
+	if err != nil {
+		// The final streams are closed by emitStreams' handoff guard; any
+		// node that never served its SegmentStream still holds its buffer.
+		cleanup()
+		return nil, err
+	}
+	return rows, nil
+}
+
+// streamGather streams the table's raw rows from every shard into one
+// coordinator-side table, runs the whole statement over it, and streams
+// the coordinator cursor. Resident rows are the gathered set itself — the
+// chain's input — never a second buffered copy: tuples decode straight
+// off each shard's chunked stream (no transport materializes a whole
+// response body), and the concatenation moves tuple references with each
+// part released as it is consumed. The gather execution slot is held
+// until the cursor is drained or closed.
 func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *tableInfo, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
 	c.gathered.Add(1)
 	// Coordinator-side admission: each gather chain assumes the full unit
@@ -575,19 +773,44 @@ func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *ta
 			release()
 		}
 	}()
-	parts := make([]*storage.Table, len(c.shards))
+	// Each shard's goroutine accumulates its own rows as its stream
+	// arrives (incremental on the wire — tuples decode one line at a
+	// time, never a whole body); the concatenation below walks the parts
+	// in shard-index order so the chain input's interleave is
+	// deterministic per topology, releasing each part as it is consumed.
+	parts := make([][]storage.Tuple, len(c.shards))
+	var mu sync.Mutex
+	var schema *storage.Schema
 	if err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
-		t, err := tr.FetchTable(ctx, info.name)
-		parts[i] = t
-		return err
+		st, err := tr.TableStream(ctx, info.name)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		mu.Lock()
+		if schema == nil {
+			schema = storage.NewSchema(st.Columns()...)
+		}
+		mu.Unlock()
+		for {
+			t, err := st.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			parts[i] = append(parts[i], t)
+		}
 	}); err != nil {
 		return nil, err
 	}
-	gatheredRows := storage.NewTable(parts[0].Schema)
-	for _, t := range parts {
-		gatheredRows.Rows = append(gatheredRows.Rows, t.Rows...)
+	gathered := storage.NewTable(schema)
+	for i := range parts {
+		gathered.Rows = append(gathered.Rows, parts[i]...)
+		parts[i] = nil
 	}
-	cur, err := prep.StreamOverContext(ctx, gatheredRows)
+	cur, err := prep.StreamOverContext(ctx, gathered)
 	if err != nil {
 		return nil, err
 	}
@@ -612,9 +835,9 @@ func (c *Cluster) GatherInFlight() int64 { return c.gatherInFlight.Load() }
 // scatterSource merge-concatenates per-node row streams in shard-index
 // order: the stream currently draining contributes one in-flight row at
 // the coordinator, the ones behind it at most their transport's read
-// buffer. It serves both the streaming scatter route and (with a single
-// stream and replica set) the replica route. LIMIT terminates the merge
-// early, cancelling the remaining node streams.
+// buffer. It serves the streaming scatter route, the shuffle route's
+// final-segment merge, and (with a single stream) the replica route.
+// LIMIT terminates the merge early, cancelling the remaining node streams.
 type scatterSource struct {
 	c            *Cluster
 	cols         []storage.Column
@@ -623,9 +846,12 @@ type scatterSource struct {
 	cancel       context.CancelFunc // coordinator DefaultTimeout, when armed
 	prep         *sql.Prepared
 	cacheHit     bool
-	replica      bool
-	limit        int64 // remaining LIMIT budget; -1 = unlimited
-	start        time.Time
+	route        string
+	// Base counters: work observed before the merged streams opened (the
+	// shuffle route's earlier rounds).
+	baseRead, baseWritten, baseCmp int64
+	limit                          int64 // remaining LIMIT budget; -1 = unlimited
+	start                          time.Time
 
 	idx       int
 	outcomes  []*QueryOutcome
@@ -672,13 +898,16 @@ func (ss *scatterSource) finish(err error) {
 		closeStreams(ss.streams)
 		ss.streamCancel()
 		meta := &windowdb.QueryMetrics{
-			Plan:        ss.prep.Plan(),
-			FinalSort:   "none",
-			Parallelism: 1,
-			CacheHit:    ss.cacheHit,
-			Route:       "scatter",
-			ShardsUsed:  len(ss.streams),
-			Elapsed:     time.Since(ss.start),
+			Plan:          ss.prep.Plan(),
+			FinalSort:     "none",
+			Parallelism:   1,
+			CacheHit:      ss.cacheHit,
+			Route:         ss.route,
+			ShardsUsed:    len(ss.streams),
+			Elapsed:       time.Since(ss.start),
+			BlocksRead:    ss.baseRead,
+			BlocksWritten: ss.baseWritten,
+			Comparisons:   ss.baseCmp,
 		}
 		if meta.Plan != nil {
 			meta.Chain = meta.Plan.PaperString()
@@ -688,11 +917,8 @@ func (ss *scatterSource) finish(err error) {
 			meta.BlocksWritten += out.BlocksWritten
 			meta.Comparisons += out.Comparisons
 		}
-		if ss.replica {
-			meta.Route = "replica"
-			if len(ss.outcomes) > 0 {
-				meta.FinalSort = ss.outcomes[0].FinalSort
-			}
+		if ss.route == "replica" && len(ss.outcomes) > 0 {
+			meta.FinalSort = ss.outcomes[0].FinalSort
 		}
 		ss.meta = meta
 		switch {

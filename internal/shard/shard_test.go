@@ -25,16 +25,27 @@ const q6SQL = `SELECT ws_item_sk, ws_sold_date_sk, ws_bill_customer_sk, ws_order
  FROM web_sales`
 
 // gatherSQL has an empty common partition key (wf1's WPK is empty), so it
-// cannot run shard-locally and must gather.
+// cannot run shard-locally — and with no usable per-segment key either, it
+// falls back to gathering raw rows at the coordinator.
 const gatherSQL = `SELECT ws_item_sk, ws_order_number,
  rank() OVER (ORDER BY ws_sold_time_sk) AS r
  FROM web_sales`
 
 // divergeSQL has two non-empty but disjoint WPKs — ChainCommonKey is
-// empty, so it gathers.
+// empty, so the chain cannot scatter whole; each segment keeps a usable
+// key, so it executes per segment with a node-to-node re-shuffle at the
+// divergence point (route "shuffle").
 const divergeSQL = `SELECT ws_order_number,
  rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a,
  rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b
+ FROM web_sales`
+
+// diverge3SQL spans three key-divergent segments (item, warehouse, bill):
+// two re-shuffles between nodes before the final merge.
+const diverge3SQL = `SELECT ws_order_number,
+ rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a,
+ rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b,
+ rank() OVER (PARTITION BY ws_bill_customer_sk ORDER BY ws_sold_date_sk) AS c
  FROM web_sales`
 
 func testEngineConfig() windowdb.Config {
@@ -189,12 +200,78 @@ func TestScatterWhereDistinct(t *testing.T) {
 	}
 }
 
-// TestGatherEquivalence: chains whose common partition key misses the
-// shard key pull raw rows to the coordinator and still match the single
-// engine.
+// TestGatherEquivalence: chains with no usable shuffle key (an empty
+// PARTITION BY) pull raw rows to the coordinator and still match the
+// single engine.
 func TestGatherEquivalence(t *testing.T) {
 	const rows = 1000
-	for _, q := range []string{gatherSQL, divergeSQL} {
+	ref, err := singleEngine(rows).Query(gatherSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newLocalCluster(t, 3, rows)
+	res, err := c.Query(context.Background(), gatherSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route != "gather" {
+		t.Fatalf("route %q, want gather", res.Route)
+	}
+	if !slices.Equal(canonical(res.Table), canonical(ref.Table)) {
+		t.Fatal("gather result multiset differs from single engine")
+	}
+}
+
+// TestShuffleEquivalence is the tentpole acceptance bar: key-divergent
+// chains (two and three segments with different PARTITION BY keys)
+// execute per segment with node-to-node re-shuffles over 1, 2 and 4
+// in-process shards, value-identical to the single-engine result, and
+// leave no buffered shuffle state behind.
+func TestShuffleEquivalence(t *testing.T) {
+	const rows = 2500
+	for _, q := range []string{divergeSQL, diverge3SQL} {
+		ref, err := singleEngine(rows).Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := canonical(ref.Table)
+		for _, n := range []int{1, 2, 4} {
+			c := newLocalCluster(t, n, rows)
+			res, err := c.Query(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%d shards: %v", n, err)
+			}
+			if res.Route != "shuffle" {
+				t.Fatalf("%d shards: route %q, want shuffle", n, res.Route)
+			}
+			if res.ShardsUsed != n {
+				t.Fatalf("%d shards: used %d", n, res.ShardsUsed)
+			}
+			if !slices.Equal(canonical(res.Table), want) {
+				t.Fatalf("%d shards: shuffle result multiset differs from single engine", n)
+			}
+			for i, tr := range c.shards {
+				if got := tr.(*Local).Service().ShuffleBuffered(); got != 0 {
+					t.Fatalf("%d shards: node %d still buffers %d shuffle rounds", n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShuffleOrderByDistinctLimit: the coordinator's finalize applies
+// DISTINCT, the total ORDER BY and LIMIT over the shuffled chain exactly
+// as over a scatter — row-for-row identical to the single engine.
+func TestShuffleOrderByDistinctLimit(t *testing.T) {
+	const rows = 1200
+	for _, q := range []string{
+		divergeSQL + ` ORDER BY ws_order_number`,
+		divergeSQL + ` ORDER BY a DESC, b, ws_order_number LIMIT 10`,
+		`SELECT DISTINCT ws_warehouse_sk,
+		 rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a,
+		 rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b
+		 FROM web_sales WHERE ws_quantity <= 50 ORDER BY ws_warehouse_sk, a, b`,
+	} {
 		ref, err := singleEngine(rows).Query(q)
 		if err != nil {
 			t.Fatal(err)
@@ -204,11 +281,11 @@ func TestGatherEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Route != "gather" {
-			t.Fatalf("route %q, want gather", res.Route)
+		if res.Route != "shuffle" {
+			t.Fatalf("route %q, want shuffle", res.Route)
 		}
-		if !slices.Equal(canonical(res.Table), canonical(ref.Table)) {
-			t.Fatal("gather result multiset differs from single engine")
+		if !slices.Equal(ordered(res.Table), ordered(ref.Table)) {
+			t.Fatalf("ordered shuffle rows differ from single engine for %q", q)
 		}
 	}
 }
@@ -329,20 +406,31 @@ func TestClusterStats(t *testing.T) {
 	if _, err := c.Query(ctx, `SELECT empnum FROM emptab`); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := c.Query(ctx, divergeSQL); err != nil {
+		t.Fatal(err)
+	}
 	stats, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Queries != 3 || stats.Scatter != 1 || stats.Gather != 1 || stats.Replica != 1 {
+	if stats.Queries != 4 || stats.Scatter != 1 || stats.Shuffle != 1 || stats.Gather != 1 || stats.Replica != 1 {
 		t.Fatalf("counters: %+v", stats)
 	}
 	if len(stats.ShardStats) != 2 {
 		t.Fatalf("want 2 shard snapshots, got %d", len(stats.ShardStats))
 	}
-	// The scatter ran on both shards, the replica on one: 3 shard-side
-	// queries total (the gather path fetches raw rows, not queries).
-	if stats.ShardQueries != 3 {
-		t.Fatalf("shard queries %d, want 3", stats.ShardQueries)
+	// The scatter ran on both shards, the replica on one, and the shuffle's
+	// final segment streamed from both: 5 shard-side queries total (the
+	// gather path fetches raw rows, not queries; shuffle rounds count on
+	// their own gauge).
+	if stats.ShardQueries != 5 {
+		t.Fatalf("shard queries %d, want 5", stats.ShardQueries)
+	}
+	// divergeSQL shuffles at least once: every shard ran ≥ 1 non-final
+	// stage (the exact count depends on which segment the planner puts
+	// first relative to the shard key).
+	if stats.ShardShuffleRounds < 2 {
+		t.Fatalf("shard shuffle rounds %d, want ≥ 2", stats.ShardShuffleRounds)
 	}
 	if err := c.Health(ctx); err != nil {
 		t.Fatal(err)

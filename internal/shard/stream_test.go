@@ -69,6 +69,17 @@ func (ct *countingTransport) QueryStream(ctx context.Context, sql string, mode M
 	return &countingStream{inner: inner, batch: ct.batch, gauge: ct.gauge}, nil
 }
 
+// SegmentStream is counted too: the shuffle route's final merge is the
+// only point where its rows touch coordinator-owned buffers (the
+// re-shuffled intermediates move node-to-node and are never charged).
+func (ct *countingTransport) SegmentStream(ctx context.Context, req service.ShardQueryRequest) (RowStream, error) {
+	inner, err := ct.Transport.SegmentStream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &countingStream{inner: inner, batch: ct.batch, gauge: ct.gauge}, nil
+}
+
 type countingStream struct {
 	inner RowStream
 	batch int
@@ -384,6 +395,220 @@ func TestScatterStreamLimitStopsEarly(t *testing.T) {
 		t.Fatalf("got %d rows, want 5", n)
 	}
 	waitNodeSlotsFree(t, svcs)
+}
+
+// TestShuffleStreamBoundedResidency is the acceptance test for the
+// shuffle route's coordinator memory: a 4-shard key-divergent two-segment
+// chain over 120k rows executes with route "shuffle", produces exactly
+// the single-engine multiset, and flows through the coordinator with peak
+// resident rows bounded by the wire batch size × shard count — the
+// re-shuffled intermediate rows move node-to-node and never appear in a
+// coordinator-owned buffer at all.
+func TestShuffleStreamBoundedResidency(t *testing.T) {
+	const (
+		rows   = 120_000
+		nShard = 4
+		batch  = 256
+	)
+	engCfg := windowdb.Config{SortMemBytes: 32 << 20, Parallelism: 1}
+	gauge := &residencyGauge{}
+	svcs := make([]*service.Service, nShard)
+	shards := make([]Transport, nShard)
+	for i := range shards {
+		svcs[i] = service.New(windowdb.New(engCfg), service.Config{})
+		shards[i] = &countingTransport{
+			Transport: NewLocal(svcs[i]),
+			batch:     batch,
+			gauge:     gauge,
+		}
+	}
+	c, err := New(Config{Engine: engCfg}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := windowdb.New(engCfg)
+	eng.Register("web_sales", ws)
+	ref, err := eng.Query(divergeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSum uint64
+	for _, row := range ref.Table.Rows {
+		wantSum = tupleChecksum(wantSum, row)
+	}
+
+	rc, err := c.QueryContext(ctx, divergeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	var gotSum uint64
+	for rc.Next() {
+		gotSum = tupleChecksum(gotSum, rc.Row())
+		n++
+	}
+	if err := rc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != rows {
+		t.Fatalf("streamed %d rows, want %d", n, rows)
+	}
+	if gotSum != wantSum {
+		t.Fatal("shuffled multiset differs from the single-engine result")
+	}
+	m := rc.Metrics()
+	if m == nil || m.Route != "shuffle" {
+		t.Fatalf("metrics = %+v, want shuffle route", m)
+	}
+
+	// The bound: every node may have one full batch parked at the
+	// coordinator during the final merge, nothing more. |R| would be
+	// 120 000 — and the gather route this replaces would hold all of it.
+	if peak := gauge.Peak(); peak > batch*nShard {
+		t.Fatalf("peak resident rows %d exceeds batch*shards = %d", peak, batch*nShard)
+	}
+	if res := gauge.Resident(); res != 0 {
+		t.Fatalf("resident rows %d after drain, want 0", res)
+	}
+	for i, svc := range svcs {
+		if got := svc.ShuffleBuffered(); got != 0 {
+			t.Fatalf("node %d still buffers %d shuffle rounds", i, got)
+		}
+	}
+}
+
+// failingShuffleTransport injects a delivery failure: every re-shuffled
+// batch aimed at this node is refused, dooming any shuffle round that
+// includes it.
+type failingShuffleTransport struct {
+	Transport
+}
+
+func (f *failingShuffleTransport) AcceptShuffle(ctx context.Context, b *service.ShuffleBatch) error {
+	return errors.New("injected shuffle delivery failure")
+}
+
+// TestShuffleFailureReleasesSlots: a shuffle that fails on one node
+// cancels the peer stages, drops every node's buffered shuffle state,
+// releases every node's admission slot, and leaves the coordinator's
+// gather gauge untouched — and the cluster still serves afterwards.
+func TestShuffleFailureReleasesSlots(t *testing.T) {
+	const n = 3
+	svcs := make([]*service.Service, n)
+	shards := make([]Transport, n)
+	for i := range shards {
+		svcs[i] = service.New(windowdb.New(testEngineConfig()), service.Config{Slots: 1})
+		shards[i] = NewLocal(svcs[i])
+	}
+	shards[1] = &failingShuffleTransport{Transport: shards[1]}
+	c, err := New(Config{Engine: testEngineConfig()}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: 2000, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Query(ctx, divergeSQL); err == nil {
+		t.Fatal("shuffle with a failing node must error")
+	}
+	waitNodeSlotsFree(t, svcs)
+	if got := c.GatherInFlight(); got != 0 {
+		t.Fatalf("gather in-flight = %d after shuffle failure, want 0", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		buffered := 0
+		for _, svc := range svcs {
+			buffered += svc.ShuffleBuffered()
+		}
+		if buffered == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d shuffle rounds still buffered after failure cleanup", buffered)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.failures.Load(); got == 0 {
+		t.Fatal("failed shuffle not counted")
+	}
+	// The cluster still serves routes that avoid the broken data plane.
+	res, err := c.Query(ctx, q6SQL)
+	if err != nil {
+		t.Fatalf("scatter after shuffle failure: %v", err)
+	}
+	if res.Route != "scatter" {
+		t.Fatalf("route %q, want scatter", res.Route)
+	}
+}
+
+// TestShuffleCloseReleasesNodeSlots: closing a half-drained shuffle
+// stream closes the per-node final-segment streams, releasing every
+// node's admission slot and leaving no buffered state.
+func TestShuffleCloseReleasesNodeSlots(t *testing.T) {
+	c, svcs := streamCluster(t, 2, 4000, Config{})
+	rows, err := c.QueryContext(context.Background(), divergeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended early: %v", rows.Err())
+		}
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitNodeSlotsFree(t, svcs)
+	if got := c.aborted.Load(); got != 1 {
+		t.Fatalf("cluster aborted = %d, want 1", got)
+	}
+	for i, svc := range svcs {
+		if got := svc.ShuffleBuffered(); got != 0 {
+			t.Fatalf("node %d still buffers %d shuffle rounds after close", i, got)
+		}
+	}
+	if _, err := c.Query(context.Background(), divergeSQL); err != nil {
+		t.Fatalf("shuffle after close: %v", err)
+	}
+}
+
+// TestShuffleCancelMidDrain: a context cancelled while the final merge is
+// half-drained surfaces context.Canceled and releases the node slots.
+func TestShuffleCancelMidDrain(t *testing.T) {
+	c, svcs := streamCluster(t, 2, 4000, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := c.QueryContext(ctx, divergeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended early: %v", rows.Err())
+		}
+	}
+	cancel()
+	for rows.Next() {
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitNodeSlotsFree(t, svcs)
+	for i, svc := range svcs {
+		if got := svc.ShuffleBuffered(); got != 0 {
+			t.Fatalf("node %d still buffers %d shuffle rounds after cancel", i, got)
+		}
+	}
 }
 
 // TestCoordCachePerTableInvalidation is the shard-aware plan cache

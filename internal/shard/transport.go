@@ -65,9 +65,28 @@ type Transport interface {
 	// path's transport primitive, bounding coordinator memory by what is
 	// in flight instead of the node's whole response.
 	QueryStream(ctx context.Context, sql string, mode Mode) (RowStream, error)
-	// FetchTable returns the node's rows of a table — the gather path of
-	// chains whose partition keys diverge from the shard key.
-	FetchTable(ctx context.Context, name string) (*storage.Table, error)
+	// TableStream streams the node's rows of a table — the gather path of
+	// chains with no usable shuffle key. Incremental on the wire: the
+	// coordinator appends rows as they arrive instead of decoding a whole
+	// response body.
+	TableStream(ctx context.Context, name string) (RowStream, error)
+	// ShuffleRun executes one non-final stage of a per-segment distributed
+	// chain on the node (service.RunShuffleStep): run the segment, then
+	// re-shuffle the output directly to the peer nodes. Returns once every
+	// peer has ingested — the coordinator's round barrier.
+	ShuffleRun(ctx context.Context, req service.ShuffleRunRequest) (*service.ShuffleRunResult, error)
+	// SegmentStream opens the final shuffle segment's row stream over the
+	// node's buffered shuffle input (service.StreamSegment); the
+	// coordinator merge-concatenates these exactly like scatter streams.
+	SegmentStream(ctx context.Context, req service.ShardQueryRequest) (RowStream, error)
+	// AcceptShuffle delivers one re-shuffled row batch into the node's
+	// shuffle inbox. Nodes address each other directly over their own data
+	// plane; this entry point exists so in-process clusters (and tests
+	// wrapping transports) can route peer deliveries without sockets.
+	AcceptShuffle(ctx context.Context, b *service.ShuffleBatch) error
+	// ShuffleDrop discards the node's buffered shuffle state for id — the
+	// coordinator's cleanup when a stage fails mid-shuffle.
+	ShuffleDrop(ctx context.Context, id string) error
 	// Register installs a table (partition or replica) on the node.
 	Register(ctx context.Context, name string, t *storage.Table) error
 	// Distinct returns the node-local distinct count of the attribute set,
@@ -174,13 +193,85 @@ func (rs *rowsStream) Outcome() *QueryOutcome { return rs.outcome }
 
 func (rs *rowsStream) Close() error { return rs.rows.Close() }
 
-// FetchTable implements Transport. The returned table is the node's
-// registered (immutable) table; callers must not mutate its rows.
-func (l *Local) FetchTable(ctx context.Context, name string) (*storage.Table, error) {
+// TableStream implements Transport: an in-process stream over the node's
+// registered (immutable) table — no rows are copied; consumers must not
+// mutate the yielded tuples.
+func (l *Local) TableStream(ctx context.Context, name string) (RowStream, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return l.svc.Engine().Table(name)
+	t, err := l.svc.Engine().Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return &tableStream{ctx: ctx, cols: t.Schema.Columns, rows: t.Rows}, nil
+}
+
+// tableStream yields a materialized table's rows as a RowStream.
+type tableStream struct {
+	ctx     context.Context
+	cols    []storage.Column
+	rows    []storage.Tuple
+	pos     int
+	outcome *QueryOutcome
+}
+
+func (ts *tableStream) Columns() []storage.Column { return ts.cols }
+
+func (ts *tableStream) Next() (storage.Tuple, error) {
+	if ts.pos >= len(ts.rows) {
+		if ts.outcome == nil {
+			ts.outcome = &QueryOutcome{}
+		}
+		return nil, io.EOF
+	}
+	if ts.pos%1024 == 0 {
+		if err := ts.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	t := ts.rows[ts.pos]
+	ts.pos++
+	return t, nil
+}
+
+func (ts *tableStream) Outcome() *QueryOutcome { return ts.outcome }
+
+func (ts *tableStream) Close() error {
+	ts.rows = nil
+	return nil
+}
+
+// ShuffleRun implements Transport: the node executes the stage in-process,
+// delivering re-shuffled partitions through the request's Deliver hook
+// (the cluster wires it to the peer transports' AcceptShuffle).
+func (l *Local) ShuffleRun(ctx context.Context, req service.ShuffleRunRequest) (*service.ShuffleRunResult, error) {
+	return l.svc.RunShuffleStep(ctx, req, nil)
+}
+
+// SegmentStream implements Transport: the node's final-segment cursor,
+// adapted; the admission slot is held until the stream is drained or
+// closed, exactly as for QueryStream.
+func (l *Local) SegmentStream(ctx context.Context, req service.ShardQueryRequest) (RowStream, error) {
+	rows, err := l.svc.StreamSegment(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &rowsStream{rows: rows}, nil
+}
+
+// AcceptShuffle implements Transport: straight into the node's inbox.
+func (l *Local) AcceptShuffle(ctx context.Context, b *service.ShuffleBatch) error {
+	return l.svc.ShuffleAccept(ctx, b)
+}
+
+// ShuffleDrop implements Transport.
+func (l *Local) ShuffleDrop(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.svc.ShuffleDrop(id)
+	return nil
 }
 
 // Register implements Transport.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/attrs"
 	"repro/internal/catalog"
@@ -35,6 +36,10 @@ type Prepared struct {
 	gen    uint64
 	scheme Scheme
 	cfg    exec.Config
+	// The CSO ablation switches the statement was planned under; segment
+	// sub-planning (SegmentRunner) honors the same restrictions.
+	disableHS bool
+	disableSS bool
 
 	specs      []window.Spec
 	plan       *core.Plan // nil when the query has no window functions
@@ -45,6 +50,14 @@ type Prepared struct {
 	pick    []int // executed-table source column per output column
 
 	orderKey attrs.Seq // final ORDER BY over the output schema
+
+	// Memoized SegmentRunners keyed by shipped-plan fingerprint: a shard
+	// node executes one statement's shuffle stages many times (every
+	// round, then the final stream), all against the same immutable
+	// segmentation — validate and sub-plan once. Guarded by segMu; the
+	// rest of the struct stays immutable after Prepare.
+	segMu      sync.Mutex
+	segRunners map[string]*SegmentRunner
 }
 
 // SQL returns the original query text.
@@ -122,13 +135,15 @@ func (r *Runner) prepare(q *Query, src string) (*Prepared, error) {
 	}
 	schema := entry.Table.Schema
 	p := &Prepared{
-		src:    src,
-		q:      q,
-		entry:  entry,
-		gen:    gen,
-		scheme: r.Scheme,
-		cfg:    r.Exec,
-		wfCol:  map[int]int{},
+		src:       src,
+		q:         q,
+		entry:     entry,
+		gen:       gen,
+		scheme:    r.Scheme,
+		cfg:       r.Exec,
+		disableHS: r.DisableHS,
+		disableSS: r.DisableSS,
+		wfCol:     map[int]int{},
 	}
 
 	if q.Where != nil {
@@ -341,58 +356,70 @@ func (p *Prepared) runChain(ctx context.Context, base *storage.Table) (*storage.
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	q := p.q
-	schema := base.Schema
-
-	// WHERE: filter into the windowed table WT (Section 5's loose
-	// integration: all clauses except ORDER BY run before the windows).
-	windowed := base
-	if q.Where != nil {
-		wt := storage.NewTable(schema)
-		for _, row := range base.Rows {
-			v, err := evalPredicate(q.Where, row, schema)
-			if err != nil {
-				return nil, nil, err
-			}
-			if v == tTrue {
-				wt.Rows = append(wt.Rows, row)
-			}
-		}
-		windowed = wt
+	windowed, err := p.filterWhere(base)
+	if err != nil {
+		return nil, nil, err
 	}
-
 	result := &Result{FinalSort: "none", Parallelism: 1}
 	executed := windowed
 	if p.plan != nil {
-		cfg := p.cfg
-		if cfg.Distinct == nil {
-			cfg.Distinct = p.entry.Distinct
-		}
-		var (
-			out     *storage.Table
-			metrics *exec.Metrics
-			err     error
-		)
-		// Parallelism must be set explicitly (> 1) to engage the parallel
-		// chain executor here: a zero-value Runner stays on the sequential
-		// path (facades that want the GOMAXPROCS default resolve it before
-		// building the Runner, as windowdb.Engine does).
-		if cfg.Parallelism > 1 {
-			out, metrics, err = exec.ParallelRunContext(ctx, windowed, p.specs, p.plan, cfg, cfg.Parallelism)
-			if err == nil && metrics.PartitionedSteps > 0 {
-				result.Parallelism = cfg.Parallelism
-			}
-		} else {
-			out, metrics, err = exec.RunContext(ctx, windowed, p.specs, p.plan, cfg)
-		}
+		out, metrics, par, err := p.runPlan(ctx, windowed, p.plan)
 		if err != nil {
 			return nil, nil, err
 		}
 		executed = out
 		result.Plan = p.plan
 		result.Metrics = metrics
+		result.Parallelism = par
 	}
 	return executed, result, nil
+}
+
+// filterWhere applies the statement's WHERE clause to base, producing the
+// windowed table WT (Section 5's loose integration: all clauses except
+// ORDER BY run before the windows). Statements without a WHERE return base
+// unchanged.
+func (p *Prepared) filterWhere(base *storage.Table) (*storage.Table, error) {
+	if p.q.Where == nil {
+		return base, nil
+	}
+	schema := base.Schema
+	wt := storage.NewTable(schema)
+	for _, row := range base.Rows {
+		v, err := evalPredicate(p.q.Where, row, schema)
+		if err != nil {
+			return nil, err
+		}
+		if v == tTrue {
+			wt.Rows = append(wt.Rows, row)
+		}
+	}
+	return wt, nil
+}
+
+// runPlan executes a planned chain (p.plan or a segment sub-plan) over in
+// with the prepared execution config, returning the extended table, the
+// executor metrics, and the parallel degree the chain actually ran with.
+//
+// Parallelism must be set explicitly (> 1) to engage the parallel chain
+// executor: a zero-value Runner stays on the sequential path (facades that
+// want the GOMAXPROCS default resolve it before building the Runner, as
+// windowdb.Engine does).
+func (p *Prepared) runPlan(ctx context.Context, in *storage.Table, plan *core.Plan) (*storage.Table, *exec.Metrics, int, error) {
+	cfg := p.cfg
+	if cfg.Distinct == nil {
+		cfg.Distinct = p.entry.Distinct
+	}
+	if cfg.Parallelism > 1 {
+		out, metrics, err := exec.ParallelRunContext(ctx, in, p.specs, plan, cfg, cfg.Parallelism)
+		par := 1
+		if err == nil && metrics.PartitionedSteps > 0 {
+			par = cfg.Parallelism
+		}
+		return out, metrics, par, err
+	}
+	out, metrics, err := exec.RunContext(ctx, in, p.specs, plan, cfg)
+	return out, metrics, 1, err
 }
 
 // project materializes the projection of every executed row.

@@ -75,8 +75,8 @@ type QueryMetrics struct {
 	Parallelism int
 	// CacheHit reports a prepared-plan cache hit at the serving layer.
 	CacheHit bool
-	// Route is the cluster routing decision ("scatter", "gather",
-	// "replica"), "" for single-engine backends.
+	// Route is the cluster routing decision ("scatter", "shuffle",
+	// "gather", "replica"), "" for single-engine backends.
 	Route string
 	// ShardsUsed is the number of nodes that executed, 0 for single-engine
 	// backends.

@@ -1,7 +1,7 @@
 # Local targets mirroring .github/workflows/ci.yml.
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet serve bench-service bench-json load-smoke cluster-smoke ci
+.PHONY: build test race bench fmt fmt-check vet serve bench-service bench-json bench-baseline load-smoke cluster-smoke ci
 
 build:
 	$(GO) build ./...
@@ -43,10 +43,19 @@ serve:
 bench-service:
 	$(GO) run ./cmd/windbench -exp service -servdur 500ms -servrows 4000
 
-# The perf-baseline artifact CI uploads: parallel + sharded + shuffle +
+# The perf-trajectory artifact CI uploads: parallel + sharded + shuffle +
 # service sweeps serialized as JSON (see bench.Trajectory).
 bench-json:
-	$(GO) run ./cmd/windbench -exp parallel,sharded,shuffle,service -servdur 200ms -servrows 4000 -json BENCH_pr5.json
+	$(GO) run ./cmd/windbench -exp parallel,sharded,shuffle,service -servdur 200ms -servrows 4000 -json BENCH_head.json
+
+# The committed bench-regression baseline: regenerate the shuffle scenario
+# trajectory in place, then verify the fresh numbers pass their own gate.
+# Run on a quiet machine, eyeball the diff, and commit BENCH_baseline.json
+# together with the change that moved the numbers (see README "Bench
+# baseline").
+bench-baseline:
+	$(GO) run ./cmd/windbench -exp shuffle -json BENCH_baseline.json
+	$(GO) run ./cmd/windbench -exp shuffle -compare BENCH_baseline.json -tolerance 0.25
 
 # Boot windserve on a scratch port, wait for /healthz, fire a handful of
 # /query round trips and check /stats counted them. A serving smoke, not a
@@ -73,15 +82,16 @@ load-smoke:
 	curl -s -o /dev/null -w '%{http_code}' http://$(SMOKE_ADDR)/query?q=nonsense | grep -q 400; \
 	echo "load-smoke: OK"
 
-# Boot two shard windserve processes plus a coordinator (and a reference
-# single-engine instance) on scratch ports, fire the sharded Q1 query over
-# HTTP, and assert the cluster's row count matches the single engine's and
-# the chain scattered across both shards; then fire a key-divergent chain
-# (two segments with different PARTITION BY) and assert it executed with
-# route=shuffle — the per-segment distributed path whose re-shuffled rows
-# move node-to-node over the /shard/shuffle data plane — with the same row
-# count as the single engine. The two-process proof that scatter and
-# shuffle both work over real sockets.
+# Boot two shard windserve processes plus two coordinators — one per wire
+# codec (binary columnar frames, NDJSON) — and a reference single-engine
+# instance on scratch ports; fire the sharded Q1 query over HTTP through
+# each coordinator and assert its row count matches the single engine's
+# and the chain scattered across both shards; then fire a key-divergent
+# chain (two segments with different PARTITION BY) through each and assert
+# it executed with route=shuffle — the per-segment distributed path whose
+# re-shuffled rows move node-to-node over the /shard/shuffle data plane —
+# with the same row count as the single engine. The two-process proof that
+# scatter and shuffle both work over real sockets, in both codecs.
 cluster-smoke: SMOKE_Q = SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales
 cluster-smoke: SMOKE_DIVQ = SELECT ws_order_number, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a, rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b FROM web_sales
 cluster-smoke:
@@ -90,9 +100,10 @@ cluster-smoke:
 	/tmp/windserve-csmoke -shardnode -addr 127.0.0.1:18094 & s1=$$!; \
 	/tmp/windserve-csmoke -shardnode -addr 127.0.0.1:18095 & s2=$$!; \
 	/tmp/windserve-csmoke -addr 127.0.0.1:18096 -rows 2000 & se=$$!; \
-	co=; trap 'kill $$s1 $$s2 $$se $$co 2>/dev/null' EXIT; \
+	co=; coj=; trap 'kill $$s1 $$s2 $$se $$co $$coj 2>/dev/null' EXIT; \
 	/tmp/windserve-csmoke -shards 127.0.0.1:18094,127.0.0.1:18095 -addr 127.0.0.1:18093 -rows 2000 & co=$$!; \
-	for url in 127.0.0.1:18093 127.0.0.1:18096; do \
+	/tmp/windserve-csmoke -shards 127.0.0.1:18094,127.0.0.1:18095 -addr 127.0.0.1:18097 -rows 2000 -codec json & coj=$$!; \
+	for url in 127.0.0.1:18093 127.0.0.1:18096 127.0.0.1:18097; do \
 		ok=0; \
 		for i in $$(seq 1 150); do \
 			if curl -sf http://$$url/healthz >/dev/null 2>&1; then ok=1; break; fi; \
@@ -101,22 +112,25 @@ cluster-smoke:
 		[ "$$ok" = 1 ] || { echo "cluster-smoke: $$url never became healthy" >&2; exit 1; }; \
 	done; \
 	body='{"sql":"$(SMOKE_Q)","max_rows":1}'; \
-	single=$$(curl -sf -X POST http://127.0.0.1:18096/query -d "$$body"); \
-	clustered=$$(curl -sf -X POST http://127.0.0.1:18093/query -d "$$body"); \
-	sc=$$(printf '%s' "$$single" | grep -o '"row_count":[0-9]*'); \
-	cc=$$(printf '%s' "$$clustered" | grep -o '"row_count":[0-9]*'); \
-	[ -n "$$sc" ] && [ "$$sc" = "$$cc" ] || { echo "cluster-smoke: $$cc != single-engine $$sc" >&2; exit 1; }; \
-	printf '%s' "$$clustered" | grep -q '"route":"scatter"' || { echo "cluster-smoke: not scattered" >&2; exit 1; }; \
-	printf '%s' "$$clustered" | grep -q '"shards_used":2' || { echo "cluster-smoke: wrong shard count" >&2; exit 1; }; \
 	divbody='{"sql":"$(SMOKE_DIVQ)","max_rows":1}'; \
+	single=$$(curl -sf -X POST http://127.0.0.1:18096/query -d "$$body"); \
+	sc=$$(printf '%s' "$$single" | grep -o '"row_count":[0-9]*'); \
 	divsingle=$$(curl -sf -X POST http://127.0.0.1:18096/query -d "$$divbody"); \
-	divclustered=$$(curl -sf -X POST http://127.0.0.1:18093/query -d "$$divbody"); \
 	dsc=$$(printf '%s' "$$divsingle" | grep -o '"row_count":[0-9]*'); \
-	dcc=$$(printf '%s' "$$divclustered" | grep -o '"row_count":[0-9]*'); \
-	[ -n "$$dsc" ] && [ "$$dsc" = "$$dcc" ] || { echo "cluster-smoke: divergent $$dcc != single-engine $$dsc" >&2; exit 1; }; \
-	printf '%s' "$$divclustered" | grep -q '"route":"shuffle"' || { echo "cluster-smoke: key-divergent chain not shuffled" >&2; exit 1; }; \
-	curl -sf http://127.0.0.1:18093/stats | grep -q '"shards":2' || { echo "cluster-smoke: /stats missing shards" >&2; exit 1; }; \
-	curl -sf http://127.0.0.1:18093/stats | grep -q '"shuffle":1' || { echo "cluster-smoke: /stats missing shuffle count" >&2; exit 1; }; \
-	echo "cluster-smoke: OK ($$cc rows scattered, $$dcc rows shuffled)"
+	for coord in 127.0.0.1:18093=binary 127.0.0.1:18097=json; do \
+		url=$${coord%=*}; label=$${coord#*=}; \
+		clustered=$$(curl -sf -X POST http://$$url/query -d "$$body"); \
+		cc=$$(printf '%s' "$$clustered" | grep -o '"row_count":[0-9]*'); \
+		[ -n "$$sc" ] && [ "$$sc" = "$$cc" ] || { echo "cluster-smoke($$label): $$cc != single-engine $$sc" >&2; exit 1; }; \
+		printf '%s' "$$clustered" | grep -q '"route":"scatter"' || { echo "cluster-smoke($$label): not scattered" >&2; exit 1; }; \
+		printf '%s' "$$clustered" | grep -q '"shards_used":2' || { echo "cluster-smoke($$label): wrong shard count" >&2; exit 1; }; \
+		divclustered=$$(curl -sf -X POST http://$$url/query -d "$$divbody"); \
+		dcc=$$(printf '%s' "$$divclustered" | grep -o '"row_count":[0-9]*'); \
+		[ -n "$$dsc" ] && [ "$$dsc" = "$$dcc" ] || { echo "cluster-smoke($$label): divergent $$dcc != single-engine $$dsc" >&2; exit 1; }; \
+		printf '%s' "$$divclustered" | grep -q '"route":"shuffle"' || { echo "cluster-smoke($$label): key-divergent chain not shuffled" >&2; exit 1; }; \
+		curl -sf http://$$url/stats | grep -q '"shards":2' || { echo "cluster-smoke($$label): /stats missing shards" >&2; exit 1; }; \
+		curl -sf http://$$url/stats | grep -q '"shuffle":1' || { echo "cluster-smoke($$label): /stats missing shuffle count" >&2; exit 1; }; \
+		echo "cluster-smoke($$label): OK ($$cc rows scattered, $$dcc rows shuffled)"; \
+	done
 
 ci: build vet fmt-check race bench load-smoke cluster-smoke

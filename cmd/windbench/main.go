@@ -21,6 +21,13 @@
 // recorded trajectory to diff against:
 //
 //	windbench -exp parallel,sharded,shuffle,service -json BENCH_pr5.json
+//
+// With -compare PATH, the run's results are additionally matched against
+// the baseline artifact at PATH: every baseline point must have run and be
+// no slower than the allowed -tolerance (default +25%), or windbench exits
+// non-zero — the CI bench-regression gate:
+//
+//	windbench -exp shuffle -compare BENCH_baseline.json -tolerance 0.25
 package main
 
 import (
@@ -43,10 +50,13 @@ func main() {
 		servDur   = flag.Duration("servdur", 2*time.Second, "service load duration per concurrency degree")
 		servRows  = flag.Int("servrows", 10_000, "web_sales rows for the service load harness")
 		jsonPath  = flag.String("json", "", "write the parallel/sharded/service results as a JSON trajectory artifact to this path")
+		compare   = flag.String("compare", "", "compare this run's results against the baseline trajectory at this path; exits 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional slowdown vs the -compare baseline (0.25 = +25%)")
+		codec     = flag.String("codec", "", "wire codec for the HTTP bench points: binary (default) or json — the NDJSON-vs-frame A/B knob")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Rows: *rows, Seed: *seed, BlockSize: *blockSize}
+	cfg := bench.Config{Rows: *rows, Seed: *seed, BlockSize: *blockSize, WireCodec: *codec}
 	out := os.Stdout
 
 	wants := map[string]bool{}
@@ -148,5 +158,21 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(out, "trajectory artifact written to %s\n", *jsonPath)
+	}
+	if *compare != "" {
+		base, err := bench.LoadTrajectory(*compare)
+		if err != nil {
+			fail(err)
+		}
+		pts, missing, err := bench.Compare(base, traj, *tolerance)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+		if n := bench.ReportComparison(out, pts, missing, *tolerance); n > 0 {
+			fmt.Fprintf(os.Stderr, "windbench: %d point(s) regressed beyond +%.0f%% of %s\n", n, *tolerance*100, *compare)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "all %d baseline point(s) within tolerance\n", len(pts))
 	}
 }

@@ -75,8 +75,12 @@ func main() {
 		csvTable    = flag.String("table", "csv", "table name for the CSV file")
 		shards      = flag.String("shards", "", "comma-separated shard node addresses: run as cluster coordinator")
 		shardNode   = flag.Bool("shardnode", false, "run as a shard node: empty catalog, tables arrive via /shard/register")
+		codec       = flag.String("codec", "binary", "wire codec for row streams: binary (columnar frames) or json (NDJSON; also disables binary responses, as an old node would)")
 	)
 	flag.Parse()
+	if *codec != string(service.CodecBinary) && *codec != string(service.CodecJSON) {
+		log.Fatalf("windserve: -codec must be %q or %q, got %q", service.CodecBinary, service.CodecJSON, *codec)
+	}
 
 	engCfg := windowdb.Config{
 		Scheme:       sql.Scheme(*scheme),
@@ -93,6 +97,7 @@ func main() {
 			rows: *rows, cacheEntries: *cache,
 			gatherSlots: *slots, timeout: *timeout,
 			csvPath: *csvPath, csvTable: *csvTable,
+			codec: service.WireCodec(*codec),
 		})
 		return
 	}
@@ -114,7 +119,8 @@ func main() {
 		// Only shard nodes expose the /shard/* surface: register/table
 		// would let any client overwrite or dump tables on a public
 		// single-engine server.
-		ShardRoutes: *shardNode,
+		ShardRoutes:   *shardNode,
+		DisableBinary: *codec == string(service.CodecJSON),
 	})
 
 	role := "engine"
@@ -134,6 +140,7 @@ type coordinatorConfig struct {
 	gatherSlots        int
 	timeout            time.Duration
 	csvPath, csvTable  string
+	codec              service.WireCodec
 }
 
 // serveCoordinator forms a cluster over the named shard nodes, distributes
@@ -147,7 +154,7 @@ func serveCoordinator(cfg coordinatorConfig) {
 			continue
 		}
 		addrs = append(addrs, a)
-		transports = append(transports, shard.NewHTTP(a, nil))
+		transports = append(transports, shard.NewHTTPCodec(a, nil, cfg.codec))
 	}
 	cluster, err := shard.New(shard.Config{
 		Engine:         cfg.eng,

@@ -295,8 +295,9 @@ func TestShuffleScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != len(shardCounts)+1 {
-		t.Fatalf("%d results for %d shard counts + http", len(results), len(shardCounts))
+	if len(results) != len(shardCounts)+len(httpShardCounts) {
+		t.Fatalf("%d results for %d shard counts + %d http points",
+			len(results), len(shardCounts), len(httpShardCounts))
 	}
 	for i, res := range results[:len(shardCounts)] {
 		if res.Shards != shardCounts[i] || res.HTTP || res.Query != "Q6d" {
@@ -306,8 +307,10 @@ func TestShuffleScenario(t *testing.T) {
 			t.Errorf("shards %d: unmeasured run (%v, %.2fx)", res.Shards, res.Elapsed, res.Scaleout)
 		}
 	}
-	httpRes := results[len(results)-1]
-	if !httpRes.HTTP || httpRes.Shards != 2 || httpRes.Elapsed <= 0 {
-		t.Errorf("http round trip: %+v", httpRes)
+	for i, n := range httpShardCounts {
+		httpRes := results[len(shardCounts)+i]
+		if !httpRes.HTTP || httpRes.Shards != n || httpRes.Elapsed <= 0 {
+			t.Errorf("http round trip at %d shards: %+v", n, httpRes)
+		}
 	}
 }

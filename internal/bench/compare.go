@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Baseline comparison: the CI bench-regression gate. A committed
+// trajectory artifact (BENCH_baseline.json) records the wall times of the
+// perf-sensitive scenarios; windbench -compare re-runs whichever scenarios
+// the current invocation selected, matches each baseline point by
+// scenario/query/configuration, and fails when a matched point got slower
+// than the allowed tolerance — or when a baseline point was not run at
+// all, so coverage cannot rot silently. Absolute wall times only compare
+// within one machine class; the README documents when and how to refresh
+// the baseline.
+
+// LoadTrajectory reads a windbench -json trajectory artifact.
+func LoadTrajectory(path string) (*Trajectory, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(buf, &t); err != nil {
+		return nil, fmt.Errorf("bench: bad trajectory %s: %w", path, err)
+	}
+	if t.Schema != 1 {
+		return nil, fmt.Errorf("bench: trajectory %s has schema %d, this binary reads 1", path, t.Schema)
+	}
+	return &t, nil
+}
+
+// ComparePoint is one baseline point matched (or not) against the current
+// run. Ratio is normalized so that values above 1 mean "worse than the
+// baseline" regardless of the metric's direction: elapsed ratios are
+// cur/base, throughput ratios base/cur.
+type ComparePoint struct {
+	Name      string  `json:"name"`
+	Metric    string  `json:"metric"`
+	Base      float64 `json:"base"`
+	Cur       float64 `json:"cur"`
+	Ratio     float64 `json:"ratio"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Compare matches every point of the baseline against cur under the given
+// fractional tolerance (0.25 allows a 25% slowdown). It returns the
+// matched points and the names of baseline points absent from the current
+// run. The workloads must be comparable: mismatched row counts or block
+// sizes are an error, not a best-effort comparison.
+func Compare(base, cur *Trajectory, tolerance float64) ([]ComparePoint, []string, error) {
+	if base.Rows != cur.Rows || base.BlockSize != cur.BlockSize {
+		return nil, nil, fmt.Errorf(
+			"bench: baseline workload (rows=%d blocksize=%d) differs from current (rows=%d blocksize=%d); rerun with the baseline's workload or refresh the baseline",
+			base.Rows, base.BlockSize, cur.Rows, cur.BlockSize)
+	}
+	var pts []ComparePoint
+	var missing []string
+
+	elapsed := func(name string, b, c time.Duration, found bool) {
+		if !found {
+			missing = append(missing, name)
+			return
+		}
+		ratio := float64(c) / float64(b)
+		pts = append(pts, ComparePoint{
+			Name: name, Metric: "elapsed", Base: float64(b), Cur: float64(c),
+			Ratio: ratio, Regressed: ratio > 1+tolerance,
+		})
+	}
+
+	for _, bp := range base.Parallel {
+		name := fmt.Sprintf("parallel/%s/deg=%d", bp.Query, bp.Degree)
+		var cc time.Duration
+		found := false
+		for _, cp := range cur.Parallel {
+			if cp.Query == bp.Query && cp.Degree == bp.Degree {
+				cc, found = cp.Elapsed, true
+				break
+			}
+		}
+		elapsed(name, bp.Elapsed, cc, found)
+	}
+	sharded := func(scenario string, bps, cps []ShardedResult) {
+		for _, bp := range bps {
+			name := fmt.Sprintf("%s/%s/shards=%d", scenario, bp.Query, bp.Shards)
+			if bp.HTTP {
+				name += "/http"
+			}
+			var cc time.Duration
+			found := false
+			for _, cp := range cps {
+				if cp.Query == bp.Query && cp.Shards == bp.Shards && cp.HTTP == bp.HTTP {
+					cc, found = cp.Elapsed, true
+					break
+				}
+			}
+			elapsed(name, bp.Elapsed, cc, found)
+		}
+	}
+	sharded("sharded", base.Sharded, cur.Sharded)
+	sharded("shuffle", base.Shuffle, cur.Shuffle)
+	for _, bp := range base.Service {
+		name := fmt.Sprintf("service/c=%d", bp.Concurrency)
+		found := false
+		for _, cp := range cur.Service {
+			if cp.Concurrency != bp.Concurrency {
+				continue
+			}
+			found = true
+			ratio := bp.QPS / cp.QPS
+			pts = append(pts, ComparePoint{
+				Name: name, Metric: "qps", Base: bp.QPS, Cur: cp.QPS,
+				Ratio: ratio, Regressed: ratio > 1+tolerance,
+			})
+			break
+		}
+		if !found {
+			missing = append(missing, name)
+		}
+	}
+	return pts, missing, nil
+}
+
+// ReportComparison renders the comparison and returns the number of
+// failures (regressed points plus missing baseline coverage).
+func ReportComparison(w io.Writer, pts []ComparePoint, missing []string, tolerance float64) int {
+	fprintf(w, "== Baseline comparison (tolerance +%.0f%%) ==\n", tolerance*100)
+	fprintf(w, "%-28s  %12s  %12s  %7s\n", "point", "baseline", "current", "ratio")
+	failures := 0
+	for _, p := range pts {
+		verdict := "ok"
+		if p.Regressed {
+			verdict = "REGRESSED"
+			failures++
+		}
+		var b, c string
+		if p.Metric == "qps" {
+			b, c = fmt.Sprintf("%.0f qps", p.Base), fmt.Sprintf("%.0f qps", p.Cur)
+		} else {
+			b = time.Duration(p.Base).Round(time.Millisecond).String()
+			c = time.Duration(p.Cur).Round(time.Millisecond).String()
+		}
+		fprintf(w, "%-28s  %12s  %12s  %6.2fx  %s\n", p.Name, b, c, p.Ratio, verdict)
+	}
+	for _, name := range missing {
+		failures++
+		fprintf(w, "%-28s  %12s  %12s  %7s  MISSING (baseline point not run — pass the matching -exp or refresh the baseline)\n",
+			name, "-", "-", "-")
+	}
+	return failures
+}

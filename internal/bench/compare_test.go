@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func trajWith(shuffle []ShardedResult, service []ServiceResult) *Trajectory {
+	return &Trajectory{
+		Schema: 1, Rows: 120_000, BlockSize: 8192,
+		Shuffle: shuffle, Service: service,
+	}
+}
+
+func TestCompareFlagsRegressionsAndMissing(t *testing.T) {
+	base := trajWith(
+		[]ShardedResult{
+			{Query: "Q6d", Shards: 1, Elapsed: time.Second},
+			{Query: "Q6d", Shards: 4, Elapsed: time.Second},
+			{Query: "Q6d", Shards: 2, Elapsed: 2 * time.Second, HTTP: true},
+		},
+		[]ServiceResult{{Concurrency: 8, QPS: 1000}},
+	)
+	cur := trajWith(
+		[]ShardedResult{
+			{Query: "Q6d", Shards: 1, Elapsed: 1200 * time.Millisecond}, // +20%: inside tolerance
+			{Query: "Q6d", Shards: 4, Elapsed: 1300 * time.Millisecond}, // +30%: regressed
+			// the HTTP point was not run → missing
+		},
+		[]ServiceResult{{Concurrency: 8, QPS: 700}}, // throughput down 30%: regressed
+	)
+	pts, missing, err := Compare(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("matched %d points, want 3: %+v", len(pts), pts)
+	}
+	byName := map[string]ComparePoint{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	if p := byName["shuffle/Q6d/shards=1"]; p.Regressed {
+		t.Errorf("+20%% flagged regressed at tolerance 0.25: %+v", p)
+	}
+	if p := byName["shuffle/Q6d/shards=4"]; !p.Regressed {
+		t.Errorf("+30%% not flagged: %+v", p)
+	}
+	if p := byName["service/c=8"]; !p.Regressed || p.Metric != "qps" {
+		t.Errorf("qps drop not flagged: %+v", p)
+	}
+	if len(missing) != 1 || missing[0] != "shuffle/Q6d/shards=2/http" {
+		t.Errorf("missing = %v, want the un-run HTTP point", missing)
+	}
+	if n := ReportComparison(io.Discard, pts, missing, 0.25); n != 3 {
+		t.Errorf("failure count = %d, want 3 (two regressions + one missing)", n)
+	}
+}
+
+func TestCompareRejectsMismatchedWorkload(t *testing.T) {
+	base := trajWith(nil, nil)
+	cur := trajWith(nil, nil)
+	cur.Rows = 10
+	if _, _, err := Compare(base, cur, 0.25); err == nil {
+		t.Fatal("mismatched row counts compared without error")
+	}
+}
+
+func TestLoadTrajectoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	want := trajWith([]ShardedResult{{Query: "Q6d", Shards: 2, Elapsed: time.Second}}, nil)
+	if err := want.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Shuffle) != 1 || got.Shuffle[0].Elapsed != time.Second {
+		t.Fatalf("round trip = %+v", got.Shuffle)
+	}
+	if _, err := LoadTrajectory(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading an absent artifact succeeded")
+	}
+	bad := trajWith(nil, nil)
+	bad.Schema = 99
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := bad.Write(badPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrajectory(badPath); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch err = %v", err)
+	}
+}

@@ -1,10 +1,12 @@
 // Package conformance holds the shared Queryer contract suite: every
 // backend of the repository — in-process Engine, admission-controlled
-// service.Service, remote service.Client (NDJSON over /query, against
+// service.Service, remote service.Client over /query in both wire
+// codecs (binary columnar frames and the legacy NDJSON stream, against
 // both a single-engine windserve and a cluster coordinator), and the
-// scatter-gather shard.Cluster — must serve the same values, the same
-// ORDER BY order, the same DISTINCT/LIMIT semantics and the same error
-// taxonomy through the one Rows cursor surface.
+// scatter-gather shard.Cluster over local and binary-framed HTTP
+// transports — must serve the same values, the same ORDER BY order,
+// the same DISTINCT/LIMIT semantics and the same error taxonomy
+// through the one Rows cursor surface.
 package conformance
 
 import (
@@ -63,12 +65,16 @@ func backends(t *testing.T) []backend {
 
 	srv := httptest.NewServer(service.New(newEngine(), service.Config{Slots: 2}).Handler())
 	t.Cleanup(srv.Close)
-	client := service.NewClient(srv.URL, srv.Client())
+	// The remote client in both wire codecs: columnar frames forced on
+	// (the default, pinned explicitly so the suite keeps exercising it
+	// even if the default moves) and the legacy NDJSON stream.
+	client := service.NewClientCodec(srv.URL, srv.Client(), service.CodecBinary)
+	clientJSON := service.NewClientCodec(srv.URL, srv.Client(), service.CodecJSON)
 
-	newCluster := func() *shard.Cluster {
+	newCluster := func(transport func(i int) shard.Transport) *shard.Cluster {
 		shards := make([]shard.Transport, 2)
 		for i := range shards {
-			shards[i] = shard.NewLocal(service.New(windowdb.New(engCfg()), service.Config{Slots: 2}))
+			shards[i] = transport(i)
 		}
 		c, err := shard.New(shard.Config{Engine: engCfg()}, shards)
 		if err != nil {
@@ -83,17 +89,31 @@ func backends(t *testing.T) []backend {
 		}
 		return c
 	}
-	cluster := newCluster()
+	localTransport := func(int) shard.Transport {
+		return shard.NewLocal(service.New(windowdb.New(engCfg()), service.Config{Slots: 2}))
+	}
+	// Real-socket shard transports with the binary codec forced on: the
+	// scatter, gather, shuffle and replica planes all cross HTTP as
+	// columnar frames here.
+	httpTransport := func(int) shard.Transport {
+		nodeSrv := httptest.NewServer(service.New(windowdb.New(engCfg()), service.Config{Slots: 2, ShardRoutes: true}).Handler())
+		t.Cleanup(nodeSrv.Close)
+		return shard.NewHTTPCodec(nodeSrv.URL, nodeSrv.Client(), service.CodecBinary)
+	}
+	cluster := newCluster(localTransport)
+	clusterHTTP := newCluster(httpTransport)
 
-	coordSrv := httptest.NewServer(newCluster().Handler())
+	coordSrv := httptest.NewServer(newCluster(localTransport).Handler())
 	t.Cleanup(coordSrv.Close)
-	coordClient := service.NewClient(coordSrv.URL, coordSrv.Client())
+	coordClient := service.NewClientCodec(coordSrv.URL, coordSrv.Client(), service.CodecBinary)
 
 	return []backend{
 		{"engine", eng, true},
 		{"service", svc, true},
 		{"client-engine", client, true},
+		{"client-engine-ndjson", clientJSON, true},
 		{"cluster", cluster, false},
+		{"cluster-http-binary", clusterHTTP, false},
 		{"client-coordinator", coordClient, false},
 	}
 }

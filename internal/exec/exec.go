@@ -137,10 +137,7 @@ func RunContext(ctx context.Context, table *storage.Table, specs []window.Spec, 
 
 	metrics := &Metrics{}
 	start := time.Now()
-	rows := make([]stream.Row, len(table.Rows))
-	for i, t := range table.Rows {
-		rows[i] = stream.Row{Tuple: t, Boundary: i == 0}
-	}
+	rows := arenaRows(table, len(plan.Steps))
 	schema := table.Schema
 	var comparisons int64
 	tableBlocks := int64(table.ByteSize()) / int64(cfg.blockSize())
@@ -246,4 +243,30 @@ func RunContext(ctx context.Context, table *storage.Table, specs []window.Spec, 
 		result.Rows[i] = r.Tuple
 	}
 	return result, metrics, nil
+}
+
+// arenaRows copies the input tuples into one contiguous value arena, each
+// row sliced out with spare capacity for the chain's derived columns:
+// window evaluation (Tuple.Extend) then grows rows in place, so a k-step
+// chain performs zero per-row tuple allocations where it used to copy
+// every tuple once per step. The copy also severs the executor from the
+// engine-owned table rows, which must never observe the appends — and the
+// three-index slices pin each row's capacity to its own arena region, so
+// a row cannot grow into its neighbour. In-place extension is safe
+// because the chain never duplicates a row reference: reorders permute
+// (spills decode into fresh tuples), and evaluation emits exactly one
+// output row per input row, so each arena row is extended at most once
+// per step.
+func arenaRows(table *storage.Table, steps int) []stream.Row {
+	arity := table.Schema.Len()
+	stride := arity + steps
+	rows := make([]stream.Row, len(table.Rows))
+	arena := make([]storage.Value, len(table.Rows)*stride)
+	for i, t := range table.Rows {
+		base := i * stride
+		row := storage.Tuple(arena[base : base+arity : base+stride])
+		copy(row, t)
+		rows[i] = stream.Row{Tuple: row, Boundary: i == 0}
+	}
+	return rows
 }

@@ -421,19 +421,16 @@ func partitionRows(rows []storage.Tuple, ids []attrs.ID, degree int) [][]storage
 	return parts
 }
 
+// hashTupleKey is FNV-1a over the concatenated single-value tuple
+// encodings of the key attributes, streamed through storage.HashValueFNV
+// instead of materializing the encoding — the partitioning hash runs once
+// per row on every scatter and shuffle path, and the buffer it used to
+// build was the hot loop's dominant allocation. The byte sequence (and so
+// every hash value and row placement) is unchanged.
 func hashTupleKey(t storage.Tuple, ids []attrs.ID) uint64 {
-	var buf []byte
+	h := storage.HashSeedFNV
 	for _, id := range ids {
-		buf = storage.AppendTuple(buf, storage.Tuple{t[id]})
-	}
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, c := range buf {
-		h ^= uint64(c)
-		h *= prime
+		h = storage.HashValueFNV(h, t[id])
 	}
 	return h
 }

@@ -22,7 +22,15 @@ type planCache struct {
 	order   *list.List // front = most recently used
 	lastGen uint64     // generation observed by the latest lookup
 
-	hits, misses, invalidations, evictions uint64
+	// fpIndex maps a coordinator-shipped plan fingerprint to the
+	// normalized-text cache key, so scatter and shuffle requests resolve
+	// with one map lookup instead of re-normalizing the SQL text every
+	// round. It is an index, not a second cache: a fingerprint whose key
+	// was evicted or invalidated just misses and is re-linked on the next
+	// prepare. Bounded by periodic reset (see linkFP).
+	fpIndex map[string]string
+
+	hits, misses, invalidations, evictions, fpHits uint64
 }
 
 type cacheEntry struct {
@@ -81,6 +89,44 @@ func (c *planCache) get(key string, gen uint64) (*sql.Prepared, bool) {
 	return ent.prep, true
 }
 
+// getFP resolves a coordinator-shipped fingerprint through the index to
+// its cached statement, honoring the same generation discipline as get. A
+// dangling index entry (evicted or invalidated key) is dropped and counts
+// a miss; the caller falls back to the text-keyed path.
+func (c *planCache) getFP(fp string, gen uint64) (*sql.Prepared, bool) {
+	c.mu.Lock()
+	key, ok := c.fpIndex[fp]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	prep, hit := c.get(key, gen)
+	c.mu.Lock()
+	if hit {
+		c.fpHits++
+	} else {
+		delete(c.fpIndex, fp)
+	}
+	c.mu.Unlock()
+	return prep, hit
+}
+
+// linkFP records fingerprint → normalized key. The index is reset when it
+// outgrows 4× the cache capacity: fingerprints of long-evicted statements
+// must not accumulate forever on a long-lived node, and losing live links
+// only costs one re-link on the next request.
+func (c *planCache) linkFP(fp, key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.fpIndex) >= 4*c.cap {
+		c.fpIndex = nil
+	}
+	if c.fpIndex == nil {
+		c.fpIndex = make(map[string]string)
+	}
+	c.fpIndex[fp] = key
+}
+
 // put stores a freshly prepared statement, evicting the LRU entry past
 // capacity. Concurrent misses on one key may both prepare; the entry
 // prepared under the newest catalog generation wins, so a slow prepare
@@ -114,6 +160,9 @@ type CacheStats struct {
 	Misses        uint64 `json:"misses"`
 	Invalidations uint64 `json:"invalidations"`
 	Evictions     uint64 `json:"evictions"`
+	// FPHits counts hits resolved through the coordinator-shipped plan
+	// fingerprint index (a subset of Hits).
+	FPHits uint64 `json:"fp_hits"`
 }
 
 // HitRate returns hits / (hits + misses), 0 when no lookups happened.
@@ -135,6 +184,7 @@ func (c *planCache) stats() CacheStats {
 		Misses:        c.misses,
 		Invalidations: c.invalidations,
 		Evictions:     c.evictions,
+		FPHits:        c.fpHits,
 	}
 }
 

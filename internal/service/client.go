@@ -68,17 +68,20 @@ func DecodeRemoteError(node string, resp *http.Response) error {
 	return &RemoteError{Node: node, Status: resp.StatusCode, Kind: e.Kind, Msg: e.Error}
 }
 
-// Client is the remote windowdb.Queryer: it speaks the NDJSON streaming
-// /query surface of a running windserve — single engine or cluster
-// coordinator, the wire shape is the same — yielding rows incrementally
-// as the server emits them. Closing a half-drained Rows closes the
-// response body, which the server observes as a disconnect and releases
-// its admission slot.
+// Client is the remote windowdb.Queryer: it speaks the streaming /query
+// surface of a running windserve — single engine or cluster coordinator,
+// the wire shape is the same — yielding rows incrementally as the server
+// emits them. It asks for the binary columnar frame stream and accepts
+// NDJSON, so it interoperates with servers of either vintage; the decoder
+// follows the response content type. Closing a half-drained Rows closes
+// the response body, which the server observes as a disconnect and
+// releases its admission slot.
 //
 // A Client is safe for concurrent use (http.Client is).
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	codec WireCodec
 }
 
 var _ windowdb.Queryer = (*Client)(nil)
@@ -86,6 +89,13 @@ var _ windowdb.Queryer = (*Client)(nil)
 // NewClient builds a client for a serving address ("host:port" or a full
 // http:// URL). A nil http.Client uses http.DefaultClient.
 func NewClient(addr string, hc *http.Client) *Client {
+	return NewClientCodec(addr, hc, CodecBinary)
+}
+
+// NewClientCodec is NewClient with an explicit wire codec preference:
+// CodecJSON pins the client to the NDJSON stream (the pre-binary wire),
+// CodecBinary (the NewClient default) prefers columnar frames.
+func NewClientCodec(addr string, hc *http.Client, codec WireCodec) *Client {
 	base := strings.TrimRight(addr, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -93,7 +103,10 @@ func NewClient(addr string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: base, hc: hc}
+	if codec == "" {
+		codec = CodecBinary
+	}
+	return &Client{base: base, hc: hc, codec: codec}
 }
 
 // Addr returns the server's base URL.
@@ -103,7 +116,7 @@ func (c *Client) Addr() string { return c.base }
 // response stream.
 func (c *Client) QueryContext(ctx context.Context, src string) (*windowdb.Rows, error) {
 	start := time.Now()
-	sr, err := OpenStream(ctx, c.hc, c.base+"/query", queryRequest{SQL: src, Stream: true})
+	sr, err := OpenStream(ctx, c.hc, c.base+"/query", queryRequest{SQL: src, Stream: true}, c.codec)
 	if err != nil {
 		return nil, err
 	}

@@ -157,7 +157,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, kind, err)
 			return
 		}
-		WriteStream(r.Context(), w, rows, req.MaxRows)
+		WriteStream(r.Context(), w, rows, req.MaxRows, s.streamCodec(r))
 		return
 	}
 

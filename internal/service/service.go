@@ -82,6 +82,12 @@ type Config struct {
 	// default — generously past any round barrier a live coordinator
 	// would tolerate — and negative disables expiry.
 	ShuffleTTL time.Duration
+	// DisableBinary pins every streamed response — and every shuffle
+	// delivery this node originates — to the NDJSON codec, even for
+	// clients whose Accept names the binary frame stream. For wire
+	// debugging and for holding a mixed-version fleet to its lowest
+	// common codec.
+	DisableBinary bool
 }
 
 func (c Config) withDefaults(chainMem int) Config {
@@ -147,8 +153,24 @@ func (s *Service) Engine() *windowdb.Engine { return s.eng }
 // resolve turns statement text into its Prepared through the plan cache,
 // preparing and caching on a miss. The bool reports a cache hit.
 func (s *Service) resolve(src string) (*sql.Prepared, bool, error) {
+	return s.resolveFP(src, "")
+}
+
+// resolveFP is resolve with a coordinator-shipped plan fingerprint: when a
+// scatter or shuffle request carries the coordinator's fingerprint of the
+// statement, the node answers from its fingerprint index — one O(1) map
+// lookup instead of normalizing the SQL text — before falling back to the
+// text-keyed path. A miss prepares as usual and links the fingerprint for
+// the query's next round.
+func (s *Service) resolveFP(src, fp string) (*sql.Prepared, bool, error) {
+	gen := s.eng.Generation()
+	if fp != "" {
+		if prep, ok := s.cache.getFP(fp, gen); ok {
+			return prep, true, nil
+		}
+	}
 	key := NormalizeSQL(src)
-	prep, hit := s.cache.get(key, s.eng.Generation())
+	prep, hit := s.cache.get(key, gen)
 	if !hit {
 		p, err := s.eng.Prepare(src)
 		if err != nil {
@@ -156,6 +178,9 @@ func (s *Service) resolve(src string) (*sql.Prepared, bool, error) {
 		}
 		s.cache.put(key, p)
 		prep = p
+	}
+	if fp != "" {
+		s.cache.linkFP(fp, key)
 	}
 	return prep, hit, nil
 }
@@ -263,16 +288,17 @@ var _ windowdb.Queryer = (*Service)(nil)
 // QueryContext serves one query as a streaming cursor. The error classes
 // match Query's.
 func (s *Service) QueryContext(ctx context.Context, src string) (*windowdb.Rows, error) {
-	return s.stream(ctx, src, false)
+	return s.stream(ctx, src, "", false)
 }
 
 // StreamShardLocal is QueryContext for the shard-local part of a statement
 // (WHERE, chain, projection — no DISTINCT/ORDER BY/LIMIT): what a shard
-// node streams back to a scatter-gather coordinator. Because the
-// shard-local pipeline never finalizes, rows leave the node the moment the
-// final chain segment's projection yields them.
-func (s *Service) StreamShardLocal(ctx context.Context, src string) (*windowdb.Rows, error) {
-	return s.stream(ctx, src, true)
+// node streams back to a scatter-gather coordinator. fp is the
+// coordinator's optional plan fingerprint (resolveFP); "" resolves by
+// text. Because the shard-local pipeline never finalizes, rows leave the
+// node the moment the final chain segment's projection yields them.
+func (s *Service) StreamShardLocal(ctx context.Context, src, fp string) (*windowdb.Rows, error) {
+	return s.stream(ctx, src, fp, true)
 }
 
 // PrepareContext validates and plans src through the service's plan cache,
@@ -301,8 +327,8 @@ func (st *serviceStmt) QueryContext(ctx context.Context) (*windowdb.Rows, error)
 
 func (st *serviceStmt) Close() error { return nil }
 
-func (s *Service) stream(ctx context.Context, src string, shardLocal bool) (*windowdb.Rows, error) {
-	return s.streamCursor(ctx, src, func(ctx context.Context, prep *sql.Prepared) (*sql.Cursor, error) {
+func (s *Service) stream(ctx context.Context, src, fp string, shardLocal bool) (*windowdb.Rows, error) {
+	return s.streamCursor(ctx, src, fp, func(ctx context.Context, prep *sql.Prepared) (*sql.Cursor, error) {
 		if shardLocal {
 			return prep.StreamShardContext(ctx)
 		}
@@ -310,11 +336,12 @@ func (s *Service) stream(ctx context.Context, src string, shardLocal bool) (*win
 	})
 }
 
-// streamCursor is the shared streaming-serve body: plan-cache resolution,
+// streamCursor is the shared streaming-serve body: plan-cache resolution
+// (by fingerprint when the coordinator shipped one, by text otherwise),
 // admission, and the handoff-guarded slot-to-cursor transfer, with the
 // execution cursor opened by open (the full statement, its shard-local
 // part, or a shuffle segment).
-func (s *Service) streamCursor(ctx context.Context, src string, open func(context.Context, *sql.Prepared) (*sql.Cursor, error)) (*windowdb.Rows, error) {
+func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(context.Context, *sql.Prepared) (*sql.Cursor, error)) (*windowdb.Rows, error) {
 	var cancel context.CancelFunc
 	if s.cfg.DefaultTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
@@ -331,7 +358,7 @@ func (s *Service) streamCursor(ctx context.Context, src string, open func(contex
 		return err
 	}
 	start := time.Now()
-	prep, hit, err := s.resolve(src)
+	prep, hit, err := s.resolveFP(src, fp)
 	if err != nil {
 		return nil, fail(err)
 	}

@@ -55,6 +55,12 @@ type ShardQueryRequest struct {
 	// bound its resident rows by the wire batch instead of |R|.
 	Stream bool `json:"stream,omitempty"`
 
+	// Fingerprint is the coordinator's plan fingerprint of SQL
+	// (sql.Fingerprint): nodes resolve their plan cache by it in O(1)
+	// before falling back to text normalization. Optional — "" resolves
+	// by text, so old coordinators keep working.
+	Fingerprint string `json:"fp,omitempty"`
+
 	// Mode "segment" only: the coordinator's segmentation decision and the
 	// inbox generation holding the final segment's shuffled input.
 	Plan      *sql.SegmentPlan `json:"plan,omitempty"`
@@ -108,7 +114,7 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		)
 		switch req.Mode {
 		case "local":
-			rows, err = s.StreamShardLocal(r.Context(), req.SQL)
+			rows, err = s.StreamShardLocal(r.Context(), req.SQL, req.Fingerprint)
 		case "segment":
 			rows, err = s.StreamSegment(r.Context(), req)
 		case "full", "":
@@ -122,7 +128,7 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, kind, err)
 			return
 		}
-		WriteStream(r.Context(), w, rows, 0)
+		WriteStream(r.Context(), w, rows, 0, s.streamCodec(r))
 		return
 	}
 
@@ -197,9 +203,10 @@ func (s *Service) handleShardTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, kind, err)
 		return
 	}
-	// Chunked NDJSON, never a whole JSON body: the gather data plane ships
-	// raw rows with the same framing as /query's streamed responses.
-	WriteTableStream(r.Context(), w, t)
+	// Chunked stream, never a whole JSON body: the gather data plane ships
+	// raw rows with the same framing as /query's streamed responses, in
+	// whichever codec the coordinator's Accept negotiated.
+	WriteTableStream(r.Context(), w, t, s.streamCodec(r))
 }
 
 func (s *Service) handleShardDistinct(w http.ResponseWriter, r *http.Request) {

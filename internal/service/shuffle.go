@@ -80,6 +80,13 @@ type ShuffleRunRequest struct {
 	Peers []string `json:"peers,omitempty"`
 	// Self is this node's shard index.
 	Self int `json:"self"`
+	// Fingerprint is the coordinator's plan fingerprint of SQL
+	// (sql.Fingerprint); "" resolves by text.
+	Fingerprint string `json:"fp,omitempty"`
+	// Codec selects the wire codec for this stage's peer deliveries
+	// ("json" or "binary"; "" means binary). The ingest route accepts
+	// both regardless, keyed on the request content type.
+	Codec string `json:"codec,omitempty"`
 	// Deliver overrides peer delivery for in-process nodes. Never
 	// serialized: a remote node builds its own NDJSON sender from Peers.
 	Deliver ShuffleSend `json:"-"`
@@ -304,7 +311,7 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 		s.metrics.failures.Add(1)
 		return nil, err
 	}
-	prep, hit, err := s.resolve(req.SQL)
+	prep, hit, err := s.resolveFP(req.SQL, req.Fingerprint)
 	if err != nil {
 		return fail(err)
 	}
@@ -416,7 +423,7 @@ func (s *Service) StreamSegment(ctx context.Context, req ShardQueryRequest) (*wi
 	if req.Plan == nil {
 		return nil, errors.New("service: segment stream without a segment plan")
 	}
-	return s.streamCursor(ctx, req.SQL, func(ctx context.Context, prep *sql.Prepared) (*sql.Cursor, error) {
+	return s.streamCursor(ctx, req.SQL, req.Fingerprint, func(ctx context.Context, prep *sql.Prepared) (*sql.Cursor, error) {
 		runner, err := prep.Segments(req.Plan)
 		if err != nil {
 			return nil, err

@@ -8,17 +8,22 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/storage"
+	"repro/internal/stream"
 )
 
 // The HTTP spelling of the shuffle data plane: /shard/shuffle/run executes
 // one stage on a node, and the bare /shard/shuffle route is the
-// node-to-node row exchange — one NDJSON stream per (sender, receiver,
-// round), with the WireValue row codec and the same header/rows/trailer
-// framing as /query's streamed responses. Rows go straight from the wire
-// into the receiver's inbox buffer; neither side materializes a request or
-// response body.
+// node-to-node row exchange — one stream per (sender, receiver, round)
+// with the same header/rows/trailer framing as /query's streamed
+// responses, in either wire codec: binary columnar frames by default,
+// NDJSON when the stage request says so. The receiver keys its decoder on
+// the request content type and always accepts both, which is what lets a
+// mixed-version cluster degrade per transport. Rows go straight from the
+// wire into the receiver's inbox buffer; neither side materializes a
+// request or response body.
 
 // shuffleHeader is the first NDJSON line of a peer shuffle stream.
 type shuffleHeader struct {
@@ -32,35 +37,66 @@ type shuffleHeader struct {
 const shuffleIngestChunk = 512
 
 // SendShuffleHTTP delivers one shuffle batch to a peer node's
-// /shard/shuffle route as a streamed NDJSON POST. The cluster's HTTP
-// transport and the shard-node handler's peer sender both use it.
-func SendShuffleHTTP(ctx context.Context, hc *http.Client, base string, b *ShuffleBatch) error {
+// /shard/shuffle route as a streamed POST — binary columnar frames by
+// default, NDJSON when the optional codec argument says CodecJSON. The
+// cluster's HTTP transport and the shard-node handler's peer sender both
+// use it.
+func SendShuffleHTTP(ctx context.Context, hc *http.Client, base string, b *ShuffleBatch, codec ...WireCodec) error {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
+	contentType := ContentTypeNDJSON
 	pr, pw := io.Pipe()
-	go func() {
-		enc := json.NewEncoder(pw)
-		err := enc.Encode(shuffleHeader{
-			ShuffleID: b.ID, Round: b.Round, Sender: b.Sender,
-			Columns: WireColumns(b.Cols),
-		})
-		for _, row := range b.Rows {
-			if err != nil {
-				break
+	hdr := shuffleHeader{
+		ShuffleID: b.ID, Round: b.Round, Sender: b.Sender,
+		Columns: WireColumns(b.Cols),
+	}
+	if pickCodec(codec) == CodecBinary {
+		contentType = ContentTypeBinary
+		go func() {
+			fw := stream.NewFrameWriter(pw)
+			payload, err := json.Marshal(hdr)
+			if err == nil {
+				err = fw.WriteHeader(payload)
 			}
-			err = encodeWireRow(enc, row)
-		}
-		if err == nil {
-			err = enc.Encode(StreamTrailer{Done: true, RowCount: int64(len(b.Rows))})
-		}
-		pw.CloseWithError(err)
-	}()
+			arity := len(b.Cols)
+			for off := 0; err == nil && off < len(b.Rows); off += shuffleIngestChunk {
+				end := off + shuffleIngestChunk
+				if end > len(b.Rows) {
+					end = len(b.Rows)
+				}
+				err = fw.WriteTuples(b.Rows[off:end], arity)
+			}
+			if err == nil {
+				var payload []byte
+				payload, err = json.Marshal(StreamTrailer{Done: true, RowCount: int64(len(b.Rows))})
+				if err == nil {
+					err = fw.WriteTrailer(payload)
+				}
+			}
+			pw.CloseWithError(err)
+		}()
+	} else {
+		go func() {
+			enc := json.NewEncoder(pw)
+			err := enc.Encode(hdr)
+			for _, row := range b.Rows {
+				if err != nil {
+					break
+				}
+				err = encodeWireRow(enc, row)
+			}
+			if err == nil {
+				err = enc.Encode(StreamTrailer{Done: true, RowCount: int64(len(b.Rows))})
+			}
+			pw.CloseWithError(err)
+		}()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/shard/shuffle", pr)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", ContentTypeNDJSON)
+	req.Header.Set("Content-Type", contentType)
 	resp, err := hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("service: shuffle to %s: %w", base, err)
@@ -87,6 +123,13 @@ func (s *Service) handleShuffleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request", fmt.Errorf("service: bad request body: %w", err))
 		return
 	}
+	// The stage request picks the delivery codec; a node pinned to NDJSON
+	// (DisableBinary) overrides it, and receivers sniff the content type, so
+	// a mixed-codec fleet interoperates per transport.
+	codec := CodecBinary
+	if req.Codec == string(CodecJSON) || s.cfg.DisableBinary {
+		codec = CodecJSON
+	}
 	send := func(ctx context.Context, peer int, b *ShuffleBatch) error {
 		if peer == req.Self {
 			return s.ShuffleAccept(ctx, b)
@@ -94,7 +137,7 @@ func (s *Service) handleShuffleRun(w http.ResponseWriter, r *http.Request) {
 		if peer < 0 || peer >= len(req.Peers) || req.Peers[peer] == "" {
 			return fmt.Errorf("service: no address for shuffle peer %d", peer)
 		}
-		return SendShuffleHTTP(ctx, s.cfg.PeerClient, req.Peers[peer], b)
+		return SendShuffleHTTP(ctx, s.cfg.PeerClient, req.Peers[peer], b, codec)
 	}
 	res, err := s.RunShuffleStep(r.Context(), req, send)
 	if err != nil {
@@ -115,10 +158,17 @@ func (s *Service) handleShuffleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "request", errors.New("service: POST a shuffle stream"))
 		return
 	}
-	br := bufio.NewReaderSize(r.Body, 64<<10)
 	bad := func(err error) {
 		writeError(w, http.StatusBadRequest, "request", err)
 	}
+	// Keyed on the sender's declared content type, never on configuration:
+	// an NDJSON-only peer can push into a binary-preferring node and vice
+	// versa.
+	if strings.Contains(r.Header.Get("Content-Type"), ContentTypeBinary) {
+		s.ingestShuffleBinary(w, r, bad)
+		return
+	}
+	br := bufio.NewReaderSize(r.Body, 64<<10)
 	line, err := readNDJSONLine(br)
 	if err != nil {
 		bad(fmt.Errorf("service: reading shuffle header: %w", err))
@@ -180,6 +230,75 @@ func (s *Service) handleShuffleIngest(w http.ResponseWriter, r *http.Request) {
 	if err := flush(); err != nil {
 		bad(err)
 		return
+	}
+	if err := s.finishShuffle(hdr.ShuffleID, hdr.Round, hdr.Sender, arity); err != nil {
+		bad(err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "rows": n})
+}
+
+// ingestShuffleBinary is handleShuffleIngest's frame-codec twin: same
+// header/rows/trailer protocol, decoded from binary columnar frames.
+func (s *Service) ingestShuffleBinary(w http.ResponseWriter, r *http.Request, bad func(error)) {
+	fr := stream.NewFrameReader(bufio.NewReaderSize(r.Body, 64<<10))
+	f, err := fr.Next()
+	if err != nil {
+		bad(fmt.Errorf("service: reading shuffle header: %w", err))
+		return
+	}
+	if f.Type != stream.FrameHeader {
+		bad(fmt.Errorf("service: shuffle stream opened with %q frame, want header", f.Type))
+		return
+	}
+	var hdr shuffleHeader
+	if err := json.Unmarshal(f.Payload, &hdr); err != nil {
+		bad(fmt.Errorf("service: bad shuffle header: %w", err))
+		return
+	}
+	cols, err := DecodeColumns(hdr.Columns)
+	if err != nil {
+		bad(err)
+		return
+	}
+	arity := len(cols)
+	var n int64
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			bad(fmt.Errorf("service: shuffle stream cut before trailer: %w", err))
+			return
+		}
+		if f.Type == stream.FrameTrailer {
+			var trailer StreamTrailer
+			if err := json.Unmarshal(f.Payload, &trailer); err != nil {
+				bad(fmt.Errorf("service: bad shuffle trailer: %w", err))
+				return
+			}
+			if trailer.RowCount != n {
+				bad(fmt.Errorf("service: shuffle trailer counts %d rows, received %d", trailer.RowCount, n))
+				return
+			}
+			break
+		}
+		if f.Type != stream.FrameBatch {
+			bad(fmt.Errorf("service: unexpected %q frame in shuffle stream", f.Type))
+			return
+		}
+		b, err := stream.DecodeBatch(f.Payload, arity)
+		if err != nil {
+			bad(fmt.Errorf("service: shuffle %w", err))
+			return
+		}
+		rows := b.Tuples()
+		if len(rows) == 0 {
+			continue
+		}
+		n += int64(len(rows))
+		if err := s.appendShuffle(hdr.ShuffleID, hdr.Round, arity, rows); err != nil {
+			bad(err)
+			return
+		}
 	}
 	if err := s.finishShuffle(hdr.ShuffleID, hdr.Round, hdr.Sender, arity); err != nil {
 		bad(err)

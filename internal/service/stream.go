@@ -13,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/storage"
+	"repro/internal/stream"
 )
 
 // The streaming wire format: one query result as newline-delimited JSON
@@ -39,6 +40,33 @@ import (
 
 // ContentTypeNDJSON is the streamed response content type.
 const ContentTypeNDJSON = "application/x-ndjson"
+
+// ContentTypeBinary is the binary columnar streamed response content type
+// (internal/stream's length-prefixed frame format: a JSON header frame,
+// columnar row batches, a JSON trailer frame). Negotiated per request via
+// Accept — a client that doesn't name it keeps getting NDJSON.
+const ContentTypeBinary = "application/x-windowdb-frame"
+
+// WireCodec names a streamed row encoding.
+type WireCodec string
+
+// The two wire codecs every streamed route speaks.
+const (
+	CodecJSON   WireCodec = "json"
+	CodecBinary WireCodec = "binary"
+)
+
+// ParseCodec maps a codec spelling ("json", "binary", "") to a WireCodec;
+// the empty string is the binary default.
+func ParseCodec(s string) (WireCodec, error) {
+	switch WireCodec(strings.ToLower(s)) {
+	case CodecJSON:
+		return CodecJSON, nil
+	case CodecBinary, "":
+		return CodecBinary, nil
+	}
+	return "", fmt.Errorf("service: unknown wire codec %q (want json or binary)", s)
+}
 
 // streamHeader is the first NDJSON line: the output schema.
 type streamHeader struct {
@@ -91,20 +119,58 @@ func TrailerFor(m *windowdb.QueryMetrics) StreamTrailer {
 }
 
 // NDJSONRequested reports whether an HTTP request asked for the streamed
-// response shape: an Accept header naming application/x-ndjson or a
-// stream=1 query parameter (the GET-friendly spelling).
+// response shape: an Accept header naming application/x-ndjson or
+// application/x-windowdb-frame, or a stream=1 query parameter (the
+// GET-friendly spelling).
 func NDJSONRequested(r *http.Request) bool {
-	if strings.Contains(r.Header.Get("Accept"), ContentTypeNDJSON) {
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, ContentTypeNDJSON) || strings.Contains(accept, ContentTypeBinary) {
 		return true
 	}
 	v := r.URL.Query().Get("stream")
 	return v == "1" || strings.EqualFold(v, "true")
 }
 
+// BinaryRequested reports whether the request asked for the binary
+// columnar stream: an Accept header naming application/x-windowdb-frame or
+// a codec=binary query parameter.
+func BinaryRequested(r *http.Request) bool {
+	if strings.Contains(r.Header.Get("Accept"), ContentTypeBinary) {
+		return true
+	}
+	return strings.EqualFold(r.URL.Query().Get("codec"), string(CodecBinary))
+}
+
+// NegotiateCodec picks the response codec for a stream request: binary
+// only when the client named it, NDJSON for everything else — an unknown
+// or absent Accept always degrades to NDJSON, so old clients keep working
+// against new servers and a new client against an old server simply never
+// sees the binary content type it asked for.
+func NegotiateCodec(r *http.Request) WireCodec {
+	if BinaryRequested(r) {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+// streamCodec is NegotiateCodec under the service's DisableBinary switch.
+func (s *Service) streamCodec(r *http.Request) WireCodec {
+	if s.cfg.DisableBinary {
+		return CodecJSON
+	}
+	return NegotiateCodec(r)
+}
+
 // streamFlushStride is how many rows go out between explicit flushes: low
 // enough that a slow consumer sees steady progress, high enough that the
 // syscall cost disappears into the encoding work.
 const streamFlushStride = 64
+
+// streamBatchRows is how many rows a binary stream packs per columnar
+// frame (and flushes together). Larger than the NDJSON flush stride: one
+// frame amortizes the column-vector conversion, and 256 rows of packed
+// values still sit well under a socket buffer.
+const streamBatchRows = 256
 
 // encodeWireRow writes one tuple as a WireValue-tagged NDJSON array line —
 // the single definition of the row frame every stream writer (/query,
@@ -150,13 +216,17 @@ func decodeWireRow(line []byte, arity int) (storage.Tuple, error) {
 	return t, nil
 }
 
-// WriteStream serves rows as an NDJSON stream and closes the cursor. It
-// owns the response from the first byte: callers must not have written a
-// status. maxRows > 0 truncates the stream after that many rows (the
-// trailer marks it). ctx — the request context — aborts the stream between
-// flushes when the client disconnects, which is what releases the cursor's
-// admission slot mid-stream.
-func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int) {
+// WriteStream serves rows as a stream in the negotiated codec and closes
+// the cursor. It owns the response from the first byte: callers must not
+// have written a status. maxRows > 0 truncates the stream after that many
+// rows (the trailer marks it). ctx — the request context — aborts the
+// stream between flushes when the client disconnects, which is what
+// releases the cursor's admission slot mid-stream.
+func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int, codec WireCodec) {
+	if codec == CodecBinary {
+		writeStreamBinary(ctx, w, rows, maxRows)
+		return
+	}
 	defer rows.Close()
 	w.Header().Set("Content-Type", ContentTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
@@ -210,12 +280,87 @@ func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows
 	flush()
 }
 
-// WriteTableStream serves a materialized table as an NDJSON stream with
-// WriteStream's framing (header, WireValue rows, trailer): the
-// /shard/table response shape, so the gather data plane ships raw rows
+// writeStreamBinary is WriteStream's binary half: the same header, rows,
+// trailer contract (error trailers and truncation probing included), with
+// rows leaving as columnar frames of streamBatchRows tuples. Buffering the
+// cursor's tuples is safe — Rows.Row() tuples are caller-owned and stay
+// valid across Next.
+func writeStreamBinary(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int) {
+	defer rows.Close()
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+	fw := stream.NewFrameWriter(w)
+	hdr, err := json.Marshal(streamHeader{Columns: WireColumns(rows.ColumnTypes())})
+	if err != nil || fw.WriteHeader(hdr) != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	arity := len(rows.ColumnTypes())
+	batch := make([]storage.Tuple, 0, streamBatchRows)
+	emit := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		if fw.WriteTuples(batch, arity) != nil {
+			return false // client gone; the deferred Close releases the slot
+		}
+		batch = batch[:0]
+		flush()
+		return ctx.Err() == nil
+	}
+
+	var n int64
+	truncated := false
+	for rows.Next() {
+		batch = append(batch, rows.Row())
+		n++
+		if len(batch) >= streamBatchRows {
+			if !emit() {
+				return
+			}
+		}
+		if maxRows > 0 && n >= int64(maxRows) {
+			truncated = rows.Next()
+			break
+		}
+	}
+	if !emit() {
+		return
+	}
+
+	_ = rows.Close()
+	var trailer StreamTrailer
+	if err := rows.Err(); err != nil {
+		_, kind := StatusFor(err)
+		trailer = StreamTrailer{Done: true, Error: err.Error(), Kind: kind, RowCount: n}
+	} else {
+		trailer = TrailerFor(rows.Metrics())
+		trailer.RowCount = n
+		trailer.Truncated = truncated
+	}
+	tb, err := json.Marshal(trailer)
+	if err != nil {
+		return
+	}
+	_ = fw.WriteTrailer(tb)
+	flush()
+}
+
+// WriteTableStream serves a materialized table as a stream with
+// WriteStream's framing (header, rows, trailer) in the negotiated codec:
+// the /shard/table response shape, so the gather data plane ships raw rows
 // without either side materializing a whole HTTP body. ctx aborts the
 // stream between flushes when the client disconnects.
-func WriteTableStream(ctx context.Context, w http.ResponseWriter, t *storage.Table) {
+func WriteTableStream(ctx context.Context, w http.ResponseWriter, t *storage.Table, codec WireCodec) {
+	if codec == CodecBinary {
+		writeTableStreamBinary(ctx, w, t)
+		return
+	}
 	w.Header().Set("Content-Type", ContentTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -244,23 +389,69 @@ func WriteTableStream(ctx context.Context, w http.ResponseWriter, t *storage.Tab
 	}
 }
 
-// StreamReader consumes one NDJSON result stream: the client half of
-// WriteStream. Next yields decoded tuples and io.EOF at the trailer;
+// writeTableStreamBinary is WriteTableStream's binary half: the table's
+// rows leave as columnar frames, chunked by streamBatchRows.
+func writeTableStreamBinary(ctx context.Context, w http.ResponseWriter, t *storage.Table) {
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+	fw := stream.NewFrameWriter(w)
+	hdr, err := json.Marshal(streamHeader{Columns: WireColumns(t.Schema.Columns)})
+	if err != nil || fw.WriteHeader(hdr) != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	arity := t.Schema.Len()
+	for off := 0; off < len(t.Rows); off += streamBatchRows {
+		end := off + streamBatchRows
+		if end > len(t.Rows) {
+			end = len(t.Rows)
+		}
+		if fw.WriteTuples(t.Rows[off:end], arity) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+	tb, err := json.Marshal(StreamTrailer{Done: true, RowCount: int64(len(t.Rows))})
+	if err != nil {
+		return
+	}
+	_ = fw.WriteTrailer(tb)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// StreamReader consumes one result stream, NDJSON or binary: the client
+// half of WriteStream. The codec follows the response Content-Type, not
+// the request — a JSON-only server answering a binary-preferring Accept
+// with NDJSON reads fine, which is what lets mixed-version fleets degrade
+// per transport. Next yields decoded tuples and io.EOF at the trailer;
 // Trailer exposes the trailer after EOF. A stream that ends without a
 // trailer (a cut connection) surfaces an error instead of a silent prefix.
 type StreamReader struct {
-	node    string
-	body    io.ReadCloser
-	br      *bufio.Reader
+	node string
+	body io.ReadCloser
+	br   *bufio.Reader       // NDJSON streams
+	fr   *stream.FrameReader // binary streams (exactly one of br/fr is set)
+	pend []storage.Tuple     // decoded rows of the current binary batch
+	pi   int
+
 	cols    []storage.Column
 	trailer *StreamTrailer
 	err     error
 }
 
-// OpenStream POSTs body as JSON to url with the NDJSON accept header and
-// returns a reader over the response stream. Non-2xx responses decode into
-// *RemoteError carrying the service error taxonomy.
-func OpenStream(ctx context.Context, hc *http.Client, url string, reqBody any) (*StreamReader, error) {
+// OpenStream POSTs body as JSON to url with the stream accept header and
+// returns a reader over the response stream. The optional codec caps what
+// the request advertises: by default it accepts the binary frame stream
+// with NDJSON fallback; CodecJSON restricts it to NDJSON. Non-2xx
+// responses decode into *RemoteError carrying the service error taxonomy.
+func OpenStream(ctx context.Context, hc *http.Client, url string, reqBody any, codec ...WireCodec) (*StreamReader, error) {
 	buf, err := json.Marshal(reqBody)
 	if err != nil {
 		return nil, fmt.Errorf("service: encode request: %w", err)
@@ -270,24 +461,40 @@ func OpenStream(ctx context.Context, hc *http.Client, url string, reqBody any) (
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return openStream(hc, req, url)
+	return openStream(hc, req, url, pickCodec(codec))
 }
 
 // OpenStreamGet is OpenStream for body-less GET routes (/shard/table).
-func OpenStreamGet(ctx context.Context, hc *http.Client, url string) (*StreamReader, error) {
+func OpenStreamGet(ctx context.Context, hc *http.Client, url string, codec ...WireCodec) (*StreamReader, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
-	return openStream(hc, req, url)
+	return openStream(hc, req, url, pickCodec(codec))
 }
 
-// openStream issues req and wraps the NDJSON response in a StreamReader.
-func openStream(hc *http.Client, req *http.Request, url string) (*StreamReader, error) {
+// pickCodec resolves the optional codec argument; absent means binary-
+// preferred (the reader follows whatever content type the server picks).
+func pickCodec(codec []WireCodec) WireCodec {
+	if len(codec) > 0 && codec[0] == CodecJSON {
+		return CodecJSON
+	}
+	return CodecBinary
+}
+
+// openStream issues req and wraps the streamed response in a StreamReader,
+// selecting the row decoder from the response content type.
+func openStream(hc *http.Client, req *http.Request, url string, codec WireCodec) (*StreamReader, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	req.Header.Set("Accept", ContentTypeNDJSON)
+	if codec == CodecBinary {
+		// Prefer binary, accept NDJSON: a server without the binary codec
+		// ignores the first alternative and streams NDJSON.
+		req.Header.Set("Accept", ContentTypeBinary+", "+ContentTypeNDJSON)
+	} else {
+		req.Header.Set("Accept", ContentTypeNDJSON)
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("service: %s: %w", url, err)
@@ -296,11 +503,33 @@ func openStream(hc *http.Client, req *http.Request, url string) (*StreamReader, 
 		defer resp.Body.Close()
 		return nil, DecodeRemoteError(url, resp)
 	}
-	sr := &StreamReader{node: url, body: resp.Body, br: bufio.NewReaderSize(resp.Body, 64<<10)}
-	hdr, err := sr.readLine()
-	if err != nil {
-		resp.Body.Close()
-		return nil, fmt.Errorf("service: %s: reading stream header: %w", url, err)
+	return wrapResponse(url, resp)
+}
+
+// wrapResponse builds a StreamReader over an already-issued 2xx streamed
+// response, sniffing the codec from the response content type.
+func wrapResponse(url string, resp *http.Response) (*StreamReader, error) {
+	var err error
+	sr := &StreamReader{node: url, body: resp.Body}
+	var hdr []byte
+	if strings.Contains(resp.Header.Get("Content-Type"), ContentTypeBinary) {
+		sr.fr = stream.NewFrameReader(resp.Body)
+		f, err := sr.fr.Next()
+		if err == nil && f.Type != stream.FrameHeader {
+			err = fmt.Errorf("first frame is %c, want header", f.Type)
+		}
+		if err != nil {
+			resp.Body.Close()
+			return nil, fmt.Errorf("service: %s: reading stream header: %w", url, err)
+		}
+		hdr = f.Payload
+	} else {
+		sr.br = bufio.NewReaderSize(resp.Body, 64<<10)
+		hdr, err = sr.readLine()
+		if err != nil {
+			resp.Body.Close()
+			return nil, fmt.Errorf("service: %s: reading stream header: %w", url, err)
+		}
 	}
 	var h streamHeader
 	if err := json.Unmarshal(hdr, &h); err != nil {
@@ -334,6 +563,9 @@ func (sr *StreamReader) Next() (storage.Tuple, error) {
 	if sr.err != nil {
 		return nil, sr.err
 	}
+	if sr.fr != nil {
+		return sr.nextBinary()
+	}
 	line, err := sr.readLine()
 	if err != nil {
 		sr.err = fmt.Errorf("service: %s: stream cut before trailer: %w", sr.node, err)
@@ -358,6 +590,47 @@ func (sr *StreamReader) Next() (storage.Tuple, error) {
 	}
 	sr.trailer = &trailer
 	return nil, io.EOF
+}
+
+// nextBinary is Next over the binary frame stream: rows come from the
+// current batch's decoded tuples, refilled a frame at a time.
+func (sr *StreamReader) nextBinary() (storage.Tuple, error) {
+	for {
+		if sr.pi < len(sr.pend) {
+			t := sr.pend[sr.pi]
+			sr.pi++
+			return t, nil
+		}
+		f, err := sr.fr.Next()
+		if err != nil {
+			sr.err = fmt.Errorf("service: %s: stream cut before trailer: %w", sr.node, err)
+			return nil, sr.err
+		}
+		switch f.Type {
+		case stream.FrameBatch:
+			b, err := stream.DecodeBatch(f.Payload, len(sr.cols))
+			if err != nil {
+				sr.err = fmt.Errorf("service: %s: %w", sr.node, err)
+				return nil, sr.err
+			}
+			sr.pend, sr.pi = b.Tuples(), 0
+		case stream.FrameTrailer:
+			var trailer StreamTrailer
+			if err := json.Unmarshal(f.Payload, &trailer); err != nil {
+				sr.err = fmt.Errorf("service: %s: bad stream trailer %q: %w", sr.node, f.Payload, err)
+				return nil, sr.err
+			}
+			if trailer.Error != "" {
+				sr.err = &RemoteError{Node: sr.node, Status: http.StatusOK, Kind: trailer.Kind, Msg: trailer.Error}
+				return nil, sr.err
+			}
+			sr.trailer = &trailer
+			return nil, io.EOF
+		default:
+			sr.err = fmt.Errorf("service: %s: unexpected %c frame mid-stream", sr.node, f.Type)
+			return nil, sr.err
+		}
+	}
 }
 
 // Trailer returns the stream trailer, nil until Next returned io.EOF.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -14,6 +15,27 @@ import (
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
+
+// tinyBufListener clamps the kernel buffers of every accepted connection,
+// so a streamed response cannot be absorbed in-flight: the server blocks
+// on the socket until the client actually reads — which makes
+// client-disconnect tests deterministic instead of racing the drain of
+// the whole (compact, binary) body into autotuned loopback buffers.
+type tinyBufListener struct {
+	net.Listener
+}
+
+func (l tinyBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4 << 10)
+		_ = tc.SetWriteBuffer(4 << 10)
+	}
+	return c, nil
+}
 
 // waitInFlightZero polls the in-flight gauge back to zero: server-side
 // stream teardown after a disconnect is asynchronous.
@@ -223,7 +245,9 @@ func TestClientErrorTaxonomy(t *testing.T) {
 // the next query is admitted.
 func TestClientDisconnectReleasesSlot(t *testing.T) {
 	svc := newTestService(t, Config{Slots: 1, MaxQueue: -1}, 20_000)
-	srv := httptest.NewServer(svc.Handler())
+	srv := httptest.NewUnstartedServer(svc.Handler())
+	srv.Listener = tinyBufListener{srv.Listener}
+	srv.Start()
 	defer srv.Close()
 	client := NewClient(srv.URL, srv.Client())
 

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"context"
+	"net/http/httptest"
+	"slices"
+	"testing"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/service"
+)
+
+// TestMixedVersionClusterDegrades forms a cluster where node 0 speaks both
+// wire codecs but node 1 has the binary codec disabled — an old binary in
+// a half-upgraded fleet. Every route (scatter, gather, shuffle, replica)
+// must still return the single-engine result: the coordinator's stream
+// readers follow each response's content type, and the shuffle ingest
+// sniffs each delivery's request content type, so the degradation is per
+// transport, never a negotiation failure.
+func TestMixedVersionClusterDegrades(t *testing.T) {
+	const rows = 600
+	ctx := context.Background()
+	shards := make([]Transport, 2)
+	for i := range shards {
+		eng := windowdb.New(testEngineConfig())
+		cfg := service.Config{ShardRoutes: true, DisableBinary: i == 1}
+		srv := httptest.NewServer(service.New(eng, cfg).Handler())
+		t.Cleanup(srv.Close)
+		shards[i] = NewHTTP(srv.URL, srv.Client()) // binary-preferring coordinator
+	}
+	c, err := New(Config{Engine: testEngineConfig()}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterReplicated(ctx, "emptab", datagen.Emptab()); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := singleEngine(rows)
+	for _, tc := range []struct {
+		sql, route string
+	}{
+		{q6SQL, "scatter"},
+		{gatherSQL, "gather"},
+		{divergeSQL, "shuffle"},
+		{`SELECT empnum, salary FROM emptab`, "replica"},
+	} {
+		ref, err := eng.Query(tc.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Query(ctx, tc.sql)
+		if err != nil {
+			t.Fatalf("%s through mixed-version fleet: %v", tc.route, err)
+		}
+		if res.Route != tc.route {
+			t.Fatalf("route %q, want %q", res.Route, tc.route)
+		}
+		if !slices.Equal(canonical(res.Table), canonical(ref.Table)) {
+			t.Fatalf("%s through mixed-version fleet differs from single engine", tc.route)
+		}
+	}
+}
+
+// TestJSONPinnedCoordinator is the other half of the mix: a coordinator
+// pinned to NDJSON (NewHTTPCodec) against fully-upgraded nodes. The pin
+// must cover all planes — row streams via the Accept header and shuffle
+// deliveries (including the stage codec shipped in ShuffleRunRequest).
+func TestJSONPinnedCoordinator(t *testing.T) {
+	const rows = 600
+	ctx := context.Background()
+	shards := make([]Transport, 2)
+	for i := range shards {
+		eng := windowdb.New(testEngineConfig())
+		srv := httptest.NewServer(service.New(eng, service.Config{ShardRoutes: true}).Handler())
+		t.Cleanup(srv.Close)
+		shards[i] = NewHTTPCodec(srv.URL, srv.Client(), service.CodecJSON)
+	}
+	c, err := New(Config{Engine: testEngineConfig()}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: rows, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+	eng := singleEngine(rows)
+	for _, q := range []string{q6SQL, divergeSQL} {
+		ref, err := eng.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("json-pinned coordinator: %v", err)
+		}
+		if !slices.Equal(canonical(res.Table), canonical(ref.Table)) {
+			t.Fatal("json-pinned coordinator differs from single engine")
+		}
+	}
+}

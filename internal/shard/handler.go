@@ -175,7 +175,7 @@ func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
-		service.WriteStream(r.Context(), w, rows, req.MaxRows)
+		service.WriteStream(r.Context(), w, rows, req.MaxRows, service.NegotiateCodec(r))
 		return
 	}
 

@@ -17,15 +17,26 @@ import (
 
 // HTTP reaches a shard node over the /shard/* routes of its windserve
 // process, so multiple processes form a real cluster. Safe for concurrent
-// use (http.Client is).
+// use (http.Client is). Row streams (scatter, gather, segment) and shuffle
+// deliveries ride the binary columnar frame codec by default; NewHTTPCodec
+// pins a transport to NDJSON, and either way the stream readers follow the
+// node's response content type, so a mixed-version fleet degrades per
+// transport instead of failing.
 type HTTP struct {
 	base   string
 	client *http.Client
+	codec  service.WireCodec
 }
 
 // NewHTTP builds a transport for a node address ("host:port" or a full
 // http:// URL). A nil client uses http.DefaultClient.
 func NewHTTP(addr string, client *http.Client) *HTTP {
+	return NewHTTPCodec(addr, client, service.CodecBinary)
+}
+
+// NewHTTPCodec is NewHTTP with an explicit wire-codec preference for the
+// node's row streams and this coordinator's shuffle deliveries.
+func NewHTTPCodec(addr string, client *http.Client, codec service.WireCodec) *HTTP {
 	base := strings.TrimRight(addr, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -33,7 +44,10 @@ func NewHTTP(addr string, client *http.Client) *HTTP {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &HTTP{base: base, client: client}
+	if codec == "" {
+		codec = service.CodecBinary
+	}
+	return &HTTP{base: base, client: client, codec: codec}
 }
 
 // Addr returns the node's base URL.
@@ -79,12 +93,13 @@ func (h *HTTP) do(ctx context.Context, method, path string, body, out any) error
 	return nil
 }
 
-// QueryStream implements Transport over the node's NDJSON /shard/query
-// stream: rows decode one wire line at a time, so the coordinator's
-// resident state per node is one row plus the transport's read buffer.
-func (h *HTTP) QueryStream(ctx context.Context, src string, mode Mode) (RowStream, error) {
-	sr, err := service.OpenStream(ctx, h.client, h.base+"/shard/query",
-		service.ShardQueryRequest{SQL: src, Mode: string(mode), Stream: true})
+// QueryStream implements Transport over the node's streamed /shard/query
+// response: rows decode one wire batch (or NDJSON line) at a time, so the
+// coordinator's resident state per node is bounded by the wire batch plus
+// the transport's read buffer.
+func (h *HTTP) QueryStream(ctx context.Context, req service.ShardQueryRequest) (RowStream, error) {
+	req.Stream = true
+	sr, err := service.OpenStream(ctx, h.client, h.base+"/shard/query", req, h.codec)
 	if err != nil {
 		return nil, err
 	}
@@ -140,11 +155,11 @@ func (h *HTTP) Query(ctx context.Context, src string, mode Mode) (*QueryOutcome,
 	}, nil
 }
 
-// TableStream implements Transport over the node's NDJSON /shard/table
-// stream: the gather data plane rides the same chunked framing as query
-// streams, so neither side ever materializes a whole table body.
+// TableStream implements Transport over the node's /shard/table stream:
+// the gather data plane rides the same chunked framing as query streams,
+// so neither side ever materializes a whole table body.
 func (h *HTTP) TableStream(ctx context.Context, name string) (RowStream, error) {
-	sr, err := service.OpenStreamGet(ctx, h.client, h.base+"/shard/table?name="+url.QueryEscape(name))
+	sr, err := service.OpenStreamGet(ctx, h.client, h.base+"/shard/table?name="+url.QueryEscape(name), h.codec)
 	if err != nil {
 		return nil, err
 	}
@@ -153,8 +168,13 @@ func (h *HTTP) TableStream(ctx context.Context, name string) (RowStream, error) 
 
 // ShuffleRun implements Transport: one buffered JSON control round trip;
 // the heavy row traffic the stage produces flows node-to-node over the
-// peers' own /shard/shuffle routes, never through this connection.
+// peers' own /shard/shuffle routes, never through this connection. The
+// transport's codec preference rides along so a JSON-pinned coordinator
+// also pins the stage's peer deliveries.
 func (h *HTTP) ShuffleRun(ctx context.Context, req service.ShuffleRunRequest) (*service.ShuffleRunResult, error) {
+	if req.Codec == "" {
+		req.Codec = string(h.codec)
+	}
 	var res service.ShuffleRunResult
 	if err := h.do(ctx, http.MethodPost, "/shard/shuffle/run", req, &res); err != nil {
 		return nil, err
@@ -167,17 +187,17 @@ func (h *HTTP) ShuffleRun(ctx context.Context, req service.ShuffleRunRequest) (*
 func (h *HTTP) SegmentStream(ctx context.Context, req service.ShardQueryRequest) (RowStream, error) {
 	req.Mode = "segment"
 	req.Stream = true
-	sr, err := service.OpenStream(ctx, h.client, h.base+"/shard/query", req)
+	sr, err := service.OpenStream(ctx, h.client, h.base+"/shard/query", req, h.codec)
 	if err != nil {
 		return nil, err
 	}
 	return &httpStream{sr: sr}, nil
 }
 
-// AcceptShuffle implements Transport: a streamed NDJSON POST to the node's
-// /shard/shuffle ingest route.
+// AcceptShuffle implements Transport: a streamed POST to the node's
+// /shard/shuffle ingest route in the transport's codec.
 func (h *HTTP) AcceptShuffle(ctx context.Context, b *service.ShuffleBatch) error {
-	return service.SendShuffleHTTP(ctx, h.client, h.base, b)
+	return service.SendShuffleHTTP(ctx, h.client, h.base, b, h.codec)
 }
 
 // ShuffleDrop implements Transport.

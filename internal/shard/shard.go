@@ -548,8 +548,12 @@ func (c *Cluster) openStreams(ctx context.Context, n int, open func(ctx context.
 // concatenation of their streams in shard-index order.
 func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
 	c.scatter.Add(1)
+	req := service.ShardQueryRequest{
+		SQL: src, Mode: string(ModeLocal), Stream: true,
+		Fingerprint: prep.Fingerprint(),
+	}
 	streams, streamCancel, err := c.openStreams(ctx, len(c.shards), func(ctx context.Context, i int) (RowStream, error) {
-		return c.shards[i].QueryStream(ctx, src, ModeLocal)
+		return c.shards[i].QueryStream(ctx, req)
 	})
 	if err != nil {
 		return nil, err
@@ -622,8 +626,12 @@ func (c *Cluster) emitStreams(route string, prep *sql.Prepared, hit bool, stream
 func (c *Cluster) streamReplica(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
 	c.replica.Add(1)
 	node := int(c.rr.Add(1)-1) % len(c.shards)
+	req := service.ShardQueryRequest{
+		SQL: src, Mode: string(ModeFull), Stream: true,
+		Fingerprint: prep.Fingerprint(),
+	}
 	streams, streamCancel, err := c.openStreams(ctx, 1, func(ctx context.Context, _ int) (RowStream, error) {
-		return c.shards[node].QueryStream(ctx, src, ModeFull)
+		return c.shards[node].QueryStream(ctx, req)
 	})
 	if err != nil {
 		return nil, err
@@ -698,7 +706,8 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 		outKey := sp.Keys[stages[si+1].segment]
 		err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
 			res, err := tr.ShuffleRun(ctx, service.ShuffleRunRequest{
-				SQL: src, Plan: sp, Segment: st.segment, Source: st.source,
+				SQL: src, Fingerprint: prep.Fingerprint(),
+				Plan: sp, Segment: st.segment, Source: st.source,
 				ShuffleID: id, Round: si, Senders: n,
 				OutKey: outKey, Peers: c.peerAddrs, Self: i,
 				Deliver: c.deliverShuffle,
@@ -721,7 +730,8 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 
 	freq := service.ShardQueryRequest{
 		SQL: src, Mode: "segment", Stream: true, Plan: sp,
-		ShuffleID: id, Round: len(stages) - 1, Senders: n,
+		Fingerprint: prep.Fingerprint(),
+		ShuffleID:   id, Round: len(stages) - 1, Senders: n,
 	}
 	streams, streamCancel, err := c.openStreams(ctx, n, func(ctx context.Context, i int) (RowStream, error) {
 		return c.shards[i].SegmentStream(ctx, freq)

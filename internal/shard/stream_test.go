@@ -61,8 +61,8 @@ type countingTransport struct {
 	gauge *residencyGauge
 }
 
-func (ct *countingTransport) QueryStream(ctx context.Context, sql string, mode Mode) (RowStream, error) {
-	inner, err := ct.Transport.QueryStream(ctx, sql, mode)
+func (ct *countingTransport) QueryStream(ctx context.Context, req service.ShardQueryRequest) (RowStream, error) {
+	inner, err := ct.Transport.QueryStream(ctx, req)
 	if err != nil {
 		return nil, err
 	}

@@ -63,8 +63,10 @@ type Transport interface {
 	Query(ctx context.Context, sql string, mode Mode) (*QueryOutcome, error)
 	// QueryStream executes a statement and streams its rows: the scatter
 	// path's transport primitive, bounding coordinator memory by what is
-	// in flight instead of the node's whole response.
-	QueryStream(ctx context.Context, sql string, mode Mode) (RowStream, error)
+	// in flight instead of the node's whole response. The request carries
+	// the SQL, the Mode, and optionally the coordinator's plan Fingerprint
+	// so the node resolves its plan cache without re-normalizing the text.
+	QueryStream(ctx context.Context, req service.ShardQueryRequest) (RowStream, error)
 	// TableStream streams the node's rows of a table — the gather path of
 	// chains with no usable shuffle key. Incremental on the wire: the
 	// coordinator appends rows as they arrive instead of decoding a whole
@@ -137,15 +139,15 @@ func (l *Local) Query(ctx context.Context, sql string, mode Mode) (*QueryOutcome
 // QueryStream implements Transport: the node's service cursor, adapted.
 // The node-side admission slot is held until the stream is drained or
 // closed, exactly as for a remote node.
-func (l *Local) QueryStream(ctx context.Context, sql string, mode Mode) (RowStream, error) {
+func (l *Local) QueryStream(ctx context.Context, req service.ShardQueryRequest) (RowStream, error) {
 	var (
 		rows *windowdb.Rows
 		err  error
 	)
-	if mode == ModeLocal {
-		rows, err = l.svc.StreamShardLocal(ctx, sql)
+	if Mode(req.Mode) == ModeLocal {
+		rows, err = l.svc.StreamShardLocal(ctx, req.SQL, req.Fingerprint)
 	} else {
-		rows, err = l.svc.QueryContext(ctx, sql)
+		rows, err = l.svc.QueryContext(ctx, req.SQL)
 	}
 	if err != nil {
 		return nil, err

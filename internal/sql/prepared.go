@@ -31,6 +31,7 @@ import (
 // superseded data.
 type Prepared struct {
 	src    string
+	fp     string // Fingerprint(src), computed once at prepare
 	q      *Query
 	entry  *catalog.Entry
 	gen    uint64
@@ -93,6 +94,35 @@ func (p *Prepared) ShardLocal(shardKey attrs.Set) bool {
 // under.
 func (p *Prepared) Generation() uint64 { return p.gen }
 
+// Fingerprint returns the statement's wire fingerprint (see the package
+// Fingerprint function): what a coordinator ships with scatter and shuffle
+// requests so nodes resolve their cached plan without re-normalizing the
+// text.
+func (p *Prepared) Fingerprint() string { return p.fp }
+
+// Fingerprint hashes statement text into the short identifier shipped on
+// the cluster's control plane: FNV-64a over the raw source, hex-encoded.
+// It identifies text, not plans — coordinator and node prepare from the
+// same shipped SQL string, so equal text means an equal plan under an
+// equal catalog generation (which the plan cache checks separately).
+func Fingerprint(src string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= prime64
+	}
+	var out [16]byte
+	const hexdigits = "0123456789abcdef"
+	for i := 0; i < 16; i++ {
+		out[i] = hexdigits[(h>>uint(60-4*i))&0xf]
+	}
+	return string(out[:])
+}
+
 // Distinct reports whether the statement carries SELECT DISTINCT.
 func (p *Prepared) Distinct() bool { return p.q.Distinct }
 
@@ -136,6 +166,7 @@ func (r *Runner) prepare(q *Query, src string) (*Prepared, error) {
 	schema := entry.Table.Schema
 	p := &Prepared{
 		src:       src,
+		fp:        Fingerprint(src),
 		q:         q,
 		entry:     entry,
 		gen:       gen,

@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Streaming FNV-1a over the AppendTuple byte sequence, without building
+// the buffer. The partitioning hash of the parallel and sharded executors
+// is defined as FNV-1a over the concatenated single-value tuple encodings
+// of the key attributes; HashValueFNV folds one value into the running
+// hash byte-identically to hashing AppendTuple(dst, Tuple{v}), so rows
+// partition exactly as they did when the hash materialized the encoding —
+// a mixed-version cluster must never disagree on row placement.
+
+// HashSeedFNV is the FNV-64a offset basis: the initial running hash.
+const HashSeedFNV uint64 = 14695981039346656037
+
+const fnvPrime64 uint64 = 1099511628211
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvUvarint(h uint64, v uint64) uint64 {
+	for v >= 0x80 {
+		h = fnvByte(h, byte(v)|0x80)
+		v >>= 7
+	}
+	return fnvByte(h, byte(v))
+}
+
+// HashValueFNV advances h by the encoding of the single-value tuple {v}:
+// uvarint column count (always 1), the kind byte, then the value payload
+// in the spill codec's layout.
+func HashValueFNV(h uint64, v Value) uint64 {
+	h = fnvByte(h, 1)
+	h = fnvByte(h, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		uv := uint64(v.i) << 1
+		if v.i < 0 {
+			uv = ^uv
+		}
+		h = fnvUvarint(h, uv)
+	case KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		for _, b := range buf {
+			h = fnvByte(h, b)
+		}
+	case KindString:
+		h = fnvUvarint(h, uint64(len(v.s)))
+		for i := 0; i < len(v.s); i++ {
+			h = fnvByte(h, v.s[i])
+		}
+	}
+	return h
+}

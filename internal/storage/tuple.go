@@ -18,12 +18,23 @@ func (t Tuple) Clone() Tuple {
 }
 
 // Append returns a tuple extended with v. The receiver is never mutated;
-// window-function evaluation uses this to add derived columns.
+// use it when the receiver's backing array may be shared.
 func (t Tuple) Append(v Value) Tuple {
 	out := make(Tuple, len(t)+1)
 	copy(out, t)
 	out[len(t)] = v
 	return out
+}
+
+// Extend appends v, reusing the receiver's spare capacity when it has any
+// — the in-place twin of Append. The caller must own the backing array
+// past len(t): the executor's arena-allocated rows reserve one slot per
+// chain step for exactly this, so a k-step chain extends every row k
+// times with zero per-row allocations. Tuples with no spare capacity
+// (decoded from a spill or the wire, or engine-table rows) degrade to an
+// Append-style copy via the append builtin.
+func (t Tuple) Extend(v Value) Tuple {
+	return append(t, v)
 }
 
 // Size approximates the in-memory footprint in bytes.

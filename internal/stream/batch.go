@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Batch is a column-vector view of a run of rows: one Col per schema
+// column, each holding the column's values as a packed typed slice plus a
+// validity vector. It is the executor- and wire-facing columnar carrier —
+// the binary frame codec (frame.go) writes a Batch payload as a near-memcpy
+// of these vectors, and exec's boundaries convert between tuple rows and
+// batches so the inner loops can stay cache-friendly.
+//
+// A Col is in exactly one of two layouts:
+//
+//   - typed: Kind is Int/Float/String and the matching vector (Ints,
+//     Floats, Strs) has one N-aligned slot per row; Null marks the NULL
+//     slots (nil Null means no NULLs). Kind Null with no vectors is the
+//     all-NULL column.
+//   - mixed: Mixed holds one storage.Value per row, for the rare
+//     kind-heterogeneous column (well-typed relations never produce one,
+//     but the wire must stay lossless for any tuple the engine can carry).
+type Batch struct {
+	n    int
+	cols []Col
+}
+
+// Col is one column vector of a Batch.
+type Col struct {
+	// Kind is the column's value kind: Int/Float/String select a typed
+	// vector, Null is the all-NULL column. Mixed layouts ignore Kind.
+	Kind storage.Kind
+	// Null marks NULL slots of a typed vector; nil means none.
+	Null []bool
+	// Ints/Floats/Strs is the typed vector (exactly one non-nil, N-aligned;
+	// NULL slots hold the zero value).
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	// Mixed, when non-nil, overrides the typed layout with per-row values.
+	Mixed []storage.Value
+}
+
+// Len returns the batch's row count.
+func (b *Batch) Len() int { return b.n }
+
+// Arity returns the batch's column count.
+func (b *Batch) Arity() int { return len(b.cols) }
+
+// Cols returns the column vectors.
+func (b *Batch) Cols() []Col { return b.cols }
+
+// Value returns row i of the column.
+func (c *Col) Value(i int) storage.Value {
+	if c.Mixed != nil {
+		return c.Mixed[i]
+	}
+	if c.Null != nil && c.Null[i] {
+		return storage.Null
+	}
+	switch c.Kind {
+	case storage.KindInt:
+		return storage.Int(c.Ints[i])
+	case storage.KindFloat:
+		return storage.Float(c.Floats[i])
+	case storage.KindString:
+		return storage.StringVal(c.Strs[i])
+	default:
+		return storage.Null
+	}
+}
+
+// BatchFromTuples converts a run of same-arity tuples into column vectors.
+// Columns whose non-NULL values share one kind become typed vectors; a
+// kind-heterogeneous column falls back to the mixed layout.
+func BatchFromTuples(tuples []storage.Tuple, arity int) (*Batch, error) {
+	b := &Batch{n: len(tuples), cols: make([]Col, arity)}
+	for _, t := range tuples {
+		if len(t) != arity {
+			return nil, fmt.Errorf("stream: tuple arity %d != batch arity %d", len(t), arity)
+		}
+	}
+	for c := range b.cols {
+		kind := storage.KindNull
+		mixed := false
+		for _, t := range tuples {
+			k := t[c].Kind()
+			if k == storage.KindNull {
+				continue
+			}
+			if kind == storage.KindNull {
+				kind = k
+			} else if kind != k {
+				mixed = true
+				break
+			}
+		}
+		col := Col{Kind: kind}
+		if mixed {
+			col.Mixed = make([]storage.Value, len(tuples))
+			for i, t := range tuples {
+				col.Mixed[i] = t[c]
+			}
+			b.cols[c] = col
+			continue
+		}
+		switch kind {
+		case storage.KindNull: // all-NULL column: no vectors at all
+		case storage.KindInt:
+			col.Ints = make([]int64, len(tuples))
+		case storage.KindFloat:
+			col.Floats = make([]float64, len(tuples))
+		case storage.KindString:
+			col.Strs = make([]string, len(tuples))
+		}
+		for i, t := range tuples {
+			v := t[c]
+			if v.IsNull() {
+				if kind != storage.KindNull {
+					if col.Null == nil {
+						col.Null = make([]bool, len(tuples))
+					}
+					col.Null[i] = true
+				}
+				continue
+			}
+			switch kind {
+			case storage.KindInt:
+				col.Ints[i] = v.Int64()
+			case storage.KindFloat:
+				col.Floats[i] = v.Float64()
+			case storage.KindString:
+				col.Strs[i] = v.Str()
+			}
+		}
+		b.cols[c] = col
+	}
+	return b, nil
+}
+
+// Tuples materializes the batch back into row tuples.
+func (b *Batch) Tuples() []storage.Tuple {
+	out := make([]storage.Tuple, b.n)
+	if b.n == 0 {
+		return out
+	}
+	// One arena allocation for all row backing arrays: rows leaving a batch
+	// are the executor's working set, and 1 allocation beats b.n small ones.
+	arena := make(storage.Tuple, b.n*len(b.cols))
+	for i := range out {
+		t := arena[i*len(b.cols) : (i+1)*len(b.cols) : (i+1)*len(b.cols)]
+		for c := range b.cols {
+			t[c] = b.cols[c].Value(i)
+		}
+		out[i] = t
+	}
+	return out
+}

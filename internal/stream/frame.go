@@ -1,0 +1,422 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/storage"
+)
+
+// The binary columnar wire format. A stream is a 4-byte magic followed by
+// length-prefixed frames:
+//
+//	"WCF1"                                  stream magic
+//	[type:1]['H'|'B'|'T'][len:4 LE][payload]
+//
+// Frame types:
+//
+//	'H' header  — JSON payload (the service's schema header, opaque here)
+//	'B' batch   — binary columnar row batch (layout below)
+//	'T' trailer — JSON payload (outcome/error trailer, opaque here)
+//
+// Batch payload, given the column count from the header:
+//
+//	uvarint nrows
+//	per column:
+//	  [colkind:1]  0=all-NULL 1=int 2=float 3=string 4=mixed
+//	  [validity:1] 0|1; if 1: ceil(nrows/8) bitmap bytes, bit set = NULL
+//	  packed values of the NULL-free slots:
+//	    int    8-byte LE two's complement   (fixed width: near-memcpy)
+//	    float  8-byte LE IEEE 754
+//	    string uvarint length + bytes
+//	  mixed: every row as the storage tuple codec's value encoding
+//	         (1 kind byte + payload), NULLs included — the lossless
+//	         fallback for kind-heterogeneous columns
+//
+// Header and trailer payloads stay JSON: they are tiny, carry the service
+// layer's metadata taxonomy (including mid-stream errors), and keep this
+// package free of service types. The rows — all the volume — are binary.
+//
+// Every decode path bounds-checks before it allocates or reads: a
+// truncated frame, an oversized length, a bad column kind or a
+// validity-bitmap overrun must surface ErrFrameCorrupt, never a panic —
+// FuzzFrameDecode holds the codec to that.
+
+// FrameMagic starts every binary stream.
+const FrameMagic = "WCF1"
+
+// Frame type bytes.
+const (
+	FrameHeader  = 'H'
+	FrameBatch   = 'B'
+	FrameTrailer = 'T'
+)
+
+// MaxFramePayload bounds a frame's declared payload length: a corrupt or
+// hostile 4-byte length cannot make the reader allocate gigabytes.
+const MaxFramePayload = 64 << 20
+
+// maxBatchRows bounds a batch's declared row count before any per-row
+// allocation happens (the writer emits far smaller batches).
+const maxBatchRows = 1 << 21
+
+// ErrFrameCorrupt reports a malformed binary frame stream.
+var ErrFrameCorrupt = errors.New("stream: corrupt binary frame")
+
+// FrameWriter emits one binary stream: magic, then frames.
+type FrameWriter struct {
+	w     io.Writer
+	buf   []byte
+	wrote bool
+}
+
+// NewFrameWriter wraps w; nothing is written until the first frame.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+func (fw *FrameWriter) writeFrame(typ byte, payload []byte) error {
+	if !fw.wrote {
+		if _, err := io.WriteString(fw.w, FrameMagic); err != nil {
+			return err
+		}
+		fw.wrote = true
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := fw.w.Write(payload)
+	return err
+}
+
+// WriteHeader emits the 'H' frame (payload is the caller's JSON header).
+func (fw *FrameWriter) WriteHeader(payload []byte) error {
+	return fw.writeFrame(FrameHeader, payload)
+}
+
+// WriteTrailer emits the 'T' frame (payload is the caller's JSON trailer).
+func (fw *FrameWriter) WriteTrailer(payload []byte) error {
+	return fw.writeFrame(FrameTrailer, payload)
+}
+
+// WriteBatch encodes and emits one 'B' frame.
+func (fw *FrameWriter) WriteBatch(b *Batch) error {
+	fw.buf = AppendBatch(fw.buf[:0], b)
+	return fw.writeFrame(FrameBatch, fw.buf)
+}
+
+// WriteTuples batches and emits rows as one 'B' frame.
+func (fw *FrameWriter) WriteTuples(tuples []storage.Tuple, arity int) error {
+	b, err := BatchFromTuples(tuples, arity)
+	if err != nil {
+		return err
+	}
+	return fw.WriteBatch(b)
+}
+
+// AppendBatch appends the batch payload encoding of b to dst.
+func AppendBatch(dst []byte, b *Batch) []byte {
+	dst = binary.AppendUvarint(dst, uint64(b.n))
+	for c := range b.cols {
+		col := &b.cols[c]
+		if col.Mixed != nil {
+			dst = append(dst, 4, 0)
+			for _, v := range col.Mixed {
+				dst = appendValue(dst, v)
+			}
+			continue
+		}
+		switch col.Kind {
+		case storage.KindNull:
+			dst = append(dst, 0, 0)
+		case storage.KindInt:
+			dst = appendValidity(append(dst, 1), col.Null, b.n)
+			for i, v := range col.Ints {
+				if col.Null == nil || !col.Null[i] {
+					dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+				}
+			}
+		case storage.KindFloat:
+			dst = appendValidity(append(dst, 2), col.Null, b.n)
+			for i, v := range col.Floats {
+				if col.Null == nil || !col.Null[i] {
+					dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+				}
+			}
+		case storage.KindString:
+			dst = appendValidity(append(dst, 3), col.Null, b.n)
+			for i, v := range col.Strs {
+				if col.Null == nil || !col.Null[i] {
+					dst = binary.AppendUvarint(dst, uint64(len(v)))
+					dst = append(dst, v...)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// appendValue encodes one value exactly as the storage tuple codec does
+// for a column slot: kind byte, then payload.
+func appendValue(dst []byte, v storage.Value) []byte {
+	dst = append(dst, byte(v.Kind()))
+	switch v.Kind() {
+	case storage.KindInt:
+		dst = binary.AppendVarint(dst, v.Int64())
+	case storage.KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float64()))
+	case storage.KindString:
+		s := v.Str()
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// appendValidity writes the validity flag and, when nulls exist, the NULL
+// bitmap (bit set = NULL).
+func appendValidity(dst []byte, nulls []bool, n int) []byte {
+	if nulls == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	var cur byte
+	for i := 0; i < n; i++ {
+		if nulls[i] {
+			cur |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if n&7 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// DecodeBatch decodes one batch payload with the given column count. It
+// returns ErrFrameCorrupt (wrapped with detail) on any malformed input and
+// never panics.
+func DecodeBatch(payload []byte, arity int) (*Batch, error) {
+	if arity < 0 {
+		return nil, fmt.Errorf("%w: negative arity", ErrFrameCorrupt)
+	}
+	nrows, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad row count", ErrFrameCorrupt)
+	}
+	if nrows > maxBatchRows {
+		return nil, fmt.Errorf("%w: row count %d exceeds limit", ErrFrameCorrupt, nrows)
+	}
+	pos := n
+	b := &Batch{n: int(nrows), cols: make([]Col, arity)}
+	for c := 0; c < arity; c++ {
+		if pos+2 > len(payload) {
+			return nil, fmt.Errorf("%w: truncated column %d", ErrFrameCorrupt, c)
+		}
+		colkind, validity := payload[pos], payload[pos+1]
+		pos += 2
+		col := &b.cols[c]
+		if colkind == 4 {
+			if validity != 0 {
+				return nil, fmt.Errorf("%w: mixed column %d with validity bitmap", ErrFrameCorrupt, c)
+			}
+			col.Mixed = make([]storage.Value, nrows)
+			for i := range col.Mixed {
+				v, n, err := decodeValue(payload[pos:])
+				if err != nil {
+					return nil, fmt.Errorf("%w: column %d row %d", err, c, i)
+				}
+				col.Mixed[i] = v
+				pos += n
+			}
+			continue
+		}
+		switch validity {
+		case 0:
+		case 1:
+			nbytes := (int(nrows) + 7) / 8
+			if pos+nbytes > len(payload) {
+				return nil, fmt.Errorf("%w: validity bitmap overruns column %d", ErrFrameCorrupt, c)
+			}
+			col.Null = make([]bool, nrows)
+			for i := 0; i < int(nrows); i++ {
+				col.Null[i] = payload[pos+i/8]&(1<<(uint(i)&7)) != 0
+			}
+			pos += nbytes
+		default:
+			return nil, fmt.Errorf("%w: bad validity flag %d in column %d", ErrFrameCorrupt, validity, c)
+		}
+		valid := func(i int) bool { return col.Null == nil || !col.Null[i] }
+		switch colkind {
+		case 0:
+			if validity != 0 {
+				return nil, fmt.Errorf("%w: all-NULL column %d with validity bitmap", ErrFrameCorrupt, c)
+			}
+			col.Kind = storage.KindNull
+		case 1:
+			col.Kind = storage.KindInt
+			col.Ints = make([]int64, nrows)
+			for i := range col.Ints {
+				if !valid(i) {
+					continue
+				}
+				if pos+8 > len(payload) {
+					return nil, fmt.Errorf("%w: truncated int column %d", ErrFrameCorrupt, c)
+				}
+				col.Ints[i] = int64(binary.LittleEndian.Uint64(payload[pos:]))
+				pos += 8
+			}
+		case 2:
+			col.Kind = storage.KindFloat
+			col.Floats = make([]float64, nrows)
+			for i := range col.Floats {
+				if !valid(i) {
+					continue
+				}
+				if pos+8 > len(payload) {
+					return nil, fmt.Errorf("%w: truncated float column %d", ErrFrameCorrupt, c)
+				}
+				col.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+				pos += 8
+			}
+		case 3:
+			col.Kind = storage.KindString
+			col.Strs = make([]string, nrows)
+			for i := range col.Strs {
+				if !valid(i) {
+					continue
+				}
+				l, n := binary.Uvarint(payload[pos:])
+				if n <= 0 {
+					return nil, fmt.Errorf("%w: bad string length in column %d", ErrFrameCorrupt, c)
+				}
+				pos += n
+				if l > uint64(len(payload)-pos) {
+					return nil, fmt.Errorf("%w: string overruns column %d", ErrFrameCorrupt, c)
+				}
+				col.Strs[i] = string(payload[pos : pos+int(l)])
+				pos += int(l)
+			}
+		default:
+			return nil, fmt.Errorf("%w: bad column kind %d", ErrFrameCorrupt, colkind)
+		}
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrameCorrupt, len(payload)-pos)
+	}
+	return b, nil
+}
+
+// decodeValue decodes one storage-codec value slot (kind byte + payload).
+func decodeValue(buf []byte) (storage.Value, int, error) {
+	if len(buf) == 0 {
+		return storage.Null, 0, fmt.Errorf("%w: truncated value", ErrFrameCorrupt)
+	}
+	switch storage.Kind(buf[0]) {
+	case storage.KindNull:
+		return storage.Null, 1, nil
+	case storage.KindInt:
+		v, n := binary.Varint(buf[1:])
+		if n <= 0 {
+			return storage.Null, 0, fmt.Errorf("%w: bad varint", ErrFrameCorrupt)
+		}
+		return storage.Int(v), 1 + n, nil
+	case storage.KindFloat:
+		if len(buf) < 9 {
+			return storage.Null, 0, fmt.Errorf("%w: truncated float", ErrFrameCorrupt)
+		}
+		return storage.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[1:]))), 9, nil
+	case storage.KindString:
+		l, n := binary.Uvarint(buf[1:])
+		if n <= 0 {
+			return storage.Null, 0, fmt.Errorf("%w: bad string length", ErrFrameCorrupt)
+		}
+		if l > uint64(len(buf)-1-n) {
+			return storage.Null, 0, fmt.Errorf("%w: string overrun", ErrFrameCorrupt)
+		}
+		return storage.StringVal(string(buf[1+n : 1+n+int(l)])), 1 + n + int(l), nil
+	default:
+		return storage.Null, 0, fmt.Errorf("%w: bad value kind %d", ErrFrameCorrupt, buf[0])
+	}
+}
+
+// Frame is one decoded frame: its type byte and raw payload. Batch frames
+// are decoded on demand by the caller (DecodeBatch) once the arity is
+// known from the header.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// FrameReader consumes one binary stream. The payload returned by Next is
+// only valid until the following Next call.
+type FrameReader struct {
+	br      *bufio.Reader
+	started bool
+	buf     []byte
+}
+
+// NewFrameReader wraps r. If r is already a *bufio.Reader it is used
+// directly.
+func NewFrameReader(r io.Reader) *FrameReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64<<10)
+	}
+	return &FrameReader{br: br}
+}
+
+// Next returns the next frame, io.EOF at a clean end of input (only
+// between frames), or an error. A stream cut inside a frame surfaces
+// io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() (Frame, error) {
+	if !fr.started {
+		var magic [4]byte
+		if _, err := io.ReadFull(fr.br, magic[:]); err != nil {
+			if err == io.EOF {
+				return Frame{}, io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+		if string(magic[:]) != FrameMagic {
+			return Frame{}, fmt.Errorf("%w: bad magic %q", ErrFrameCorrupt, magic)
+		}
+		fr.started = true
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	typ := hdr[0]
+	switch typ {
+	case FrameHeader, FrameBatch, FrameTrailer:
+	default:
+		return Frame{}, fmt.Errorf("%w: bad frame type %d", ErrFrameCorrupt, typ)
+	}
+	size := binary.LittleEndian.Uint32(hdr[1:])
+	if size > MaxFramePayload {
+		return Frame{}, fmt.Errorf("%w: frame payload %d exceeds limit", ErrFrameCorrupt, size)
+	}
+	if cap(fr.buf) < int(size) {
+		fr.buf = make([]byte, size)
+	}
+	fr.buf = fr.buf[:size]
+	if _, err := io.ReadFull(fr.br, fr.buf); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{Type: typ, Payload: fr.buf}, nil
+}

@@ -1,0 +1,80 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// FuzzFrameDecode holds the binary wire decoder to its no-panic contract:
+// arbitrary bytes fed to the frame reader and the batch payload decoder
+// must produce values or errors, never a panic — truncated frames, bad
+// type bytes, hostile lengths and validity-bitmap overruns included. Valid
+// payloads that decode must re-encode to an equivalent batch.
+func FuzzFrameDecode(f *testing.F) {
+	// Seed with well-formed streams so the fuzzer starts at the format's
+	// surface instead of random bytes.
+	seed := func(tuples []storage.Tuple, arity int) {
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		_ = fw.WriteHeader([]byte(`{"columns":[{"name":"a","type":"INT"}]}`))
+		if len(tuples) > 0 {
+			_ = fw.WriteTuples(tuples, arity)
+		}
+		_ = fw.WriteTrailer([]byte(`{"done":true,"row_count":1}`))
+		f.Add(buf.Bytes(), arity)
+	}
+	seed([]storage.Tuple{{storage.Int(42), storage.StringVal("x"), storage.Float(1.5), storage.Null}}, 4)
+	seed([]storage.Tuple{
+		{storage.Int(1 << 60)},
+		{storage.Null},
+		{storage.StringVal("mixed kinds")},
+	}, 1)
+	seed(nil, 0)
+	f.Add([]byte("WCF1"), 2)
+	f.Add([]byte{}, 1)
+
+	f.Fuzz(func(t *testing.T, data []byte, arity int) {
+		if arity < 0 || arity > 64 {
+			arity = int(uint(arity) % 65)
+		}
+		fr := NewFrameReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			fm, err := fr.Next()
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					break
+				}
+				// Any other error must be a descriptive decode failure;
+				// reaching here without panicking is the contract.
+				break
+			}
+			if fm.Type != FrameBatch {
+				continue
+			}
+			b, err := DecodeBatch(fm.Payload, arity)
+			if err != nil {
+				continue
+			}
+			// A payload that decodes must round-trip value-identically.
+			re := AppendBatch(nil, b)
+			b2, err := DecodeBatch(re, arity)
+			if err != nil {
+				t.Fatalf("re-encoded batch failed to decode: %v", err)
+			}
+			if b2.Len() != b.Len() {
+				t.Fatalf("round trip changed row count: %d != %d", b2.Len(), b.Len())
+			}
+			r1, r2 := b.Tuples(), b2.Tuples()
+			for r := range r1 {
+				for c := range r1[r] {
+					if r1[r][c].Kind() != r2[r][c].Kind() || !storage.Equal(r1[r][c], r2[r][c]) {
+						t.Fatalf("round trip changed row %d col %d: %v != %v", r, c, r1[r][c], r2[r][c])
+					}
+				}
+			}
+		}
+	})
+}

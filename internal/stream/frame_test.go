@@ -1,0 +1,218 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// frameTuples is a torture set for the columnar codec: int64s past 2^53,
+// negatives, NaN-free floats, empty and multi-byte strings, NULLs in every
+// column, and a kind-heterogeneous final column.
+func frameTuples() []storage.Tuple {
+	return []storage.Tuple{
+		{storage.Int(1), storage.Float(1.5), storage.StringVal("a"), storage.Int(7)},
+		{storage.Int(-9_007_199_254_740_993), storage.Null, storage.StringVal(""), storage.StringVal("mixed")},
+		{storage.Null, storage.Float(math.MaxFloat64), storage.StringVal("héllo\nworld"), storage.Null},
+		{storage.Int(math.MaxInt64), storage.Float(-0.0), storage.Null, storage.Float(2.25)},
+		{storage.Int(math.MinInt64), storage.Float(1e-308), storage.StringVal(strings.Repeat("x", 300)), storage.Int(0)},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	tuples := frameTuples()
+	b, err := BatchFromTuples(tuples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != len(tuples) || b.Arity() != 4 {
+		t.Fatalf("batch %dx%d, want %dx4", b.Len(), b.Arity(), len(tuples))
+	}
+	if b.Cols()[3].Mixed == nil {
+		t.Fatalf("heterogeneous column did not fall back to mixed layout")
+	}
+	payload := AppendBatch(nil, b)
+	got, err := DecodeBatch(payload, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := got.Tuples()
+	if len(back) != len(tuples) {
+		t.Fatalf("decoded %d rows, want %d", len(back), len(tuples))
+	}
+	for i := range tuples {
+		for c := range tuples[i] {
+			w, g := tuples[i][c], back[i][c]
+			if w.Kind() != g.Kind() || !storage.Equal(w, g) {
+				t.Fatalf("row %d col %d: got %v (%v), want %v (%v)", i, c, g, g.Kind(), w, w.Kind())
+			}
+		}
+	}
+}
+
+func TestBatchRoundTripEdges(t *testing.T) {
+	cases := [][]storage.Tuple{
+		nil,                              // empty batch
+		{{}, {}},                         // zero-arity rows
+		{{storage.Null}, {storage.Null}}, // all-NULL column
+		{{storage.Int(1)}, {storage.Null}, {storage.Int(2)}}, // nullable int
+	}
+	for i, tuples := range cases {
+		arity := 0
+		if len(tuples) > 0 {
+			arity = len(tuples[0])
+		}
+		b, err := BatchFromTuples(tuples, arity)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := DecodeBatch(AppendBatch(nil, b), arity)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		back := got.Tuples()
+		if len(back) != len(tuples) {
+			t.Fatalf("case %d: %d rows, want %d", i, len(back), len(tuples))
+		}
+		for r := range tuples {
+			for c := range tuples[r] {
+				if !storage.Equal(tuples[r][c], back[r][c]) {
+					t.Fatalf("case %d row %d col %d mismatch", i, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchArityMismatch(t *testing.T) {
+	_, err := BatchFromTuples([]storage.Tuple{{storage.Int(1)}, {}}, 1)
+	if err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteHeader([]byte(`{"columns":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	tuples := frameTuples()
+	if err := fw.WriteTuples(tuples[:3], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteTuples(tuples[3:], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteTrailer([]byte(`{"done":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := NewFrameReader(&buf)
+	f, err := fr.Next()
+	if err != nil || f.Type != FrameHeader || string(f.Payload) != `{"columns":[]}` {
+		t.Fatalf("header frame: %v %+v", err, f)
+	}
+	var rows []storage.Tuple
+	for {
+		f, err = fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type == FrameTrailer {
+			break
+		}
+		if f.Type != FrameBatch {
+			t.Fatalf("unexpected frame type %c", f.Type)
+		}
+		b, err := DecodeBatch(f.Payload, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, b.Tuples()...)
+	}
+	if string(f.Payload) != `{"done":true}` {
+		t.Fatalf("trailer payload %q", f.Payload)
+	}
+	if len(rows) != len(tuples) {
+		t.Fatalf("decoded %d rows, want %d", len(rows), len(tuples))
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after trailer: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderCutAndCorrupt(t *testing.T) {
+	var full bytes.Buffer
+	fw := NewFrameWriter(&full)
+	_ = fw.WriteHeader([]byte(`{}`))
+	_ = fw.WriteTuples(frameTuples(), 4)
+	raw := full.Bytes()
+
+	// Every strict prefix must end in a cut-stream error — except a cut
+	// exactly on a frame boundary, which is clean io.EOF at this layer
+	// (trailer presence is the stream *reader*'s contract, service side).
+	boundaries := map[int]bool{4: true, 4 + 5 + 2: true} // after magic; after header frame
+	for cut := 0; cut < len(raw); cut++ {
+		fr := NewFrameReader(bytes.NewReader(raw[:cut]))
+		for {
+			_, err := fr.Next()
+			if err == nil {
+				continue
+			}
+			if err == io.EOF && !boundaries[cut] {
+				t.Fatalf("cut %d: clean EOF inside a truncated frame", cut)
+			}
+			break
+		}
+	}
+
+	// Corrupt magic.
+	bad := append([]byte("XXXX"), raw[4:]...)
+	if _, err := NewFrameReader(bytes.NewReader(bad)).Next(); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	// Corrupt frame type.
+	bad = bytes.Clone(raw)
+	bad[4] = 'Z'
+	if _, err := NewFrameReader(bytes.NewReader(bad)).Next(); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("bad frame type: %v", err)
+	}
+
+	// Oversized declared payload.
+	bad = bytes.Clone(raw)
+	bad[5], bad[6], bad[7], bad[8] = 0xff, 0xff, 0xff, 0xff
+	if _, err := NewFrameReader(bytes.NewReader(bad)).Next(); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("oversized payload: %v", err)
+	}
+}
+
+func TestDecodeBatchRejectsCorruption(t *testing.T) {
+	b, err := BatchFromTuples(frameTuples(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := AppendBatch(nil, b)
+
+	// Every strict prefix must error, not panic.
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := DecodeBatch(payload[:cut], 4); err == nil {
+			t.Fatalf("prefix %d decoded cleanly", cut)
+		}
+	}
+	// Wrong arity: either errors or consumes a different layout — must not
+	// panic; trailing bytes are rejected.
+	if _, err := DecodeBatch(payload, 3); err == nil {
+		t.Fatal("short arity decoded cleanly with trailing bytes")
+	}
+	// Hostile row count (uvarint ≫ maxBatchRows) with no backing data.
+	if _, err := DecodeBatch(append([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, 0, 0), 1); err == nil {
+		t.Fatal("hostile row count decoded cleanly")
+	}
+}

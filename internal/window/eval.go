@@ -46,7 +46,10 @@ func (e *evalStream) Next() (stream.Row, bool) {
 	for {
 		if e.pos < len(e.part) {
 			r := e.part[e.pos]
-			out := stream.Row{Tuple: r.Tuple.Append(e.derived[e.pos]), Boundary: r.Boundary}
+			// Extend, not Append: executor rows are arena-allocated with
+			// spare capacity reserved per chain step, so the derived column
+			// lands in place; tuples without spare capacity still copy.
+			out := stream.Row{Tuple: r.Tuple.Extend(e.derived[e.pos]), Boundary: r.Boundary}
 			e.pos++
 			return out, true
 		}

@@ -44,9 +44,10 @@ bench-service:
 	$(GO) run ./cmd/windbench -exp service -servdur 500ms -servrows 4000
 
 # The perf-trajectory artifact CI uploads: parallel + sharded + shuffle +
-# service sweeps serialized as JSON (see bench.Trajectory).
+# service sweeps serialized as JSON (see bench.Trajectory). Sharded and
+# shuffle points carry the slowest repetition's rendered trace tree.
 bench-json:
-	$(GO) run ./cmd/windbench -exp parallel,sharded,shuffle,service -servdur 200ms -servrows 4000 -json BENCH_head.json
+	$(GO) run ./cmd/windbench -exp parallel,sharded,shuffle,service -servdur 200ms -servrows 4000 -json BENCH_pr7.json
 
 # The committed bench-regression baseline: regenerate the shuffle scenario
 # trajectory in place, then verify the fresh numbers pass their own gate.
@@ -92,6 +93,11 @@ load-smoke:
 # re-shuffled rows move node-to-node over the /shard/shuffle data plane —
 # with the same row count as the single engine. The two-process proof that
 # scatter and shuffle both work over real sockets, in both codecs.
+#
+# The observability plane rides the same boot: both coordinators must
+# serve the required Prometheus metric families on /metrics, and the JSON
+# coordinator runs with -slowlog 1us so every query trips the slow-query
+# log — one structured JSON line with the span tree must land on stderr.
 cluster-smoke: SMOKE_Q = SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales
 cluster-smoke: SMOKE_DIVQ = SELECT ws_order_number, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a, rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b FROM web_sales
 cluster-smoke:
@@ -102,7 +108,7 @@ cluster-smoke:
 	/tmp/windserve-csmoke -addr 127.0.0.1:18096 -rows 2000 & se=$$!; \
 	co=; coj=; trap 'kill $$s1 $$s2 $$se $$co $$coj 2>/dev/null' EXIT; \
 	/tmp/windserve-csmoke -shards 127.0.0.1:18094,127.0.0.1:18095 -addr 127.0.0.1:18093 -rows 2000 & co=$$!; \
-	/tmp/windserve-csmoke -shards 127.0.0.1:18094,127.0.0.1:18095 -addr 127.0.0.1:18097 -rows 2000 -codec json & coj=$$!; \
+	/tmp/windserve-csmoke -shards 127.0.0.1:18094,127.0.0.1:18095 -addr 127.0.0.1:18097 -rows 2000 -codec json -slowlog 1us 2>/tmp/windserve-csmoke-slow.log & coj=$$!; \
 	for url in 127.0.0.1:18093 127.0.0.1:18096 127.0.0.1:18097; do \
 		ok=0; \
 		for i in $$(seq 1 150); do \
@@ -130,7 +136,16 @@ cluster-smoke:
 		printf '%s' "$$divclustered" | grep -q '"route":"shuffle"' || { echo "cluster-smoke($$label): key-divergent chain not shuffled" >&2; exit 1; }; \
 		curl -sf http://$$url/stats | grep -q '"shards":2' || { echo "cluster-smoke($$label): /stats missing shards" >&2; exit 1; }; \
 		curl -sf http://$$url/stats | grep -q '"shuffle":1' || { echo "cluster-smoke($$label): /stats missing shuffle count" >&2; exit 1; }; \
+		metrics=$$(curl -sf http://$$url/metrics); \
+		for fam in windowdb_queries_total windowdb_route_queries_total windowdb_shard_queries_total windowdb_shards; do \
+			printf '%s\n' "$$metrics" | grep -q "^$$fam" || { echo "cluster-smoke($$label): /metrics missing family $$fam" >&2; exit 1; }; \
+		done; \
+		printf '%s\n' "$$metrics" | grep -q '^windowdb_shard_queries_total{shard="1"}' || { echo "cluster-smoke($$label): /metrics missing per-shard labels" >&2; exit 1; }; \
 		echo "cluster-smoke($$label): OK ($$cc rows scattered, $$dcc rows shuffled)"; \
-	done
+	done; \
+	curl -sf http://127.0.0.1:18096/metrics | grep -q '^windowdb_query_duration_seconds_bucket' || { echo "cluster-smoke: single engine /metrics missing latency histogram" >&2; exit 1; }; \
+	grep -q '"kind":"slow_query"' /tmp/windserve-csmoke-slow.log || { echo "cluster-smoke: no slow-query log line from throttled coordinator" >&2; exit 1; }; \
+	grep -q '"root":' /tmp/windserve-csmoke-slow.log || { echo "cluster-smoke: slow-query line carries no span tree" >&2; exit 1; }; \
+	echo "cluster-smoke: /metrics families + slow-query log OK"
 
 ci: build vet fmt-check race bench load-smoke cluster-smoke

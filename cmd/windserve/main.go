@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -76,6 +77,9 @@ func main() {
 		shards      = flag.String("shards", "", "comma-separated shard node addresses: run as cluster coordinator")
 		shardNode   = flag.Bool("shardnode", false, "run as a shard node: empty catalog, tables arrive via /shard/register")
 		codec       = flag.String("codec", "binary", "wire codec for row streams: binary (columnar frames) or json (NDJSON; also disables binary responses, as an old node would)")
+		slowlog     = flag.Duration("slowlog", 0, "slow-query log threshold: queries at or over it emit one JSON line (trace tree included) to stderr (0 = off)")
+		traceRing   = flag.Int("tracering", 128, "recent query traces kept for /debug/trace/{id} (negative = off)")
+		pprofAddr   = flag.String("pprof", "", "optional private listen address for net/http/pprof (e.g. 127.0.0.1:6060); never mounted on the public mux")
 	)
 	flag.Parse()
 	if *codec != string(service.CodecBinary) && *codec != string(service.CodecJSON) {
@@ -88,6 +92,8 @@ func main() {
 		Parallelism:  *parallelism,
 	}
 
+	startPprof(*pprofAddr)
+
 	if *shards != "" {
 		// Coordinator role. -slots bounds coordinator-side gather chains;
 		// -budget and -queue govern the shard nodes' own admission and are
@@ -97,7 +103,8 @@ func main() {
 			rows: *rows, cacheEntries: *cache,
 			gatherSlots: *slots, timeout: *timeout,
 			csvPath: *csvPath, csvTable: *csvTable,
-			codec: service.WireCodec(*codec),
+			codec:   service.WireCodec(*codec),
+			slowlog: *slowlog, traceRing: *traceRing,
 		})
 		return
 	}
@@ -119,8 +126,10 @@ func main() {
 		// Only shard nodes expose the /shard/* surface: register/table
 		// would let any client overwrite or dump tables on a public
 		// single-engine server.
-		ShardRoutes:   *shardNode,
-		DisableBinary: *codec == string(service.CodecJSON),
+		ShardRoutes:      *shardNode,
+		DisableBinary:    *codec == string(service.CodecJSON),
+		TraceRing:        *traceRing,
+		SlowLogThreshold: *slowlog,
 	})
 
 	role := "engine"
@@ -141,6 +150,8 @@ type coordinatorConfig struct {
 	timeout            time.Duration
 	csvPath, csvTable  string
 	codec              service.WireCodec
+	slowlog            time.Duration
+	traceRing          int
 }
 
 // serveCoordinator forms a cluster over the named shard nodes, distributes
@@ -157,10 +168,12 @@ func serveCoordinator(cfg coordinatorConfig) {
 		transports = append(transports, shard.NewHTTPCodec(a, nil, cfg.codec))
 	}
 	cluster, err := shard.New(shard.Config{
-		Engine:         cfg.eng,
-		CacheEntries:   cfg.cacheEntries,
-		GatherSlots:    cfg.gatherSlots,
-		DefaultTimeout: cfg.timeout,
+		Engine:           cfg.eng,
+		CacheEntries:     cfg.cacheEntries,
+		GatherSlots:      cfg.gatherSlots,
+		DefaultTimeout:   cfg.timeout,
+		TraceRing:        cfg.traceRing,
+		SlowLogThreshold: cfg.slowlog,
 	}, transports)
 	if err != nil {
 		log.Fatalf("windserve: %v", err)
@@ -192,6 +205,28 @@ func serveCoordinator(cfg coordinatorConfig) {
 	fmt.Printf("windserve: coordinator listening on %s (%d shards: %s)\n",
 		cfg.addr, cluster.Shards(), strings.Join(addrs, ", "))
 	serve(cfg.addr, cluster.Handler())
+}
+
+// startPprof exposes net/http/pprof on its own private listener when
+// -pprof names an address. Deliberately a separate mux and server: the
+// profiling surface never mounts on the public (or cluster-internal)
+// handler, so exposing the query port exposes no heap dumps.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("windserve: pprof listener: %v", err)
+		}
+	}()
+	fmt.Printf("windserve: pprof on http://%s/debug/pprof/\n", addr)
 }
 
 // serve runs the HTTP server with graceful shutdown on SIGINT/SIGTERM.

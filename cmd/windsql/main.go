@@ -51,6 +51,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -63,6 +64,7 @@ func main() {
 		csvTable = flag.String("table", "csv", "table name for the CSV file")
 		maxRows  = flag.Int("n", 40, "max rows to print (0 = all)")
 		showPlan = flag.Bool("plan", true, "print the window-function chain")
+		showTr   = flag.Bool("trace", false, "print the per-stage trace tree after each statement (\\trace toggles in the shell)")
 		format   = flag.String("format", "table", "output format: table|csv|json")
 		server   = flag.String("server", "", "send statements to a running windserve at this address instead of embedding an engine")
 	)
@@ -97,7 +99,8 @@ func main() {
 		tables = eng.Tables()
 	}
 
-	run := func(stmt string) bool { return runStatement(q, stmt, *maxRows, *showPlan, *format) }
+	tracing := *showTr
+	run := func(stmt string) bool { return runStatement(q, stmt, *maxRows, *showPlan, tracing, *format) }
 
 	if *query != "" {
 		if !run(*query) {
@@ -111,7 +114,7 @@ func main() {
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	interactive := isTerminal(os.Stdin)
 	if interactive {
-		fmt.Printf("windsql shell — tables %v; one statement per line, \\q quits\n", tables)
+		fmt.Printf("windsql shell — tables %v; one statement per line, \\trace toggles traces, \\q quits\n", tables)
 	}
 	failed := false
 	for {
@@ -127,6 +130,11 @@ func main() {
 		}
 		if stmt == `\q` || strings.EqualFold(stmt, "exit") || strings.EqualFold(stmt, "quit") {
 			break
+		}
+		if stmt == `\trace` {
+			tracing = !tracing
+			fmt.Printf("trace output %s\n", map[bool]string{true: "on", false: "off"}[tracing])
+			continue
 		}
 		if !run(stmt) {
 			failed = true
@@ -146,7 +154,7 @@ func main() {
 // runStatement executes one statement through the Queryer, prints rows
 // incrementally in the selected format, then the latency line. It reports
 // success.
-func runStatement(q windowdb.Queryer, stmt string, maxRows int, showPlan bool, format string) bool {
+func runStatement(q windowdb.Queryer, stmt string, maxRows int, showPlan, showTrace bool, format string) bool {
 	start := time.Now()
 	rows, err := q.QueryContext(context.Background(), stmt)
 	if err != nil {
@@ -187,6 +195,18 @@ func runStatement(q windowdb.Queryer, stmt string, maxRows int, showPlan bool, f
 	if showPlan && m.Chain != "" {
 		fmt.Printf("chain: %s\n", m.Chain)
 		fmt.Printf("%d key comparisons; final sort: %s\n", m.Comparisons, m.FinalSort)
+	}
+	if showTrace {
+		if m.Trace == nil {
+			fmt.Println("trace: (none recorded)")
+		} else {
+			if m.TraceID != "" {
+				fmt.Printf("trace %s:\n", m.TraceID)
+			}
+			for _, line := range trace.Render(m.Trace) {
+				fmt.Printf("  %s\n", line)
+			}
+		}
 	}
 	return true
 }

@@ -1,0 +1,179 @@
+package windowdb
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// StripExplainAnalyze recognizes an `EXPLAIN ANALYZE <stmt>` prefix
+// (case-insensitive, whitespace-tolerant) and returns the inner statement.
+// The SQL grammar itself is untouched: every backend strips the prefix at
+// its front door, executes the inner statement to completion through its
+// normal path, and returns the annotated rendering as a one-column text
+// cursor — so EXPLAIN ANALYZE observes exactly the plan, admission and
+// routing the bare statement would.
+func StripExplainAnalyze(src string) (string, bool) {
+	s := strings.TrimSpace(src)
+	rest, ok := stripKeyword(s, "explain")
+	if !ok {
+		return src, false
+	}
+	rest, ok = stripKeyword(rest, "analyze")
+	if !ok {
+		return src, false
+	}
+	if rest == "" {
+		return src, false
+	}
+	return rest, true
+}
+
+// stripKeyword strips one leading keyword followed by whitespace.
+func stripKeyword(s, kw string) (string, bool) {
+	if len(s) <= len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return s, false
+	}
+	switch s[len(kw)] {
+	case ' ', '\t', '\r', '\n':
+	default:
+		return s, false
+	}
+	return strings.TrimLeft(s[len(kw):], " \t\r\n"), true
+}
+
+// ExplainAnalyzeRows executes inner through q, drains it, and returns the
+// annotated plan/trace rendering as a one-column cursor. Backends call it
+// on themselves after StripExplainAnalyze matches.
+func ExplainAnalyzeRows(ctx context.Context, q Queryer, inner string) (*Rows, error) {
+	rows, err := q.QueryContext(ctx, inner)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return NewTextRows("explain_analyze", RenderAnalyze(rows.Metrics())), nil
+}
+
+// RenderAnalyze flattens a drained query's metadata into the EXPLAIN
+// ANALYZE lines: the planned chain with per-step actual vs. estimated
+// rows and spill I/O, the final-sort disposition, the route, and the
+// recorded span tree.
+func RenderAnalyze(m *QueryMetrics) []string {
+	if m == nil {
+		return []string{"(no metrics: stream ended without a trailer)"}
+	}
+	var lines []string
+	if m.Chain != "" {
+		lines = append(lines, "chain: "+m.Chain)
+	}
+	if m.Exec != nil {
+		for _, st := range m.Exec.Steps {
+			est := ""
+			if m.EstRows > 0 {
+				est = fmt.Sprintf(" (est %d)", m.EstRows)
+			}
+			line := fmt.Sprintf("  wf%d [%s]  rows=%d%s  spill r=%d w=%d  cmp=%d  %v",
+				st.WFID+1, st.Reorder, st.Rows, est,
+				st.BlocksRead, st.BlocksWritten, st.Comparisons,
+				st.Duration.Round(10_000)) // 10µs
+			if st.Detail != "" {
+				line += "  " + st.Detail
+			}
+			lines = append(lines, line)
+		}
+	}
+	if m.FinalSort != "" {
+		lines = append(lines, fmt.Sprintf("final sort: %s (satisfied prefix %d)", m.FinalSort, m.SatisfiedPrefix))
+	}
+	if m.Route != "" {
+		lines = append(lines, fmt.Sprintf("route: %s over %d shard(s)", m.Route, m.ShardsUsed))
+	}
+	lines = append(lines, fmt.Sprintf("rows: %d  elapsed: %v  blocks: %d read, %d written",
+		m.Rows, m.Elapsed.Round(10_000), m.BlocksRead, m.BlocksWritten))
+	if m.Trace != nil {
+		id := m.TraceID
+		if id == "" {
+			id = "(unassigned)"
+		}
+		lines = append(lines, "trace "+id+":")
+		for _, l := range trace.Render(m.Trace) {
+			lines = append(lines, "  "+l)
+		}
+	}
+	return lines
+}
+
+// ExecTrace builds the executor span subtree — one child per chain step
+// with reorder kind, cardinality and spill counters — from a query's
+// metrics. In-process backends hang it under their serving spans; nil
+// when the chain did not run in this process.
+func ExecTrace(m *QueryMetrics) *trace.Span {
+	if m == nil || m.Exec == nil {
+		return nil
+	}
+	ex := m.Exec
+	s := trace.New("execute", ex.Elapsed)
+	if m.Chain != "" {
+		s.SetAttr("chain", m.Chain)
+	}
+	if m.Parallelism > 1 {
+		s.SetInt("parallelism", int64(m.Parallelism))
+	}
+	if m.FinalSort != "" && m.FinalSort != "none" {
+		s.SetAttr("final_sort", m.FinalSort)
+	}
+	for _, st := range ex.Steps {
+		c := trace.New(fmt.Sprintf("step wf%d", st.WFID+1), st.Duration)
+		c.SetAttr("reorder", st.Reorder.String())
+		c.SetInt("rows", st.Rows)
+		if m.EstRows > 0 {
+			c.SetInt("est_rows", m.EstRows)
+		}
+		c.SetInt("spilled_blocks", st.BlocksWritten)
+		c.SetInt("blocks_read", st.BlocksRead)
+		if st.Detail != "" {
+			c.SetAttr("detail", st.Detail)
+		}
+		s.Add(c)
+	}
+	return s
+}
+
+// NewTextRows builds a static one-column string cursor — the vehicle for
+// EXPLAIN ANALYZE output and other rendered text results on the Rows
+// surface.
+func NewTextRows(col string, lines []string) *Rows {
+	return NewRows(&textSource{col: col, lines: lines})
+}
+
+// textSource is the RowSource behind NewTextRows.
+type textSource struct {
+	col   string
+	lines []string
+	pos   int
+}
+
+func (ts *textSource) Columns() []storage.Column {
+	return []storage.Column{{Name: ts.col, Type: storage.TypeString}}
+}
+
+func (ts *textSource) Next() (storage.Tuple, error) {
+	if ts.pos >= len(ts.lines) {
+		return nil, io.EOF
+	}
+	t := storage.Tuple{storage.StringVal(ts.lines[ts.pos])}
+	ts.pos++
+	return t, nil
+}
+
+func (ts *textSource) Close() error           { return nil }
+func (ts *textSource) Metrics() *QueryMetrics { return &QueryMetrics{} }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // shuffleQ6 is the Q6-style chain with a divergent second segment: wf1
@@ -63,6 +64,8 @@ func (d *Dataset) RunShuffle(w io.Writer) ([]ShardedResult, error) {
 	elapsed := make([]time.Duration, len(shardCounts))
 	tables := make([]*storage.Table, len(shardCounts))
 	blocks := make([]int64, len(shardCounts))
+	slowest := make([]time.Duration, len(shardCounts))
+	traces := make([][]string, len(shardCounts))
 	for rep := 0; rep < shardedReps; rep++ {
 		for i := range shardCounts {
 			runtime.GC()
@@ -74,8 +77,12 @@ func (d *Dataset) RunShuffle(w io.Writer) ([]ShardedResult, error) {
 			if res.Route != "shuffle" {
 				return nil, fmt.Errorf("shuffle %d: routed %q, want shuffle", shardCounts[i], res.Route)
 			}
-			if e := time.Since(start); rep == 0 || e < elapsed[i] {
+			e := time.Since(start)
+			if rep == 0 || e < elapsed[i] {
 				elapsed[i], tables[i], blocks[i] = e, res.Table, res.BlocksRead+res.BlocksWritten
+			}
+			if rep == 0 || e > slowest[i] {
+				slowest[i], traces[i] = e, trace.Render(res.Trace)
 			}
 		}
 	}
@@ -88,6 +95,7 @@ func (d *Dataset) RunShuffle(w io.Writer) ([]ShardedResult, error) {
 		res := ShardedResult{
 			Query: "Q6d", Shards: n, Elapsed: elapsed[i], Blocks: blocks[i],
 			Scaleout: float64(elapsed[0]) / float64(elapsed[i]),
+			Trace:    traces[i],
 		}
 		out = append(out, res)
 		fprintf(w, "%-10d  %12v  %10d  %8.2fx\n",
@@ -150,6 +158,7 @@ func runShuffleHTTP(engCfg windowdb.Config, ws *storage.Table, want []string, n 
 	// Best-of like the in-process points: one-shot socket timings are far
 	// too noisy to gate a baseline comparison on.
 	out := &ShardedResult{Query: "Q6d", Shards: n, HTTP: true}
+	var slowest time.Duration
 	for rep := 0; rep < shardedReps; rep++ {
 		runtime.GC()
 		start := time.Now()
@@ -163,8 +172,12 @@ func runShuffleHTTP(engCfg windowdb.Config, ws *storage.Table, want []string, n 
 		if !equalRows(canonicalRows(res.Table), want) {
 			return nil, fmt.Errorf("shuffle http changed the result multiset")
 		}
-		if e := time.Since(start); rep == 0 || e < out.Elapsed {
+		e := time.Since(start)
+		if rep == 0 || e < out.Elapsed {
 			out.Elapsed, out.Blocks = e, res.BlocksRead+res.BlocksWritten
+		}
+		if rep == 0 || e > slowest {
+			slowest, out.Trace = e, trace.Render(res.Trace)
 		}
 	}
 	return out, nil

@@ -24,6 +24,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 const dataRows = 2000
@@ -430,6 +431,47 @@ func TestQueryerMetricsAfterDrain(t *testing.T) {
 			isCluster := bk.name == "cluster" || bk.name == "client-coordinator"
 			if isCluster && m.Route != "scatter" {
 				t.Fatalf("route = %q, want scatter", m.Route)
+			}
+		})
+	}
+}
+
+// TestTracePropagationNeutral: carrying a trace ID in the context — which
+// every backend forwards over its wire hops and records spans under —
+// must not change a single result value, the row order guarantees, or the
+// error taxonomy. Observability is read-only.
+func TestTracePropagationNeutral(t *testing.T) {
+	for _, bk := range backends(t) {
+		t.Run(bk.name, func(t *testing.T) {
+			for _, cq := range []string{divergentSQL, conformanceQueries[0].sql} {
+				_, plain := drain(t, bk.q, cq)
+				tracedCtx := trace.NewContext(context.Background(), trace.NewID())
+				rows, err := bk.q.QueryContext(tracedCtx, cq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var traced [][]byte
+				for rows.Next() {
+					traced = append(traced, storage.AppendTuple(nil, rows.Row()))
+				}
+				if err := rows.Err(); err != nil {
+					t.Fatal(err)
+				}
+				rows.Close()
+				got := fingerprint(traced, bk.ordered)
+				want := fingerprint(plain, bk.ordered)
+				if !slices.Equal(got, want) {
+					t.Fatalf("traced run changed the result (%d vs %d rows)", len(got), len(want))
+				}
+			}
+
+			// Error taxonomy is unchanged under a traced context.
+			tracedCtx := trace.NewContext(context.Background(), trace.NewID())
+			if _, err := bk.q.QueryContext(tracedCtx, `SELEKT 1`); !errors.Is(err, sql.ErrParse) {
+				t.Fatalf("traced parse error = %v, want ErrParse", err)
+			}
+			if _, err := bk.q.QueryContext(tracedCtx, `SELECT * FROM nosuch`); !errors.Is(err, catalog.ErrUnknownTable) {
+				t.Fatalf("traced unknown-table error = %v, want ErrUnknownTable", err)
 			}
 		})
 	}

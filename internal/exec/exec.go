@@ -82,7 +82,11 @@ type StepMetrics struct {
 	BlocksRead    int64
 	BlocksWritten int64
 	Comparisons   int64
-	Duration      time.Duration
+	// Rows is the step's output cardinality (window evaluation is 1:1, so
+	// this is also the input cardinality — the "actual rows" side of
+	// EXPLAIN ANALYZE).
+	Rows     int64
+	Duration time.Duration
 	// Detail carries operator-specific statistics (runs, buckets, units).
 	Detail string
 }
@@ -227,6 +231,7 @@ func RunContext(ctx context.Context, table *storage.Table, specs []window.Spec, 
 			BlocksRead:    stats.BlocksRead() - r0,
 			BlocksWritten: stats.BlocksWritten() - w0,
 			Comparisons:   comparisons - c0,
+			Rows:          int64(len(newRows)),
 			Duration:      time.Since(stepStart),
 			Detail:        detail,
 		})

@@ -291,6 +291,7 @@ func runPartitioned(ctx context.Context, table *storage.Table, specs []window.Sp
 			ms.BlocksRead += st.BlocksRead
 			ms.BlocksWritten += st.BlocksWritten
 			ms.Comparisons += st.Comparisons
+			ms.Rows += st.Rows
 			if st.Duration > ms.Duration {
 				ms.Duration = st.Duration
 			}

@@ -187,5 +187,7 @@ func metaFromTrailer(t *StreamTrailer) *windowdb.QueryMetrics {
 		BlocksRead:    t.BlocksRead,
 		BlocksWritten: t.BlocksWritten,
 		Comparisons:   t.Comparisons,
+		TraceID:       t.TraceID,
+		Trace:         t.Trace,
 	}
 }

@@ -6,11 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Handler returns the HTTP/JSON serving surface:
@@ -40,6 +43,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
 	if s.cfg.ShardRoutes {
 		// Shard-node surface (shard.go): what a cluster coordinator
 		// calls. Opt-in — register/table would let any client overwrite
@@ -83,6 +88,7 @@ type queryResponse struct {
 	FinalSort     string `json:"final_sort,omitempty"`
 	BlocksRead    int64  `json:"blocks_read"`
 	BlocksWritten int64  `json:"blocks_written"`
+	TraceID       string `json:"trace_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -150,6 +156,16 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Join the caller's distributed trace, or start one: the ID travels
+	// by context into the serving path and back out as a response header,
+	// so `curl -i` hands the caller the /debug/trace/{id} key.
+	traceID := r.Header.Get(trace.HeaderTraceID)
+	if traceID == "" {
+		traceID = trace.NewID()
+	}
+	ctx = trace.NewContext(ctx, traceID)
+	w.Header().Set(trace.HeaderTraceID, traceID)
+
 	if req.Stream || NDJSONRequested(r) {
 		rows, err := s.QueryContext(ctx, req.SQL)
 		if err != nil {
@@ -176,6 +192,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		QueuedMillis:  float64(res.Queued) / float64(time.Millisecond),
 		CacheHit:      res.CacheHit,
 		FinalSort:     res.FinalSort,
+		TraceID:       res.TraceID,
 	}
 	for i, c := range t.Schema.Columns {
 		resp.Columns[i] = c.Name
@@ -225,7 +242,75 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// Health is the /healthz response body: alive plus enough identity —
+// build version, negotiated codec support, shard role — that a cluster's
+// fan-out diagnoses mixed-version fleet skew from one probe.
+type Health struct {
+	Status  string   `json:"status"`
+	Version string   `json:"version"`
+	Codecs  []string `json:"codecs"`
+	// Role is "engine" for a public single-engine server, "shardnode"
+	// when the /shard/* surface is mounted, "coordinator" for a cluster
+	// front end.
+	Role string `json:"role"`
+}
+
+// healthNow assembles this process's Health.
+func (s *Service) healthNow() Health {
+	h := Health{Status: "ok", Version: BuildVersion(), Role: "engine"}
+	if s.cfg.ShardRoutes {
+		h.Role = "shardnode"
+	}
+	h.Codecs = []string{string(CodecJSON)}
+	if !s.cfg.DisableBinary {
+		h.Codecs = append([]string{string(CodecBinary)}, h.Codecs...)
+	}
+	return h
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, s.healthNow())
+}
+
+// BuildVersion reports this binary's module version (or VCS revision)
+// from the embedded build info — "unknown" outside module builds.
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	version := bi.Main.Version
+	var rev, dirty string
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		short := rev
+		if len(short) > 12 {
+			short = short[:12]
+		}
+		if version == "" || version == "(devel)" {
+			return short + dirty
+		}
+		// Pseudo-versions already embed the revision (and "+dirty" when
+		// modified); don't repeat either marker.
+		if strings.Contains(version, short) {
+			if strings.Contains(version, "dirty") {
+				return version
+			}
+			return version + dirty
+		}
+		return version + "+" + short + dirty
+	}
+	if version == "" {
+		return "unknown"
+	}
+	return version
 }

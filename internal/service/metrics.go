@@ -17,6 +17,9 @@ import (
 type latencyHist struct {
 	counts [histBuckets]uint64
 	total  uint64
+	// sum accumulates observed latency for the Prometheus histogram's
+	// _sum series; quantile reads ignore it.
+	sum time.Duration
 }
 
 const (
@@ -47,6 +50,7 @@ func histUpper(i int) time.Duration {
 func (h *latencyHist) observe(d time.Duration) {
 	h.counts[histIndex(d)]++
 	h.total++
+	h.sum += d
 }
 
 // quantile returns the latency below which fraction q of observations fall.
@@ -190,4 +194,12 @@ func (m *Metrics) snapshot() Snapshot {
 	s.Comparisons = m.comparisons
 	s.RowsOut = m.rowsOut
 	return s
+}
+
+// histSnapshot copies the latency histogram's raw buckets for the
+// Prometheus exposition (cumulative buckets, _sum and _count).
+func (m *Metrics) histSnapshot() latencyHist {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hist
 }

@@ -1,0 +1,153 @@
+package service
+
+// Prometheus text exposition (version 0.0.4) for the pull-based /metrics
+// plane. Hand-rolled — the format is a dozen lines of fmt and the repo
+// takes no dependencies — but kept strict enough that promtool parses it:
+// every family gets HELP and TYPE, histogram buckets are cumulative and
+// end at +Inf, and values are Go's shortest-round-trip floats.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// PromWriter accumulates metric families in Prometheus text exposition
+// format. The cluster coordinator (internal/shard) reuses it to add
+// per-shard labelled families on top of the service families.
+type PromWriter struct {
+	b bytes.Buffer
+}
+
+// Family emits the # HELP / # TYPE preamble for a metric family. Call it
+// once per family, before the family's samples.
+func (p *PromWriter) Family(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample emits one sample line; labels is the raw label-pair text (e.g.
+// `shard="0"`) or "" for an unlabelled sample.
+func (p *PromWriter) Sample(name, labels string, v float64) {
+	if labels != "" {
+		fmt.Fprintf(&p.b, "%s{%s} %s\n", name, labels, promValue(v))
+	} else {
+		fmt.Fprintf(&p.b, "%s %s\n", name, promValue(v))
+	}
+}
+
+// Counter emits a single-sample counter family.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.Family(name, help, "counter")
+	p.Sample(name, "", v)
+}
+
+// Gauge emits a single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.Family(name, help, "gauge")
+	p.Sample(name, "", v)
+}
+
+// ServeTo writes the accumulated exposition as an HTTP response.
+func (p *PromWriter) ServeTo(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(p.b.Bytes())
+}
+
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteSnapshotMetrics renders one service Snapshot as the windowdb_*
+// family set. The coordinator calls it for its own counters and then
+// layers per-shard labelled families beside it.
+func WriteSnapshotMetrics(p *PromWriter, s Snapshot) {
+	p.Counter("windowdb_queries_total", "Queries completed successfully.", float64(s.Queries))
+	p.Counter("windowdb_query_failures_total", "Queries completed with an error.", float64(s.Failures))
+	p.Counter("windowdb_query_rejected_total", "Queries rejected by admission control (overloaded).", float64(s.Rejected))
+	p.Counter("windowdb_streams_aborted_total", "Streamed queries closed before their last row.", float64(s.Aborted))
+	p.Counter("windowdb_shuffle_rounds_total", "Shuffle stages executed for cluster coordinators.", float64(s.ShuffleRounds))
+	p.Counter("windowdb_rows_out_total", "Rows yielded to clients.", float64(s.RowsOut))
+	p.Counter("windowdb_blocks_read_total", "Storage blocks read by query execution.", float64(s.BlocksRead))
+	p.Counter("windowdb_blocks_written_total", "Storage blocks spilled by query execution.", float64(s.BlocksWritten))
+	p.Counter("windowdb_comparisons_total", "Tuple comparisons performed by query execution.", float64(s.Comparisons))
+
+	p.Counter("windowdb_plan_cache_hits_total", "Plan cache hits.", float64(s.Cache.Hits))
+	p.Counter("windowdb_plan_cache_misses_total", "Plan cache misses.", float64(s.Cache.Misses))
+	p.Counter("windowdb_plan_cache_invalidations_total", "Plan cache entries invalidated by DDL or stats changes.", float64(s.Cache.Invalidations))
+	p.Counter("windowdb_plan_cache_evictions_total", "Plan cache LRU evictions.", float64(s.Cache.Evictions))
+	p.Counter("windowdb_plan_cache_fp_hits_total", "Plan cache hits served via statement fingerprinting.", float64(s.Cache.FPHits))
+
+	p.Gauge("windowdb_in_flight", "Executions currently holding an admission slot.", float64(s.InFlight))
+	p.Gauge("windowdb_in_flight_max", "High-water mark of in-flight executions.", float64(s.MaxInFlight))
+	p.Gauge("windowdb_admission_slots", "Admission slots configured.", float64(s.Slots))
+	p.Gauge("windowdb_admission_queue_depth", "Executions waiting for an admission slot.", float64(s.QueueDepth))
+	p.Gauge("windowdb_plan_cache_entries", "Plan cache resident entries.", float64(s.Cache.Size))
+	p.Gauge("windowdb_uptime_seconds", "Seconds since the service started.", s.UptimeSeconds)
+}
+
+// histStride thins the 96 exponential buckets to every 8th boundary in
+// the exposition — 12 boundaries plus +Inf spans 1µs to ~2min at 6x
+// resolution, plenty for scrape-side quantiles, and cumulative buckets
+// make the subset exact rather than lossy.
+const histStride = 8
+
+// WriteLatencyHistogram renders the exponential latency histogram as a
+// Prometheus cumulative-bucket histogram in seconds.
+func WriteLatencyHistogram(p *PromWriter, name string, h latencyHist) {
+	p.Family(name, "End-to-end query latency.", "histogram")
+	var cum uint64
+	next := histStride - 1
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if i == next {
+			p.Sample(name+"_bucket", fmt.Sprintf("le=%q", promValue(histUpper(i).Seconds())), float64(cum))
+			next += histStride
+		}
+	}
+	p.Sample(name+"_bucket", `le="+Inf"`, float64(h.total))
+	p.Sample(name+"_sum", "", h.sum.Seconds())
+	p.Sample(name+"_count", "", float64(h.total))
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p := &PromWriter{}
+	WriteSnapshotMetrics(p, s.Stats())
+	WriteLatencyHistogram(p, "windowdb_query_duration_seconds", s.metrics.histSnapshot())
+	p.ServeTo(w)
+}
+
+// ServeTraceRing answers /debug/trace/ requests from a ring: the bare
+// prefix lists recent traces (?n= bounds the count, default 32), a
+// trailing {id} returns that trace or 404. Shared with the coordinator's
+// debug surface.
+func ServeTraceRing(w http.ResponseWriter, r *http.Request, ring *trace.Ring, prefix string) {
+	if ring == nil {
+		writeError(w, http.StatusNotFound, "request", fmt.Errorf("service: tracing disabled"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, prefix)
+	if id == "" {
+		n := 32
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		writeJSON(w, http.StatusOK, ring.Recent(n))
+		return
+	}
+	t := ring.Get(id)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "request", fmt.Errorf("service: no trace %q in the ring (it holds the most recent %d)", id, ring.Len()))
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+func (s *Service) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	ServeTraceRing(w, r, s.Traces(), "/debug/trace/")
+}

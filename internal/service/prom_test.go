@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestMetricsExposition is the golden check for the Prometheus text
+// exposition: after a couple of queries, /metrics must carry every
+// required family with HELP/TYPE headers, parseable sample values, and a
+// latency histogram whose cumulative buckets are monotone and terminate
+// in +Inf matching _count.
+func TestMetricsExposition(t *testing.T) {
+	svc := newTestService(t, Config{Slots: 2}, 2000)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Query(ctx, mixQ1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q is not the exposition format", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+
+	// Every non-comment line must parse as `name{labels} value`.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+
+	for _, fam := range []string{
+		"windowdb_queries_total",
+		"windowdb_query_failures_total",
+		"windowdb_query_rejected_total",
+		"windowdb_rows_out_total",
+		"windowdb_plan_cache_hits_total",
+		"windowdb_in_flight",
+		"windowdb_admission_slots",
+		"windowdb_uptime_seconds",
+		"windowdb_query_duration_seconds",
+	} {
+		if !strings.Contains(body, "# HELP "+fam+" ") {
+			t.Errorf("missing HELP for %s", fam)
+		}
+		if !strings.Contains(body, "# TYPE "+fam+" ") {
+			t.Errorf("missing TYPE for %s", fam)
+		}
+	}
+
+	if !strings.Contains(body, "windowdb_queries_total 2") {
+		t.Errorf("queries_total should read 2:\n%s", body)
+	}
+
+	// Histogram: buckets cumulative and monotone, +Inf == _count == 2.
+	var prev float64
+	var bucketLines int
+	var infSeen bool
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "windowdb_query_duration_seconds_bucket{") {
+			continue
+		}
+		bucketLines++
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not monotone at %q (%v < %v)", line, v, prev)
+		}
+		prev = v
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if v != 2 {
+				t.Fatalf("+Inf bucket = %v, want 2", v)
+			}
+		}
+	}
+	if bucketLines < 2 || !infSeen {
+		t.Fatalf("histogram exposition incomplete (%d bucket lines, inf=%v)", bucketLines, infSeen)
+	}
+	if !strings.Contains(body, "windowdb_query_duration_seconds_count 2") {
+		t.Errorf("histogram _count should read 2")
+	}
+	if !strings.Contains(body, "windowdb_query_duration_seconds_sum ") {
+		t.Errorf("histogram _sum missing")
+	}
+}
+
+// TestDebugTraceEndpoint exercises the ring-backed /debug/trace surface:
+// a served query lands in the ring, is listable newest-first, and
+// fetchable by the ID the response advertised.
+func TestDebugTraceEndpoint(t *testing.T) {
+	svc := newTestService(t, Config{Slots: 1}, 2000)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"sql":"`+mixQ1+`","max_rows":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Header.Get(trace.HeaderTraceID)
+	var qr struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id == "" || qr.TraceID != id {
+		t.Fatalf("trace ID header %q vs body %q", id, qr.TraceID)
+	}
+
+	list, err := http.Get(srv.URL + "/debug/trace/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recent []*trace.Trace
+	if err := json.NewDecoder(list.Body).Decode(&recent); err != nil {
+		t.Fatal(err)
+	}
+	list.Body.Close()
+	if len(recent) == 0 || recent[0].ID != id {
+		t.Fatalf("recent traces %v missing query %s", recent, id)
+	}
+
+	one, err := http.Get(srv.URL + "/debug/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trace.Trace
+	if err := json.NewDecoder(one.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	one.Body.Close()
+	if tr.ID != id || tr.Root == nil {
+		t.Fatalf("trace %s came back without a span tree: %+v", id, tr)
+	}
+	found := false
+	for _, c := range tr.Root.Children {
+		if c.Name == "execute" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("span tree lacks an execute child: %v", trace.Render(tr.Root))
+	}
+
+	if missing, err := http.Get(srv.URL + "/debug/trace/ffffffffffffffff"); err != nil {
+		t.Fatal(err)
+	} else {
+		missing.Body.Close()
+		if missing.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown trace ID: %s, want 404", missing.Status)
+		}
+	}
+}
+
+// TestTraceIDJoinsCaller pins wire propagation: a caller-supplied
+// X-Windowdb-Trace-Id must be adopted, echoed, and used as the recorded
+// trace's ID instead of a freshly minted one.
+func TestTraceIDJoinsCaller(t *testing.T) {
+	svc := newTestService(t, Config{Slots: 1}, 2000)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/query",
+		strings.NewReader(`{"sql":"`+mixQ1+`","max_rows":1}`))
+	req.Header.Set(trace.HeaderTraceID, "cafecafecafecafe")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(trace.HeaderTraceID); got != "cafecafecafecafe" {
+		t.Fatalf("echoed trace ID %q", got)
+	}
+	if svc.Traces().Get("cafecafecafecafe") == nil {
+		t.Fatal("caller-supplied trace ID not joined")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Service. The zero value serves: 4 chain-memory
@@ -88,6 +90,15 @@ type Config struct {
 	// debugging and for holding a mixed-version fleet to its lowest
 	// common codec.
 	DisableBinary bool
+	// TraceRing bounds the /debug/trace ring buffer of recent query
+	// traces (default 128; negative disables recording).
+	TraceRing int
+	// SlowLogThreshold enables the structured slow-query log: every query
+	// at or over the threshold emits one JSON line (kind "slow_query")
+	// with its span tree to SlowLogWriter. 0 disables.
+	SlowLogThreshold time.Duration
+	// SlowLogWriter receives slow-query lines; nil defaults to stderr.
+	SlowLogWriter io.Writer
 }
 
 func (c Config) withDefaults(chainMem int) Config {
@@ -128,6 +139,8 @@ type Service struct {
 	cache   *planCache
 	metrics *Metrics
 	inbox   shuffleInbox
+	ring    *trace.Ring
+	slow    *trace.SlowLogger
 }
 
 // New builds a service over eng. The engine must not be shared with
@@ -137,13 +150,48 @@ func New(eng *windowdb.Engine, cfg Config) *Service {
 	// (ResolvedConfig returns the concrete degree, ≥ 1).
 	rc := eng.ResolvedConfig()
 	cfg = cfg.withDefaults(rc.SortMemBytes * rc.Parallelism)
-	return &Service{
+	slowW := cfg.SlowLogWriter
+	if slowW == nil {
+		slowW = os.Stderr
+	}
+	s := &Service{
 		eng:     eng,
 		cfg:     cfg,
 		gov:     newGovernor(cfg.Slots, cfg.MaxQueue),
 		cache:   newPlanCache(cfg.CacheEntries),
 		metrics: newMetrics(),
+		slow:    trace.NewSlowLogger(slowW, cfg.SlowLogThreshold),
 	}
+	if cfg.TraceRing >= 0 {
+		n := cfg.TraceRing
+		if n == 0 {
+			n = 128
+		}
+		s.ring = trace.NewRing(n)
+	}
+	return s
+}
+
+// Traces exposes the ring buffer of recent query traces (nil when
+// disabled); the /debug/trace endpoint and the coordinator read it.
+func (s *Service) Traces() *trace.Ring { return s.ring }
+
+// recordTrace finalizes one served query's trace: the ring entry and, past
+// the threshold, the slow-query log line.
+func (s *Service) recordTrace(id, src string, start time.Time, elapsed time.Duration, root *trace.Span, err error) {
+	if id == "" || (s.ring == nil && s.slow == nil) {
+		return
+	}
+	t := &trace.Trace{
+		ID: id, SQL: src, Start: start,
+		DurationMillis: trace.Millis(elapsed),
+		Root:           root,
+	}
+	if err != nil {
+		t.Error = err.Error()
+	}
+	s.ring.Add(t)
+	s.slow.Observe(t)
 }
 
 // Engine returns the wrapped engine (for registration; Register invalidates
@@ -200,6 +248,8 @@ type QueryResult struct {
 	// Elapsed is the end-to-end service time: cache lookup or prepare,
 	// admission wait, and execution.
 	Elapsed time.Duration
+	// TraceID names the query's recorded trace in /debug/trace/{id}.
+	TraceID string
 }
 
 // Query serves one query: plan-cache lookup (preparing and caching on
@@ -263,17 +313,46 @@ func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*Quer
 	elapsed := time.Since(start)
 	var execM *exec.Metrics
 	var rowsOut int64
+	var meta *windowdb.QueryMetrics
 	if res != nil {
 		execM = res.Metrics
 		if res.Table != nil {
 			rowsOut = int64(res.Table.Len())
 		}
+		meta = windowdb.MetaFromResult(res)
 	}
 	s.metrics.observe(execM, rowsOut, elapsed, err)
+	id := trace.IDFromContext(ctx)
+	s.recordTrace(id, src, start, elapsed, queryTrace(elapsed, queued, hit, rowsOut, meta), err)
 	if err != nil {
 		return nil, err
 	}
-	return &QueryResult{Result: res, CacheHit: hit, Queued: queued, Elapsed: elapsed}, nil
+	return &QueryResult{Result: res, CacheHit: hit, Queued: queued, Elapsed: elapsed, TraceID: id}, nil
+}
+
+// queryTrace assembles a served query's span tree: the admission wait,
+// the chain execution subtree (per-step reorder choice, cardinality and
+// spill), and the residual drain/render time.
+func queryTrace(elapsed, queued time.Duration, cacheHit bool, rows int64, meta *windowdb.QueryMetrics) *trace.Span {
+	root := trace.New("query", elapsed)
+	if cacheHit {
+		root.SetAttr("plan_cache", "hit")
+	} else {
+		root.SetAttr("plan_cache", "miss")
+	}
+	root.SetInt("rows", rows)
+	root.Add(trace.New("admission.wait", queued))
+	var execElapsed time.Duration
+	if meta != nil {
+		if es := windowdb.ExecTrace(meta); es != nil {
+			root.Add(es)
+			execElapsed = meta.Exec.Elapsed
+		}
+	}
+	if d := elapsed - queued - execElapsed; d > 0 {
+		root.Add(trace.New("drain", d))
+	}
+	return root
 }
 
 // Service implements windowdb.Queryer: QueryContext serves a statement as
@@ -286,8 +365,13 @@ func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*Quer
 var _ windowdb.Queryer = (*Service)(nil)
 
 // QueryContext serves one query as a streaming cursor. The error classes
-// match Query's.
+// match Query's. An `EXPLAIN ANALYZE <stmt>` prefix executes the inner
+// statement through the same path and returns the annotated trace
+// rendering as a one-column text cursor.
 func (s *Service) QueryContext(ctx context.Context, src string) (*windowdb.Rows, error) {
+	if inner, ok := windowdb.StripExplainAnalyze(src); ok {
+		return windowdb.ExplainAnalyzeRows(ctx, s, inner)
+	}
 	return s.stream(ctx, src, "", false)
 }
 
@@ -394,7 +478,8 @@ func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(co
 	}
 	handoff = true
 	return windowdb.NewRows(&servedSource{
-		svc: s, cur: cur, start: start, queued: queued, cacheHit: hit, cancel: cancel,
+		svc: s, cur: cur, src: src, traceID: trace.IDFromContext(ctx),
+		start: start, queued: queued, cacheHit: hit, cancel: cancel,
 	}), nil
 }
 
@@ -409,6 +494,8 @@ func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(co
 type servedSource struct {
 	svc      *Service
 	cur      *sql.Cursor
+	src      string
+	traceID  string
 	start    time.Time
 	queued   time.Duration
 	cacheHit bool
@@ -450,6 +537,13 @@ func (ss *servedSource) finish(err error) {
 		elapsed := time.Since(ss.start)
 		meta := windowdb.MetaFromResult(ss.cur.Meta())
 		meta.CacheHit, meta.Queued, meta.Elapsed = ss.cacheHit, ss.queued, elapsed
+		root := queryTrace(elapsed, ss.queued, ss.cacheHit, ss.rows, meta)
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		} else if !ss.completed {
+			root.SetAttr("aborted", "true")
+		}
+		meta.TraceID, meta.Trace = ss.traceID, root
 		ss.meta = meta
 		switch {
 		case err != nil:
@@ -459,6 +553,7 @@ func (ss *servedSource) finish(err error) {
 		default:
 			ss.svc.metrics.observe(ss.cur.Meta().Metrics, ss.rows, elapsed, nil)
 		}
+		ss.svc.recordTrace(ss.traceID, ss.src, ss.start, elapsed, root, err)
 		if ss.cancel != nil {
 			ss.cancel()
 		}

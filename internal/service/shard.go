@@ -12,6 +12,7 @@ import (
 	"repro"
 	"repro/internal/attrs"
 	"repro/internal/sql"
+	"repro/internal/trace"
 )
 
 // Shard-side HTTP surface: the routes a windserve process exposes so a
@@ -107,6 +108,13 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request", errors.New("service: empty query"))
 		return
 	}
+	// Join the coordinator's distributed trace: the node's span subtree
+	// rides home in the stream trailer under the same ID.
+	ctx := r.Context()
+	if id := r.Header.Get(trace.HeaderTraceID); id != "" {
+		ctx = trace.NewContext(ctx, id)
+		w.Header().Set(trace.HeaderTraceID, id)
+	}
 	if req.Stream {
 		var (
 			rows *windowdb.Rows
@@ -114,11 +122,11 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		)
 		switch req.Mode {
 		case "local":
-			rows, err = s.StreamShardLocal(r.Context(), req.SQL, req.Fingerprint)
+			rows, err = s.StreamShardLocal(ctx, req.SQL, req.Fingerprint)
 		case "segment":
-			rows, err = s.StreamSegment(r.Context(), req)
+			rows, err = s.StreamSegment(ctx, req)
 		case "full", "":
-			rows, err = s.QueryContext(r.Context(), req.SQL)
+			rows, err = s.QueryContext(ctx, req.SQL)
 		default:
 			writeError(w, http.StatusBadRequest, "request", fmt.Errorf("service: unknown shard query mode %q", req.Mode))
 			return
@@ -138,12 +146,12 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 	)
 	switch req.Mode {
 	case "local":
-		res, err = s.QueryShardLocal(r.Context(), req.SQL)
+		res, err = s.QueryShardLocal(ctx, req.SQL)
 	case "segment":
 		writeError(w, http.StatusBadRequest, "request", errors.New("service: segment mode is stream-only"))
 		return
 	case "full", "":
-		res, err = s.Query(r.Context(), req.SQL)
+		res, err = s.Query(ctx, req.SQL)
 	default:
 		writeError(w, http.StatusBadRequest, "request", fmt.Errorf("service: unknown shard query mode %q", req.Mode))
 		return

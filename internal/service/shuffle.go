@@ -83,6 +83,9 @@ type ShuffleRunRequest struct {
 	// Fingerprint is the coordinator's plan fingerprint of SQL
 	// (sql.Fingerprint); "" resolves by text.
 	Fingerprint string `json:"fp,omitempty"`
+	// TraceID joins the stage to the coordinator's distributed trace; ""
+	// leaves the stage untraced.
+	TraceID string `json:"trace_id,omitempty"`
 	// Codec selects the wire codec for this stage's peer deliveries
 	// ("json" or "binary"; "" means binary). The ingest route accepts
 	// both regardless, keyed on the request content type.
@@ -101,6 +104,17 @@ type ShuffleRunResult struct {
 	BlocksRead    int64 `json:"blocks_read"`
 	BlocksWritten int64 `json:"blocks_written"`
 	Comparisons   int64 `json:"comparisons"`
+
+	// Per-phase wall-clock breakdown of the stage, for the coordinator's
+	// shuffle-round trace spans: admission wait, input acquisition (local
+	// base filter, or the wait-free inbox take whose cost is the rows a
+	// slow peer has not yet delivered — by the round barrier it is the
+	// take itself), segment chain execution, and partition + peer
+	// delivery.
+	QueuedMillis  float64 `json:"queued_ms"`
+	InputMillis   float64 `json:"input_ms"`
+	ExecMillis    float64 `json:"exec_ms"`
+	DeliverMillis float64 `json:"deliver_ms"`
 }
 
 // shuffleInbox is a service's buffered shuffle state: one buffer per
@@ -326,6 +340,7 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 	// The stage's chain execution is a full chain-memory consumer; it takes
 	// an admission slot like any other execution, released synchronously
 	// when the stage (sends included) finishes.
+	phaseStart := time.Now()
 	if _, err := s.gov.acquire(ctx); err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			s.metrics.rejected.Add(1)
@@ -338,6 +353,7 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 		s.metrics.endExec()
 	}()
 	s.metrics.shuffleRounds.Add(1)
+	queuedMillis := phaseMillis(&phaseStart)
 
 	var in *storage.Table
 	switch req.Source {
@@ -356,7 +372,10 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 		return fail(err)
 	}
 
-	res := &ShuffleRunResult{RowsIn: int64(in.Len()), CacheHit: hit}
+	res := &ShuffleRunResult{
+		RowsIn: int64(in.Len()), CacheHit: hit,
+		QueuedMillis: queuedMillis, InputMillis: phaseMillis(&phaseStart),
+	}
 	out := in
 	if req.Segment >= 0 {
 		var m *exec.Metrics
@@ -371,6 +390,7 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 		}
 	}
 	res.RowsOut = int64(out.Len())
+	res.ExecMillis = phaseMillis(&phaseStart)
 
 	ids := make([]attrs.ID, len(req.OutKey))
 	for i, c := range req.OutKey {
@@ -410,7 +430,17 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 	if err := errors.Join(errs...); err != nil {
 		return fail(err)
 	}
+	res.DeliverMillis = phaseMillis(&phaseStart)
 	return res, nil
+}
+
+// phaseMillis reports the milliseconds since *start and advances it: the
+// phase clock RunShuffleStep reads between its stages.
+func phaseMillis(start *time.Time) float64 {
+	now := time.Now()
+	d := now.Sub(*start)
+	*start = now
+	return float64(d) / float64(time.Millisecond)
 }
 
 // StreamSegment serves the final shuffle segment as a streaming cursor: the

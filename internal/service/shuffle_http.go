@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/storage"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // The HTTP spelling of the shuffle data plane: /shard/shuffle/run executes
@@ -122,6 +123,11 @@ func (s *Service) handleShuffleRun(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "request", fmt.Errorf("service: bad request body: %w", err))
 		return
+	}
+	// The trace ID rides in the request body on this route; fall back to
+	// the header so hand-built curls still join a trace.
+	if req.TraceID == "" {
+		req.TraceID = r.Header.Get(trace.HeaderTraceID)
 	}
 	// The stage request picks the delivery codec; a node pinned to NDJSON
 	// (DisableBinary) overrides it, and receivers sniff the content type, so

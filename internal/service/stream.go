@@ -14,6 +14,7 @@ import (
 	"repro"
 	"repro/internal/storage"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // The streaming wire format: one query result as newline-delimited JSON
@@ -96,6 +97,13 @@ type StreamTrailer struct {
 	BlocksRead    int64 `json:"blocks_read"`
 	BlocksWritten int64 `json:"blocks_written"`
 	Comparisons   int64 `json:"comparisons"`
+
+	// TraceID and Trace carry the query's distributed trace back to the
+	// caller: the ID that names it in /debug/trace/{id}, and the span
+	// subtree this node recorded. Trailer payloads are JSON in both wire
+	// codecs, so the subtree travels codec-independently.
+	TraceID string      `json:"trace_id,omitempty"`
+	Trace   *trace.Span `json:"trace,omitempty"`
 }
 
 // TrailerFor renders a cursor's post-drain metrics as the stream trailer.
@@ -115,6 +123,8 @@ func TrailerFor(m *windowdb.QueryMetrics) StreamTrailer {
 	t.BlocksRead = m.BlocksRead
 	t.BlocksWritten = m.BlocksWritten
 	t.Comparisons = m.Comparisons
+	t.TraceID = m.TraceID
+	t.Trace = m.Trace
 	return t
 }
 
@@ -271,6 +281,11 @@ func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows
 	if err := rows.Err(); err != nil {
 		_, kind := StatusFor(err)
 		trailer = StreamTrailer{Done: true, Error: err.Error(), Kind: kind, RowCount: n}
+		// A failed stream still ships whatever spans were recorded — a
+		// node dying mid-shuffle is exactly when the trace matters.
+		if m := rows.Metrics(); m != nil {
+			trailer.TraceID, trailer.Trace = m.TraceID, m.Trace
+		}
 	} else {
 		trailer = TrailerFor(rows.Metrics())
 		trailer.RowCount = n
@@ -338,6 +353,9 @@ func writeStreamBinary(ctx context.Context, w http.ResponseWriter, rows *windowd
 	if err := rows.Err(); err != nil {
 		_, kind := StatusFor(err)
 		trailer = StreamTrailer{Done: true, Error: err.Error(), Kind: kind, RowCount: n}
+		if m := rows.Metrics(); m != nil {
+			trailer.TraceID, trailer.Trace = m.TraceID, m.Trace
+		}
 	} else {
 		trailer = TrailerFor(rows.Metrics())
 		trailer.RowCount = n
@@ -487,6 +505,12 @@ func pickCodec(codec []WireCodec) WireCodec {
 func openStream(hc *http.Client, req *http.Request, url string, codec WireCodec) (*StreamReader, error) {
 	if hc == nil {
 		hc = http.DefaultClient
+	}
+	// Propagate the caller's trace: any stream opened under a traced
+	// context — a client /query, a coordinator's scatter or gather fan-out
+	// — carries the ID so the server joins instead of minting.
+	if id := trace.FromContext(req.Context()); id != "" {
+		req.Header.Set(trace.HeaderTraceID, id)
 	}
 	if codec == CodecBinary {
 		// Prefer binary, accept NDJSON: a server without the binary codec

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // ClusterStats is the coordinator's /stats payload: cluster-level routing
@@ -96,6 +98,8 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("/query", c.handleQuery)
 	mux.HandleFunc("/stats", c.handleStats)
 	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/debug/trace/", c.handleDebugTrace)
 	return mux
 }
 
@@ -122,6 +126,7 @@ type queryResponse struct {
 	FinalSort     string `json:"final_sort,omitempty"`
 	BlocksRead    int64  `json:"blocks_read"`
 	BlocksWritten int64  `json:"blocks_written"`
+	TraceID       string `json:"trace_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -166,6 +171,15 @@ func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Join or start the distributed trace at the cluster's front door; the
+	// response header hands the caller the /debug/trace/{id} key.
+	traceID := r.Header.Get(trace.HeaderTraceID)
+	if traceID == "" {
+		traceID = trace.NewID()
+	}
+	ctx = trace.NewContext(ctx, traceID)
+	w.Header().Set(trace.HeaderTraceID, traceID)
+
 	if req.Stream || service.NDJSONRequested(r) {
 		// The streamed shape: on the scatter route the response body is the
 		// merge-concatenation of the per-node streams — rows transit the
@@ -195,6 +209,7 @@ func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
 		FinalSort:     res.FinalSort,
 		BlocksRead:    res.BlocksRead,
 		BlocksWritten: res.BlocksWritten,
+		TraceID:       res.TraceID,
 	}
 	for i, col := range t.Schema.Columns {
 		resp.Columns[i] = col.Name
@@ -228,12 +243,74 @@ func (c *Cluster) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Cluster) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := service.Health{
+		Status:  "ok",
+		Version: service.BuildVersion(),
+		Codecs:  []string{string(service.CodecBinary), string(service.CodecJSON)},
+		Role:    "coordinator",
+	}
 	if err := c.Health(r.Context()); err != nil {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, err.Error())
+		h.Status = "degraded: " + err.Error()
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics serves the coordinator's Prometheus exposition: its own
+// routing and cache counters plus per-shard labelled families built from
+// the shard snapshots, so one scrape shows cluster skew.
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats, err := c.Stats(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	p := &service.PromWriter{}
+	p.Counter("windowdb_queries_total", "Queries completed successfully at the coordinator.", float64(stats.Queries))
+	p.Counter("windowdb_query_failures_total", "Queries completed with an error.", float64(stats.Failures))
+	p.Counter("windowdb_streams_aborted_total", "Streamed queries closed before their last row.", float64(stats.Aborted))
+
+	p.Family("windowdb_route_queries_total", "Queries by coordinator route.", "counter")
+	p.Sample("windowdb_route_queries_total", `route="scatter"`, float64(stats.Scatter))
+	p.Sample("windowdb_route_queries_total", `route="shuffle"`, float64(stats.Shuffle))
+	p.Sample("windowdb_route_queries_total", `route="gather"`, float64(stats.Gather))
+	p.Sample("windowdb_route_queries_total", `route="replica"`, float64(stats.Replica))
+
+	p.Counter("windowdb_plan_cache_hits_total", "Coordinator plan cache hits.", float64(stats.CoordCache.Hits))
+	p.Counter("windowdb_plan_cache_misses_total", "Coordinator plan cache misses.", float64(stats.CoordCache.Misses))
+	p.Counter("windowdb_plan_cache_invalidations_total", "Coordinator plan cache invalidations.", float64(stats.CoordCache.Invalidations))
+	p.Counter("windowdb_plan_cache_evictions_total", "Coordinator plan cache evictions.", float64(stats.CoordCache.Evictions))
+	p.Gauge("windowdb_plan_cache_entries", "Coordinator plan cache resident entries.", float64(stats.CoordCache.Size))
+
+	p.Gauge("windowdb_shards", "Shard nodes in the cluster.", float64(stats.Shards))
+	p.Gauge("windowdb_gather_in_flight", "Gather-route chains holding a coordinator slot.", float64(c.GatherInFlight()))
+
+	shardFamily := func(name, help, typ string, get func(service.Snapshot) float64) {
+		p.Family(name, help, typ)
+		for i, s := range stats.ShardStats {
+			p.Sample(name, fmt.Sprintf("shard=%q", strconv.Itoa(i)), get(s))
+		}
+	}
+	shardFamily("windowdb_shard_queries_total", "Queries completed per shard node.", "counter",
+		func(s service.Snapshot) float64 { return float64(s.Queries) })
+	shardFamily("windowdb_shard_failures_total", "Failed queries per shard node.", "counter",
+		func(s service.Snapshot) float64 { return float64(s.Failures) })
+	shardFamily("windowdb_shard_rejected_total", "Admission rejections per shard node.", "counter",
+		func(s service.Snapshot) float64 { return float64(s.Rejected) })
+	shardFamily("windowdb_shard_shuffle_rounds_total", "Shuffle stages executed per shard node.", "counter",
+		func(s service.Snapshot) float64 { return float64(s.ShuffleRounds) })
+	shardFamily("windowdb_shard_blocks_read_total", "Storage blocks read per shard node.", "counter",
+		func(s service.Snapshot) float64 { return float64(s.BlocksRead) })
+	shardFamily("windowdb_shard_blocks_written_total", "Storage blocks spilled per shard node.", "counter",
+		func(s service.Snapshot) float64 { return float64(s.BlocksWritten) })
+	shardFamily("windowdb_shard_rows_out_total", "Rows yielded per shard node.", "counter",
+		func(s service.Snapshot) float64 { return float64(s.RowsOut) })
+	shardFamily("windowdb_shard_in_flight", "In-flight executions per shard node.", "gauge",
+		func(s service.Snapshot) float64 { return float64(s.InFlight) })
+	p.ServeTo(w)
+}
+
+func (c *Cluster) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	service.ServeTraceRing(w, r, c.Traces(), "/debug/trace/")
 }

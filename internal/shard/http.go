@@ -13,6 +13,7 @@ import (
 	"repro/internal/attrs"
 	"repro/internal/service"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // HTTP reaches a shard node over the /shard/* routes of its windserve
@@ -76,6 +77,9 @@ func (h *HTTP) do(ctx context.Context, method, path string, body, out any) error
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if id := trace.FromContext(ctx); id != "" {
+		req.Header.Set(trace.HeaderTraceID, id)
+	}
 	resp, err := h.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("shard %s: %w", h.base, err)
@@ -124,6 +128,7 @@ func (hs *httpStream) Next() (storage.Tuple, error) {
 				BlocksRead:    tr.BlocksRead,
 				BlocksWritten: tr.BlocksWritten,
 				Comparisons:   tr.Comparisons,
+				Trace:         tr.Trace,
 			}
 		}
 	}

@@ -51,6 +51,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Cluster.
@@ -94,6 +96,16 @@ type Config struct {
 	// wedged shard must not hang every statement that needs a fresh
 	// distinct count.
 	StatsTimeout time.Duration
+	// TraceRing bounds the coordinator's /debug/trace ring buffer of
+	// recent query traces (default 128; negative disables tracing
+	// retention — traces still assemble and ride the trailer).
+	TraceRing int
+	// SlowLogThreshold enables the structured slow-query log: every query
+	// at or over the threshold emits one JSON line (trace tree included)
+	// to SlowLogWriter. Zero disables.
+	SlowLogThreshold time.Duration
+	// SlowLogWriter receives slow-query log lines; nil means os.Stderr.
+	SlowLogWriter io.Writer
 }
 
 // Cluster coordinates query execution over shard nodes. All methods are
@@ -134,6 +146,11 @@ type Cluster struct {
 
 	queries, failures, aborted           atomic.Uint64
 	scatter, shuffled, gathered, replica atomic.Uint64
+
+	// Coordinator-side observability: the /debug/trace ring of recent
+	// query traces and the slow-query logger (both optional).
+	ring *trace.Ring
+	slow *trace.SlowLogger
 }
 
 // tableInfo records how a table is distributed.
@@ -172,7 +189,11 @@ func New(cfg Config, shards []Transport) (*Cluster, error) {
 			addressable++
 		}
 	}
-	return &Cluster{
+	slowW := cfg.SlowLogWriter
+	if slowW == nil {
+		slowW = os.Stderr
+	}
+	c := &Cluster{
 		shuffleOK:    addressable == 0 || addressable == len(shards),
 		cfg:          cfg,
 		shards:       shards,
@@ -182,8 +203,21 @@ func New(cfg Config, shards []Transport) (*Cluster, error) {
 		gatherSlot:   make(chan struct{}, cfg.GatherSlots),
 		shuffleNonce: shuffleNonce(),
 		peerAddrs:    addrs,
-	}, nil
+		slow:         trace.NewSlowLogger(slowW, cfg.SlowLogThreshold),
+	}
+	if cfg.TraceRing >= 0 {
+		n := cfg.TraceRing
+		if n == 0 {
+			n = 128
+		}
+		c.ring = trace.NewRing(n)
+	}
+	return c, nil
 }
+
+// Traces returns the coordinator's ring of recent query traces (nil when
+// disabled); /debug/trace serves from it.
+func (c *Cluster) Traces() *trace.Ring { return c.ring }
 
 // shuffleNonce generates the coordinator's shuffle-id prefix. Random, not
 // clock-derived: two coordinators sharing the same shard nodes must never
@@ -372,6 +406,11 @@ type Result struct {
 	BlocksRead    int64
 	BlocksWritten int64
 	Comparisons   int64
+	// TraceID and Trace identify and carry the query's assembled
+	// distributed span tree (shuffle rounds, node drains, coordinator
+	// phases).
+	TraceID string
+	Trace   *trace.Span
 }
 
 // Query serves one statement and materializes its result: prepare
@@ -405,6 +444,8 @@ func (c *Cluster) Query(ctx context.Context, src string) (*Result, error) {
 		res.BlocksRead = m.BlocksRead
 		res.BlocksWritten = m.BlocksWritten
 		res.Comparisons = m.Comparisons
+		res.TraceID = m.TraceID
+		res.Trace = m.Trace
 	}
 	return res, nil
 }
@@ -421,6 +462,15 @@ var _ windowdb.Queryer = (*Cluster)(nil)
 // holds its coordinator execution slot, and every route its shard
 // streams, until the cursor is drained or closed.
 func (c *Cluster) QueryContext(ctx context.Context, src string) (*windowdb.Rows, error) {
+	if inner, ok := windowdb.StripExplainAnalyze(src); ok {
+		return windowdb.ExplainAnalyzeRows(ctx, c, inner)
+	}
+	// Join or start the distributed trace here so every fan-out this
+	// statement makes — scatter streams, shuffle control rounds, gathers —
+	// carries the same ID to the nodes.
+	if trace.FromContext(ctx) == "" {
+		ctx = trace.NewContext(ctx, trace.NewID())
+	}
 	var cancel context.CancelFunc
 	if c.cfg.DefaultTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
@@ -462,11 +512,78 @@ func (st *clusterStmt) QueryContext(ctx context.Context) (*windowdb.Rows, error)
 
 func (st *clusterStmt) Close() error { return nil }
 
+// clusterTrace carries a statement's trace identity through the routing
+// paths plus the spans collected before the final streams open (the
+// shuffle route's rounds).
+type clusterTrace struct {
+	id     string
+	src    string
+	rounds []*trace.Span
+}
+
+// finishTrace assembles the coordinator's span tree for a finished query,
+// stamps it into meta, and records it in the ring and slow log. outcomes
+// are the per-node drain results in shard-index order (their Trace
+// subtrees graft under per-node spans); rows is the cursor's emitted
+// count.
+func (c *Cluster) finishTrace(qt *clusterTrace, meta *windowdb.QueryMetrics, rows int64, outcomes []*QueryOutcome, start time.Time, err error, completed bool) {
+	if qt == nil || qt.id == "" || meta == nil {
+		return
+	}
+	root := trace.New("query", meta.Elapsed)
+	root.SetAttr("route", meta.Route)
+	root.SetInt("shards", int64(meta.ShardsUsed))
+	if meta.CacheHit {
+		root.SetAttr("plan_cache", "hit")
+	} else {
+		root.SetAttr("plan_cache", "miss")
+	}
+	root.SetInt("rows", rows)
+	switch {
+	case err != nil:
+		root.SetAttr("error", err.Error())
+	case !completed:
+		root.SetAttr("aborted", "true")
+	}
+	for _, rs := range qt.rounds {
+		root.Add(rs)
+	}
+	// The gather route executes the chain at the coordinator; its executor
+	// span slots in like a node's would.
+	root.Add(windowdb.ExecTrace(meta))
+	for i, out := range outcomes {
+		if out == nil || out.Trace == nil {
+			continue
+		}
+		// Re-label the node's root ("query") as its shard position without
+		// mutating the node-owned span (in-process transports share the
+		// pointer with the node's own trace ring).
+		root.Add(&trace.Span{
+			Name:           fmt.Sprintf("node %d", i),
+			DurationMillis: out.Trace.DurationMillis,
+			Attrs:          out.Trace.Attrs,
+			Children:       out.Trace.Children,
+		})
+	}
+	meta.TraceID = qt.id
+	meta.Trace = root
+	t := &trace.Trace{
+		ID: qt.id, SQL: qt.src, Start: start,
+		DurationMillis: trace.Millis(meta.Elapsed), Root: root,
+	}
+	if err != nil {
+		t.Error = err.Error()
+	}
+	c.ring.Add(t)
+	c.slow.Observe(t)
+}
+
 // streamQuery prepares, routes and opens the statement's row stream.
 // cancel, when non-nil, is the coordinator-imposed timeout; it must fire
 // when the stream finishes, so it travels into the stream source.
 func (c *Cluster) streamQuery(ctx context.Context, src string, cancel context.CancelFunc) (*windowdb.Rows, error) {
 	start := time.Now()
+	qt := &clusterTrace{id: trace.FromContext(ctx), src: src}
 	prep, hit, err := c.prepare(src)
 	if err != nil {
 		return nil, err
@@ -481,9 +598,9 @@ func (c *Cluster) streamQuery(ctx context.Context, src string, cancel context.Ca
 	}
 	switch {
 	case !info.sharded:
-		return c.streamReplica(ctx, src, prep, hit, cancel, start)
+		return c.streamReplica(ctx, src, prep, hit, cancel, start, qt)
 	case prep.ShardLocal(info.key):
-		return c.streamScatter(ctx, src, prep, hit, cancel, start)
+		return c.streamScatter(ctx, src, prep, hit, cancel, start, qt)
 	default:
 		// Key-divergent chain: run it per segment with node-to-node
 		// re-shuffles when every segment keeps a usable key and the
@@ -492,9 +609,9 @@ func (c *Cluster) streamQuery(ctx context.Context, src string, cancel context.Ca
 		// that cannot rebuild order) and mixed local/remote topologies
 		// fall back to hauling raw rows.
 		if sp := prep.SegmentPlan(); sp != nil && c.shuffleOK {
-			return c.streamShuffle(ctx, src, prep, sp, info, hit, cancel, start)
+			return c.streamShuffle(ctx, src, prep, sp, info, hit, cancel, start, qt)
 		}
-		return c.streamGather(ctx, prep, info, hit, cancel, start)
+		return c.streamGather(ctx, prep, info, hit, cancel, start, qt)
 	}
 }
 
@@ -546,7 +663,7 @@ func (c *Cluster) openStreams(ctx context.Context, n int, open func(ctx context.
 
 // streamScatter runs the shard-local part on every shard and emits the
 // concatenation of their streams in shard-index order.
-func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
+func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time, qt *clusterTrace) (*windowdb.Rows, error) {
 	c.scatter.Add(1)
 	req := service.ShardQueryRequest{
 		SQL: src, Mode: string(ModeLocal), Stream: true,
@@ -558,7 +675,7 @@ func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepa
 	if err != nil {
 		return nil, err
 	}
-	return c.emitStreams("scatter", prep, hit, streams, streamCancel, cancel, start, 0, 0, 0)
+	return c.emitStreams("scatter", prep, hit, streams, streamCancel, cancel, start, qt, 0, 0, 0)
 }
 
 // emitStreams turns per-node output streams into the public cursor for a
@@ -570,7 +687,7 @@ func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepa
 // rounds). Until the streams are handed to a source (or drained here),
 // they are closed on every exit — error or panic — so node admission
 // slots are not leaked past a recovered panic.
-func (c *Cluster) emitStreams(route string, prep *sql.Prepared, hit bool, streams []RowStream, streamCancel, cancel context.CancelFunc, start time.Time, baseRead, baseWritten, baseCmp int64) (*windowdb.Rows, error) {
+func (c *Cluster) emitStreams(route string, prep *sql.Prepared, hit bool, streams []RowStream, streamCancel, cancel context.CancelFunc, start time.Time, qt *clusterTrace, baseRead, baseWritten, baseCmp int64) (*windowdb.Rows, error) {
 	handoff := false
 	defer func() {
 		if !handoff {
@@ -583,7 +700,7 @@ func (c *Cluster) emitStreams(route string, prep *sql.Prepared, hit bool, stream
 		return windowdb.NewRows(&scatterSource{
 			c: c, cols: streams[0].Columns(), streams: streams,
 			streamCancel: streamCancel, cancel: cancel,
-			prep: prep, cacheHit: hit, route: route,
+			prep: prep, cacheHit: hit, route: route, qt: qt,
 			baseRead: baseRead, baseWritten: baseWritten, baseCmp: baseCmp,
 			limit: prep.Limit(), start: start,
 		}), nil
@@ -593,6 +710,7 @@ func (c *Cluster) emitStreams(route string, prep *sql.Prepared, hit bool, stream
 	// first output row is known. Drain the node streams (still incremental
 	// on the wire), finalize, stream the result.
 	concat := storage.NewTable(storage.NewSchema(streams[0].Columns()...))
+	var outcomes []*QueryOutcome
 	for _, s := range streams {
 		for {
 			t, err := s.Next()
@@ -605,6 +723,7 @@ func (c *Cluster) emitStreams(route string, prep *sql.Prepared, hit bool, stream
 			concat.Rows = append(concat.Rows, t)
 		}
 		if out := s.Outcome(); out != nil {
+			outcomes = append(outcomes, out)
 			baseRead += out.BlocksRead
 			baseWritten += out.BlocksWritten
 			baseCmp += out.Comparisons
@@ -618,12 +737,12 @@ func (c *Cluster) emitStreams(route string, prep *sql.Prepared, hit bool, stream
 	return windowdb.NewRows(&coordCursorSource{
 		c: c, cur: cur, route: route, shardsUsed: len(streams), cacheHit: hit,
 		baseRead: baseRead, baseWritten: baseWritten, baseCmp: baseCmp,
-		cancel: cancel, start: start,
+		cancel: cancel, start: start, qt: qt, outcomes: outcomes,
 	}), nil
 }
 
 // streamReplica streams the whole statement from one node, round-robin.
-func (c *Cluster) streamReplica(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
+func (c *Cluster) streamReplica(ctx context.Context, src string, prep *sql.Prepared, hit bool, cancel context.CancelFunc, start time.Time, qt *clusterTrace) (*windowdb.Rows, error) {
 	c.replica.Add(1)
 	node := int(c.rr.Add(1)-1) % len(c.shards)
 	req := service.ShardQueryRequest{
@@ -639,7 +758,7 @@ func (c *Cluster) streamReplica(ctx context.Context, src string, prep *sql.Prepa
 	return windowdb.NewRows(&scatterSource{
 		c: c, cols: streams[0].Columns(), streams: streams,
 		streamCancel: streamCancel, cancel: cancel,
-		route: "replica", prep: prep, cacheHit: hit,
+		route: "replica", prep: prep, cacheHit: hit, qt: qt,
 		limit: -1, start: start,
 	}), nil
 }
@@ -654,7 +773,7 @@ func (c *Cluster) streamReplica(ctx context.Context, src string, prep *sql.Prepa
 // shard count while every intermediate row moves node-to-node. A failing
 // stage cancels its peers (eachShard) and drops every node's buffered
 // shuffle state before surfacing the error.
-func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepared, sp *sql.SegmentPlan, info *tableInfo, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
+func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepared, sp *sql.SegmentPlan, info *tableInfo, hit bool, cancel context.CancelFunc, start time.Time, qt *clusterTrace) (*windowdb.Rows, error) {
 	c.shuffled.Add(1)
 	id := fmt.Sprintf("%s-%d", c.shuffleNonce, c.shuffleSeq.Add(1))
 	n := len(c.shards)
@@ -704,6 +823,8 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 	for si := 0; si < len(stages)-1; si++ {
 		st := stages[si]
 		outKey := sp.Keys[stages[si+1].segment]
+		roundStart := time.Now()
+		nodeSpans := make([]*trace.Span, n)
 		err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
 			res, err := tr.ShuffleRun(ctx, service.ShuffleRunRequest{
 				SQL: src, Fingerprint: prep.Fingerprint(),
@@ -711,6 +832,7 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 				ShuffleID: id, Round: si, Senders: n,
 				OutKey: outKey, Peers: c.peerAddrs, Self: i,
 				Deliver: c.deliverShuffle,
+				TraceID: qt.id,
 			})
 			if err != nil {
 				return err
@@ -719,10 +841,26 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 			baseRead += res.BlocksRead
 			baseWritten += res.BlocksWritten
 			baseCmp += res.Comparisons
+			nodeSpans[i] = shuffleNodeSpan(i, st.source, res)
 			mu.Unlock()
 			return nil
 		})
+		rs := trace.New(fmt.Sprintf("shuffle round %d", si), time.Since(roundStart))
+		rs.SetInt("segment", int64(st.segment)).SetAttr("source", st.source)
 		if err != nil {
+			rs.SetAttr("error", err.Error())
+		}
+		for _, ns := range nodeSpans {
+			rs.Add(ns)
+		}
+		qt.rounds = append(qt.rounds, rs)
+		if err != nil {
+			// Even a failed round leaves its trace: record what the query
+			// looked like up to the failing stage before cleaning up.
+			c.finishTrace(qt, &windowdb.QueryMetrics{
+				Route: "shuffle", ShardsUsed: n, CacheHit: hit,
+				Elapsed: time.Since(start),
+			}, 0, nil, start, err, false)
 			cleanup()
 			return nil, err
 		}
@@ -740,7 +878,7 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 		cleanup()
 		return nil, err
 	}
-	rows, err := c.emitStreams("shuffle", prep, hit, streams, streamCancel, cancel, start, baseRead, baseWritten, baseCmp)
+	rows, err := c.emitStreams("shuffle", prep, hit, streams, streamCancel, cancel, start, qt, baseRead, baseWritten, baseCmp)
 	if err != nil {
 		// The final streams are closed by emitStreams' handoff guard; any
 		// node that never served its SegmentStream still holds its buffer.
@@ -758,7 +896,32 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 // response body), and the concatenation moves tuple references with each
 // part released as it is consumed. The gather execution slot is held
 // until the cursor is drained or closed.
-func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *tableInfo, hit bool, cancel context.CancelFunc, start time.Time) (*windowdb.Rows, error) {
+// shuffleNodeSpan builds one node's span of a shuffle round from the
+// stage result's phase breakdown: admission wait, input acquisition
+// (inbox-wait on inbox-fed stages), chain execution and peer delivery.
+func shuffleNodeSpan(i int, source string, res *service.ShuffleRunResult) *trace.Span {
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	sp := trace.New(fmt.Sprintf("node %d", i), ms(res.QueuedMillis+res.InputMillis+res.ExecMillis+res.DeliverMillis))
+	sp.SetInt("rows_in", res.RowsIn).SetInt("rows_out", res.RowsOut)
+	if res.CacheHit {
+		sp.SetAttr("plan_cache", "hit")
+	} else {
+		sp.SetAttr("plan_cache", "miss")
+	}
+	sp.Add(trace.New("admission.wait", ms(res.QueuedMillis)))
+	in := trace.New("input", ms(res.InputMillis)).SetAttr("source", source)
+	if source == "inbox" {
+		in.SetAttr("inbox_wait", "true")
+	}
+	sp.Add(in)
+	ex := trace.New("execute", ms(res.ExecMillis))
+	ex.SetInt("spilled_blocks", res.BlocksWritten).SetInt("blocks_read", res.BlocksRead)
+	sp.Add(ex)
+	sp.Add(trace.New("deliver", ms(res.DeliverMillis)))
+	return sp
+}
+
+func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *tableInfo, hit bool, cancel context.CancelFunc, start time.Time, qt *clusterTrace) (*windowdb.Rows, error) {
 	c.gathered.Add(1)
 	// Coordinator-side admission: each gather chain assumes the full unit
 	// memory M, so at most GatherSlots of them (fetch included — the
@@ -788,6 +951,7 @@ func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *ta
 	// time, never a whole body); the concatenation below walks the parts
 	// in shard-index order so the chain input's interleave is
 	// deterministic per topology, releasing each part as it is consumed.
+	fetchStart := time.Now()
 	parts := make([][]storage.Tuple, len(c.shards))
 	var mu sync.Mutex
 	var schema *storage.Schema
@@ -820,6 +984,11 @@ func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *ta
 		gathered.Rows = append(gathered.Rows, parts[i]...)
 		parts[i] = nil
 	}
+	if qt.id != "" {
+		fetch := trace.New("gather.fetch", time.Since(fetchStart))
+		fetch.SetInt("rows", int64(gathered.Len())).SetInt("shards", int64(len(c.shards)))
+		qt.rounds = append(qt.rounds, fetch)
+	}
 	cur, err := prep.StreamOverContext(ctx, gathered)
 	if err != nil {
 		return nil, err
@@ -827,7 +996,7 @@ func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *ta
 	handoff = true
 	return windowdb.NewRows(&coordCursorSource{
 		c: c, cur: cur, route: "gather", shardsUsed: len(c.shards), cacheHit: hit,
-		release: release, cancel: cancel, start: start,
+		release: release, cancel: cancel, start: start, qt: qt,
 	}), nil
 }
 
@@ -862,8 +1031,10 @@ type scatterSource struct {
 	baseRead, baseWritten, baseCmp int64
 	limit                          int64 // remaining LIMIT budget; -1 = unlimited
 	start                          time.Time
+	qt                             *clusterTrace
 
 	idx       int
+	rows      int64
 	outcomes  []*QueryOutcome
 	completed bool // the merge reached its natural end (EOF or LIMIT)
 	once      sync.Once
@@ -889,6 +1060,7 @@ func (ss *scatterSource) Next() (storage.Tuple, error) {
 		if ss.limit > 0 {
 			ss.limit--
 		}
+		ss.rows++
 		return t, nil
 	}
 	ss.completed = true
@@ -930,6 +1102,7 @@ func (ss *scatterSource) finish(err error) {
 		if ss.route == "replica" && len(ss.outcomes) > 0 {
 			meta.FinalSort = ss.outcomes[0].FinalSort
 		}
+		ss.c.finishTrace(ss.qt, meta, ss.rows, ss.outcomes, ss.start, err, err == nil && ss.completed)
 		ss.meta = meta
 		switch {
 		case err != nil:
@@ -963,7 +1136,10 @@ type coordCursorSource struct {
 	release     func() // gather slot, when held
 	cancel      context.CancelFunc
 	start       time.Time
+	qt          *clusterTrace
+	outcomes    []*QueryOutcome
 
+	rows      int64
 	completed bool // a terminal Next (io.EOF) was observed
 	once      sync.Once
 	meta      *windowdb.QueryMetrics
@@ -979,6 +1155,8 @@ func (cs *coordCursorSource) Next() (storage.Tuple, error) {
 		cs.finish(nil)
 	case err != nil:
 		cs.finish(err)
+	default:
+		cs.rows++
 	}
 	return t, err
 }
@@ -1003,6 +1181,7 @@ func (cs *coordCursorSource) finish(err error) {
 		meta.BlocksWritten += cs.baseWritten
 		meta.Comparisons += cs.baseCmp
 		meta.Elapsed = time.Since(cs.start)
+		cs.c.finishTrace(cs.qt, meta, cs.rows, cs.outcomes, cs.start, err, err == nil && cs.completed)
 		cs.meta = meta
 		switch {
 		case err != nil:

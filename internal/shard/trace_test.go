@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// TestShuffleTraceAssembly: a key-divergent chain's trace carries the
+// coordinator's shuffle rounds with one child span per node, each broken
+// into the admission/input/execute/deliver phases the node reported, and
+// the assembled tree is retrievable from the coordinator's ring under the
+// caller's trace ID.
+func TestShuffleTraceAssembly(t *testing.T) {
+	c, _ := streamCluster(t, 2, 4000, Config{})
+	const id = "feedfacefeedface"
+	ctx := trace.NewContext(context.Background(), id)
+
+	res, err := c.Query(ctx, divergeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route != "shuffle" {
+		t.Fatalf("route %q, want shuffle", res.Route)
+	}
+	if res.TraceID != id {
+		t.Fatalf("result trace ID %q, want caller's %q", res.TraceID, id)
+	}
+	if res.Trace == nil {
+		t.Fatal("shuffle result carries no span tree")
+	}
+	if res.Trace.Attrs["route"] != "shuffle" {
+		t.Fatalf("root attrs %v lack route=shuffle", res.Trace.Attrs)
+	}
+
+	var round *trace.Span
+	for _, child := range res.Trace.Children {
+		if child.Name == "shuffle round 0" {
+			round = child
+		}
+	}
+	if round == nil {
+		t.Fatalf("no shuffle round span in %v", trace.Render(res.Trace))
+	}
+	nodes := 0
+	for _, n := range round.Children {
+		if !strings.HasPrefix(n.Name, "node ") {
+			continue
+		}
+		nodes++
+		phases := map[string]bool{}
+		for _, p := range n.Children {
+			phases[p.Name] = true
+		}
+		for _, want := range []string{"admission.wait", "input", "execute", "deliver"} {
+			if !phases[want] {
+				t.Fatalf("node span %s lacks phase %s: %v", n.Name, want, trace.Render(n))
+			}
+		}
+	}
+	if nodes != 2 {
+		t.Fatalf("round has %d node spans, want 2", nodes)
+	}
+
+	recorded := c.Traces().Get(id)
+	if recorded == nil {
+		t.Fatal("coordinator ring does not hold the trace")
+	}
+	if recorded.Error != "" || recorded.Root == nil {
+		t.Fatalf("recorded trace %+v, want clean root", recorded)
+	}
+}
+
+// TestShuffleFailureTraceRecorded: a node failing mid-shuffle still
+// produces a trace — the ring entry carries the terminal error and the
+// partial round spans gathered before the round collapsed.
+func TestShuffleFailureTraceRecorded(t *testing.T) {
+	const n = 3
+	svcs := make([]*service.Service, n)
+	shards := make([]Transport, n)
+	for i := range shards {
+		svcs[i] = service.New(windowdb.New(testEngineConfig()), service.Config{Slots: 1})
+		shards[i] = NewLocal(svcs[i])
+	}
+	shards[1] = &failingShuffleTransport{Transport: shards[1]}
+	c, err := New(Config{Engine: testEngineConfig()}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: 2000, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+
+	const id = "0badc0de0badc0de"
+	if _, err := c.Query(trace.NewContext(ctx, id), divergeSQL); err == nil {
+		t.Fatal("shuffle with a failing node must error")
+	}
+	recorded := c.Traces().Get(id)
+	if recorded == nil {
+		t.Fatal("failed shuffle left no trace in the ring")
+	}
+	if recorded.Error == "" {
+		t.Fatalf("recorded trace has no error: %+v", recorded)
+	}
+	if recorded.Root == nil || recorded.Root.Attrs["error"] == "" {
+		t.Fatalf("root span does not mark the failure: %v", trace.Render(recorded.Root))
+	}
+}
+
+// TestClusterExplainAnalyze: EXPLAIN ANALYZE against the coordinator
+// returns the annotated tree as text rows, including the per-node shuffle
+// round breakdown.
+func TestClusterExplainAnalyze(t *testing.T) {
+	c, _ := streamCluster(t, 2, 4000, Config{})
+	rows, err := c.QueryContext(context.Background(), "EXPLAIN ANALYZE "+divergeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		out = append(out, rows.Row()[0].String())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(out, "\n")
+	for _, want := range []string{"shuffle round 0", "node 0", "node 1", "execute"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("EXPLAIN ANALYZE output lacks %q:\n%s", want, text)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/attrs"
 	"repro/internal/service"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Mode selects how much of a statement a shard node executes.
@@ -32,6 +33,9 @@ type QueryOutcome struct {
 	BlocksRead    int64
 	BlocksWritten int64
 	Comparisons   int64
+	// Trace is the node's span subtree for this execution, when the node
+	// recorded one; the coordinator grafts it under its own per-node span.
+	Trace *trace.Span
 }
 
 // RowStream is one shard node's incremental query response: rows pulled
@@ -188,6 +192,7 @@ func (rs *rowsStream) finish() {
 		BlocksRead:    m.BlocksRead,
 		BlocksWritten: m.BlocksWritten,
 		Comparisons:   m.Comparisons,
+		Trace:         m.Trace,
 	}
 }
 

@@ -391,7 +391,7 @@ func (p *Prepared) runChain(ctx context.Context, base *storage.Table) (*storage.
 	if err != nil {
 		return nil, nil, err
 	}
-	result := &Result{FinalSort: "none", Parallelism: 1}
+	result := &Result{FinalSort: "none", Parallelism: 1, EstRows: p.entry.Rows()}
 	executed := windowed
 	if p.plan != nil {
 		out, metrics, par, err := p.runPlan(ctx, windowed, p.plan)

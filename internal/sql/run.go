@@ -62,6 +62,10 @@ type Result struct {
 	// full explicit sort; chains run sequentially end to end keep
 	// Section 5's sort avoidance.
 	Parallelism int
+	// EstRows is the planner's input-cardinality estimate for the queried
+	// table (catalog |R|): the "estimated rows" EXPLAIN ANALYZE contrasts
+	// with each step's observed cardinality.
+	EstRows int64
 }
 
 // Query parses, plans and executes one window query block.

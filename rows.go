@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Queryer is the one result surface every backend of this repository
@@ -83,6 +84,10 @@ type QueryMetrics struct {
 	ShardsUsed int
 	// Rows counts the rows the cursor yielded.
 	Rows int64
+	// EstRows is the planner's input-cardinality estimate (catalog |R|),
+	// the "estimated" side of EXPLAIN ANALYZE; 0 when unknown (remote
+	// backends without a trailer estimate).
+	EstRows int64
 	// Queued is the time spent waiting for an admission slot.
 	Queued time.Duration
 	// Elapsed is the end-to-end time from query start to stream end.
@@ -91,6 +96,12 @@ type QueryMetrics struct {
 	BlocksRead    int64
 	BlocksWritten int64
 	Comparisons   int64
+	// TraceID identifies the query's distributed trace; Trace is the span
+	// tree recorded for it — assembled locally by in-process backends,
+	// received in the stream trailer by remote ones. Nil when the backend
+	// recorded no spans (e.g. a stream closed before its trailer).
+	TraceID string
+	Trace   *trace.Span
 }
 
 // Rows is the incremental result cursor of the Queryer surface, shaped

@@ -43,6 +43,7 @@ import (
 	"repro/internal/pagestore"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/window"
 )
 
@@ -183,6 +184,9 @@ func (e *Engine) Query(src string) (*Result, error) {
 // at a fixed row stride while the cursor streams, so a runaway query stops
 // shortly after ctx is done.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Rows, error) {
+	if inner, ok := StripExplainAnalyze(src); ok {
+		return ExplainAnalyzeRows(ctx, e, inner)
+	}
 	start := time.Now()
 	r := e.runner()
 	p, err := r.Prepare(src)
@@ -193,7 +197,7 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewRows(&cursorSource{cur: cur, start: start}), nil
+	return NewRows(&cursorSource{cur: cur, start: start, traceID: trace.FromContext(ctx)}), nil
 }
 
 // PrepareContext validates, binds and plans a statement for repeated
@@ -220,7 +224,7 @@ func (s *engineStmt) QueryContext(ctx context.Context) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewRows(&cursorSource{cur: cur, start: start}), nil
+	return NewRows(&cursorSource{cur: cur, start: start, traceID: trace.FromContext(ctx)}), nil
 }
 
 func (s *engineStmt) Close() error { return nil }
@@ -228,9 +232,10 @@ func (s *engineStmt) Close() error { return nil }
 // cursorSource adapts the sql package's execution cursor to the public
 // RowSource contract, translating its metadata into QueryMetrics.
 type cursorSource struct {
-	cur   *sql.Cursor
-	start time.Time
-	meta  *QueryMetrics
+	cur     *sql.Cursor
+	start   time.Time
+	traceID string
+	meta    *QueryMetrics
 }
 
 func (cs *cursorSource) Columns() []storage.Column { return cs.cur.Columns() }
@@ -254,6 +259,8 @@ func (cs *cursorSource) finish() {
 	}
 	cs.meta = MetaFromResult(cs.cur.Meta())
 	cs.meta.Elapsed = time.Since(cs.start)
+	cs.meta.TraceID = cs.traceID
+	cs.meta.Trace = ExecTrace(cs.meta)
 }
 
 func (cs *cursorSource) Metrics() *QueryMetrics { return cs.meta }
@@ -268,6 +275,7 @@ func MetaFromResult(res *sql.Result) *QueryMetrics {
 		FinalSort:       res.FinalSort,
 		SatisfiedPrefix: res.SatisfiedPrefix,
 		Parallelism:     res.Parallelism,
+		EstRows:         res.EstRows,
 	}
 	if res.Plan != nil {
 		m.Chain = res.Plan.PaperString()

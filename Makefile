@@ -98,6 +98,16 @@ load-smoke:
 # serve the required Prometheus metric families on /metrics, and the JSON
 # coordinator runs with -slowlog 1us so every query trips the slow-query
 # log — one structured JSON line with the span tree must land on stderr.
+#
+# Finally the live-query plane, on a dedicated cluster whose web_sales is
+# SMOKE_KILL_ROWS deep — sized so a streamed result cannot hide in
+# loopback socket buffers, which keeps a throttled client's shuffle query
+# genuinely in flight: the query must show up in the coordinator's
+# /debug/queries with a merged shard-node subtree, DELETE by ID must kill
+# it, and windowdb_queries_aborted_total must tick. (The table push is
+# row-tagged JSON, so this cluster boots in tens of seconds — hence its
+# own longer health wait and its own small shard pair.)
+cluster-smoke: SMOKE_KILL_ROWS = 120000
 cluster-smoke: SMOKE_Q = SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_time_sk) AS r FROM web_sales
 cluster-smoke: SMOKE_DIVQ = SELECT ws_order_number, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS a, rank() OVER (PARTITION BY ws_warehouse_sk ORDER BY ws_sold_date_sk) AS b FROM web_sales
 cluster-smoke:
@@ -146,6 +156,34 @@ cluster-smoke:
 	curl -sf http://127.0.0.1:18096/metrics | grep -q '^windowdb_query_duration_seconds_bucket' || { echo "cluster-smoke: single engine /metrics missing latency histogram" >&2; exit 1; }; \
 	grep -q '"kind":"slow_query"' /tmp/windserve-csmoke-slow.log || { echo "cluster-smoke: no slow-query log line from throttled coordinator" >&2; exit 1; }; \
 	grep -q '"root":' /tmp/windserve-csmoke-slow.log || { echo "cluster-smoke: slow-query line carries no span tree" >&2; exit 1; }; \
-	echo "cluster-smoke: /metrics families + slow-query log OK"
+	echo "cluster-smoke: /metrics families + slow-query log OK"; \
+	/tmp/windserve-csmoke -shardnode -addr 127.0.0.1:18098 & s3=$$!; \
+	/tmp/windserve-csmoke -shardnode -addr 127.0.0.1:18099 & s4=$$!; \
+	qp=; trap 'kill $$s1 $$s2 $$se $$co $$coj $$s3 $$s4 $$ck $$qp 2>/dev/null || true' EXIT; \
+	/tmp/windserve-csmoke -shards 127.0.0.1:18098,127.0.0.1:18099 -addr 127.0.0.1:18100 -rows $(SMOKE_KILL_ROWS) & ck=$$!; \
+	ok=0; \
+	for i in $$(seq 1 900); do \
+		if curl -sf http://127.0.0.1:18100/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "cluster-smoke: kill-test coordinator never became healthy" >&2; exit 1; }; \
+	curl -sN --limit-rate 1k -X POST http://127.0.0.1:18100/query -d "{\"sql\":\"$(SMOKE_DIVQ)\",\"stream\":true}" >/dev/null 2>&1 & qp=$$!; \
+	qjson=; \
+	for i in $$(seq 1 300); do \
+		qjson=$$(curl -sf http://127.0.0.1:18100/debug/queries); \
+		if printf '%s' "$$qjson" | grep -q '"nodes":\['; then break; fi; \
+		qjson=; sleep 0.1; \
+	done; \
+	[ -n "$$qjson" ] || { echo "cluster-smoke: in-flight query never showed a shard-node subtree in /debug/queries" >&2; exit 1; }; \
+	qid=$$(printf '%s' "$$qjson" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4); \
+	[ -n "$$qid" ] || { echo "cluster-smoke: no query id in /debug/queries listing" >&2; exit 1; }; \
+	curl -sf -X DELETE http://127.0.0.1:18100/debug/queries/$$qid | grep -q '"killed":true' || { echo "cluster-smoke: DELETE /debug/queries/$$qid did not kill" >&2; exit 1; }; \
+	aborted=0; \
+	for i in $$(seq 1 100); do \
+		if curl -sf http://127.0.0.1:18100/metrics | grep -q '^windowdb_queries_aborted_total [1-9]'; then aborted=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ "$$aborted" = 1 ] || { echo "cluster-smoke: windowdb_queries_aborted_total never incremented after the kill" >&2; exit 1; }; \
+	echo "cluster-smoke: live query listed with node subtree, killed by id, abort counted OK"
 
 ci: build vet fmt-check race bench load-smoke cluster-smoke

@@ -78,6 +78,7 @@ func main() {
 		shardNode   = flag.Bool("shardnode", false, "run as a shard node: empty catalog, tables arrive via /shard/register")
 		codec       = flag.String("codec", "binary", "wire codec for row streams: binary (columnar frames) or json (NDJSON; also disables binary responses, as an old node would)")
 		slowlog     = flag.Duration("slowlog", 0, "slow-query log threshold: queries at or over it emit one JSON line (trace tree included) to stderr (0 = off)")
+		slowlograte = flag.Int("slowlograte", 0, "slow-query log cap in lines per second; suppressed lines are counted onto the next emitted line (0 = default 10, negative = uncapped)")
 		traceRing   = flag.Int("tracering", 128, "recent query traces kept for /debug/trace/{id} (negative = off)")
 		pprofAddr   = flag.String("pprof", "", "optional private listen address for net/http/pprof (e.g. 127.0.0.1:6060); never mounted on the public mux")
 	)
@@ -104,7 +105,7 @@ func main() {
 			gatherSlots: *slots, timeout: *timeout,
 			csvPath: *csvPath, csvTable: *csvTable,
 			codec:   service.WireCodec(*codec),
-			slowlog: *slowlog, traceRing: *traceRing,
+			slowlog: *slowlog, slowlogRate: *slowlograte, traceRing: *traceRing,
 		})
 		return
 	}
@@ -130,6 +131,7 @@ func main() {
 		DisableBinary:    *codec == string(service.CodecJSON),
 		TraceRing:        *traceRing,
 		SlowLogThreshold: *slowlog,
+		SlowLogRate:      *slowlograte,
 	})
 
 	role := "engine"
@@ -151,6 +153,7 @@ type coordinatorConfig struct {
 	csvPath, csvTable  string
 	codec              service.WireCodec
 	slowlog            time.Duration
+	slowlogRate        int
 	traceRing          int
 }
 
@@ -174,6 +177,7 @@ func serveCoordinator(cfg coordinatorConfig) {
 		DefaultTimeout:   cfg.timeout,
 		TraceRing:        cfg.traceRing,
 		SlowLogThreshold: cfg.slowlog,
+		SlowLogRate:      cfg.slowlogRate,
 	}, transports)
 	if err != nil {
 		log.Fatalf("windserve: %v", err)

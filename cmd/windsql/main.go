@@ -42,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"strings"
 	"time"
@@ -114,7 +116,7 @@ func main() {
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	interactive := isTerminal(os.Stdin)
 	if interactive {
-		fmt.Printf("windsql shell — tables %v; one statement per line, \\trace toggles traces, \\q quits\n", tables)
+		fmt.Printf("windsql shell — tables %v; one statement per line, \\trace toggles traces, \\ps lists in-flight queries, \\kill <id> cancels one, \\q quits\n", tables)
 	}
 	failed := false
 	for {
@@ -136,6 +138,14 @@ func main() {
 			fmt.Printf("trace output %s\n", map[bool]string{true: "on", false: "off"}[tracing])
 			continue
 		}
+		if stmt == `\ps` {
+			listQueries(q)
+			continue
+		}
+		if id, ok := strings.CutPrefix(stmt, `\kill `); ok {
+			killQuery(q, strings.TrimSpace(id))
+			continue
+		}
 		if !run(stmt) {
 			failed = true
 		}
@@ -148,6 +158,92 @@ func main() {
 	// interactive session stays exit 0, like other SQL shells.
 	if failed && !interactive {
 		os.Exit(1)
+	}
+}
+
+// liveQueries fetches the in-flight query registry behind the shell's
+// Queryer: directly for an embedded service, over GET /debug/queries for a
+// remote windserve (single engine or coordinator — both mount the route).
+func liveQueries(q windowdb.Queryer) ([]trace.QueryInfo, error) {
+	switch v := q.(type) {
+	case *service.Service:
+		return v.Registry().Snapshot(), nil
+	case *service.Client:
+		resp, err := http.Get(v.Addr() + "/debug/queries")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("server answered %s", resp.Status)
+		}
+		var infos []trace.QueryInfo
+		if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+			return nil, err
+		}
+		return infos, nil
+	default:
+		return nil, fmt.Errorf("backend exposes no query registry")
+	}
+}
+
+// listQueries prints the in-flight query registry, newest first.
+func listQueries(q windowdb.Queryer) {
+	infos, err := liveQueries(q)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "windsql: \\ps: %v\n", err)
+		return
+	}
+	if len(infos) == 0 {
+		fmt.Println("(no queries in flight)")
+		return
+	}
+	for _, info := range infos {
+		sql := info.SQL
+		if len(sql) > 60 {
+			sql = sql[:57] + "..."
+		}
+		fmt.Printf("%s  %-10s %-22s %7.0fms  %d rows out  %s\n",
+			info.ID, info.Backend, info.Phase, info.ElapsedMillis, info.RowsEmitted, sql)
+		for _, node := range info.Nodes {
+			fmt.Printf("  └ %-12s %-22s %d rows out\n", node.Backend, node.Phase, node.RowsEmitted)
+		}
+	}
+}
+
+// killQuery cancels one in-flight query by registry ID.
+func killQuery(q windowdb.Queryer, id string) {
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "windsql: usage: \\kill <id> (ids from \\ps)")
+		return
+	}
+	switch v := q.(type) {
+	case *service.Service:
+		if v.Registry().Kill(id) {
+			fmt.Printf("killed %s\n", id)
+		} else {
+			fmt.Fprintf(os.Stderr, "windsql: no in-flight query %s\n", id)
+		}
+	case *service.Client:
+		req, err := http.NewRequest(http.MethodDelete, v.Addr()+"/debug/queries/"+url.PathEscape(id), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "windsql: \\kill: %v\n", err)
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "windsql: \\kill: %v\n", err)
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			fmt.Printf("killed %s\n", id)
+		} else {
+			fmt.Fprintf(os.Stderr, "windsql: \\kill: server answered %s\n", resp.Status)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "windsql: backend exposes no query registry")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/reorder"
 	"repro/internal/storage"
 	"repro/internal/stream"
+	"repro/internal/trace"
 	"repro/internal/window"
 	"repro/internal/xsort"
 )
@@ -140,6 +141,7 @@ func RunContext(ctx context.Context, table *storage.Table, specs []window.Spec, 
 	}
 
 	metrics := &Metrics{}
+	live := trace.LiveFromContext(ctx)
 	start := time.Now()
 	rows := arenaRows(table, len(plan.Steps))
 	schema := table.Schema
@@ -235,6 +237,10 @@ func RunContext(ctx context.Context, table *storage.Table, specs []window.Spec, 
 			Duration:      time.Since(stepStart),
 			Detail:        detail,
 		})
+		// Per-step progress becomes visible in /debug/queries while the
+		// chain is still running; atomic adds once per step, not per row.
+		live.AddRowsScanned(int64(len(newRows)))
+		live.AddBlocks(stats.BlocksRead()-r0, stats.BlocksWritten()-w0)
 	}
 
 	metrics.BlocksRead = stats.BlocksRead()

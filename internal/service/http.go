@@ -45,6 +45,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/debug/queries/", s.handleDebugQueries)
 	if s.cfg.ShardRoutes {
 		// Shard-node surface (shard.go): what a cluster coordinator
 		// calls. Opt-in — register/table would let any client overwrite
@@ -164,6 +166,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		traceID = trace.NewID()
 	}
 	ctx = trace.NewContext(ctx, traceID)
+	ctx = trace.WithClient(ctx, r.RemoteAddr)
 	w.Header().Set(trace.HeaderTraceID, traceID)
 
 	if req.Stream || NDJSONRequested(r) {
@@ -173,7 +176,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, kind, err)
 			return
 		}
-		WriteStream(r.Context(), w, rows, req.MaxRows, s.streamCodec(r))
+		WriteStream(s.liveContext(r.Context(), traceID), w, rows, req.MaxRows, s.streamCodec(r))
 		return
 	}
 
@@ -240,6 +243,18 @@ func JSONValue(v storage.Value) any {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// liveContext attaches the registered query's live counters to the
+// context a stream writer runs under, so wire bytes account to the owning
+// registry entry. The stream outlives the registration window by one
+// trailer write at most; a post-deregistration add on the Live is
+// harmless.
+func (s *Service) liveContext(ctx context.Context, traceID string) context.Context {
+	if e := s.reg.Get(traceID); e != nil {
+		ctx = trace.WithLive(ctx, e.Live())
+	}
+	return ctx
 }
 
 // Health is the /healthz response body: alive plus enough identity —

@@ -156,6 +156,9 @@ type Snapshot struct {
 	MaxInFlight int64 `json:"max_in_flight"`
 	Slots       int   `json:"slots"`
 	QueueDepth  int64 `json:"queue_depth"`
+	// LiveQueries is the in-flight query registry's size (GET
+	// /debug/queries lists the entries).
+	LiveQueries int `json:"live_queries"`
 
 	P50Millis float64 `json:"p50_ms"`
 	P95Millis float64 `json:"p95_ms"`

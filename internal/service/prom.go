@@ -69,6 +69,9 @@ func WriteSnapshotMetrics(p *PromWriter, s Snapshot) {
 	p.Counter("windowdb_query_failures_total", "Queries completed with an error.", float64(s.Failures))
 	p.Counter("windowdb_query_rejected_total", "Queries rejected by admission control (overloaded).", float64(s.Rejected))
 	p.Counter("windowdb_streams_aborted_total", "Streamed queries closed before their last row.", float64(s.Aborted))
+	// Same counter under the lifecycle plane's canonical name: kills via
+	// DELETE /debug/queries/{id} land here too.
+	p.Counter("windowdb_queries_aborted_total", "Queries aborted before completion (kills and client disconnects).", float64(s.Aborted))
 	p.Counter("windowdb_shuffle_rounds_total", "Shuffle stages executed for cluster coordinators.", float64(s.ShuffleRounds))
 	p.Counter("windowdb_rows_out_total", "Rows yielded to clients.", float64(s.RowsOut))
 	p.Counter("windowdb_blocks_read_total", "Storage blocks read by query execution.", float64(s.BlocksRead))
@@ -85,6 +88,7 @@ func WriteSnapshotMetrics(p *PromWriter, s Snapshot) {
 	p.Gauge("windowdb_in_flight_max", "High-water mark of in-flight executions.", float64(s.MaxInFlight))
 	p.Gauge("windowdb_admission_slots", "Admission slots configured.", float64(s.Slots))
 	p.Gauge("windowdb_admission_queue_depth", "Executions waiting for an admission slot.", float64(s.QueueDepth))
+	p.Gauge("windowdb_live_queries", "In-flight queries in the /debug/queries registry.", float64(s.LiveQueries))
 	p.Gauge("windowdb_plan_cache_entries", "Plan cache resident entries.", float64(s.Cache.Size))
 	p.Gauge("windowdb_uptime_seconds", "Seconds since the service started.", s.UptimeSeconds)
 }
@@ -116,14 +120,28 @@ func WriteLatencyHistogram(p *PromWriter, name string, h latencyHist) {
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p := &PromWriter{}
 	WriteSnapshotMetrics(p, s.Stats())
+	codec := CodecBinary
+	if s.cfg.DisableBinary {
+		codec = CodecJSON
+	}
+	WriteBuildInfo(p, codec)
 	WriteLatencyHistogram(p, "windowdb_query_duration_seconds", s.metrics.histSnapshot())
 	p.ServeTo(w)
 }
 
+// WriteBuildInfo emits the standard build-identity gauge — always 1, the
+// facts live in the labels. The version is the same debug.ReadBuildInfo
+// answer the JSON /healthz reports.
+func WriteBuildInfo(p *PromWriter, codec WireCodec) {
+	p.Family("windowdb_build_info", "Build identity of this process; value is always 1.", "gauge")
+	p.Sample("windowdb_build_info", fmt.Sprintf("version=%q,codec=%q", BuildVersion(), codec), 1)
+}
+
 // ServeTraceRing answers /debug/trace/ requests from a ring: the bare
-// prefix lists recent traces (?n= bounds the count, default 32), a
-// trailing {id} returns that trace or 404. Shared with the coordinator's
-// debug surface.
+// prefix lists recent traces newest-first (?limit= bounds the count,
+// default 32, capped at the ring's capacity; ?n= is the legacy spelling),
+// a trailing {id} returns that trace or 404. Shared with the
+// coordinator's debug surface.
 func ServeTraceRing(w http.ResponseWriter, r *http.Request, ring *trace.Ring, prefix string) {
 	if ring == nil {
 		writeError(w, http.StatusNotFound, "request", fmt.Errorf("service: tracing disabled"))
@@ -132,10 +150,17 @@ func ServeTraceRing(w http.ResponseWriter, r *http.Request, ring *trace.Ring, pr
 	id := strings.TrimPrefix(r.URL.Path, prefix)
 	if id == "" {
 		n := 32
-		if q := r.URL.Query().Get("n"); q != "" {
+		q := r.URL.Query().Get("limit")
+		if q == "" {
+			q = r.URL.Query().Get("n")
+		}
+		if q != "" {
 			if v, err := strconv.Atoi(q); err == nil && v > 0 {
 				n = v
 			}
+		}
+		if n > ring.Cap() {
+			n = ring.Cap()
 		}
 		writeJSON(w, http.StatusOK, ring.Recent(n))
 		return
@@ -150,4 +175,54 @@ func ServeTraceRing(w http.ResponseWriter, r *http.Request, ring *trace.Ring, pr
 
 func (s *Service) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	ServeTraceRing(w, r, s.Traces(), "/debug/trace/")
+}
+
+// KillResponse is the DELETE /debug/queries/{id} JSON body.
+type KillResponse struct {
+	ID     string `json:"id"`
+	Killed bool   `json:"killed"`
+}
+
+// ServeQueryRegistry answers /debug/queries requests from a registry: the
+// bare prefix GETs every in-flight query newest-first, a trailing {id}
+// GETs one entry or DELETEs (kills) it. Shared by the service and the
+// coordinator's node-local half (the coordinator's own handler layers the
+// shard fan-out on top).
+func ServeQueryRegistry(w http.ResponseWriter, r *http.Request, reg *trace.Registry, prefix string) {
+	id := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, prefix), "/")
+	if id == "" {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			writeError(w, http.StatusMethodNotAllowed, "request", fmt.Errorf("service: use GET to list queries, DELETE %s/{id} to kill one", prefix))
+			return
+		}
+		infos := reg.Snapshot()
+		if infos == nil {
+			infos = []trace.QueryInfo{}
+		}
+		writeJSON(w, http.StatusOK, infos)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		e := reg.Get(id)
+		if e == nil {
+			writeError(w, http.StatusNotFound, "request", fmt.Errorf("service: no in-flight query %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, e.Info())
+	case http.MethodDelete:
+		if !reg.Kill(id) {
+			writeError(w, http.StatusNotFound, "request", fmt.Errorf("service: no in-flight query %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, KillResponse{ID: id, Killed: true})
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, "request", fmt.Errorf("service: use GET or DELETE"))
+	}
+}
+
+func (s *Service) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	ServeQueryRegistry(w, r, s.reg, "/debug/queries")
 }

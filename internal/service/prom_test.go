@@ -211,3 +211,43 @@ func TestTraceIDJoinsCaller(t *testing.T) {
 		t.Fatal("caller-supplied trace ID not joined")
 	}
 }
+
+// TestServeTraceRingLimit: the /debug/trace/ listing is newest-first and
+// ?limit= bounds it — capped at the ring's capacity, defaulting to 32,
+// with ?n= as the legacy spelling and junk values falling back to the
+// default.
+func TestServeTraceRingLimit(t *testing.T) {
+	ring := trace.NewRing(4)
+	for i := 0; i < 6; i++ {
+		ring.Add(&trace.Trace{ID: "t" + strconv.Itoa(i)})
+	}
+	list := func(query string) []trace.Trace {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/debug/trace/"+query, nil)
+		ServeTraceRing(rec, req, ring, "/debug/trace/")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /debug/trace/%s: %d", query, rec.Code)
+		}
+		var out []trace.Trace
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("listing is not JSON: %v", err)
+		}
+		return out
+	}
+
+	got := list("?limit=2")
+	if len(got) != 2 || got[0].ID != "t5" || got[1].ID != "t4" {
+		t.Fatalf("limit=2 listing = %+v, want [t5 t4]", got)
+	}
+	// The ring holds 4 traces (t2..t5 after eviction); any larger limit —
+	// explicit or the default — is capped at its capacity.
+	for _, q := range []string{"", "?limit=9999", "?limit=bogus", "?limit=-3"} {
+		if got := list(q); len(got) != 4 || got[0].ID != "t5" || got[3].ID != "t2" {
+			t.Fatalf("listing %q = %+v, want the full ring [t5..t2]", q, got)
+		}
+	}
+	if got := list("?n=1"); len(got) != 1 || got[0].ID != "t5" {
+		t.Fatalf("legacy n=1 listing = %+v, want [t5]", got)
+	}
+}

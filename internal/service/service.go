@@ -99,6 +99,11 @@ type Config struct {
 	SlowLogThreshold time.Duration
 	// SlowLogWriter receives slow-query lines; nil defaults to stderr.
 	SlowLogWriter io.Writer
+	// SlowLogRate caps slow-query log emission in lines per second (the
+	// storm guard; suppressed lines are counted and the count rides on the
+	// next emitted line). 0 means trace.DefaultSlowLogRate; negative
+	// uncaps.
+	SlowLogRate int
 }
 
 func (c Config) withDefaults(chainMem int) Config {
@@ -141,6 +146,7 @@ type Service struct {
 	inbox   shuffleInbox
 	ring    *trace.Ring
 	slow    *trace.SlowLogger
+	reg     *trace.Registry
 }
 
 // New builds a service over eng. The engine must not be shared with
@@ -160,7 +166,8 @@ func New(eng *windowdb.Engine, cfg Config) *Service {
 		gov:     newGovernor(cfg.Slots, cfg.MaxQueue),
 		cache:   newPlanCache(cfg.CacheEntries),
 		metrics: newMetrics(),
-		slow:    trace.NewSlowLogger(slowW, cfg.SlowLogThreshold),
+		slow:    trace.NewSlowLoggerRate(slowW, cfg.SlowLogThreshold, cfg.SlowLogRate),
+		reg:     trace.NewRegistry(),
 	}
 	if cfg.TraceRing >= 0 {
 		n := cfg.TraceRing
@@ -175,6 +182,21 @@ func New(eng *windowdb.Engine, cfg Config) *Service {
 // Traces exposes the ring buffer of recent query traces (nil when
 // disabled); the /debug/trace endpoint and the coordinator read it.
 func (s *Service) Traces() *trace.Ring { return s.ring }
+
+// Registry exposes the in-flight query registry behind GET/DELETE
+// /debug/queries: every admitted statement — streamed, buffered or a
+// shuffle stage — is listed with live counters until its cursor finishes,
+// and Kill fires the stored cancel (the query then classifies as
+// aborted).
+func (s *Service) Registry() *trace.Registry { return s.reg }
+
+// role names this process for registry entries.
+func (s *Service) role() string {
+	if s.cfg.ShardRoutes {
+		return "shardnode"
+	}
+	return "engine"
+}
 
 // recordTrace finalizes one served query's trace: the ring entry and, past
 // the threshold, the slow-query log line.
@@ -280,6 +302,18 @@ func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*Quer
 			defer cancel()
 		}
 	}
+	// The kill cancel wraps ctx unconditionally: DELETE /debug/queries/{id}
+	// fires it whether or not a timeout is armed.
+	ctx, kill := context.WithCancel(ctx)
+	defer kill()
+	id := trace.IDFromContext(ctx)
+	ctx = trace.NewContext(ctx, id)
+	entry := s.reg.Register(id, src, s.role(), trace.ClientFromContext(ctx), kill)
+	defer s.reg.Remove(entry)
+	live := entry.Live()
+	ctx = trace.WithLive(ctx, live)
+	live.SetPhase("planning")
+
 	start := time.Now()
 	prep, hit, err := s.resolve(src)
 	if err != nil {
@@ -287,6 +321,7 @@ func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*Quer
 		return nil, err
 	}
 
+	live.SetPhase("queued")
 	queueStart := time.Now()
 	if _, err := s.gov.acquire(ctx); err != nil {
 		if errors.Is(err, ErrOverloaded) {
@@ -296,6 +331,8 @@ func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*Quer
 		return nil, err
 	}
 	queued := time.Since(queueStart)
+	live.RaiseMemPeak(1)
+	live.SetPhase("executing")
 
 	// Release the slot and the gauge via defer: a panicking execution
 	// (recovered per-request by net/http) must not leak a slot, or the
@@ -321,8 +358,12 @@ func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*Quer
 		}
 		meta = windowdb.MetaFromResult(res)
 	}
-	s.metrics.observe(execM, rowsOut, elapsed, err)
-	id := trace.IDFromContext(ctx)
+	live.AddRowsEmitted(rowsOut)
+	if entry.Killed() && err != nil {
+		s.metrics.aborted.Add(1)
+	} else {
+		s.metrics.observe(execM, rowsOut, elapsed, err)
+	}
 	s.recordTrace(id, src, start, elapsed, queryTrace(elapsed, queued, hit, rowsOut, meta), err)
 	if err != nil {
 		return nil, err
@@ -426,19 +467,38 @@ func (s *Service) stream(ctx context.Context, src, fp string, shardLocal bool) (
 // execution cursor opened by open (the full statement, its shard-local
 // part, or a shuffle segment).
 func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(context.Context, *sql.Prepared) (*sql.Cursor, error)) (*windowdb.Rows, error) {
-	var cancel context.CancelFunc
+	var timeoutCancel context.CancelFunc
 	if s.cfg.DefaultTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
 			// The timeout must cover the cursor's whole lifetime, so the
 			// cancel travels with the stream and fires when it finishes.
-			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			ctx, timeoutCancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
 		}
 	}
-	fail := func(err error) error {
-		s.metrics.failures.Add(1)
-		if cancel != nil {
-			cancel()
+	// The kill cancel wraps ctx unconditionally — DELETE /debug/queries/{id}
+	// fires it through the registry entry whether or not a timeout is armed
+	// — and travels with the cursor exactly like the timeout cancel.
+	ctx, kill := context.WithCancel(ctx)
+	cancel := func() {
+		kill()
+		if timeoutCancel != nil {
+			timeoutCancel()
 		}
+	}
+	id := trace.IDFromContext(ctx)
+	ctx = trace.NewContext(ctx, id)
+	entry := s.reg.Register(id, src, s.role(), trace.ClientFromContext(ctx), kill)
+	live := entry.Live()
+	ctx = trace.WithLive(ctx, live)
+	live.SetPhase("planning")
+	fail := func(err error) error {
+		s.reg.Remove(entry)
+		if entry.Killed() {
+			s.metrics.aborted.Add(1)
+		} else {
+			s.metrics.failures.Add(1)
+		}
+		cancel()
 		return err
 	}
 	start := time.Now()
@@ -447,6 +507,7 @@ func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(co
 		return nil, fail(err)
 	}
 
+	live.SetPhase("queued")
 	queueStart := time.Now()
 	if _, err := s.gov.acquire(ctx); err != nil {
 		if errors.Is(err, ErrOverloaded) {
@@ -455,6 +516,8 @@ func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(co
 		return nil, fail(err)
 	}
 	queued := time.Since(queueStart)
+	live.RaiseMemPeak(1)
+	live.SetPhase("executing")
 	s.metrics.beginExec()
 	// Until the slot is handed to the cursor, release it on every exit —
 	// error or panic (recovered per-request by net/http): a panicking
@@ -470,15 +533,19 @@ func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(co
 
 	cur, err := open(ctx, prep)
 	if err != nil {
-		s.metrics.observe(nil, 0, time.Since(start), err)
-		if cancel != nil {
-			cancel()
+		s.reg.Remove(entry)
+		if entry.Killed() {
+			s.metrics.aborted.Add(1)
+		} else {
+			s.metrics.observe(nil, 0, time.Since(start), err)
 		}
+		cancel()
 		return nil, err
 	}
+	live.SetPhase("draining")
 	handoff = true
 	return windowdb.NewRows(&servedSource{
-		svc: s, cur: cur, src: src, traceID: trace.IDFromContext(ctx),
+		svc: s, cur: cur, src: src, traceID: id, entry: entry, live: live,
 		start: start, queued: queued, cacheHit: hit, cancel: cancel,
 	}), nil
 }
@@ -496,6 +563,8 @@ type servedSource struct {
 	cur      *sql.Cursor
 	src      string
 	traceID  string
+	entry    *trace.QueryEntry
+	live     *trace.Live
 	start    time.Time
 	queued   time.Duration
 	cacheHit bool
@@ -519,6 +588,7 @@ func (ss *servedSource) Next() (storage.Tuple, error) {
 		ss.finish(err)
 	default:
 		ss.rows++
+		ss.live.AddRowsEmitted(1)
 	}
 	return t, err
 }
@@ -534,10 +604,15 @@ func (ss *servedSource) finish(err error) {
 	ss.once.Do(func() {
 		ss.svc.gov.release()
 		ss.svc.metrics.endExec()
+		ss.svc.reg.Remove(ss.entry)
+		killed := ss.entry.Killed()
 		elapsed := time.Since(ss.start)
 		meta := windowdb.MetaFromResult(ss.cur.Meta())
 		meta.CacheHit, meta.Queued, meta.Elapsed = ss.cacheHit, ss.queued, elapsed
 		root := queryTrace(elapsed, ss.queued, ss.cacheHit, ss.rows, meta)
+		if killed {
+			root.SetAttr("killed", "true")
+		}
 		if err != nil {
 			root.SetAttr("error", err.Error())
 		} else if !ss.completed {
@@ -546,6 +621,10 @@ func (ss *servedSource) finish(err error) {
 		meta.TraceID, meta.Trace = ss.traceID, root
 		ss.meta = meta
 		switch {
+		case killed:
+			// The kill switch fired: an operator abort, not an engine
+			// failure — no latency sample either way.
+			ss.svc.metrics.aborted.Add(1)
 		case err != nil:
 			ss.svc.metrics.observe(nil, 0, elapsed, err)
 		case !ss.completed:
@@ -577,6 +656,7 @@ func (s *Service) Stats() Snapshot {
 	snap := s.metrics.snapshot()
 	snap.Slots = s.gov.Slots()
 	snap.QueueDepth = s.gov.queueDepth()
+	snap.LiveQueries = s.reg.Len()
 	snap.Cache = s.cache.stats()
 	return snap
 }

@@ -111,10 +111,12 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 	// Join the coordinator's distributed trace: the node's span subtree
 	// rides home in the stream trailer under the same ID.
 	ctx := r.Context()
-	if id := r.Header.Get(trace.HeaderTraceID); id != "" {
-		ctx = trace.NewContext(ctx, id)
-		w.Header().Set(trace.HeaderTraceID, id)
+	traceID := r.Header.Get(trace.HeaderTraceID)
+	if traceID != "" {
+		ctx = trace.NewContext(ctx, traceID)
+		w.Header().Set(trace.HeaderTraceID, traceID)
 	}
+	ctx = trace.WithClient(ctx, r.RemoteAddr)
 	if req.Stream {
 		var (
 			rows *windowdb.Rows
@@ -136,7 +138,7 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, kind, err)
 			return
 		}
-		WriteStream(r.Context(), w, rows, 0, s.streamCodec(r))
+		WriteStream(s.liveContext(r.Context(), traceID), w, rows, 0, s.streamCodec(r))
 		return
 	}
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // The node half of the cluster's shuffle data plane (the coordinator half
@@ -321,8 +322,13 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 	if req.Senders < 1 || req.Plan == nil {
 		return nil, errors.New("service: malformed shuffle stage request")
 	}
+	var entry *trace.QueryEntry
 	fail := func(err error) (*ShuffleRunResult, error) {
-		s.metrics.failures.Add(1)
+		if entry.Killed() {
+			s.metrics.aborted.Add(1)
+		} else {
+			s.metrics.failures.Add(1)
+		}
 		return nil, err
 	}
 	prep, hit, err := s.resolveFP(req.SQL, req.Fingerprint)
@@ -336,6 +342,21 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 	if req.Segment >= runner.Segments()-1 {
 		return fail(fmt.Errorf("service: shuffle stage for segment %d of %d: the final segment streams", req.Segment, runner.Segments()))
 	}
+
+	// Node-side lifecycle visibility: the stage registers under the
+	// coordinator's trace ID, so the coordinator's /debug/queries merge
+	// finds it and a fanned-out kill fires this cancel between phases.
+	ctx, kill := context.WithCancel(ctx)
+	defer kill()
+	entry = s.reg.Register(req.TraceID, req.SQL, s.role(), trace.ClientFromContext(ctx), kill)
+	defer s.reg.Remove(entry)
+	live := entry.Live()
+	ctx = trace.WithLive(ctx, live)
+	phase := fmt.Sprintf("shuffle raw round %d", req.Round)
+	if req.Segment >= 0 {
+		phase = fmt.Sprintf("segment %d of %d", req.Segment+1, runner.Segments())
+	}
+	live.SetPhase("queued")
 
 	// The stage's chain execution is a full chain-memory consumer; it takes
 	// an admission slot like any other execution, released synchronously
@@ -353,6 +374,8 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 		s.metrics.endExec()
 	}()
 	s.metrics.shuffleRounds.Add(1)
+	live.RaiseMemPeak(1)
+	live.SetPhase(phase)
 	queuedMillis := phaseMillis(&phaseStart)
 
 	var in *storage.Table
@@ -431,6 +454,7 @@ func (s *Service) RunShuffleStep(ctx context.Context, req ShuffleRunRequest, sen
 		return fail(err)
 	}
 	res.DeliverMillis = phaseMillis(&phaseStart)
+	live.AddShuffleRows(res.RowsOut)
 	return res, nil
 }
 

@@ -233,6 +233,10 @@ func decodeWireRow(line []byte, arity int) (storage.Tuple, error) {
 // stream between flushes when the client disconnects, which is what
 // releases the cursor's admission slot mid-stream.
 func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int, codec WireCodec) {
+	if live := trace.LiveFromContext(ctx); live != nil {
+		// Account response-body bytes to the owning /debug/queries entry.
+		w = &liveCountingWriter{ResponseWriter: w, live: live}
+	}
 	if codec == CodecBinary {
 		writeStreamBinary(ctx, w, rows, maxRows)
 		return
@@ -300,6 +304,26 @@ func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows
 // rows leaving as columnar frames of streamBatchRows tuples. Buffering the
 // cursor's tuples is safe — Rows.Row() tuples are caller-owned and stay
 // valid across Next.
+// liveCountingWriter accounts every response-body byte to the owning
+// query's live counters — the wire_bytes column of /debug/queries. Its
+// Flush keeps the wrapped writer's streaming behavior.
+type liveCountingWriter struct {
+	http.ResponseWriter
+	live *trace.Live
+}
+
+func (cw *liveCountingWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	cw.live.AddWireBytes(int64(n))
+	return n, err
+}
+
+func (cw *liveCountingWriter) Flush() {
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func writeStreamBinary(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int) {
 	defer rows.Close()
 	w.Header().Set("Content-Type", ContentTypeBinary)

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/service"
@@ -29,6 +32,10 @@ type ClusterStats struct {
 	Shuffle uint64 `json:"shuffle"`
 	Gather  uint64 `json:"gather"`
 	Replica uint64 `json:"replica"`
+	// LiveQueries is the coordinator's in-flight query registry size —
+	// statements currently inside QueryContext (GET /debug/queries lists
+	// them).
+	LiveQueries int `json:"live_queries"`
 
 	// Aggregates across the shard snapshots below.
 	ShardQueries uint64 `json:"shard_queries"`
@@ -56,16 +63,17 @@ func (c *Cluster) Stats(ctx context.Context) (*ClusterStats, error) {
 		return nil, err
 	}
 	stats := &ClusterStats{
-		Shards:     len(c.shards),
-		Queries:    c.queries.Load(),
-		Failures:   c.failures.Load(),
-		Aborted:    c.aborted.Load(),
-		Scatter:    c.scatter.Load(),
-		Shuffle:    c.shuffled.Load(),
-		Gather:     c.gathered.Load(),
-		Replica:    c.replica.Load(),
-		CoordCache: c.cache.stats(),
-		ShardStats: snaps,
+		Shards:      len(c.shards),
+		Queries:     c.queries.Load(),
+		Failures:    c.failures.Load(),
+		Aborted:     c.aborted.Load(),
+		Scatter:     c.scatter.Load(),
+		Shuffle:     c.shuffled.Load(),
+		Gather:      c.gathered.Load(),
+		Replica:     c.replica.Load(),
+		LiveQueries: c.reg.Len(),
+		CoordCache:  c.cache.stats(),
+		ShardStats:  snaps,
 	}
 	for _, s := range snaps {
 		stats.ShardQueries += s.Queries
@@ -100,6 +108,8 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/metrics", c.handleMetrics)
 	mux.HandleFunc("/debug/trace/", c.handleDebugTrace)
+	mux.HandleFunc("/debug/queries", c.handleDebugQueries)
+	mux.HandleFunc("/debug/queries/", c.handleDebugQueries)
 	return mux
 }
 
@@ -178,6 +188,7 @@ func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
 		traceID = trace.NewID()
 	}
 	ctx = trace.NewContext(ctx, traceID)
+	ctx = trace.WithClient(ctx, r.RemoteAddr)
 	w.Header().Set(trace.HeaderTraceID, traceID)
 
 	if req.Stream || service.NDJSONRequested(r) {
@@ -189,7 +200,13 @@ func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
-		service.WriteStream(r.Context(), w, rows, req.MaxRows, service.NegotiateCodec(r))
+		// Attach the registered query's live counters to the writer's
+		// context so wire bytes account to the registry entry.
+		wctx := r.Context()
+		if e := c.reg.Get(traceID); e != nil {
+			wctx = trace.WithLive(wctx, e.Live())
+		}
+		service.WriteStream(wctx, w, rows, req.MaxRows, service.NegotiateCodec(r))
 		return
 	}
 
@@ -270,6 +287,9 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("windowdb_queries_total", "Queries completed successfully at the coordinator.", float64(stats.Queries))
 	p.Counter("windowdb_query_failures_total", "Queries completed with an error.", float64(stats.Failures))
 	p.Counter("windowdb_streams_aborted_total", "Streamed queries closed before their last row.", float64(stats.Aborted))
+	p.Counter("windowdb_queries_aborted_total", "Queries aborted before completion (kills and client disconnects).", float64(stats.Aborted))
+	p.Gauge("windowdb_live_queries", "In-flight queries in the coordinator registry.", float64(stats.LiveQueries))
+	p.Gauge("windowdb_shuffle_round_imbalance", "Most recent shuffle round's max/mean per-node output-row ratio (1 = balanced, 0 = none observed).", c.ShuffleImbalance())
 
 	p.Family("windowdb_route_queries_total", "Queries by coordinator route.", "counter")
 	p.Sample("windowdb_route_queries_total", `route="scatter"`, float64(stats.Scatter))
@@ -308,9 +328,101 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(s service.Snapshot) float64 { return float64(s.RowsOut) })
 	shardFamily("windowdb_shard_in_flight", "In-flight executions per shard node.", "gauge",
 		func(s service.Snapshot) float64 { return float64(s.InFlight) })
+	service.WriteBuildInfo(p, service.CodecBinary)
 	p.ServeTo(w)
 }
 
 func (c *Cluster) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	service.ServeTraceRing(w, r, c.Traces(), "/debug/trace/")
+}
+
+// mergedLiveQueries snapshots the coordinator registry and grafts every
+// shard node's in-flight entries under the owning query: node-side stages
+// register under the coordinator's trace ID, so matching is by ID. The
+// fan-out is best-effort — an unreachable node hides only its own
+// subtree, never the coordinator's view. Node entries owned by no listed
+// coordinator query (statements sent to a node directly) append at the
+// end, so cluster-wide visibility is complete.
+func (c *Cluster) mergedLiveQueries(ctx context.Context) []trace.QueryInfo {
+	own := c.reg.Snapshot()
+	nodeInfos := make([][]trace.QueryInfo, len(c.shards))
+	var wg sync.WaitGroup
+	for i, tr := range c.shards {
+		wg.Add(1)
+		go func(i int, tr Transport) {
+			defer wg.Done()
+			infos, err := tr.LiveQueries(ctx)
+			if err != nil {
+				return
+			}
+			nodeInfos[i] = infos
+		}(i, tr)
+	}
+	wg.Wait()
+	byID := make(map[string]int, len(own))
+	for i := range own {
+		byID[own[i].ID] = i
+	}
+	var orphans []trace.QueryInfo
+	for i, infos := range nodeInfos {
+		for _, info := range infos {
+			info.Backend = fmt.Sprintf("shardnode %d", i)
+			if j, ok := byID[info.ID]; ok {
+				own[j].Nodes = append(own[j].Nodes, info)
+			} else {
+				orphans = append(orphans, info)
+			}
+		}
+	}
+	return append(own, orphans...)
+}
+
+// handleDebugQueries serves the coordinator's live query registry:
+//
+//	GET    /debug/queries      every in-flight query, newest first, each
+//	                           with its shard nodes' matching entries
+//	                           merged under "nodes"
+//	GET    /debug/queries/{id} one query
+//	DELETE /debug/queries/{id} kill: fires the stored cancel here and on
+//	                           every node holding a stage of the query
+func (c *Cluster) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/queries")
+	id = strings.Trim(id, "/")
+	switch {
+	case r.Method == http.MethodGet && id == "":
+		writeJSON(w, http.StatusOK, c.mergedLiveQueries(r.Context()))
+	case r.Method == http.MethodGet:
+		for _, info := range c.mergedLiveQueries(r.Context()) {
+			if info.ID == id {
+				writeJSON(w, http.StatusOK, info)
+				return
+			}
+		}
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "shard: no in-flight query " + id, Kind: "request"})
+	case r.Method == http.MethodDelete && id != "":
+		killed := c.reg.Kill(id)
+		// Fan the kill out regardless: a node could hold a stage of a
+		// query whose coordinator entry already finished (or that was
+		// submitted to the node directly).
+		var nodeKilled atomic.Bool
+		var wg sync.WaitGroup
+		for _, tr := range c.shards {
+			wg.Add(1)
+			go func(tr Transport) {
+				defer wg.Done()
+				if ok, err := tr.KillQuery(r.Context(), id); err == nil && ok {
+					nodeKilled.Store(true)
+				}
+			}(tr)
+		}
+		wg.Wait()
+		if !killed && !nodeKilled.Load() {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "shard: no in-flight query " + id, Kind: "request"})
+			return
+		}
+		writeJSON(w, http.StatusOK, service.KillResponse{ID: id, Killed: true})
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "shard: GET lists in-flight queries, DELETE /debug/queries/{id} kills one", Kind: "request"})
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -231,6 +232,31 @@ func (h *HTTP) Stats(ctx context.Context) (service.Snapshot, error) {
 	var snap service.Snapshot
 	err := h.do(ctx, http.MethodGet, "/stats", nil, &snap)
 	return snap, err
+}
+
+// LiveQueries implements Transport.
+func (h *HTTP) LiveQueries(ctx context.Context) ([]trace.QueryInfo, error) {
+	var infos []trace.QueryInfo
+	if err := h.do(ctx, http.MethodGet, "/debug/queries", nil, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// KillQuery implements Transport. A node that holds no such query answers
+// 404, which is not an error here — the coordinator fans the kill out to
+// every node and only cares whether anyone held it.
+func (h *HTTP) KillQuery(ctx context.Context, id string) (bool, error) {
+	var resp service.KillResponse
+	err := h.do(ctx, http.MethodDelete, "/debug/queries/"+url.PathEscape(id), nil, &resp)
+	if err != nil {
+		var re *RemoteError
+		if errors.As(err, &re) && re.Status == http.StatusNotFound {
+			return false, nil
+		}
+		return false, err
+	}
+	return resp.Killed, nil
 }
 
 // Health implements Transport.

@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	windowdb "repro"
+	"repro/internal/datagen"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// gatedShuffleTransport parks the node's first ShuffleRun until its context
+// is cancelled, freezing the query mid-round: the window in which a DELETE
+// /debug/queries/{id} must land. Later calls (and other methods) pass
+// through, so the cluster still serves after the kill.
+type gatedShuffleTransport struct {
+	Transport
+	entered chan struct{}
+	once    sync.Once
+	gated   sync.Once
+}
+
+func (g *gatedShuffleTransport) ShuffleRun(ctx context.Context, req service.ShuffleRunRequest) (*service.ShuffleRunResult, error) {
+	var first bool
+	g.gated.Do(func() { first = true })
+	if !first {
+		return g.Transport.ShuffleRun(ctx, req)
+	}
+	g.once.Do(func() { close(g.entered) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestKillMidShuffle: DELETE /debug/queries/{id} on the coordinator while a
+// shuffle round is in flight cancels the peer stages, drops every node's
+// inbox buffers, returns every admission and gather slot, empties every
+// registry, classifies the query as aborted — and the cluster still serves.
+func TestKillMidShuffle(t *testing.T) {
+	const n = 3
+	svcs := make([]*service.Service, n)
+	shards := make([]Transport, n)
+	for i := range shards {
+		svcs[i] = service.New(windowdb.New(testEngineConfig()), service.Config{Slots: 1, MaxQueue: -1})
+		shards[i] = NewLocal(svcs[i])
+	}
+	gate := &gatedShuffleTransport{Transport: shards[0], entered: make(chan struct{})}
+	shards[0] = gate
+	c, err := New(Config{Engine: testEngineConfig()}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ws := datagen.WebSales(datagen.WebSalesConfig{Rows: 4000, Seed: 7})
+	if err := c.RegisterSharded(ctx, "web_sales", ws, "ws_item_sk"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	id := trace.NewID()
+	qctx := trace.NewContext(context.Background(), id)
+	errCh := make(chan error, 1)
+	go func() {
+		rows, err := c.QueryContext(qctx, divergeSQL)
+		if err == nil {
+			for rows.Next() {
+			}
+			err = rows.Err()
+			_ = rows.Close()
+		}
+		errCh <- err
+	}()
+
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shuffle round never started")
+	}
+
+	// The frozen query is visible in the coordinator's registry with its
+	// live phase.
+	resp, err := srv.Client().Get(srv.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []trace.QueryInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, info := range infos {
+		if info.ID == id {
+			found = true
+			if info.Backend != "coordinator" {
+				t.Fatalf("backend = %q, want coordinator", info.Backend)
+			}
+			if info.Phase == "" {
+				t.Fatal("in-flight query has no phase")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("query %s not listed in /debug/queries: %+v", id, infos)
+	}
+
+	// Kill it through the HTTP surface.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/debug/queries/"+id, nil)
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE answered %s, want 200", resp.Status)
+	}
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("killed query must surface an error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("killed query never returned")
+	}
+
+	// Everything returns to zero: admission slots, inbox buffers, gather
+	// slots, registries. Buffer cleanup runs detached, so poll.
+	waitNodeSlotsFree(t, svcs)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		buffered, regs := 0, 0
+		for _, svc := range svcs {
+			buffered += svc.ShuffleBuffered()
+			regs += svc.Registry().Len()
+		}
+		if buffered == 0 && regs == 0 && c.Registry().Len() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after kill: %d shuffle rounds buffered, %d node registry entries, %d coordinator entries",
+				buffered, regs, c.Registry().Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.GatherInFlight(); got != 0 {
+		t.Fatalf("gather in-flight = %d after kill, want 0", got)
+	}
+	if got := c.aborted.Load(); got != 1 {
+		t.Fatalf("cluster aborted = %d, want 1", got)
+	}
+	if got := c.failures.Load(); got != 0 {
+		t.Fatalf("cluster failures = %d, want 0 (a kill is an abort, not a fault)", got)
+	}
+
+	// A scatter-routed statement avoids the still-gated shuffle plane.
+	if _, err := c.Query(context.Background(), q6SQL); err != nil {
+		t.Fatalf("query after kill: %v", err)
+	}
+}
+
+// TestLiveCountersAdvance: polling /debug/queries twice during one
+// in-flight shuffle query shows its counters moving — rows emitted grow
+// between polls, shuffle rows and the imbalance gauge are recorded, and
+// the entry leaves the registry when the cursor finishes.
+func TestLiveCountersAdvance(t *testing.T) {
+	c, svcs := streamCluster(t, 2, 20_000, Config{})
+	id := trace.NewID()
+	ctx := trace.NewContext(context.Background(), id)
+	rows, err := c.QueryContext(ctx, divergeSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+
+	poll := func() trace.QueryInfo {
+		t.Helper()
+		for _, info := range c.Registry().Snapshot() {
+			if info.ID == id {
+				return info
+			}
+		}
+		t.Fatalf("query %s not in registry", id)
+		return trace.QueryInfo{}
+	}
+
+	for i := 0; i < 100; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended early: %v", rows.Err())
+		}
+	}
+	first := poll()
+	if first.Phase != "draining" {
+		t.Fatalf("phase = %q mid-drain, want draining", first.Phase)
+	}
+	if first.RowsEmitted < 100 {
+		t.Fatalf("rows_emitted = %d after 100 rows, want >= 100", first.RowsEmitted)
+	}
+	if first.ShuffleRows == 0 {
+		t.Fatal("shuffle rounds recorded no shuffle rows")
+	}
+	for i := 0; i < 1000; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended early: %v", rows.Err())
+		}
+	}
+	second := poll()
+	if second.RowsEmitted <= first.RowsEmitted {
+		t.Fatalf("rows_emitted did not advance between polls: %d then %d", first.RowsEmitted, second.RowsEmitted)
+	}
+
+	// The node tier registered its shuffle stages under the same ID, so
+	// the coordinator's merged view has a per-node subtree while the
+	// final-segment streams are still draining.
+	merged := c.mergedLiveQueries(context.Background())
+	for _, info := range merged {
+		if info.ID == id && len(info.Nodes) == 0 {
+			t.Fatal("merged view has no node subtree for the draining query")
+		}
+	}
+
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Registry().Len(); got != 0 {
+		t.Fatalf("coordinator registry holds %d entries after drain, want 0", got)
+	}
+	waitNodeSlotsFree(t, svcs)
+	if ratio := c.ShuffleImbalance(); ratio < 1 {
+		t.Fatalf("shuffle imbalance ratio = %v, want >= 1 after a shuffle round", ratio)
+	}
+	if got := c.queries.Load(); got != 1 {
+		t.Fatalf("queries = %d, want 1", got)
+	}
+}
+
+// TestCoordinatorMetricsExposition: the coordinator's /metrics carries the
+// new observability families.
+func TestCoordinatorMetricsExposition(t *testing.T) {
+	c, _ := streamCluster(t, 2, 2000, Config{})
+	if _, err := c.Query(context.Background(), divergeSQL); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"windowdb_queries_aborted_total",
+		"windowdb_live_queries",
+		"windowdb_shuffle_round_imbalance",
+		"windowdb_build_info{",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

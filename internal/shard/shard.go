@@ -51,6 +51,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 	"sync"
@@ -106,6 +107,10 @@ type Config struct {
 	SlowLogThreshold time.Duration
 	// SlowLogWriter receives slow-query log lines; nil means os.Stderr.
 	SlowLogWriter io.Writer
+	// SlowLogRate caps slow-query log emission in lines per second
+	// (suppressed lines are counted onto the next emitted line). 0 means
+	// trace.DefaultSlowLogRate; negative uncaps.
+	SlowLogRate int
 }
 
 // Cluster coordinates query execution over shard nodes. All methods are
@@ -148,9 +153,14 @@ type Cluster struct {
 	scatter, shuffled, gathered, replica atomic.Uint64
 
 	// Coordinator-side observability: the /debug/trace ring of recent
-	// query traces and the slow-query logger (both optional).
-	ring *trace.Ring
-	slow *trace.SlowLogger
+	// query traces, the slow-query logger (both optional), the in-flight
+	// query registry behind /debug/queries, and the last shuffle round's
+	// max/mean row imbalance ratio (math.Float64bits-packed) feeding the
+	// windowdb_shuffle_round_imbalance gauge.
+	ring      *trace.Ring
+	slow      *trace.SlowLogger
+	reg       *trace.Registry
+	imbalance atomic.Uint64
 }
 
 // tableInfo records how a table is distributed.
@@ -203,7 +213,8 @@ func New(cfg Config, shards []Transport) (*Cluster, error) {
 		gatherSlot:   make(chan struct{}, cfg.GatherSlots),
 		shuffleNonce: shuffleNonce(),
 		peerAddrs:    addrs,
-		slow:         trace.NewSlowLogger(slowW, cfg.SlowLogThreshold),
+		slow:         trace.NewSlowLoggerRate(slowW, cfg.SlowLogThreshold, cfg.SlowLogRate),
+		reg:          trace.NewRegistry(),
 	}
 	if cfg.TraceRing >= 0 {
 		n := cfg.TraceRing
@@ -218,6 +229,37 @@ func New(cfg Config, shards []Transport) (*Cluster, error) {
 // Traces returns the coordinator's ring of recent query traces (nil when
 // disabled); /debug/trace serves from it.
 func (c *Cluster) Traces() *trace.Ring { return c.ring }
+
+// Registry returns the coordinator's in-flight query registry: every
+// statement inside QueryContext is listed with live phase and counters,
+// and Kill fires its stored cancel (the query classifies as aborted).
+// GET/DELETE /debug/queries serve from it, with the shard nodes' matching
+// entries merged under each owning query.
+func (c *Cluster) Registry() *trace.Registry { return c.reg }
+
+// ShuffleImbalance reports the most recent shuffle round's max/mean
+// per-node output-row ratio (1 = perfectly balanced, 0 = no shuffle round
+// observed yet) — the feed for skew-aware repartitioning.
+func (c *Cluster) ShuffleImbalance() float64 {
+	return math.Float64frombits(c.imbalance.Load())
+}
+
+// imbalanceRatio computes max/mean over per-node output-row counts; 0 when
+// the round moved no rows at all (no meaningful skew to report).
+func imbalanceRatio(rowsOut []int64) float64 {
+	var max, sum int64
+	for _, r := range rowsOut {
+		sum += r
+		if r > max {
+			max = r
+		}
+	}
+	if sum == 0 || len(rowsOut) == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(rowsOut))
+	return float64(max) / mean
+}
 
 // shuffleNonce generates the coordinator's shuffle-id prefix. Random, not
 // clock-derived: two coordinators sharing the same shard nodes must never
@@ -471,18 +513,34 @@ func (c *Cluster) QueryContext(ctx context.Context, src string) (*windowdb.Rows,
 	if trace.FromContext(ctx) == "" {
 		ctx = trace.NewContext(ctx, trace.NewID())
 	}
-	var cancel context.CancelFunc
+	var timeoutCancel context.CancelFunc
 	if c.cfg.DefaultTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
-			ctx, cancel = context.WithTimeout(ctx, c.cfg.DefaultTimeout)
+			ctx, timeoutCancel = context.WithTimeout(ctx, c.cfg.DefaultTimeout)
 		}
 	}
-	rows, err := c.streamQuery(ctx, src, cancel)
-	if err != nil {
-		c.failures.Add(1)
-		if cancel != nil {
-			cancel()
+	// The kill cancel wraps ctx unconditionally: DELETE /debug/queries/{id}
+	// fires it through the registry entry, cancelling every fan-out this
+	// statement has open. It travels with the cursor like the timeout.
+	ctx, kill := context.WithCancel(ctx)
+	cancel := func() {
+		kill()
+		if timeoutCancel != nil {
+			timeoutCancel()
 		}
+	}
+	entry := c.reg.Register(trace.FromContext(ctx), src, "coordinator", trace.ClientFromContext(ctx), kill)
+	ctx = trace.WithLive(ctx, entry.Live())
+	entry.Live().SetPhase("planning")
+	rows, err := c.streamQuery(ctx, src, cancel, entry)
+	if err != nil {
+		c.reg.Remove(entry)
+		if entry.Killed() {
+			c.aborted.Add(1)
+		} else {
+			c.failures.Add(1)
+		}
+		cancel()
 		return nil, err
 	}
 	return rows, nil
@@ -514,11 +572,20 @@ func (st *clusterStmt) Close() error { return nil }
 
 // clusterTrace carries a statement's trace identity through the routing
 // paths plus the spans collected before the final streams open (the
-// shuffle route's rounds).
+// shuffle route's rounds) and its /debug/queries registry entry.
 type clusterTrace struct {
 	id     string
 	src    string
 	rounds []*trace.Span
+	entry  *trace.QueryEntry
+}
+
+// live returns the statement's live counters (nil-safe on every level).
+func (qt *clusterTrace) live() *trace.Live {
+	if qt == nil {
+		return nil
+	}
+	return qt.entry.Live()
 }
 
 // finishTrace assembles the coordinator's span tree for a finished query,
@@ -581,9 +648,9 @@ func (c *Cluster) finishTrace(qt *clusterTrace, meta *windowdb.QueryMetrics, row
 // streamQuery prepares, routes and opens the statement's row stream.
 // cancel, when non-nil, is the coordinator-imposed timeout; it must fire
 // when the stream finishes, so it travels into the stream source.
-func (c *Cluster) streamQuery(ctx context.Context, src string, cancel context.CancelFunc) (*windowdb.Rows, error) {
+func (c *Cluster) streamQuery(ctx context.Context, src string, cancel context.CancelFunc, entry *trace.QueryEntry) (*windowdb.Rows, error) {
 	start := time.Now()
-	qt := &clusterTrace{id: trace.FromContext(ctx), src: src}
+	qt := &clusterTrace{id: trace.FromContext(ctx), src: src, entry: entry}
 	prep, hit, err := c.prepare(src)
 	if err != nil {
 		return nil, err
@@ -695,6 +762,7 @@ func (c *Cluster) emitStreams(route string, prep *sql.Prepared, hit bool, stream
 			streamCancel()
 		}
 	}()
+	qt.live().SetPhase("draining")
 	if prep.StreamsConcat() {
 		handoff = true
 		return windowdb.NewRows(&scatterSource{
@@ -755,6 +823,7 @@ func (c *Cluster) streamReplica(ctx context.Context, src string, prep *sql.Prepa
 	if err != nil {
 		return nil, err
 	}
+	qt.live().SetPhase("draining")
 	return windowdb.NewRows(&scatterSource{
 		c: c, cols: streams[0].Columns(), streams: streams,
 		streamCancel: streamCancel, cancel: cancel,
@@ -823,8 +892,10 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 	for si := 0; si < len(stages)-1; si++ {
 		st := stages[si]
 		outKey := sp.Keys[stages[si+1].segment]
+		qt.live().SetPhase(fmt.Sprintf("shuffle round %d of %d", si+1, len(stages)))
 		roundStart := time.Now()
 		nodeSpans := make([]*trace.Span, n)
+		rowsOut := make([]int64, n)
 		err := c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
 			res, err := tr.ShuffleRun(ctx, service.ShuffleRunRequest{
 				SQL: src, Fingerprint: prep.Fingerprint(),
@@ -837,11 +908,13 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 			if err != nil {
 				return err
 			}
+			qt.live().AddShuffleRows(res.RowsOut)
 			mu.Lock()
 			baseRead += res.BlocksRead
 			baseWritten += res.BlocksWritten
 			baseCmp += res.Comparisons
 			nodeSpans[i] = shuffleNodeSpan(i, st.source, res)
+			rowsOut[i] = res.RowsOut
 			mu.Unlock()
 			return nil
 		})
@@ -849,6 +922,13 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 		rs.SetInt("segment", int64(st.segment)).SetAttr("source", st.source)
 		if err != nil {
 			rs.SetAttr("error", err.Error())
+		} else if ratio := imbalanceRatio(rowsOut); ratio > 0 {
+			// Skew diagnostic: max/mean per-node output rows. 1 means the
+			// round's repartition spread work evenly; N means one node did
+			// everything. The last round's ratio also feeds the
+			// windowdb_shuffle_round_imbalance gauge.
+			rs.SetAttr("imbalance", fmt.Sprintf("%.3f", ratio))
+			c.imbalance.Store(math.Float64bits(ratio))
 		}
 		for _, ns := range nodeSpans {
 			rs.Add(ns)
@@ -866,6 +946,7 @@ func (c *Cluster) streamShuffle(ctx context.Context, src string, prep *sql.Prepa
 		}
 	}
 
+	qt.live().SetPhase(fmt.Sprintf("segment %d of %d", sp.Segments(), sp.Segments()))
 	freq := service.ShardQueryRequest{
 		SQL: src, Mode: "segment", Stream: true, Plan: sp,
 		Fingerprint: prep.Fingerprint(),
@@ -926,12 +1007,17 @@ func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *ta
 	// Coordinator-side admission: each gather chain assumes the full unit
 	// memory M, so at most GatherSlots of them (fetch included — the
 	// gathered rows are the memory-heavy part) run at once.
+	qt.live().SetPhase("queued")
 	select {
 	case c.gatherSlot <- struct{}{}:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 	c.gatherInFlight.Add(1)
+	// One gather slot is one full-unit-memory chain at the coordinator —
+	// the cluster's memory accounting unit.
+	qt.live().RaiseMemPeak(1)
+	qt.live().SetPhase("gathering")
 	release := func() {
 		<-c.gatherSlot
 		c.gatherInFlight.Add(-1)
@@ -989,11 +1075,13 @@ func (c *Cluster) streamGather(ctx context.Context, prep *sql.Prepared, info *ta
 		fetch.SetInt("rows", int64(gathered.Len())).SetInt("shards", int64(len(c.shards)))
 		qt.rounds = append(qt.rounds, fetch)
 	}
+	qt.live().SetPhase("executing")
 	cur, err := prep.StreamOverContext(ctx, gathered)
 	if err != nil {
 		return nil, err
 	}
 	handoff = true
+	qt.live().SetPhase("draining")
 	return windowdb.NewRows(&coordCursorSource{
 		c: c, cur: cur, route: "gather", shardsUsed: len(c.shards), cacheHit: hit,
 		release: release, cancel: cancel, start: start, qt: qt,
@@ -1061,6 +1149,7 @@ func (ss *scatterSource) Next() (storage.Tuple, error) {
 			ss.limit--
 		}
 		ss.rows++
+		ss.qt.live().AddRowsEmitted(1)
 		return t, nil
 	}
 	ss.completed = true
@@ -1104,7 +1193,16 @@ func (ss *scatterSource) finish(err error) {
 		}
 		ss.c.finishTrace(ss.qt, meta, ss.rows, ss.outcomes, ss.start, err, err == nil && ss.completed)
 		ss.meta = meta
+		killed := ss.qt != nil && ss.qt.entry.Killed()
+		if ss.qt != nil {
+			ss.c.reg.Remove(ss.qt.entry)
+		}
 		switch {
+		case killed:
+			// DELETE /debug/queries/{id} fired the stored cancel; the
+			// stream error it induced is the kill taking effect, not an
+			// engine fault.
+			ss.c.aborted.Add(1)
 		case err != nil:
 			ss.c.failures.Add(1)
 		case !ss.completed:
@@ -1157,6 +1255,7 @@ func (cs *coordCursorSource) Next() (storage.Tuple, error) {
 		cs.finish(err)
 	default:
 		cs.rows++
+		cs.qt.live().AddRowsEmitted(1)
 	}
 	return t, err
 }
@@ -1183,7 +1282,13 @@ func (cs *coordCursorSource) finish(err error) {
 		meta.Elapsed = time.Since(cs.start)
 		cs.c.finishTrace(cs.qt, meta, cs.rows, cs.outcomes, cs.start, err, err == nil && cs.completed)
 		cs.meta = meta
+		killed := cs.qt != nil && cs.qt.entry.Killed()
+		if cs.qt != nil {
+			cs.c.reg.Remove(cs.qt.entry)
+		}
 		switch {
+		case killed:
+			cs.c.aborted.Add(1)
 		case err != nil:
 			cs.c.failures.Add(1)
 		case !cs.completed:

@@ -102,6 +102,13 @@ type Transport interface {
 	Stats(ctx context.Context) (service.Snapshot, error)
 	// Health reports nil when the node is serving.
 	Health(ctx context.Context) error
+	// LiveQueries snapshots the node's in-flight query registry, newest
+	// first; the coordinator's /debug/queries merges each node's entries
+	// under the owning query by trace ID.
+	LiveQueries(ctx context.Context) ([]trace.QueryInfo, error)
+	// KillQuery cancels the node's in-flight query with the given registry
+	// ID; false (with nil error) when the node holds no such query.
+	KillQuery(ctx context.Context, id string) (bool, error)
 }
 
 // Local is the in-process transport: a shard node living in this process
@@ -312,3 +319,19 @@ func (l *Local) Stats(ctx context.Context) (service.Snapshot, error) {
 
 // Health implements Transport.
 func (l *Local) Health(ctx context.Context) error { return ctx.Err() }
+
+// LiveQueries implements Transport.
+func (l *Local) LiveQueries(ctx context.Context) ([]trace.QueryInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.svc.Registry().Snapshot(), nil
+}
+
+// KillQuery implements Transport.
+func (l *Local) KillQuery(ctx context.Context, id string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return l.svc.Registry().Kill(id), nil
+}

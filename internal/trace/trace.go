@@ -202,6 +202,14 @@ func (r *Ring) Len() int {
 	return r.next
 }
 
+// Cap reports the ring's capacity — the bound for /debug/trace ?limit=.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
 // Render flattens a span tree into indented text lines:
 //
 //	execute 41.2ms [chain=ws --HS--> wf1 -> wf2]
@@ -252,26 +260,52 @@ type SlowLogEntry struct {
 	DurationMillis float64 `json:"duration_ms"`
 	ThresholdMs    float64 `json:"threshold_ms"`
 	Error          string  `json:"error,omitempty"`
-	Root           *Span   `json:"root,omitempty"`
+	// Suppressed counts lines the storm guard dropped since the previous
+	// emitted line; carried on the first line that gets through.
+	Suppressed int64 `json:"suppressed,omitempty"`
+	Root       *Span `json:"root,omitempty"`
 }
 
-// SlowLogger emits one JSON line per query at or over the threshold. A
-// nil SlowLogger, a zero threshold or a nil writer disables it.
+// DefaultSlowLogRate is the storm guard's default emission cap in lines
+// per second.
+const DefaultSlowLogRate = 10
+
+// SlowLogger emits one JSON line per query at or over the threshold,
+// rate-capped so one overloaded process cannot melt stderr: past
+// maxPerSec lines in a one-second window further lines are counted, and
+// the count flushes as "suppressed" on the next emitted line. A nil
+// SlowLogger, a zero threshold or a nil writer disables it.
 type SlowLogger struct {
-	mu        sync.Mutex
-	w         io.Writer
-	threshold time.Duration
+	mu          sync.Mutex
+	w           io.Writer
+	threshold   time.Duration
+	maxPerSec   int
+	windowStart time.Time
+	windowCount int
+	suppressed  int64
 }
 
-// NewSlowLogger builds a slow-query logger; nil when disabled.
+// NewSlowLogger builds a slow-query logger with the default rate cap;
+// nil when disabled.
 func NewSlowLogger(w io.Writer, threshold time.Duration) *SlowLogger {
+	return NewSlowLoggerRate(w, threshold, 0)
+}
+
+// NewSlowLoggerRate builds a slow-query logger capped at maxPerSec lines
+// per second (0 means DefaultSlowLogRate, negative means uncapped); nil
+// when disabled.
+func NewSlowLoggerRate(w io.Writer, threshold time.Duration, maxPerSec int) *SlowLogger {
 	if w == nil || threshold <= 0 {
 		return nil
 	}
-	return &SlowLogger{w: w, threshold: threshold}
+	if maxPerSec == 0 {
+		maxPerSec = DefaultSlowLogRate
+	}
+	return &SlowLogger{w: w, threshold: threshold, maxPerSec: maxPerSec}
 }
 
-// Observe logs the trace if its duration meets the threshold.
+// Observe logs the trace if its duration meets the threshold and the
+// storm guard admits the line.
 func (l *SlowLogger) Observe(t *Trace) {
 	if l == nil || t == nil || time.Duration(t.DurationMillis*float64(time.Millisecond)) < l.threshold {
 		return
@@ -282,12 +316,26 @@ func (l *SlowLogger) Observe(t *Trace) {
 		ThresholdMs:    Millis(l.threshold),
 		Error:          t.Error, Root: t.Root,
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.maxPerSec > 0 {
+		now := time.Now()
+		if now.Sub(l.windowStart) >= time.Second {
+			l.windowStart = now
+			l.windowCount = 0
+		}
+		if l.windowCount >= l.maxPerSec {
+			l.suppressed++
+			return
+		}
+		l.windowCount++
+		entry.Suppressed = l.suppressed
+		l.suppressed = 0
+	}
 	buf, err := json.Marshal(entry)
 	if err != nil {
 		return
 	}
 	buf = append(buf, '\n')
-	l.mu.Lock()
 	_, _ = l.w.Write(buf)
-	l.mu.Unlock()
 }

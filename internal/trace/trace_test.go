@@ -185,3 +185,54 @@ func TestSpanJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost structure: %+v", back)
 	}
 }
+
+// TestSlowLoggerRateCap: a storm of slow queries within one second writes
+// at most maxPerSec lines; the overflow is counted, and the count flushes
+// onto the first line of the next window so no suppression goes unseen.
+func TestSlowLoggerRateCap(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLoggerRate(&buf, 10*time.Millisecond, 2)
+	for i := 0; i < 5; i++ {
+		l.Observe(&Trace{ID: fmt.Sprintf("q%d", i), DurationMillis: 50})
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("storm wrote %d lines, want cap of 2: %q", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var entry SlowLogEntry
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("slow-log line is not JSON: %v (%q)", err, line)
+		}
+		if entry.Suppressed != 0 {
+			t.Fatalf("in-window line reports %d suppressed, want 0: %q", entry.Suppressed, line)
+		}
+	}
+
+	// Roll the window back instead of sleeping: the next Observe lands in
+	// a fresh second and must carry the 3 swallowed lines.
+	l.mu.Lock()
+	l.windowStart = l.windowStart.Add(-2 * time.Second)
+	l.mu.Unlock()
+	buf.Reset()
+	l.Observe(&Trace{ID: "after", DurationMillis: 50})
+	var entry SlowLogEntry
+	if err := json.Unmarshal(bytes.TrimSuffix(buf.Bytes(), []byte("\n")), &entry); err != nil {
+		t.Fatalf("post-window line is not JSON: %v (%q)", err, buf.String())
+	}
+	if entry.ID != "after" || entry.Suppressed != 3 {
+		t.Fatalf("post-window entry = %+v, want ID=after Suppressed=3", entry)
+	}
+}
+
+// TestSlowLoggerUncapped: a negative rate removes the storm guard.
+func TestSlowLoggerUncapped(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLoggerRate(&buf, 10*time.Millisecond, -1)
+	for i := 0; i < 30; i++ {
+		l.Observe(&Trace{ID: fmt.Sprintf("q%d", i), DurationMillis: 50})
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 30 {
+		t.Fatalf("uncapped logger wrote %d lines, want 30", got)
+	}
+}

@@ -44,19 +44,20 @@ bench-service:
 	$(GO) run ./cmd/windbench -exp service -servdur 500ms -servrows 4000
 
 # The perf-trajectory artifact CI uploads: parallel + sharded + shuffle +
-# service sweeps serialized as JSON (see bench.Trajectory). Sharded and
-# shuffle points carry the slowest repetition's rendered trace tree.
+# service + append sweeps serialized as JSON (see bench.Trajectory).
+# Sharded and shuffle points carry the slowest repetition's rendered trace
+# tree.
 bench-json:
-	$(GO) run ./cmd/windbench -exp parallel,sharded,shuffle,service -servdur 200ms -servrows 4000 -json BENCH_pr7.json
+	$(GO) run ./cmd/windbench -exp parallel,sharded,shuffle,service,append -servdur 200ms -servrows 4000 -json BENCH_pr7.json
 
-# The committed bench-regression baseline: regenerate the shuffle scenario
-# trajectory in place, then verify the fresh numbers pass their own gate.
-# Run on a quiet machine, eyeball the diff, and commit BENCH_baseline.json
-# together with the change that moved the numbers (see README "Bench
-# baseline").
+# The committed bench-regression baseline: regenerate the shuffle and
+# append scenario trajectories in place, then verify the fresh numbers
+# pass their own gate. Run on a quiet machine, eyeball the diff, and
+# commit BENCH_baseline.json together with the change that moved the
+# numbers (see README "Bench baseline").
 bench-baseline:
-	$(GO) run ./cmd/windbench -exp shuffle -json BENCH_baseline.json
-	$(GO) run ./cmd/windbench -exp shuffle -compare BENCH_baseline.json -tolerance 0.25
+	$(GO) run ./cmd/windbench -exp shuffle,append -json BENCH_baseline.json
+	$(GO) run ./cmd/windbench -exp shuffle,append -compare BENCH_baseline.json -tolerance 0.25
 
 # Boot windserve on a scratch port, wait for /healthz, fire a handful of
 # /query round trips and check /stats counted them. A serving smoke, not a
@@ -98,6 +99,14 @@ load-smoke:
 # serve the required Prometheus metric families on /metrics, and the JSON
 # coordinator runs with -slowlog 1us so every query trips the slow-query
 # log — one structured JSON line with the span tree must land on stderr.
+#
+# The ingestion plane rides the binary coordinator: open a SUBSCRIBE
+# stream with plain curl (?subscribe=1, NDJSON), wait for the full initial
+# result (header + one tagged row per web_sales row), POST /append one row
+# — the coordinator hash-routes it to the owning shard and assigns a
+# watermark past the registration generation — and require the delta row
+# to surface on the open stream tagged "append" at exactly that watermark.
+# The subscription must list in /debug/queries and die to a DELETE by id.
 #
 # Finally the live-query plane, on a dedicated cluster whose web_sales is
 # SMOKE_KILL_ROWS deep — sized so a streamed result cannot hide in
@@ -157,6 +166,32 @@ cluster-smoke:
 	grep -q '"kind":"slow_query"' /tmp/windserve-csmoke-slow.log || { echo "cluster-smoke: no slow-query log line from throttled coordinator" >&2; exit 1; }; \
 	grep -q '"root":' /tmp/windserve-csmoke-slow.log || { echo "cluster-smoke: slow-query line carries no span tree" >&2; exit 1; }; \
 	echo "cluster-smoke: /metrics families + slow-query log OK"; \
+	sub=; trap 'kill $$s1 $$s2 $$se $$co $$coj $$sub 2>/dev/null || true' EXIT; \
+	: > /tmp/windserve-csmoke-sub.log; \
+	curl -sN -X POST 'http://127.0.0.1:18093/query?subscribe=1' -d '{"sql":"$(SMOKE_Q)"}' > /tmp/windserve-csmoke-sub.log & sub=$$!; \
+	ok=0; \
+	for i in $$(seq 1 300); do \
+		if [ "$$(wc -l < /tmp/windserve-csmoke-sub.log)" -ge 2001 ]; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "cluster-smoke: subscription never delivered its initial result" >&2; exit 1; }; \
+	grep -q '{"s":"init"},{"i":"1"}\]' /tmp/windserve-csmoke-sub.log || { echo "cluster-smoke: init rows missing op/watermark tags" >&2; exit 1; }; \
+	appendresp=$$(curl -sf -X POST http://127.0.0.1:18093/append -d '{"table":"web_sales","rows":[[{"i":"2450001"},{"i":"1"},{"i":"2450002"},{"i":"1"},{"i":"1"},{"i":"1"},{"i":"5"},{"f":1.5},{"f":2.5},{"f":2.0},{"i":"999999"},{"s":"x"}]]}'); \
+	printf '%s' "$$appendresp" | grep -q '"rows_appended":1' || { echo "cluster-smoke: /append rejected the routed batch: $$appendresp" >&2; exit 1; }; \
+	wm=$$(printf '%s' "$$appendresp" | grep -o '"watermark":[0-9]*' | cut -d: -f2); \
+	[ -n "$$wm" ] && [ "$$wm" -gt 1 ] || { echo "cluster-smoke: append watermark $$wm not past the registration generation" >&2; exit 1; }; \
+	ok=0; \
+	for i in $$(seq 1 100); do \
+		if grep -q '{"s":"append"},{"i":"'$$wm'"}\]' /tmp/windserve-csmoke-sub.log; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "cluster-smoke: routed append never surfaced as a delta row at watermark $$wm" >&2; exit 1; }; \
+	subq=$$(curl -sf http://127.0.0.1:18093/debug/queries); \
+	printf '%s' "$$subq" | grep -q '"sql":"SUBSCRIBE' || { echo "cluster-smoke: live subscription absent from /debug/queries" >&2; exit 1; }; \
+	sid=$$(printf '%s' "$$subq" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4); \
+	curl -sf -X DELETE http://127.0.0.1:18093/debug/queries/$$sid | grep -q '"killed":true' || { echo "cluster-smoke: DELETE did not kill the subscription" >&2; exit 1; }; \
+	wait $$sub 2>/dev/null || true; sub=; \
+	echo "cluster-smoke: append routed to shards, delta pushed at watermark $$wm, subscription killed by id OK"; \
 	/tmp/windserve-csmoke -shardnode -addr 127.0.0.1:18098 & s3=$$!; \
 	/tmp/windserve-csmoke -shardnode -addr 127.0.0.1:18099 & s4=$$!; \
 	qp=; trap 'kill $$s1 $$s2 $$se $$co $$coj $$s3 $$s4 $$ck $$qp 2>/dev/null || true' EXIT; \

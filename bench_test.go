@@ -98,7 +98,7 @@ func runSingleOp(b *testing.B, d *bench.Dataset, tableName string, spec window.S
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := exec.Run(entry.Table, []window.Spec{spec}, plan, cfg); err != nil {
+		if _, _, err := exec.Run(entry.Table(), []window.Spec{spec}, plan, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,6 +14,7 @@
 //	windbench -exp sharded             # scatter-gather cluster scaleout sweep
 //	windbench -exp shuffle             # key-divergent per-segment shuffle sweep
 //	windbench -exp service -servdur 2s # query-service closed-loop load
+//	windbench -exp append              # append ingestion + incremental maintenance vs full recompute
 //
 // With -json PATH, the parallel, sharded, shuffle and service results
 // (whichever of them ran) are additionally written as a bench.Trajectory
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|sharded|shuffle|service|all")
+		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|sharded|shuffle|service|append|all")
 		rows      = flag.Int("rows", 120_000, "web_sales rows (paper: 72M at scale factor 100)")
 		seed      = flag.Int64("seed", 0, "generator seed (0 = default)")
 		blockSize = flag.Int("blocksize", 8192, "simulated page size in bytes")
@@ -152,6 +153,14 @@ func main() {
 			fail(err)
 		}
 		traj.Service = res
+		fmt.Fprintln(out)
+	}
+	if want("append") {
+		res, err := bench.RunAppend(bench.AppendConfig{Rows: *rows, Seed: *seed}, out)
+		if err != nil {
+			fail(err)
+		}
+		traj.Append = res
 	}
 	if *jsonPath != "" {
 		if err := traj.Write(*jsonPath); err != nil {

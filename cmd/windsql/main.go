@@ -31,6 +31,14 @@
 // -csv/-table pair. Without -q, statements are read line by line from
 // stdin (a trailing ';' is accepted); repeating a statement shows the
 // prepared-plan cache at work — the second run skips parse+bind+plan.
+//
+// Ingestion and live results ride the same statement path: an
+// `INSERT INTO t VALUES (...), (...)` statement appends rows (against a
+// coordinator, routed to the owning shards) and prints the one-row
+// summary [table, rows_appended, watermark]; `\subscribe <stmt>` opens a
+// live maintained cursor that prints the initial result and then delta
+// rows as appends land, one flushed CSV record (or -format json object)
+// per row, until Ctrl-C returns to the shell.
 package main
 
 import (
@@ -39,12 +47,14 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -116,7 +126,7 @@ func main() {
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	interactive := isTerminal(os.Stdin)
 	if interactive {
-		fmt.Printf("windsql shell — tables %v; one statement per line, \\trace toggles traces, \\ps lists in-flight queries, \\kill <id> cancels one, \\q quits\n", tables)
+		fmt.Printf("windsql shell — tables %v; one statement per line, \\trace toggles traces, \\ps lists in-flight queries, \\kill <id> cancels one, \\subscribe <stmt> follows a live result, \\q quits\n", tables)
 	}
 	failed := false
 	for {
@@ -144,6 +154,12 @@ func main() {
 		}
 		if id, ok := strings.CutPrefix(stmt, `\kill `); ok {
 			killQuery(q, strings.TrimSpace(id))
+			continue
+		}
+		if inner, ok := strings.CutPrefix(stmt, `\subscribe `); ok {
+			if !runSubscribe(q, strings.TrimSpace(inner), *format) {
+				failed = true
+			}
 			continue
 		}
 		if !run(stmt) {
@@ -245,6 +261,102 @@ func killQuery(q windowdb.Queryer, id string) {
 	default:
 		fmt.Fprintln(os.Stderr, "windsql: backend exposes no query registry")
 	}
+}
+
+// runSubscribe serves the shell's \subscribe mode: a live maintained
+// cursor over stmt (the SUBSCRIBE prefix is optional) whose rows print
+// the moment they arrive — the initial result tagged "init" in the _op
+// column, then delta rows as appends land. Ctrl-C ends the subscription
+// and returns to the shell; output is one CSV record (or, with -format
+// json, one JSON object) per row, flushed per row, because a live stream
+// has no natural batch boundary to buffer against.
+func runSubscribe(q windowdb.Queryer, stmt, format string) bool {
+	if _, ok := windowdb.StripSubscribe(stmt); !ok {
+		stmt = "SUBSCRIBE " + stmt
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	rows, err := q.QueryContext(ctx, stmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
+		return false
+	}
+	defer rows.Close()
+	fmt.Println("subscribed — delta rows stream as appends land; Ctrl-C returns to the shell")
+
+	n, err := streamLive(os.Stdout, rows, format)
+	interrupted := ctx.Err() != nil
+	_ = rows.Close()
+	if err == nil && !interrupted {
+		err = rows.Err()
+	}
+	if err != nil && !interrupted && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "windsql: %v\n", err)
+		return false
+	}
+	summary := fmt.Sprintf("\n(subscription closed after %d rows in %v", n, time.Since(start).Round(time.Millisecond))
+	if m := rows.Metrics(); m != nil && m.Watermark > 0 {
+		summary += fmt.Sprintf("; watermark %d", m.Watermark)
+	}
+	fmt.Println(summary + ")")
+	return true
+}
+
+// streamLive prints a live cursor's rows with a flush after every row.
+func streamLive(w io.Writer, rows *windowdb.Rows, format string) (int, error) {
+	n := 0
+	if format == "json" {
+		cols := rows.Columns()
+		names := make([][]byte, len(cols))
+		for i, c := range cols {
+			names[i], _ = json.Marshal(c)
+		}
+		var buf bytes.Buffer
+		for rows.Next() {
+			buf.Reset()
+			buf.WriteByte('{')
+			for i, v := range rows.Row() {
+				if i > 0 {
+					buf.WriteByte(',')
+				}
+				buf.Write(names[i])
+				buf.WriteByte(':')
+				jv, err := json.Marshal(service.JSONValue(v))
+				if err != nil {
+					return n, err
+				}
+				buf.Write(jv)
+			}
+			buf.WriteString("}\n")
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rows.Columns()); err != nil {
+		return 0, err
+	}
+	cw.Flush()
+	record := make([]string, len(rows.Columns()))
+	for rows.Next() {
+		for i, v := range rows.Row() {
+			if v.IsNull() {
+				record[i] = ""
+			} else {
+				record[i] = v.String()
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return n, err
+		}
+		cw.Flush()
+		n++
+	}
+	return n, cw.Error()
 }
 
 // runStatement executes one statement through the Queryer, prints rows

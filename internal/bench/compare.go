@@ -104,6 +104,30 @@ func Compare(base, cur *Trajectory, tolerance float64) ([]ComparePoint, []string
 	}
 	sharded("sharded", base.Sharded, cur.Sharded)
 	sharded("shuffle", base.Shuffle, cur.Shuffle)
+	for _, bp := range base.Append {
+		name := fmt.Sprintf("append/%s/batch=%d", bp.Query, bp.Batch)
+		found := false
+		for _, cp := range cur.Append {
+			if cp.Query != bp.Query || cp.Rows != bp.Rows || cp.Batch != bp.Batch {
+				continue
+			}
+			found = true
+			// Gate on the maintenance time only: ingestion throughput is
+			// recorded in the trajectory but is a microsecond-scale
+			// measurement dominated by allocator variance — too noisy for a
+			// pass/fail bar.
+			ratio := float64(cp.Incremental) / float64(bp.Incremental)
+			pts = append(pts, ComparePoint{
+				Name: name + "/incremental", Metric: "elapsed",
+				Base: float64(bp.Incremental), Cur: float64(cp.Incremental),
+				Ratio: ratio, Regressed: ratio > 1+tolerance,
+			})
+			break
+		}
+		if !found {
+			missing = append(missing, name)
+		}
+	}
 	for _, bp := range base.Service {
 		name := fmt.Sprintf("service/c=%d", bp.Concurrency)
 		found := false
@@ -139,9 +163,12 @@ func ReportComparison(w io.Writer, pts []ComparePoint, missing []string, toleran
 			failures++
 		}
 		var b, c string
-		if p.Metric == "qps" {
+		switch p.Metric {
+		case "qps":
 			b, c = fmt.Sprintf("%.0f qps", p.Base), fmt.Sprintf("%.0f qps", p.Cur)
-		} else {
+		case "rows/s":
+			b, c = fmt.Sprintf("%.0f r/s", p.Base), fmt.Sprintf("%.0f r/s", p.Cur)
+		default:
 			b = time.Duration(p.Base).Round(time.Millisecond).String()
 			c = time.Duration(p.Cur).Round(time.Millisecond).String()
 		}

@@ -35,6 +35,10 @@ type Trajectory struct {
 	// a different key, re-shuffled node-to-node between segments.
 	Shuffle []ShardedResult `json:"shuffle,omitempty"`
 	Service []ServiceResult `json:"service,omitempty"`
+	// Append is the incremental-maintenance scenario: append ingestion
+	// throughput and per-batch maintenance of the Q6 chain vs a full
+	// recompute.
+	Append []AppendResult `json:"append,omitempty"`
 }
 
 // NewTrajectory stamps an empty artifact with the host and workload

@@ -1,6 +1,16 @@
 // Package catalog registers tables and computes the column statistics the
 // cost models and the Hashed Sort consume: distinct-value counts D(A) and
 // most-frequent values (MFVs) whose groups exceed a memory budget.
+//
+// Since PR 9 the catalog tracks two generations with different blast radii.
+// The *schema generation* (Catalog.Generation) advances only on Register /
+// RegisterStub — a table was created or replaced wholesale, so prepared
+// plans built against the old entry are invalid. The per-entry *data
+// generation* (Entry.DataGen) advances on every Append — the schema, and
+// therefore every prepared plan, is still valid, but any cached *result*
+// (materialized query output, distinct counts, MFV sets) may be stale.
+// Plan caches key on the schema generation and survive appends; result
+// caches must key on the data generation.
 package catalog
 
 import (
@@ -9,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/attrs"
 	"repro/internal/core"
@@ -23,8 +34,9 @@ var ErrUnknownTable = errors.New("catalog: unknown table")
 // the SQL dialect's column identifiers — "WEB_SALES" and "web_sales" are
 // the same table, so a query's outcome cannot depend on how a client
 // spells the name. All methods are safe for concurrent use; Register
-// bumps a generation counter that plan caches key against, so
+// bumps the schema generation counter that plan caches key against, so
 // re-registering a table invalidates every plan built on the old entry.
+// Append does NOT bump it — appends preserve the schema.
 type Catalog struct {
 	mu         sync.RWMutex
 	tables     map[string]*Entry // keyed by folded name
@@ -36,12 +48,13 @@ func New() *Catalog {
 	return &Catalog{tables: make(map[string]*Entry)}
 }
 
-// Register adds (or replaces) a table and advances the catalog generation.
+// Register adds (or replaces) a table and advances the schema generation.
 // Names differing only in case replace each other.
 func (c *Catalog) Register(name string, t *storage.Table) *Entry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := &Entry{Name: name, Table: t, distinct: make(map[attrs.Set]int64)}
+	e := &Entry{Name: name, distinct: make(map[attrs.Set]int64)}
+	e.data.Store(&tableData{t: t, gen: 1})
 	c.tables[strings.ToLower(name)] = e
 	c.generation++
 	return e
@@ -67,7 +80,7 @@ type TableStats struct {
 // rows whose statistics come from stats instead of local scans. It is the
 // coordinator side of sharded registration — planning needs the schema,
 // B(R), |R| and D(·), none of which require the rows to be resident. Like
-// Register it advances the catalog generation. MFV statistics are
+// Register it advances the schema generation. MFV statistics are
 // unavailable on stubs (the bypass needs the actual rows), so MFVs
 // returns nil.
 func (c *Catalog) RegisterStub(name string, schema *storage.Schema, stats TableStats) *Entry {
@@ -75,18 +88,18 @@ func (c *Catalog) RegisterStub(name string, schema *storage.Schema, stats TableS
 	defer c.mu.Unlock()
 	e := &Entry{
 		Name:     name,
-		Table:    storage.NewTable(schema),
 		stats:    &stats,
 		distinct: make(map[attrs.Set]int64),
 	}
+	e.data.Store(&tableData{t: storage.NewTable(schema), gen: 1})
 	c.tables[strings.ToLower(name)] = e
 	c.generation++
 	return e
 }
 
-// Generation returns the current catalog generation: the number of Register
-// calls so far. A cached plan is valid only while the generation it was
-// built under is current.
+// Generation returns the current schema generation: the number of Register
+// and RegisterStub calls so far. A cached plan is valid only while the
+// generation it was built under is current. Appends do not advance it.
 func (c *Catalog) Generation() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -105,6 +118,27 @@ func (c *Catalog) Lookup(name string) (*Entry, error) {
 	return e, nil
 }
 
+// Append validates rows against the named table's schema and appends them,
+// advancing the table's data generation (but not the schema generation).
+// It returns the global row index of the first appended row and the new
+// data generation. atLeast lower-bounds the resulting generation — a
+// cluster coordinator assigns one watermark per logical append and ships
+// it to every owning node so all replicas converge on the same generation;
+// pass 0 for plain local appends.
+//
+// Integer values are coerced to floats against FLOAT columns (the SQL
+// layer produces untyped integer literals); any other kind mismatch is an
+// error and the table is unchanged. Appending to a stub entry updates its
+// injected statistics (row count, byte size) without storing rows — the
+// coordinator's planner keeps seeing cluster-accurate cardinalities.
+func (c *Catalog) Append(name string, rows []storage.Tuple, atLeast uint64) (startRid int64, gen uint64, err error) {
+	e, err := c.Lookup(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	return e.Append(rows, atLeast)
+}
+
 // Names lists registered tables (as-registered spelling) in sorted order.
 func (c *Catalog) Names() []string {
 	c.mu.RLock()
@@ -117,12 +151,25 @@ func (c *Catalog) Names() []string {
 	return names
 }
 
+// tableData is an entry's immutable data snapshot: the row storage plus
+// the data generation it corresponds to. Appends swap in a new snapshot
+// (copy-on-write over the row slice); readers that need a consistent
+// (rows, generation) pair take one atomic load via Entry.Snapshot.
+type tableData struct {
+	t   *storage.Table
+	gen uint64
+}
+
 // Entry is one registered table plus lazily computed statistics. Stub
 // entries (RegisterStub) carry a rowless table and answer the statistics
-// accessors from injected TableStats instead of scanning.
+// accessors from injected TableStats instead of scanning. The table
+// pointer is accessed through Table/Snapshot — appends replace it
+// atomically, and any loaded *storage.Table is immutable forever (its row
+// slice is never appended to in place), so readers never need a lock.
 type Entry struct {
-	Name  string
-	Table *storage.Table
+	Name string
+
+	data atomic.Pointer[tableData]
 
 	stats *TableStats // non-nil for stub entries
 
@@ -138,6 +185,114 @@ type mfvKey struct {
 	mem int
 }
 
+// Table returns the current immutable data snapshot. Callers holding the
+// returned pointer see a frozen prefix of the table: concurrent appends
+// produce new snapshots and never mutate this one.
+func (e *Entry) Table() *storage.Table {
+	return e.data.Load().t
+}
+
+// DataGen returns the entry's data generation: 1 at registration,
+// advanced by every Append. Result caches key on it.
+func (e *Entry) DataGen() uint64 {
+	return e.data.Load().gen
+}
+
+// Snapshot returns the current table and its data generation as one
+// consistent pair.
+func (e *Entry) Snapshot() (*storage.Table, uint64) {
+	d := e.data.Load()
+	return d.t, d.gen
+}
+
+// Append validates and appends rows, advancing the data generation to
+// max(current+1, atLeast). See Catalog.Append for semantics.
+func (e *Entry) Append(rows []storage.Tuple, atLeast uint64) (startRid int64, gen uint64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.data.Load()
+	schema := old.t.Schema
+	coerced, addedBytes, err := coerceRows(schema, rows)
+	if err != nil {
+		return 0, 0, err
+	}
+	gen = old.gen + 1
+	if atLeast > gen {
+		gen = atLeast
+	}
+	if e.stats != nil {
+		// Stub: the rows live on the shard nodes; keep the injected
+		// statistics cluster-accurate without storing anything locally.
+		startRid = e.stats.Rows
+		e.stats.Rows += int64(len(rows))
+		e.stats.Bytes += int64(addedBytes)
+		e.data.Store(&tableData{t: old.t, gen: gen})
+	} else {
+		n := len(old.t.Rows)
+		startRid = int64(n)
+		// Full-capacity slice: a concurrent reader of the old snapshot
+		// must never observe our rows through shared backing storage.
+		newRows := append(old.t.Rows[:n:n], coerced...)
+		e.data.Store(&tableData{
+			t:   &storage.Table{Schema: schema, Rows: newRows},
+			gen: gen,
+		})
+	}
+	// Data-dependent statistics are stale now.
+	e.distinct = make(map[attrs.Set]int64)
+	e.mfvs = nil
+	if e.byteSize != 0 {
+		e.byteSize += int64(addedBytes)
+	}
+	return startRid, gen, nil
+}
+
+// coerceRows validates rows against schema, coercing integer values to
+// floats for FLOAT columns. It returns the validated rows (copied only
+// when coercion changed a value) and their total encoded size.
+func coerceRows(schema *storage.Schema, rows []storage.Tuple) ([]storage.Tuple, int, error) {
+	out := make([]storage.Tuple, len(rows))
+	bytes := 0
+	for i, row := range rows {
+		if len(row) != schema.Len() {
+			return nil, 0, fmt.Errorf("catalog: append row %d: arity %d != schema arity %d", i, len(row), schema.Len())
+		}
+		r, copied := row, false
+		for j, v := range row {
+			want := schema.Columns[j].Type
+			switch v.Kind() {
+			case storage.KindNull:
+				// NULL fits every column.
+			case storage.KindInt:
+				if want == storage.TypeFloat {
+					if !copied {
+						r, copied = row.Clone(), true
+					}
+					r[j] = storage.Float(float64(v.Int64()))
+				} else if want != storage.TypeInt {
+					return nil, 0, typeErr(schema, i, j, v)
+				}
+			case storage.KindFloat:
+				if want != storage.TypeFloat {
+					return nil, 0, typeErr(schema, i, j, v)
+				}
+			case storage.KindString:
+				if want != storage.TypeString {
+					return nil, 0, typeErr(schema, i, j, v)
+				}
+			}
+		}
+		out[i] = r
+		bytes += storage.EncodedSize(r)
+	}
+	return out, bytes, nil
+}
+
+func typeErr(schema *storage.Schema, row, col int, v storage.Value) error {
+	c := schema.Columns[col]
+	return fmt.Errorf("catalog: append row %d: column %q is %s, got %s", row, c.Name, c.Type, v.Kind())
+}
+
 // Stub reports whether the entry is schema-only (registered through
 // RegisterStub): its Table holds no rows and its statistics are injected.
 func (e *Entry) Stub() bool { return e.stats != nil }
@@ -145,20 +300,22 @@ func (e *Entry) Stub() bool { return e.stats != nil }
 // Rows returns the row count.
 func (e *Entry) Rows() int64 {
 	if e.stats != nil {
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		return e.stats.Rows
 	}
-	return int64(e.Table.Len())
+	return int64(e.Table().Len())
 }
 
 // ByteSize returns (and caches) the serialized size.
 func (e *Entry) ByteSize() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.stats != nil {
 		return e.stats.Bytes
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.byteSize == 0 {
-		e.byteSize = int64(e.Table.ByteSize())
+		e.byteSize = int64(e.Table().ByteSize())
 	}
 	return e.byteSize
 }
@@ -175,8 +332,10 @@ func (e *Entry) Blocks(blockSize int) int64 {
 // (a local scan) for regular entries, the injected estimator for stubs
 // (0 when the stub carries no estimator). The lock is released during the
 // computation — a scan or a potentially remote estimate must not block
-// the other statistics accessors.
+// the other statistics accessors. A count computed over a snapshot that
+// an append has since superseded is returned but not cached.
 func (e *Entry) Distinct(set attrs.Set) int64 {
+	t, gen := e.Snapshot()
 	e.mu.Lock()
 	if d, ok := e.distinct[set]; ok {
 		e.mu.Unlock()
@@ -189,10 +348,12 @@ func (e *Entry) Distinct(set attrs.Set) int64 {
 			d = e.stats.Distinct(set)
 		}
 	} else {
-		d = int64(e.Table.DistinctCount(set))
+		d = int64(t.DistinctCount(set))
 	}
 	e.mu.Lock()
-	e.distinct[set] = d
+	if e.DataGen() == gen {
+		e.distinct[set] = d
+	}
 	e.mu.Unlock()
 	return d
 }
@@ -209,7 +370,7 @@ func (e *Entry) MFVs(set attrs.Set, memBytes int) map[string]bool {
 	key := mfvKey{set: set, mem: memBytes}
 	// The lock is held across the scan so simultaneous first callers (the
 	// parallel workers) really do share one computation; the scan touches
-	// only the immutable table, no other Entry state.
+	// only an immutable snapshot, no other Entry state.
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.mfvs == nil {
@@ -221,7 +382,7 @@ func (e *Entry) MFVs(set attrs.Set, memBytes int) map[string]bool {
 	sizes := make(map[string]int)
 	ids := set.IDs()
 	var buf []byte
-	for _, t := range e.Table.Rows {
+	for _, t := range e.Table().Rows {
 		buf = buf[:0]
 		for _, id := range ids {
 			buf = storage.AppendTuple(buf, storage.Tuple{t[id]})

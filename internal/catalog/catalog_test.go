@@ -64,7 +64,7 @@ func TestMFVs(t *testing.T) {
 	}
 	rows = append(rows, []int64{1, 0}, []int64{2, 0})
 	e := c.Register("t", table(rows...))
-	tupleSize := e.Table.Rows[0].Size()
+	tupleSize := e.Table().Rows[0].Size()
 	mfvs := e.MFVs(attrs.MakeSet(0), 10*tupleSize)
 	if len(mfvs) != 1 {
 		t.Fatalf("MFVs = %d entries, want 1", len(mfvs))
@@ -142,7 +142,7 @@ func TestMFVContention(t *testing.T) {
 		rows = append(rows, []int64{int64(i % 3), int64(i)})
 	}
 	e := c.Register("t", table(rows...))
-	tupleSize := e.Table.Rows[0].Size()
+	tupleSize := e.Table().Rows[0].Size()
 	budgets := []int{10 * tupleSize, 50 * tupleSize, 200 * tupleSize}
 	sets := []attrs.Set{attrs.MakeSet(0), attrs.MakeSet(1), attrs.MakeSet(0, 1)}
 
@@ -236,8 +236,8 @@ func TestRegisterStub(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !e.Stub() || e.Rows() != 1000 || e.ByteSize() != 64<<10 || e.Table.Len() != 0 {
-		t.Fatalf("stub entry: rows=%d bytes=%d len=%d", e.Rows(), e.ByteSize(), e.Table.Len())
+	if !e.Stub() || e.Rows() != 1000 || e.ByteSize() != 64<<10 || e.Table().Len() != 0 {
+		t.Fatalf("stub entry: rows=%d bytes=%d len=%d", e.Rows(), e.ByteSize(), e.Table().Len())
 	}
 	set := attrs.MakeSet(0)
 	if d := e.Distinct(set); d != 77 {
@@ -258,5 +258,119 @@ func TestRegisterStub(t *testing.T) {
 	be, _ := c.Lookup("bare")
 	if d := be.Distinct(set); d != 0 {
 		t.Fatalf("estimator-less stub Distinct = %d, want 0", d)
+	}
+}
+
+func TestAppendDataGeneration(t *testing.T) {
+	c := New()
+	e := c.Register("t", table([]int64{1, 2}))
+	schemaGen := c.Generation()
+	if g := e.DataGen(); g != 1 {
+		t.Fatalf("initial data gen = %d, want 1", g)
+	}
+	old := e.Table()
+	start, gen, err := c.Append("T", []storage.Tuple{
+		{storage.Int(3), storage.Int(4)},
+		{storage.Int(5), storage.Int(6)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 1 || gen != 2 {
+		t.Errorf("Append = (%d, %d), want (1, 2)", start, gen)
+	}
+	if c.Generation() != schemaGen {
+		t.Errorf("append bumped the schema generation %d -> %d", schemaGen, c.Generation())
+	}
+	if e.Rows() != 3 || e.DataGen() != 2 {
+		t.Errorf("rows=%d gen=%d after append", e.Rows(), e.DataGen())
+	}
+	// Old snapshot is frozen.
+	if len(old.Rows) != 1 {
+		t.Errorf("old snapshot grew to %d rows", len(old.Rows))
+	}
+	// atLeast lower-bounds the generation (cluster watermarks).
+	_, gen, err = e.Append([]storage.Tuple{{storage.Int(7), storage.Int(8)}}, 9)
+	if err != nil || gen != 9 {
+		t.Fatalf("Append atLeast: gen=%d err=%v, want 9", gen, err)
+	}
+	_, gen, _ = e.Append([]storage.Tuple{{storage.Int(9), storage.Int(9)}}, 0)
+	if gen != 10 {
+		t.Errorf("gen after watermark jump = %d, want 10", gen)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	c := New()
+	ft := storage.NewTable(storage.NewSchema(
+		storage.Column{Name: "i", Type: storage.TypeInt},
+		storage.Column{Name: "f", Type: storage.TypeFloat},
+		storage.Column{Name: "s", Type: storage.TypeString},
+	))
+	e := c.Register("ft", ft)
+	// Int coerces into FLOAT; NULL fits everywhere.
+	_, _, err := e.Append([]storage.Tuple{
+		{storage.Int(1), storage.Int(2), storage.StringVal("x")},
+		{storage.Null, storage.Null, storage.Null},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Table().Rows[0][1]
+	if got.Kind() != storage.KindFloat || got.Float64() != 2 {
+		t.Errorf("coerced value = %v (%s)", got, got.Kind())
+	}
+	cases := []storage.Tuple{
+		{storage.Int(1), storage.Float(1)},                          // arity
+		{storage.Float(1), storage.Float(1), storage.StringVal("")}, // float into INT
+		{storage.Int(1), storage.StringVal("x"), storage.Null},      // string into FLOAT
+		{storage.Int(1), storage.Float(1), storage.Int(3)},          // int into STRING
+	}
+	for i, row := range cases {
+		if _, _, err := e.Append([]storage.Tuple{row}, 0); err == nil {
+			t.Errorf("case %d: bad row accepted", i)
+		}
+	}
+	if e.Rows() != 2 {
+		t.Errorf("failed appends changed the table: %d rows", e.Rows())
+	}
+	if _, _, err := c.Append("nope", nil, 0); !errors.Is(err, ErrUnknownTable) {
+		t.Errorf("unknown table append: %v", err)
+	}
+}
+
+func TestAppendStubStats(t *testing.T) {
+	c := New()
+	schema := storage.NewSchema(storage.Column{Name: "a", Type: storage.TypeInt})
+	e := c.RegisterStub("s", schema, TableStats{Rows: 10, Bytes: 100})
+	start, gen, err := e.Append([]storage.Tuple{{storage.Int(1)}, {storage.Int(2)}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 10 || gen != 5 {
+		t.Errorf("stub Append = (%d, %d), want (10, 5)", start, gen)
+	}
+	if e.Rows() != 12 {
+		t.Errorf("stub rows = %d, want 12", e.Rows())
+	}
+	if e.ByteSize() <= 100 {
+		t.Errorf("stub bytes = %d, want > 100", e.ByteSize())
+	}
+	if e.Table().Len() != 0 {
+		t.Errorf("stub stored %d rows locally", e.Table().Len())
+	}
+}
+
+func TestAppendInvalidatesDistinctCache(t *testing.T) {
+	c := New()
+	e := c.Register("t", table([]int64{1, 1}))
+	if d := e.Distinct(attrs.MakeSet(0)); d != 1 {
+		t.Fatalf("D(a) = %d", d)
+	}
+	if _, _, err := e.Append([]storage.Tuple{{storage.Int(2), storage.Int(2)}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.Distinct(attrs.MakeSet(0)); d != 2 {
+		t.Errorf("D(a) after append = %d, want 2", d)
 	}
 }

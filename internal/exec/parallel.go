@@ -426,12 +426,29 @@ func partitionRows(rows []storage.Tuple, ids []attrs.ID, degree int) [][]storage
 // encodings of the key attributes, streamed through storage.HashValueFNV
 // instead of materializing the encoding — the partitioning hash runs once
 // per row on every scatter and shuffle path, and the buffer it used to
-// build was the hot loop's dominant allocation. The byte sequence (and so
-// every hash value and row placement) is unchanged.
+// build was the hot loop's dominant allocation. The raw FNV value is
+// passed through a finalizer before use: partitioning buckets by hash
+// modulo degree, and FNV-1a's low bits carry visible structure for short
+// integer keys — every item key in a small dimension can land in one
+// bucket mod 2, leaving shards empty. Every placement decision in one
+// process (parallel executors, sharded registration, append routing, the
+// shuffle data plane) uses this same function, so placement stays
+// internally consistent.
 func hashTupleKey(t storage.Tuple, ids []attrs.ID) uint64 {
 	h := storage.HashSeedFNV
 	for _, id := range ids {
 		h = storage.HashValueFNV(h, t[id])
 	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: full-avalanche bit mixing so the
+// modulo in partitionRows sees uniform low bits.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
 	return h
 }

@@ -1,0 +1,238 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// The ingestion surface: POST /append applies one batch of rows to a
+// registered table, bumping its data generation (prepared plans survive —
+// only the schema generation invalidates them) and waking every SUBSCRIBE
+// cursor on the table. Two body encodings, negotiated by Content-Type
+// exactly like the response streams:
+//
+//	application/json                  {"table":"ws","rows":[[{"i":"1"},...],...],"watermark":0}
+//	application/x-windowdb-frame      header frame (columns), columnar row batches
+//
+// The response is JSON either way: {"table","start_rid","rows_appended",
+// "watermark"}. The watermark request field (or ?watermark= for binary
+// bodies) is the cluster coordinator's generation lower bound; plain
+// clients leave it 0.
+
+// AppendRequest is the JSON /append body.
+type AppendRequest struct {
+	Table string        `json:"table"`
+	Rows  [][]WireValue `json:"rows"`
+	// Watermark is a lower bound on the data generation this append lands
+	// at — a cluster coordinator assigns one generation per logical append
+	// and ships it to every owning node so replicas converge. 0 for plain
+	// clients.
+	Watermark uint64 `json:"watermark,omitempty"`
+}
+
+// AppendResponse is the JSON /append (and Client.Append) response.
+type AppendResponse struct {
+	Table        string `json:"table"`
+	StartRid     int64  `json:"start_rid"`
+	RowsAppended int    `json:"rows_appended"`
+	Watermark    uint64 `json:"watermark"`
+}
+
+// Append applies one batch of rows to a registered table through the
+// engine — validation, data-generation bump, subscription wake — and
+// meters it. atLeast is the coordinator-assigned watermark lower bound
+// (0 locally).
+func (s *Service) Append(ctx context.Context, table string, rows []storage.Tuple, atLeast uint64) (startRid int64, watermark uint64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	start, wm, err := s.eng.AppendAt(table, rows, atLeast)
+	if err != nil {
+		s.metrics.failures.Add(1)
+		return 0, 0, err
+	}
+	s.metrics.appends.Add(1)
+	s.metrics.rowsAppended.Add(uint64(len(rows)))
+	return start, wm, nil
+}
+
+// DecodeAppendBody decodes a POST /append request into its metadata and
+// rows: the JSON shape by default, the binary columnar frame shape when
+// the Content-Type says so (table and watermark then ride the query
+// string). Shared by the single-engine route and the cluster
+// coordinator's front door.
+func DecodeAppendBody(r *http.Request) (AppendRequest, []storage.Tuple, error) {
+	var req AppendRequest
+	var rows []storage.Tuple
+	if strings.Contains(r.Header.Get("Content-Type"), ContentTypeBinary) {
+		req.Table = r.URL.Query().Get("table")
+		if wmStr := r.URL.Query().Get("watermark"); wmStr != "" {
+			wm, err := strconv.ParseUint(wmStr, 10, 64)
+			if err != nil {
+				return req, nil, fmt.Errorf("service: bad watermark %q: %w", wmStr, err)
+			}
+			req.Watermark = wm
+		}
+		var err error
+		rows, err = readAppendFrames(r.Body)
+		if err != nil {
+			return req, nil, err
+		}
+	} else {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, nil, fmt.Errorf("service: bad append body: %w", err)
+		}
+		rows = make([]storage.Tuple, len(req.Rows))
+		for i, wr := range req.Rows {
+			t := make(storage.Tuple, len(wr))
+			for j, v := range wr {
+				t[j] = v.V
+			}
+			rows[i] = t
+		}
+	}
+	if req.Table == "" {
+		return req, nil, errors.New("service: append without a table name")
+	}
+	if len(rows) == 0 {
+		return req, nil, errors.New("service: append without rows")
+	}
+	return req, rows, nil
+}
+
+// handleAppend is the POST /append route.
+func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "request", errors.New("service: use POST"))
+		return
+	}
+	req, rows, err := DecodeAppendBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request", err)
+		return
+	}
+	start, wm, err := s.Append(r.Context(), req.Table, rows, req.Watermark)
+	if err != nil {
+		status, kind := AppendStatus(err)
+		writeError(w, status, kind, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Table: req.Table, StartRid: start, RowsAppended: len(rows), Watermark: wm,
+	})
+}
+
+// AppendStatus maps an append error onto the HTTP status taxonomy:
+// unknown table keeps its 404, and any other would-be-500 is a validation
+// failure from catalog.Append (arity, column type) — the client's fault,
+// not an engine fault — so it becomes a 400 "append".
+func AppendStatus(err error) (status int, kind string) {
+	status, kind = StatusFor(err)
+	if status == http.StatusInternalServerError && !errors.Is(err, catalog.ErrUnknownTable) {
+		status, kind = http.StatusBadRequest, "append"
+	}
+	return status, kind
+}
+
+// readAppendFrames decodes a binary append body: a header frame naming the
+// columns (arity only — type validation is the catalog's), then columnar
+// row batches until EOF or a trailer frame.
+func readAppendFrames(body io.Reader) ([]storage.Tuple, error) {
+	fr := stream.NewFrameReader(body)
+	f, err := fr.Next()
+	if err != nil {
+		return nil, fmt.Errorf("service: reading append header frame: %w", err)
+	}
+	if f.Type != stream.FrameHeader {
+		return nil, fmt.Errorf("service: first append frame is %c, want header", f.Type)
+	}
+	var h streamHeader
+	if err := json.Unmarshal(f.Payload, &h); err != nil {
+		return nil, fmt.Errorf("service: bad append header %q: %w", f.Payload, err)
+	}
+	arity := len(h.Columns)
+	if arity == 0 {
+		return nil, errors.New("service: append header names no columns")
+	}
+	var rows []storage.Tuple
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("service: reading append frames: %w", err)
+		}
+		switch f.Type {
+		case stream.FrameBatch:
+			b, err := stream.DecodeBatch(f.Payload, arity)
+			if err != nil {
+				return nil, fmt.Errorf("service: bad append batch: %w", err)
+			}
+			rows = append(rows, b.Tuples()...)
+		case stream.FrameTrailer:
+			return rows, nil
+		default:
+			return nil, fmt.Errorf("service: unexpected %c frame in append body", f.Type)
+		}
+	}
+}
+
+// Append ships one batch of rows to the server's /append route (JSON
+// body). The returned watermark is the table's new data generation — the
+// value SUBSCRIBE trailers and delta rows report.
+func (c *Client) Append(ctx context.Context, table string, rows []storage.Tuple) (AppendResponse, error) {
+	req := AppendRequest{Table: table, Rows: make([][]WireValue, len(rows))}
+	for i, row := range rows {
+		wr := make([]WireValue, len(row))
+		for j, v := range row {
+			wr[j] = WireValue{V: v}
+		}
+		req.Rows[i] = wr
+	}
+	var resp AppendResponse
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return resp, fmt.Errorf("service: encode append: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/append", strings.NewReader(string(buf)))
+	if err != nil {
+		return resp, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return resp, fmt.Errorf("service: %s/append: %w", c.base, err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode/100 != 2 {
+		return resp, DecodeRemoteError(c.base+"/append", hres)
+	}
+	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
+		return resp, fmt.Errorf("service: decode append response: %w", err)
+	}
+	return resp, nil
+}
+
+// Subscribe opens a live maintained cursor over src on the server: the
+// initial result streams first (rows tagged "init" in the _op column),
+// then the cursor blocks and delta rows arrive as appends land. Cancel ctx
+// or Close the Rows to end it. src may carry the SUBSCRIBE prefix or not.
+func (c *Client) Subscribe(ctx context.Context, src string) (*windowdb.Rows, error) {
+	if _, ok := windowdb.StripSubscribe(src); !ok {
+		src = "SUBSCRIBE " + src
+	}
+	return c.QueryContext(ctx, src)
+}

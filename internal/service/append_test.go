@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func TestServiceInsertAndAppendRoute(t *testing.T) {
+	svc := newTestService(t, Config{}, 100)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL, nil)
+
+	// INSERT through the buffered surface.
+	res, err := svc.Query(context.Background(), `INSERT INTO emptab VALUES (11, 20, 4000)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 1 || res.Table.Rows[0][1].Int64() != 1 {
+		t.Fatalf("INSERT summary = %v", res.Table.Rows)
+	}
+
+	// JSON /append through the client.
+	resp, err := c.Append(context.Background(), "emptab", []storage.Tuple{
+		{storage.Int(12), storage.Int(20), storage.Int(5000)},
+		{storage.Int(13), storage.Int(30), storage.Null},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RowsAppended != 2 {
+		t.Fatalf("rows_appended = %d", resp.RowsAppended)
+	}
+	if resp.Watermark <= 1 {
+		t.Fatalf("watermark = %d", resp.Watermark)
+	}
+	if resp.StartRid != 11 {
+		t.Fatalf("start_rid = %d, want 11", resp.StartRid)
+	}
+
+	// All appended rows are queryable.
+	qres, err := svc.Query(context.Background(), `SELECT empnum FROM emptab WHERE empnum >= 11 ORDER BY empnum`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres.Table.Len() != 3 {
+		t.Fatalf("appended rows visible = %d, want 3", qres.Table.Len())
+	}
+
+	stats := svc.Stats()
+	if stats.Appends != 2 || stats.RowsAppended != 3 {
+		t.Fatalf("append counters = %d/%d, want 2/3", stats.Appends, stats.RowsAppended)
+	}
+
+	// Error taxonomy: unknown table 404, arity mismatch 400.
+	if _, err := c.Append(context.Background(), "nosuch", []storage.Tuple{{storage.Int(1)}}); err == nil {
+		t.Error("append to unknown table succeeded")
+	} else if re := new(RemoteError); !errors.As(err, &re) || re.Status != 404 {
+		t.Errorf("unknown-table append error = %v", err)
+	}
+	if _, err := c.Append(context.Background(), "emptab", []storage.Tuple{{storage.Int(1)}}); err == nil {
+		t.Error("arity-mismatch append succeeded")
+	} else if re := new(RemoteError); !errors.As(err, &re) || re.Status != 400 {
+		t.Errorf("arity-mismatch append error = %v", err)
+	}
+}
+
+func TestServiceSubscribeBufferedRejected(t *testing.T) {
+	svc := newTestService(t, Config{}, 100)
+	if _, err := svc.Query(context.Background(), `SUBSCRIBE SELECT empnum FROM emptab`); err == nil {
+		t.Fatal("buffered SUBSCRIBE succeeded")
+	}
+}
+
+// TestServiceSubscribeHTTP drives the full live loop over real sockets:
+// subscribe, drain the initial result, append through /append, receive the
+// pushed delta with an advanced watermark, close, and verify every slot
+// and registry entry drains.
+func TestServiceSubscribeHTTP(t *testing.T) {
+	svc := newTestService(t, Config{}, 0)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := c.Subscribe(ctx, `SELECT empnum, rank() OVER (PARTITION BY dept ORDER BY salary DESC NULLS LAST) AS r FROM emptab`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+
+	cols := rows.Columns()
+	if len(cols) != 5 || cols[2] != "_rid" || cols[3] != "_op" || cols[4] != "_watermark" {
+		t.Fatalf("columns = %v", cols)
+	}
+	for i := 0; i < 10; i++ {
+		if !rows.Next() {
+			t.Fatalf("initial stream ended early at %d: %v", i, rows.Err())
+		}
+		if op := rows.Row()[3].Str(); op != "init" {
+			t.Fatalf("initial row op = %q", op)
+		}
+	}
+
+	// The subscription shows in the registry with the live phase.
+	deadlineInfo := time.Now().Add(2 * time.Second)
+	for {
+		infos := svc.Registry().Snapshot()
+		if len(infos) == 1 && strings.HasPrefix(infos[0].SQL, "SUBSCRIBE") {
+			break
+		}
+		if time.Now().After(deadlineInfo) {
+			t.Fatalf("subscription not in registry: %+v", infos)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Routed append wakes the cursor.
+	resp, err := c.Append(ctx, "emptab", []storage.Tuple{{storage.Int(20), storage.Int(10), storage.Int(1000000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no delta after append: %v", rows.Err())
+	}
+	row := rows.Row()
+	if op := row[3].Str(); op != "append" && op != "upsert" {
+		t.Fatalf("delta op = %q", op)
+	}
+	if wm := uint64(row[4].Int64()); wm != resp.Watermark {
+		t.Fatalf("delta watermark = %d, append watermark = %d", wm, resp.Watermark)
+	}
+
+	// Close ends the stream; the server drains its slot, registry entry and
+	// hub subscription.
+	rows.Close()
+	waitDrained(t, svc)
+}
+
+// TestServiceSubscribeKill kills a live subscription through the registry
+// (what DELETE /debug/queries/{id} calls) and asserts the client stream
+// ends and the server drains.
+func TestServiceSubscribeKill(t *testing.T) {
+	svc := newTestService(t, Config{}, 0)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL, nil)
+
+	rows, err := c.Subscribe(context.Background(), `SELECT empnum, rank() OVER (ORDER BY salary DESC NULLS LAST) AS r FROM emptab`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for i := 0; i < 10; i++ {
+		if !rows.Next() {
+			t.Fatalf("initial stream ended early: %v", rows.Err())
+		}
+	}
+
+	// Find and kill the one in-flight query.
+	var id string
+	deadline := time.Now().Add(2 * time.Second)
+	for id == "" {
+		if infos := svc.Registry().Snapshot(); len(infos) == 1 {
+			id = infos[0].ID
+		} else if time.Now().After(deadline) {
+			t.Fatalf("subscription not registered: %+v", infos)
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !svc.Registry().Kill(id) {
+		t.Fatalf("kill %s failed", id)
+	}
+
+	// The client's blocked read ends (error or EOF — the stream was cut or
+	// the trailer carried the cancellation).
+	done := make(chan struct{})
+	go func() {
+		for rows.Next() {
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client stream did not end after kill")
+	}
+	waitDrained(t, svc)
+}
+
+// waitDrained asserts every serving resource returns to idle: registry
+// empty, no in-flight execution, and no live hub subscription.
+func waitDrained(t *testing.T, svc *Service) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats := svc.Stats()
+		subs := svc.Engine().Subscriptions("emptab")
+		if stats.LiveQueries == 0 && stats.InFlight == 0 && subs == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("not drained: live=%d inflight=%d subs=%d", stats.LiveQueries, stats.InFlight, subs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

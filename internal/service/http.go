@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/catalog"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -41,6 +42,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/append", s.handleAppend)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -74,6 +76,11 @@ type queryRequest struct {
 	// the buffered JSON body; `Accept: application/x-ndjson` and `?stream=1`
 	// are equivalent spellings.
 	Stream bool `json:"stream,omitempty"`
+	// Subscribe turns the statement into a SUBSCRIBE (prepending the verb
+	// if the SQL doesn't already carry it) and implies Stream: the response
+	// is the live delta stream, flushed row by row. `?subscribe=1` is the
+	// GET spelling.
+	Subscribe bool `json:"subscribe,omitempty"`
 }
 
 type queryResponse struct {
@@ -150,6 +157,19 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request", errors.New("service: empty query: pass ?q= or a JSON body with \"sql\""))
 		return
 	}
+	if v := r.URL.Query().Get("subscribe"); v == "1" || strings.EqualFold(v, "true") {
+		req.Subscribe = true
+	}
+	if req.Subscribe {
+		if _, ok := windowdb.StripSubscribe(req.SQL); !ok {
+			req.SQL = "SUBSCRIBE " + req.SQL
+		}
+	}
+	// A SUBSCRIBE statement (spelled either way) only makes sense streamed.
+	_, isLive := windowdb.StripSubscribe(req.SQL)
+	if isLive {
+		req.Stream = true
+	}
 
 	ctx := r.Context()
 	if req.TimeoutMillis > 0 {
@@ -176,7 +196,11 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, kind, err)
 			return
 		}
-		WriteStream(s.liveContext(r.Context(), traceID), w, rows, req.MaxRows, s.streamCodec(r))
+		if isLive {
+			WriteLiveStream(s.liveContext(r.Context(), traceID), w, rows, req.MaxRows, s.streamCodec(r))
+		} else {
+			WriteStream(s.liveContext(r.Context(), traceID), w, rows, req.MaxRows, s.streamCodec(r))
+		}
 		return
 	}
 

@@ -85,6 +85,9 @@ type Metrics struct {
 
 	shuffleRounds atomic.Uint64 // executed shuffle stages (RunShuffleStep)
 
+	appends      atomic.Uint64 // append batches applied (Service.Append)
+	rowsAppended atomic.Uint64 // rows ingested across those batches
+
 	inFlight    atomic.Int64 // executions currently holding a slot
 	maxInFlight atomic.Int64 // high-water mark of inFlight
 
@@ -151,6 +154,10 @@ type Snapshot struct {
 	// cluster coordinator's per-segment distributed chains (each stage is a
 	// slot-holding chain-segment execution, not a query).
 	ShuffleRounds uint64 `json:"shuffle_rounds"`
+	// Appends counts applied append batches (INSERT statements and /append
+	// bodies); RowsAppended is the rows they ingested.
+	Appends      uint64 `json:"appends"`
+	RowsAppended uint64 `json:"rows_appended"`
 
 	InFlight    int64 `json:"in_flight"`
 	MaxInFlight int64 `json:"max_in_flight"`
@@ -181,6 +188,8 @@ func (m *Metrics) snapshot() Snapshot {
 		Rejected:      m.rejected.Load(),
 		Aborted:       m.aborted.Load(),
 		ShuffleRounds: m.shuffleRounds.Load(),
+		Appends:       m.appends.Load(),
+		RowsAppended:  m.rowsAppended.Load(),
 		InFlight:      m.inFlight.Load(),
 		MaxInFlight:   m.maxInFlight.Load(),
 	}

@@ -73,6 +73,8 @@ func WriteSnapshotMetrics(p *PromWriter, s Snapshot) {
 	// DELETE /debug/queries/{id} land here too.
 	p.Counter("windowdb_queries_aborted_total", "Queries aborted before completion (kills and client disconnects).", float64(s.Aborted))
 	p.Counter("windowdb_shuffle_rounds_total", "Shuffle stages executed for cluster coordinators.", float64(s.ShuffleRounds))
+	p.Counter("windowdb_appends_total", "Append batches applied (INSERT statements and /append bodies).", float64(s.Appends))
+	p.Counter("windowdb_rows_appended_total", "Rows ingested by append batches.", float64(s.RowsAppended))
 	p.Counter("windowdb_rows_out_total", "Rows yielded to clients.", float64(s.RowsOut))
 	p.Counter("windowdb_blocks_read_total", "Storage blocks read by query execution.", float64(s.BlocksRead))
 	p.Counter("windowdb_blocks_written_total", "Storage blocks spilled by query execution.", float64(s.BlocksWritten))

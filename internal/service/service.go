@@ -30,6 +30,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -281,6 +282,22 @@ type QueryResult struct {
 // ctx.Err() for queries cancelled or timed out while queued or between
 // chain steps; anything else is an engine fault.
 func (s *Service) Query(ctx context.Context, src string) (*QueryResult, error) {
+	if windowdb.IsInsert(src) {
+		start := time.Now()
+		rows, err := s.insertStream(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		res, err := windowdb.DrainResult(rows)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{Result: res, Elapsed: time.Since(start)}, nil
+	}
+	if _, ok := windowdb.StripSubscribe(src); ok {
+		// A subscription never completes, so it cannot be served buffered.
+		return nil, fmt.Errorf("%w: SUBSCRIBE needs a streaming client (stream=1 or Accept: %s)", sql.ErrBind, ContentTypeNDJSON)
+	}
 	return s.serve(ctx, src, false)
 }
 
@@ -408,12 +425,49 @@ var _ windowdb.Queryer = (*Service)(nil)
 // QueryContext serves one query as a streaming cursor. The error classes
 // match Query's. An `EXPLAIN ANALYZE <stmt>` prefix executes the inner
 // statement through the same path and returns the annotated trace
-// rendering as a one-column text cursor.
+// rendering as a one-column text cursor; an `INSERT INTO ...` statement
+// appends through Service.Append and returns the one-row summary cursor;
+// a `SUBSCRIBE <stmt>` prefix serves the long-lived maintained cursor —
+// the subscription holds its admission slot for its whole lifetime, shows
+// in /debug/queries with phase "waiting for data", and is killable there.
 func (s *Service) QueryContext(ctx context.Context, src string) (*windowdb.Rows, error) {
 	if inner, ok := windowdb.StripExplainAnalyze(src); ok {
 		return windowdb.ExplainAnalyzeRows(ctx, s, inner)
 	}
+	if windowdb.IsInsert(src) {
+		return s.insertStream(ctx, src)
+	}
+	if inner, ok := windowdb.StripSubscribe(src); ok {
+		return s.subscribeStream(ctx, src, inner)
+	}
 	return s.stream(ctx, src, "", false)
+}
+
+// insertStream serves an INSERT: parse, append (metered), one-row summary.
+func (s *Service) insertStream(ctx context.Context, src string) (*windowdb.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ins, err := sql.ParseInsert(src)
+	if err != nil {
+		s.metrics.failures.Add(1)
+		return nil, err
+	}
+	_, wm, err := s.Append(ctx, ins.Table, ins.Rows, 0)
+	if err != nil {
+		return nil, err
+	}
+	return windowdb.NewInsertRows(ins.Table, len(ins.Rows), wm), nil
+}
+
+// subscribeStream serves a SUBSCRIBE through the shared streaming body:
+// the inner statement resolves through the plan cache, the subscription is
+// admitted like any chain (it holds the slot while live) and registered
+// under the full SUBSCRIBE text.
+func (s *Service) subscribeStream(ctx context.Context, full, inner string) (*windowdb.Rows, error) {
+	return s.streamCursor(ctx, full, inner, "", "waiting for data", func(ctx context.Context, prep *sql.Prepared) (execCursor, error) {
+		return s.eng.SubscribeStatement(ctx, prep)
+	})
 }
 
 // StreamShardLocal is QueryContext for the shard-local part of a statement
@@ -452,8 +506,19 @@ func (st *serviceStmt) QueryContext(ctx context.Context) (*windowdb.Rows, error)
 
 func (st *serviceStmt) Close() error { return nil }
 
+// execCursor is what a served stream drains: the sql.Cursor shape, also
+// satisfied by the engine's live Subscription — the widening that lets
+// SUBSCRIBE share the admission/registry/metrics discipline of one-shot
+// streams.
+type execCursor interface {
+	Columns() []storage.Column
+	Next() (storage.Tuple, error)
+	Close() error
+	Meta() *sql.Result
+}
+
 func (s *Service) stream(ctx context.Context, src, fp string, shardLocal bool) (*windowdb.Rows, error) {
-	return s.streamCursor(ctx, src, fp, func(ctx context.Context, prep *sql.Prepared) (*sql.Cursor, error) {
+	return s.streamCursor(ctx, src, src, fp, "draining", func(ctx context.Context, prep *sql.Prepared) (execCursor, error) {
 		if shardLocal {
 			return prep.StreamShardContext(ctx)
 		}
@@ -465,8 +530,11 @@ func (s *Service) stream(ctx context.Context, src, fp string, shardLocal bool) (
 // (by fingerprint when the coordinator shipped one, by text otherwise),
 // admission, and the handoff-guarded slot-to-cursor transfer, with the
 // execution cursor opened by open (the full statement, its shard-local
-// part, or a shuffle segment).
-func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(context.Context, *sql.Prepared) (*sql.Cursor, error)) (*windowdb.Rows, error) {
+// part, a shuffle segment, or a subscription). display is the statement
+// text registered in /debug/queries (the full SUBSCRIBE spelling for
+// subscriptions); src is what resolves through the plan cache; phase is
+// the registry phase the cursor shows while it streams.
+func (s *Service) streamCursor(ctx context.Context, display, src, fp, phase string, open func(context.Context, *sql.Prepared) (execCursor, error)) (*windowdb.Rows, error) {
 	var timeoutCancel context.CancelFunc
 	if s.cfg.DefaultTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
@@ -487,7 +555,7 @@ func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(co
 	}
 	id := trace.IDFromContext(ctx)
 	ctx = trace.NewContext(ctx, id)
-	entry := s.reg.Register(id, src, s.role(), trace.ClientFromContext(ctx), kill)
+	entry := s.reg.Register(id, display, s.role(), trace.ClientFromContext(ctx), kill)
 	live := entry.Live()
 	ctx = trace.WithLive(ctx, live)
 	live.SetPhase("planning")
@@ -542,10 +610,10 @@ func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(co
 		cancel()
 		return nil, err
 	}
-	live.SetPhase("draining")
+	live.SetPhase(phase)
 	handoff = true
 	return windowdb.NewRows(&servedSource{
-		svc: s, cur: cur, src: src, traceID: id, entry: entry, live: live,
+		svc: s, cur: cur, src: display, traceID: id, entry: entry, live: live,
 		start: start, queued: queued, cacheHit: hit, cancel: cancel,
 	}), nil
 }
@@ -560,7 +628,7 @@ func (s *Service) streamCursor(ctx context.Context, src, fp string, open func(co
 // as fast successes in the histogram.
 type servedSource struct {
 	svc      *Service
-	cur      *sql.Cursor
+	cur      execCursor
 	src      string
 	traceID  string
 	entry    *trace.QueryEntry

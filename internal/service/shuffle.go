@@ -477,7 +477,7 @@ func (s *Service) StreamSegment(ctx context.Context, req ShardQueryRequest) (*wi
 	if req.Plan == nil {
 		return nil, errors.New("service: segment stream without a segment plan")
 	}
-	return s.streamCursor(ctx, req.SQL, req.Fingerprint, func(ctx context.Context, prep *sql.Prepared) (*sql.Cursor, error) {
+	return s.streamCursor(ctx, req.SQL, req.SQL, req.Fingerprint, "draining", func(ctx context.Context, prep *sql.Prepared) (execCursor, error) {
 		runner, err := prep.Segments(req.Plan)
 		if err != nil {
 			return nil, err

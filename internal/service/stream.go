@@ -85,6 +85,10 @@ type StreamTrailer struct {
 	RowCount  int64 `json:"row_count"`
 	Truncated bool  `json:"truncated,omitempty"`
 
+	// Watermark is the table data generation a SUBSCRIBE stream's output
+	// was current as of when the stream ended; 0 for one-shot queries.
+	Watermark uint64 `json:"watermark,omitempty"`
+
 	ElapsedMillis float64 `json:"elapsed_ms"`
 	QueuedMillis  float64 `json:"queued_ms"`
 	CacheHit      bool    `json:"cache_hit"`
@@ -113,6 +117,7 @@ func TrailerFor(m *windowdb.QueryMetrics) StreamTrailer {
 		return t
 	}
 	t.RowCount = m.Rows
+	t.Watermark = m.Watermark
 	t.ElapsedMillis = float64(m.Elapsed) / float64(time.Millisecond)
 	t.QueuedMillis = float64(m.Queued) / float64(time.Millisecond)
 	t.CacheHit = m.CacheHit
@@ -233,12 +238,24 @@ func decodeWireRow(line []byte, arity int) (storage.Tuple, error) {
 // stream between flushes when the client disconnects, which is what
 // releases the cursor's admission slot mid-stream.
 func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int, codec WireCodec) {
+	writeStream(ctx, w, rows, maxRows, codec, streamFlushStride, streamBatchRows)
+}
+
+// WriteLiveStream is WriteStream for subscription cursors: every row is
+// flushed as it is written (NDJSON) or framed singly (binary), because a
+// live cursor blocks indefinitely between delta batches and a row parked
+// behind the flush stride would never reach the client.
+func WriteLiveStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int, codec WireCodec) {
+	writeStream(ctx, w, rows, maxRows, codec, 1, 1)
+}
+
+func writeStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int, codec WireCodec, stride, batchRows int) {
 	if live := trace.LiveFromContext(ctx); live != nil {
 		// Account response-body bytes to the owning /debug/queries entry.
 		w = &liveCountingWriter{ResponseWriter: w, live: live}
 	}
 	if codec == CodecBinary {
-		writeStreamBinary(ctx, w, rows, maxRows)
+		writeStreamBinary(ctx, w, rows, maxRows, batchRows)
 		return
 	}
 	defer rows.Close()
@@ -254,6 +271,11 @@ func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows
 			flusher.Flush()
 		}
 	}
+	// Ship the header before the first row: a live cursor with an empty
+	// initial result blocks indefinitely on its first row, and a client
+	// opening the stream waits on the response header — without this flush
+	// the two deadlock against each other.
+	flush()
 
 	var n int64
 	truncated := false
@@ -262,7 +284,7 @@ func WriteStream(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows
 			return // client gone; the deferred Close releases the slot
 		}
 		n++
-		if n%streamFlushStride == 0 {
+		if n%int64(stride) == 0 {
 			flush()
 			if ctx.Err() != nil {
 				return
@@ -324,7 +346,7 @@ func (cw *liveCountingWriter) Flush() {
 	}
 }
 
-func writeStreamBinary(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows int) {
+func writeStreamBinary(ctx context.Context, w http.ResponseWriter, rows *windowdb.Rows, maxRows, batchRows int) {
 	defer rows.Close()
 	w.Header().Set("Content-Type", ContentTypeBinary)
 	w.WriteHeader(http.StatusOK)
@@ -339,8 +361,12 @@ func writeStreamBinary(ctx context.Context, w http.ResponseWriter, rows *windowd
 			flusher.Flush()
 		}
 	}
+	// Same contract as the NDJSON writer: the header frame leaves before
+	// the first row, or a subscription whose initial result is empty (an
+	// empty shard partition, say) wedges the opening client forever.
+	flush()
 	arity := len(rows.ColumnTypes())
-	batch := make([]storage.Tuple, 0, streamBatchRows)
+	batch := make([]storage.Tuple, 0, batchRows)
 	emit := func() bool {
 		if len(batch) == 0 {
 			return true
@@ -358,7 +384,7 @@ func writeStreamBinary(ctx context.Context, w http.ResponseWriter, rows *windowd
 	for rows.Next() {
 		batch = append(batch, rows.Row())
 		n++
-		if len(batch) >= streamBatchRows {
+		if len(batch) >= batchRows {
 			if !emit() {
 				return
 			}

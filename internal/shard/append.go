@@ -1,0 +1,325 @@
+package shard
+
+// The cluster's ingestion and continuous-query surface.
+//
+// Appends route the way queries do, in reverse: the coordinator assigns
+// one watermark per logical append at its own catalog entry (a stub for
+// sharded tables — validation and statistics, no stored rows; the real
+// replica for replicated tables), hash-partitions the batch on the shard
+// key with the same exec.PartitionRows the registration used, and ships
+// each node its partition with the watermark as the node's generation
+// lower bound. Every owning node therefore reports the same watermark to
+// its subscribers, and a node whose partition of the batch is empty
+// simply keeps its old generation — nothing it serves changed.
+//
+// SUBSCRIBE routes like a scatter: when the inner statement's chain is
+// shard-local (its common partition key covers the shard key), no window
+// partition spans nodes, so each node maintains its own partition's
+// result independently and the coordinator fans the live delta streams
+// in as rows arrive. Row identities are node-local; the coordinator
+// rewrites each _rid to rid*shards+node — injective across the cluster,
+// though no longer the original input position. Chains that are not
+// shard-local are rejected: their maintenance state would span nodes.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/service"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Append applies one batch of rows to a cluster-registered table: the
+// coordinator validates the batch and assigns the watermark, then routes
+// each row to its owning node (sharded) or the full batch to every node
+// (replicated). Prepared plans survive — only the data generation moves.
+// A node failure surfaces after the coordinator's bookkeeping already
+// advanced; re-sending the batch is safe for subscribers (generations are
+// lower-bounded, not summed) but duplicates rows, so callers should treat
+// a failed append as needing table re-registration, not a blind retry.
+func (c *Cluster) Append(ctx context.Context, table string, rows []storage.Tuple) (service.AppendResponse, error) {
+	if len(rows) == 0 {
+		return service.AppendResponse{}, errors.New("shard: append without rows")
+	}
+	c.mu.RLock()
+	info := c.tables[strings.ToLower(table)]
+	c.mu.RUnlock()
+	if info == nil {
+		return service.AppendResponse{}, fmt.Errorf("%w %q (not cluster-registered)", catalog.ErrUnknownTable, table)
+	}
+	// The coordinator's entry assigns the cluster watermark. Validation
+	// (arity, column types) happens here, before any node sees the batch.
+	start, wm, err := c.coord.AppendAt(info.name, rows, 0)
+	if err != nil {
+		return service.AppendResponse{}, err
+	}
+	if info.sharded {
+		parts := exec.PartitionRows(rows, info.key.IDs(), len(c.shards))
+		err = c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+			if len(parts[i]) == 0 {
+				return nil
+			}
+			_, err := tr.Append(ctx, info.name, parts[i], wm)
+			return err
+		})
+	} else {
+		err = c.eachShard(ctx, func(ctx context.Context, i int, tr Transport) error {
+			_, err := tr.Append(ctx, info.name, rows, wm)
+			return err
+		})
+	}
+	if err != nil {
+		return service.AppendResponse{}, err
+	}
+	c.mu.Lock()
+	info.rows += int64(len(rows))
+	c.mu.Unlock()
+	c.appends.Add(1)
+	c.rowsAppended.Add(uint64(len(rows)))
+	return service.AppendResponse{
+		Table: info.name, StartRid: start, RowsAppended: len(rows), Watermark: wm,
+	}, nil
+}
+
+// insertRows executes a parsed-from-text INSERT at the cluster: parse at
+// the coordinator, route through Append, return the standard one-row
+// summary cursor every backend produces.
+func (c *Cluster) insertRows(ctx context.Context, src string) (*windowdb.Rows, error) {
+	ins, err := sql.ParseInsert(src)
+	if err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	resp, err := c.Append(ctx, ins.Table, ins.Rows)
+	if err != nil {
+		c.failures.Add(1)
+		return nil, err
+	}
+	c.queries.Add(1)
+	return windowdb.NewInsertRows(resp.Table, resp.RowsAppended, resp.Watermark), nil
+}
+
+// streamSubscribe serves a SUBSCRIBE statement cluster-wide. The inner
+// statement prepares normally at the coordinator (plan cache included);
+// the live cursor then routes: replicated tables go whole to one node
+// round-robin (every replica sees every cluster append), shard-local
+// chains fan in a live stream per node, and anything else is rejected.
+func (c *Cluster) streamSubscribe(ctx context.Context, inner string, cancel context.CancelFunc, start time.Time, qt *clusterTrace) (*windowdb.Rows, error) {
+	prep, hit, err := c.prepare(inner)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	info := c.tables[strings.ToLower(prep.Table())]
+	c.mu.RUnlock()
+	if info == nil {
+		return nil, fmt.Errorf("%w %q (not cluster-registered)", catalog.ErrUnknownTable, prep.Table())
+	}
+	// Surface non-maintainable statements (DISTINCT/ORDER BY/LIMIT) with
+	// the single-engine error before any node fan-out.
+	if _, err := prep.Maintenance(); err != nil {
+		return nil, err
+	}
+	src := "SUBSCRIBE " + inner
+	var (
+		route string
+		n     int
+		open  func(ctx context.Context, i int) (RowStream, error)
+	)
+	switch {
+	case !info.sharded:
+		c.replica.Add(1)
+		route, n = "replica", 1
+		node := int(c.rr.Add(1)-1) % len(c.shards)
+		open = func(ctx context.Context, _ int) (RowStream, error) {
+			return c.shards[node].Subscribe(ctx, src)
+		}
+	case prep.ShardLocal(info.key):
+		c.scatter.Add(1)
+		route, n = "scatter", len(c.shards)
+		open = func(ctx context.Context, i int) (RowStream, error) {
+			return c.shards[i].Subscribe(ctx, src)
+		}
+	default:
+		return nil, fmt.Errorf("%w: SUBSCRIBE on %q needs a shard-local chain (common partition key covering the shard key %v)",
+			sql.ErrBind, prep.Table(), info.keyCols)
+	}
+	streams, streamCancel, err := c.openStreams(ctx, n, open)
+	if err != nil {
+		return nil, err
+	}
+	cols := streams[0].Columns()
+	ls := &liveSource{
+		c: c, cols: cols, streams: streams, streamCancel: streamCancel,
+		cancel: cancel, prep: prep, cacheHit: hit, route: route,
+		qt: qt, start: start,
+		ridIdx: colIndex(cols, "_rid"), wmIdx: colIndex(cols, "_watermark"),
+		ch:   make(chan liveItem),
+		done: make(chan struct{}),
+	}
+	for i, s := range streams {
+		ls.wg.Add(1)
+		go ls.pump(i, s)
+	}
+	qt.live().SetPhase("waiting for data")
+	return windowdb.NewRows(ls), nil
+}
+
+func colIndex(cols []storage.Column, name string) int {
+	for i, col := range cols {
+		if col.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// liveItem is one fan-in event from a node's live stream: a row, or the
+// error/EOF that ended the stream.
+type liveItem struct {
+	node int
+	row  storage.Tuple
+	err  error
+}
+
+// liveSource fans per-node live subscription streams into the public
+// cursor. Unlike scatterSource's in-order concatenation — a live stream
+// never ends on its own, so draining node 0 first would never surface
+// node 1's deltas — every stream is pumped concurrently into one channel
+// and rows emit in arrival order (per-node order is preserved; it is the
+// only order a live merge can promise). Each row's _rid is rewritten to
+// the cluster-unique encoding rid*shards+node.
+type liveSource struct {
+	c            *Cluster
+	cols         []storage.Column
+	streams      []RowStream
+	streamCancel context.CancelFunc
+	cancel       context.CancelFunc
+	prep         *sql.Prepared
+	cacheHit     bool
+	route        string
+	qt           *clusterTrace
+	start        time.Time
+	ridIdx       int
+	wmIdx        int
+
+	ch   chan liveItem
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	ended     int // node streams that reached io.EOF
+	rows      int64
+	watermark uint64 // max _watermark observed across emitted rows
+	once      sync.Once
+	meta      *windowdb.QueryMetrics
+}
+
+// pump forwards one node stream into the fan-in channel. It owns the
+// stream's Close (Next and Close on a cursor must share a goroutine);
+// when the source finishes, the canceled stream context unblocks Next and
+// the closed done channel releases the push.
+func (ls *liveSource) pump(node int, s RowStream) {
+	defer ls.wg.Done()
+	defer s.Close()
+	for {
+		t, err := s.Next()
+		select {
+		case ls.ch <- liveItem{node: node, row: t, err: err}:
+		case <-ls.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (ls *liveSource) Columns() []storage.Column { return ls.cols }
+
+func (ls *liveSource) Next() (storage.Tuple, error) {
+	for {
+		if ls.ended == len(ls.streams) {
+			ls.finish(nil, true)
+			return nil, io.EOF
+		}
+		it := <-ls.ch
+		if it.err == io.EOF {
+			ls.ended++
+			continue
+		}
+		if it.err != nil {
+			ls.finish(it.err, false)
+			return nil, it.err
+		}
+		row := it.row
+		if ls.ridIdx >= 0 && ls.ridIdx < len(row) {
+			// Clone before rewriting: local transports share tuple storage
+			// with the node's maintainer state.
+			row = row.Clone()
+			row[ls.ridIdx] = storage.Int(row[ls.ridIdx].Int64()*int64(len(ls.streams)) + int64(it.node))
+		}
+		if ls.wmIdx >= 0 && ls.wmIdx < len(row) {
+			if wm := uint64(row[ls.wmIdx].Int64()); wm > ls.watermark {
+				ls.watermark = wm
+			}
+		}
+		ls.rows++
+		ls.qt.live().AddRowsEmitted(1)
+		return row, nil
+	}
+}
+
+func (ls *liveSource) Close() error {
+	ls.finish(nil, false)
+	return nil
+}
+
+func (ls *liveSource) Metrics() *windowdb.QueryMetrics { return ls.meta }
+
+func (ls *liveSource) finish(err error, completed bool) {
+	ls.once.Do(func() {
+		close(ls.done)
+		ls.streamCancel()
+		meta := &windowdb.QueryMetrics{
+			Plan:        ls.prep.Plan(),
+			FinalSort:   "none",
+			Parallelism: 1,
+			CacheHit:    ls.cacheHit,
+			Route:       ls.route,
+			ShardsUsed:  len(ls.streams),
+			Elapsed:     time.Since(ls.start),
+			Watermark:   ls.watermark,
+		}
+		if meta.Plan != nil {
+			meta.Chain = meta.Plan.PaperString()
+		}
+		ls.c.finishTrace(ls.qt, meta, ls.rows, nil, ls.start, err, err == nil && completed)
+		ls.meta = meta
+		killed := ls.qt != nil && ls.qt.entry.Killed()
+		if ls.qt != nil {
+			ls.c.reg.Remove(ls.qt.entry)
+		}
+		switch {
+		case killed:
+			ls.c.aborted.Add(1)
+		case err != nil && !errors.Is(err, context.Canceled):
+			ls.c.failures.Add(1)
+		default:
+			// A subscription's natural end is a close — a live stream has no
+			// final row, so a clean shutdown counts as served, not aborted.
+			ls.c.queries.Add(1)
+		}
+		if ls.cancel != nil {
+			ls.cancel()
+		}
+	})
+}

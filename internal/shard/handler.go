@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -32,6 +33,10 @@ type ClusterStats struct {
 	Shuffle uint64 `json:"shuffle"`
 	Gather  uint64 `json:"gather"`
 	Replica uint64 `json:"replica"`
+	// Appends counts cluster-level append batches (INSERT statements and
+	// /append bodies routed to the owning nodes); RowsAppended their rows.
+	Appends      uint64 `json:"appends"`
+	RowsAppended uint64 `json:"rows_appended"`
 	// LiveQueries is the coordinator's in-flight query registry size —
 	// statements currently inside QueryContext (GET /debug/queries lists
 	// them).
@@ -63,17 +68,19 @@ func (c *Cluster) Stats(ctx context.Context) (*ClusterStats, error) {
 		return nil, err
 	}
 	stats := &ClusterStats{
-		Shards:      len(c.shards),
-		Queries:     c.queries.Load(),
-		Failures:    c.failures.Load(),
-		Aborted:     c.aborted.Load(),
-		Scatter:     c.scatter.Load(),
-		Shuffle:     c.shuffled.Load(),
-		Gather:      c.gathered.Load(),
-		Replica:     c.replica.Load(),
-		LiveQueries: c.reg.Len(),
-		CoordCache:  c.cache.stats(),
-		ShardStats:  snaps,
+		Shards:       len(c.shards),
+		Queries:      c.queries.Load(),
+		Failures:     c.failures.Load(),
+		Aborted:      c.aborted.Load(),
+		Scatter:      c.scatter.Load(),
+		Shuffle:      c.shuffled.Load(),
+		Gather:       c.gathered.Load(),
+		Replica:      c.replica.Load(),
+		Appends:      c.appends.Load(),
+		RowsAppended: c.rowsAppended.Load(),
+		LiveQueries:  c.reg.Len(),
+		CoordCache:   c.cache.stats(),
+		ShardStats:   snaps,
 	}
 	for _, s := range snaps {
 		stats.ShardQueries += s.Queries
@@ -104,6 +111,7 @@ func (c *Cluster) Stats(ctx context.Context) (*ClusterStats, error) {
 func (c *Cluster) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/append", c.handleAppend)
 	mux.HandleFunc("/stats", c.handleStats)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/metrics", c.handleMetrics)
@@ -118,6 +126,10 @@ type queryRequest struct {
 	MaxRows       int    `json:"max_rows"`
 	TimeoutMillis int64  `json:"timeout_ms"`
 	Stream        bool   `json:"stream,omitempty"`
+	// Subscribe turns the statement into a SUBSCRIBE (prefixing the verb
+	// when absent): the response becomes a live delta stream maintained by
+	// the owning shard nodes. ?subscribe=1 is the query-string spelling.
+	Subscribe bool `json:"subscribe,omitempty"`
 }
 
 type queryResponse struct {
@@ -174,6 +186,20 @@ func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "shard: empty query: pass ?q= or a JSON body with \"sql\"", Kind: "request"})
 		return
 	}
+	if v := r.URL.Query().Get("subscribe"); v == "1" || v == "true" {
+		req.Subscribe = true
+	}
+	if req.Subscribe {
+		if _, ok := windowdb.StripSubscribe(req.SQL); !ok {
+			req.SQL = "SUBSCRIBE " + req.SQL
+		}
+	}
+	// A SUBSCRIBE statement is necessarily a stream: it has no final row to
+	// buffer a response around.
+	_, isLive := windowdb.StripSubscribe(req.SQL)
+	if isLive {
+		req.Stream = true
+	}
 	ctx := r.Context()
 	if req.TimeoutMillis > 0 {
 		var cancel context.CancelFunc
@@ -206,7 +232,13 @@ func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if e := c.reg.Get(traceID); e != nil {
 			wctx = trace.WithLive(wctx, e.Live())
 		}
-		service.WriteStream(wctx, w, rows, req.MaxRows, service.NegotiateCodec(r))
+		if isLive {
+			// Per-row flushing: delta rows must reach the client as they
+			// land, not park behind the fill buffer while the stream idles.
+			service.WriteLiveStream(wctx, w, rows, req.MaxRows, service.NegotiateCodec(r))
+		} else {
+			service.WriteStream(wctx, w, rows, req.MaxRows, service.NegotiateCodec(r))
+		}
 		return
 	}
 
@@ -250,6 +282,30 @@ func (c *Cluster) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleAppend is the coordinator's POST /append route: the same two body
+// shapes as the single-engine service (JSON rows, or binary columnar
+// frames with ?table=), routed through Cluster.Append so each row lands on
+// its owning node under one coordinator-assigned watermark.
+func (c *Cluster) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "shard: use POST", Kind: "request"})
+		return
+	}
+	req, rows, err := service.DecodeAppendBody(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Kind: "request"})
+		return
+	}
+	resp, err := c.Append(r.Context(), req.Table, rows)
+	if err != nil {
+		status, kind := service.AppendStatus(err)
+		writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (c *Cluster) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats, err := c.Stats(r.Context())
 	if err != nil {
@@ -288,6 +344,8 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("windowdb_query_failures_total", "Queries completed with an error.", float64(stats.Failures))
 	p.Counter("windowdb_streams_aborted_total", "Streamed queries closed before their last row.", float64(stats.Aborted))
 	p.Counter("windowdb_queries_aborted_total", "Queries aborted before completion (kills and client disconnects).", float64(stats.Aborted))
+	p.Counter("windowdb_appends_total", "Append batches routed to the owning shard nodes.", float64(stats.Appends))
+	p.Counter("windowdb_rows_appended_total", "Rows ingested by cluster append batches.", float64(stats.RowsAppended))
 	p.Gauge("windowdb_live_queries", "In-flight queries in the coordinator registry.", float64(stats.LiveQueries))
 	p.Gauge("windowdb_shuffle_round_imbalance", "Most recent shuffle round's max/mean per-node output-row ratio (1 = balanced, 0 = none observed).", c.ShuffleImbalance())
 

@@ -217,6 +217,41 @@ func (h *HTTP) Register(ctx context.Context, name string, t *storage.Table) erro
 	return h.do(ctx, http.MethodPost, "/shard/register", req, nil)
 }
 
+// Append implements Transport: a JSON POST to the node's /append route,
+// carrying the coordinator's watermark so the node's data generation
+// converges on it.
+func (h *HTTP) Append(ctx context.Context, table string, rows []storage.Tuple, watermark uint64) (service.AppendResponse, error) {
+	req := service.AppendRequest{Table: table, Rows: make([][]service.WireValue, len(rows)), Watermark: watermark}
+	for i, row := range rows {
+		wr := make([]service.WireValue, len(row))
+		for j, v := range row {
+			wr[j] = service.WireValue{V: v}
+		}
+		req.Rows[i] = wr
+	}
+	var resp service.AppendResponse
+	if err := h.do(ctx, http.MethodPost, "/append", req, &resp); err != nil {
+		return service.AppendResponse{}, err
+	}
+	return resp, nil
+}
+
+// Subscribe implements Transport over the node's live /query stream: a
+// SUBSCRIBE statement forces the chunked response shape and the node
+// flushes per delta batch, so rows never park behind a fill buffer while
+// the stream idles between appends.
+func (h *HTTP) Subscribe(ctx context.Context, src string) (RowStream, error) {
+	body := struct {
+		SQL    string `json:"sql"`
+		Stream bool   `json:"stream"`
+	}{SQL: src, Stream: true}
+	sr, err := service.OpenStream(ctx, h.client, h.base+"/query", body, h.codec)
+	if err != nil {
+		return nil, err
+	}
+	return &httpStream{sr: sr}, nil
+}
+
 // Distinct implements Transport.
 func (h *HTTP) Distinct(ctx context.Context, table string, set attrs.Set) (int64, error) {
 	var resp service.ShardDistinctResponse

@@ -151,6 +151,7 @@ type Cluster struct {
 
 	queries, failures, aborted           atomic.Uint64
 	scatter, shuffled, gathered, replica atomic.Uint64
+	appends, rowsAppended                atomic.Uint64
 
 	// Coordinator-side observability: the /debug/trace ring of recent
 	// query traces, the slow-query logger (both optional), the in-flight
@@ -463,6 +464,11 @@ type Result struct {
 // (from a shard's admission control), ctx errors, and engine faults —
 // remote errors unwrap to the same sentinels (RemoteError).
 func (c *Cluster) Query(ctx context.Context, src string) (*Result, error) {
+	if _, ok := windowdb.StripSubscribe(src); ok {
+		// A subscription never ends on its own; draining it into a table
+		// would block forever.
+		return nil, fmt.Errorf("%w: SUBSCRIBE needs a streaming cursor (QueryContext)", sql.ErrBind)
+	}
 	start := time.Now()
 	rows, err := c.QueryContext(ctx, src)
 	if err != nil {
@@ -506,6 +512,9 @@ var _ windowdb.Queryer = (*Cluster)(nil)
 func (c *Cluster) QueryContext(ctx context.Context, src string) (*windowdb.Rows, error) {
 	if inner, ok := windowdb.StripExplainAnalyze(src); ok {
 		return windowdb.ExplainAnalyzeRows(ctx, c, inner)
+	}
+	if windowdb.IsInsert(src) {
+		return c.insertRows(ctx, src)
 	}
 	// Join or start the distributed trace here so every fan-out this
 	// statement makes — scatter streams, shuffle control rounds, gathers —
@@ -651,6 +660,9 @@ func (c *Cluster) finishTrace(qt *clusterTrace, meta *windowdb.QueryMetrics, row
 func (c *Cluster) streamQuery(ctx context.Context, src string, cancel context.CancelFunc, entry *trace.QueryEntry) (*windowdb.Rows, error) {
 	start := time.Now()
 	qt := &clusterTrace{id: trace.FromContext(ctx), src: src, entry: entry}
+	if inner, ok := windowdb.StripSubscribe(src); ok {
+		return c.streamSubscribe(ctx, inner, cancel, start, qt)
+	}
 	prep, hit, err := c.prepare(src)
 	if err != nil {
 		return nil, err

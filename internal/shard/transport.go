@@ -95,6 +95,18 @@ type Transport interface {
 	ShuffleDrop(ctx context.Context, id string) error
 	// Register installs a table (partition or replica) on the node.
 	Register(ctx context.Context, name string, t *storage.Table) error
+	// Append applies one batch of rows to the node's partition (or
+	// replica) of a table. watermark is the coordinator-assigned data
+	// generation for the logical append — the node's generation converges
+	// on max(own+1, watermark), so every owning node reports the same
+	// watermark to its subscribers.
+	Append(ctx context.Context, table string, rows []storage.Tuple, watermark uint64) (service.AppendResponse, error)
+	// Subscribe opens a live maintained cursor on the node: the SUBSCRIBE
+	// statement's initial result streams first, then the stream blocks and
+	// delta rows arrive as appends land. src carries the SUBSCRIBE prefix.
+	// The stream ends only when closed, the context is canceled, or the
+	// node kills the query.
+	Subscribe(ctx context.Context, src string) (RowStream, error)
 	// Distinct returns the node-local distinct count of the attribute set,
 	// feeding the coordinator's statistics stubs.
 	Distinct(ctx context.Context, table string, set attrs.Set) (int64, error)
@@ -295,6 +307,27 @@ func (l *Local) Register(ctx context.Context, name string, t *storage.Table) err
 	}
 	l.svc.Engine().Register(name, t)
 	return nil
+}
+
+// Append implements Transport: the node-side service append — validation,
+// data-generation bump, subscription wake, metering.
+func (l *Local) Append(ctx context.Context, table string, rows []storage.Tuple, watermark uint64) (service.AppendResponse, error) {
+	start, wm, err := l.svc.Append(ctx, table, rows, watermark)
+	if err != nil {
+		return service.AppendResponse{}, err
+	}
+	return service.AppendResponse{Table: table, StartRid: start, RowsAppended: len(rows), Watermark: wm}, nil
+}
+
+// Subscribe implements Transport: the node's live subscription cursor,
+// adapted. The node-side admission slot and registry entry are held for
+// the subscription's lifetime, exactly as for a remote node.
+func (l *Local) Subscribe(ctx context.Context, src string) (RowStream, error) {
+	rows, err := l.svc.QueryContext(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return &rowsStream{rows: rows}, nil
 }
 
 // Distinct implements Transport.

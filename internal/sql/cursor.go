@@ -94,7 +94,7 @@ func (c *Cursor) Close() error {
 // StreamContext runs the prepared query and returns a Cursor over its
 // output: the streaming sibling of ExecuteContext.
 func (p *Prepared) StreamContext(ctx context.Context) (*Cursor, error) {
-	return p.stream(ctx, p.entry.Table, true)
+	return p.stream(ctx, p.entry.Table(), true)
 }
 
 // StreamShardContext streams the shard-local part of the statement (WHERE,
@@ -103,7 +103,7 @@ func (p *Prepared) StreamContext(ctx context.Context) (*Cursor, error) {
 // this path always projects lazily — the seam a shard node streams its
 // scatter response through.
 func (p *Prepared) StreamShardContext(ctx context.Context) (*Cursor, error) {
-	return p.stream(ctx, p.entry.Table, false)
+	return p.stream(ctx, p.entry.Table(), false)
 }
 
 // StreamOverContext streams the full prepared pipeline over base instead

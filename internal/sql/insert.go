@@ -1,0 +1,102 @@
+package sql
+
+import (
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Insert is a parsed INSERT INTO <table> VALUES (...), (...) statement.
+// Values are literal tuples; type validation and INT→FLOAT coercion
+// against the table schema happen in catalog.Append, so an Insert parses
+// without a catalog.
+type Insert struct {
+	Table string
+	Rows  []storage.Tuple
+}
+
+// IsInsert reports whether src's first keyword is INSERT — the cheap
+// dispatch test serving layers apply before choosing a parser.
+func IsInsert(src string) bool {
+	s := strings.TrimSpace(src)
+	if len(s) < 6 || !strings.EqualFold(s[:6], "INSERT") {
+		return false
+	}
+	return len(s) == 6 || !isWordByte(s[6])
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || (b >= '0' && b <= '9') || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+// ParseInsert parses an INSERT statement. Errors carry the ErrParse class.
+func ParseInsert(src string) (*Insert, error) {
+	lx := &lexer{src: src}
+	toks, err := lx.lex()
+	if err != nil {
+		return nil, classify(ErrParse, err)
+	}
+	p := &parser{toks: toks}
+	ins, err := p.parseInsert()
+	if err != nil {
+		return nil, classify(ErrParse, err)
+	}
+	if !p.at(tokEOF, "") {
+		return nil, classify(ErrParse, p.errorf("trailing input %q", p.cur().text))
+	}
+	return ins, nil
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	if _, err := p.expect(tokKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: tbl.text}
+	for {
+		row, err := p.parseValueTuple()
+		if err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseValueTuple() (storage.Tuple, error) {
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var row storage.Tuple
+	for {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		v, err := litValue(lit)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		row = append(row, v)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return row, nil
+}

@@ -39,6 +39,7 @@ var keywords = map[string]bool{
 	"NOT": true, "UNBOUNDED": true, "PRECEDING": true, "FOLLOWING": true,
 	"CURRENT": true, "ROW": true, "NULL": true, "IS": true, "LIMIT": true,
 	"TRUE": true, "FALSE": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "SUBSCRIBE": true,
 }
 
 type lexer struct {

@@ -1,0 +1,88 @@
+package sql
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/window"
+)
+
+// MaintainSource describes where one output column of a maintained query
+// comes from: a base-table column (WF < 0) or a window-function spec
+// (WF is the index into MaintainInfo.Specs).
+type MaintainSource struct {
+	Col int // base-schema column index; -1 when the source is a window function
+	WF  int // spec index; -1 when the source is a base column
+}
+
+// MaintainInfo is the statically resolved shape of a prepared statement
+// that an incremental maintainer (internal/delta) re-evaluates on appends:
+// the base schema, the bound window specs, the projection mapping and the
+// WHERE predicate as a row closure. It exists so the delta subsystem can
+// maintain a query without re-doing any parse/bind/plan work — and without
+// depending on the executor at all; maintenance recomputes window values
+// per dirty partition, not per chain.
+type MaintainInfo struct {
+	Entry   *catalog.Entry
+	Schema  *storage.Schema
+	Specs   []window.Spec
+	OutCols []storage.Column
+	// Sources has one element per OutCols entry.
+	Sources []MaintainSource
+	// Filter evaluates the statement's WHERE clause over a base row; nil
+	// when the statement has none.
+	Filter func(storage.Tuple) (bool, error)
+}
+
+// Maintenance resolves the prepared statement's maintainable shape.
+// Statements with DISTINCT, ORDER BY or LIMIT are not maintainable — a
+// delta stream has no stable notion of "the k-th row of the sorted
+// output" — and return an ErrBind-classified error, which the serving
+// layers surface as a client error on SUBSCRIBE.
+func (p *Prepared) Maintenance() (*MaintainInfo, error) {
+	switch {
+	case p.q.Distinct:
+		return nil, classify(ErrBind, fmt.Errorf("sql: SUBSCRIBE does not support DISTINCT"))
+	case len(p.q.OrderBy) > 0:
+		return nil, classify(ErrBind, fmt.Errorf("sql: SUBSCRIBE does not support ORDER BY"))
+	case p.q.Limit >= 0:
+		return nil, classify(ErrBind, fmt.Errorf("sql: SUBSCRIBE does not support LIMIT"))
+	}
+	schema := p.entry.Table().Schema
+	info := &MaintainInfo{
+		Entry:   p.entry,
+		Schema:  schema,
+		Specs:   p.specs,
+		OutCols: p.outCols,
+		Sources: make([]MaintainSource, 0, len(p.pick)),
+	}
+	// p.pick addresses the executed table (base schema + one column per
+	// chain step); invert wfCol to map chain columns back to spec indices.
+	colWF := make(map[int]int, len(p.wfCol))
+	for id, col := range p.wfCol {
+		colWF[col] = id
+	}
+	for _, src := range p.pick {
+		if src < schema.Len() {
+			info.Sources = append(info.Sources, MaintainSource{Col: src, WF: -1})
+		} else {
+			id, ok := colWF[src]
+			if !ok {
+				return nil, fmt.Errorf("sql: projection column %d has no window source", src)
+			}
+			info.Sources = append(info.Sources, MaintainSource{Col: -1, WF: id})
+		}
+	}
+	if p.q.Where != nil {
+		where := p.q.Where
+		info.Filter = func(row storage.Tuple) (bool, error) {
+			v, err := evalPredicate(where, row, schema)
+			if err != nil {
+				return false, err
+			}
+			return v == tTrue, nil
+		}
+	}
+	return info, nil
+}

@@ -163,7 +163,7 @@ func (r *Runner) prepare(q *Query, src string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	schema := entry.Table.Schema
+	schema := entry.Table().Schema
 	p := &Prepared{
 		src:       src,
 		fp:        Fingerprint(src),
@@ -310,7 +310,7 @@ func (p *Prepared) Execute() (*Result, error) {
 // DISTINCT, the final ORDER BY and LIMIT. It is safe for concurrent use on
 // one Prepared.
 func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
-	return p.execute(ctx, p.entry.Table, true)
+	return p.execute(ctx, p.entry.Table(), true)
 }
 
 // ExecuteOverContext runs the full prepared pipeline over base instead of
@@ -332,7 +332,7 @@ func (p *Prepared) ExecuteOverContext(ctx context.Context, base *storage.Table) 
 // (FinalizeConcat). Only meaningful when the caller established
 // ShardLocal for the cluster's shard key.
 func (p *Prepared) ExecuteShardContext(ctx context.Context) (*Result, error) {
-	return p.execute(ctx, p.entry.Table, false)
+	return p.execute(ctx, p.entry.Table(), false)
 }
 
 // FinalizeConcat applies the coordinator-side phases — DISTINCT, the final

@@ -66,6 +66,9 @@ type Result struct {
 	// table (catalog |R|): the "estimated rows" EXPLAIN ANALYZE contrasts
 	// with each step's observed cardinality.
 	EstRows int64
+	// Watermark is the table data generation a maintained (SUBSCRIBE)
+	// cursor's output is current as of; 0 for one-shot queries.
+	Watermark uint64
 }
 
 // Query parses, plans and executes one window query block.

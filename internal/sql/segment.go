@@ -139,7 +139,7 @@ func (p *Prepared) buildSegments(sp *SegmentPlan) (*SegmentRunner, error) {
 		seen[id] = true
 	}
 
-	base := p.entry.Table.Schema
+	base := p.entry.Table().Schema
 	r := &SegmentRunner{p: p, sp: sp}
 	opt := core.Options{
 		Cost:      p.entry.CostParams(p.cfg.MemoryBytes, p.cfg.BlockSize),
@@ -222,7 +222,7 @@ func (r *SegmentRunner) FilterBase(ctx context.Context) (*storage.Table, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return r.p.filterWhere(r.p.entry.Table)
+	return r.p.filterWhere(r.p.entry.Table())
 }
 
 // Run executes segment seg's chain steps over in — rows already

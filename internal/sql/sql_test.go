@@ -251,7 +251,7 @@ func TestSQLAgainstReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	entry, _ := r.Catalog.Lookup("web_sales")
-	table := entry.Table
+	table := entry.Table()
 	spec := window.Spec{
 		Kind: window.Sum,
 		Arg:  datagen.ColQuantity,

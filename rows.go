@@ -84,6 +84,10 @@ type QueryMetrics struct {
 	ShardsUsed int
 	// Rows counts the rows the cursor yielded.
 	Rows int64
+	// Watermark is the table data generation a maintained (SUBSCRIBE)
+	// cursor's output was current as of when the stream ended; 0 for
+	// one-shot queries.
+	Watermark uint64
 	// EstRows is the planner's input-cardinality estimate (catalog |R|),
 	// the "estimated" side of EXPLAIN ANALYZE; 0 when unknown (remote
 	// backends without a trailer estimate).

@@ -28,8 +28,12 @@
 //	db, _ := sql.Open("windowdb", "main")
 //	rows, _ := db.Query(`SELECT empnum, rank() OVER (ORDER BY salary DESC) AS r FROM emptab`)
 //
-// The engine speaks a read-only window-query dialect: Exec, transactions
-// and placeholder arguments are not supported.
+// The engine speaks a window-query dialect with one write statement:
+// `db.Exec("INSERT INTO t VALUES ...")` appends rows (RowsAffected is the
+// appended count), and `db.Query("SUBSCRIBE <stmt>")` opens a live
+// maintained cursor — database/sql's incremental Next/Scan loop blocks
+// between delta batches; cancel the context to end it. Transactions and
+// placeholder arguments are not supported.
 package sqldriver
 
 import (
@@ -105,7 +109,43 @@ type conn struct {
 var (
 	_ driver.Conn           = (*conn)(nil)
 	_ driver.QueryerContext = (*conn)(nil)
+	_ driver.ExecerContext  = (*conn)(nil)
 )
+
+// ExecContext implements driver.ExecerContext for the one statement the
+// engine can write: INSERT. The backend returns its one-row summary
+// cursor [table, rows_appended, watermark]; Exec drains it into a
+// driver.Result whose RowsAffected is the appended row count. Everything
+// else stays read-only and must go through Query.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, errors.New("sqldriver: placeholder arguments are not supported")
+	}
+	if !windowdb.IsInsert(query) {
+		return nil, errors.New("sqldriver: only INSERT can Exec; the query surface is read-only")
+	}
+	r, err := c.q.QueryContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var appended int64
+	for r.Next() {
+		appended = r.Row()[1].Int64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return execResult(appended), nil
+}
+
+// execResult is the driver.Result of an INSERT: the appended row count.
+type execResult int64
+
+func (r execResult) LastInsertId() (int64, error) {
+	return 0, errors.New("sqldriver: no insert IDs; row identity is positional (_rid)")
+}
+func (r execResult) RowsAffected() (int64, error) { return int64(r), nil }
 
 // QueryContext implements driver.QueryerContext — the fast path that
 // skips statement preparation.

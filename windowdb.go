@@ -34,11 +34,13 @@ package windowdb
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/attrs"
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/exec"
 	"repro/internal/pagestore"
 	"repro/internal/sql"
@@ -121,6 +123,11 @@ func (c Config) withDefaults() Config {
 type Engine struct {
 	cfg Config
 	cat *catalog.Catalog
+	hub *delta.Hub
+	// appendMu serializes Append's catalog-swap + hub-publish pair, and
+	// SubscribeStatement's register + snapshot pair, so subscriptions see
+	// every batch exactly once (either in the snapshot or on the channel).
+	appendMu sync.Mutex
 }
 
 // Engine implements Queryer; the service, client and cluster backends
@@ -129,7 +136,7 @@ var _ Queryer = (*Engine)(nil)
 
 // New creates an engine.
 func New(cfg Config) *Engine {
-	return &Engine{cfg: cfg.withDefaults(), cat: catalog.New()}
+	return &Engine{cfg: cfg.withDefaults(), cat: catalog.New(), hub: delta.NewHub()}
 }
 
 // Register adds (or replaces) a table under name. Statistics (distinct
@@ -157,7 +164,7 @@ func (e *Engine) Table(name string) (*storage.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return entry.Table, nil
+	return entry.Table(), nil
 }
 
 // Result re-exports the SQL result type: the fully-materialized form the
@@ -186,6 +193,12 @@ func (e *Engine) Query(src string) (*Result, error) {
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Rows, error) {
 	if inner, ok := StripExplainAnalyze(src); ok {
 		return ExplainAnalyzeRows(ctx, e, inner)
+	}
+	if sql.IsInsert(src) {
+		return e.insertRows(ctx, src)
+	}
+	if inner, ok := StripSubscribe(src); ok {
+		return e.subscribeRows(ctx, inner)
 	}
 	start := time.Now()
 	r := e.runner()
@@ -276,6 +289,7 @@ func MetaFromResult(res *sql.Result) *QueryMetrics {
 		SatisfiedPrefix: res.SatisfiedPrefix,
 		Parallelism:     res.Parallelism,
 		EstRows:         res.EstRows,
+		Watermark:       res.Watermark,
 	}
 	if res.Plan != nil {
 		m.Chain = res.Plan.PaperString()
@@ -406,9 +420,9 @@ func (e *Engine) EvaluateWindows(table string, specs []window.Spec) (*storage.Ta
 		}
 	}
 	if cfg.Parallelism > 1 {
-		return exec.ParallelRun(entry.Table, specs, plan, cfg, cfg.Parallelism)
+		return exec.ParallelRun(entry.Table(), specs, plan, cfg, cfg.Parallelism)
 	}
-	return exec.Run(entry.Table, specs, plan, cfg)
+	return exec.Run(entry.Table(), specs, plan, cfg)
 }
 
 // EvaluateParallel evaluates a single window function with Section 3.5's
@@ -418,7 +432,7 @@ func (e *Engine) EvaluateParallel(table string, spec window.Spec, degree int) (*
 	if err != nil {
 		return nil, err
 	}
-	return exec.ParallelEvaluate(entry.Table, spec, degree, e.execConfig())
+	return exec.ParallelEvaluate(entry.Table(), spec, degree, e.execConfig())
 }
 
 // Stats exposes a table's catalog statistics for cost-model inspection.

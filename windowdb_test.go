@@ -164,13 +164,13 @@ func TestEngineMFVBypass(t *testing.T) {
 	}
 	// Cross-check one derived column against the reference evaluator.
 	entry, _ := eng.Stats("web_sales")
-	want, err := window.Reference(entry.Table.Rows, spec)
+	want, err := window.Reference(entry.Table().Rows, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantByTag := map[int64]storage.Value{}
 	for i, v := range want {
-		wantByTag[entry.Table.Rows[i][datagen.ColOrderNumber].Int64()] = v
+		wantByTag[entry.Table().Rows[i][datagen.ColOrderNumber].Int64()] = v
 	}
 	last := out.Schema.Len() - 1
 	for _, row := range out.Rows {

@@ -44,20 +44,23 @@ bench-service:
 	$(GO) run ./cmd/windbench -exp service -servdur 500ms -servrows 4000
 
 # The perf-trajectory artifact CI uploads: parallel + sharded + shuffle +
-# service + append sweeps serialized as JSON (see bench.Trajectory).
-# Sharded and shuffle points carry the slowest repetition's rendered trace
-# tree.
+# service (closed and open loop) + share + append sweeps serialized as
+# JSON (see bench.Trajectory). Sharded and shuffle points carry the
+# slowest repetition's rendered trace tree.
 bench-json:
-	$(GO) run ./cmd/windbench -exp parallel,sharded,shuffle,service,append -servdur 200ms -servrows 4000 -json BENCH_pr7.json
+	$(GO) run ./cmd/windbench -exp parallel,sharded,shuffle,service,share,append -servdur 200ms -servrows 4000 -arrival 25 -slo 2s -json BENCH_pr8.json
 
-# The committed bench-regression baseline: regenerate the shuffle and
-# append scenario trajectories in place, then verify the fresh numbers
-# pass their own gate. Run on a quiet machine, eyeball the diff, and
-# commit BENCH_baseline.json together with the change that moved the
-# numbers (see README "Bench baseline").
+# The committed bench-regression baseline: regenerate the gated scenario
+# trajectories in place, then verify the fresh numbers pass their own
+# gate. The flags must match the CI gate invocation exactly (Compare
+# refuses mismatched workloads). Run on a quiet machine, eyeball the
+# diff, and commit BENCH_baseline.json together with the change that
+# moved the numbers (see README "Bench baseline").
+BASELINE_EXPS := shuffle,append,service,share
+BASELINE_FLAGS := -servdur 2s -servrows 4000 -arrival 25 -slo 2s
 bench-baseline:
-	$(GO) run ./cmd/windbench -exp shuffle,append -json BENCH_baseline.json
-	$(GO) run ./cmd/windbench -exp shuffle,append -compare BENCH_baseline.json -tolerance 0.25
+	$(GO) run ./cmd/windbench -exp $(BASELINE_EXPS) $(BASELINE_FLAGS) -json BENCH_baseline.json
+	$(GO) run ./cmd/windbench -exp $(BASELINE_EXPS) $(BASELINE_FLAGS) -compare BENCH_baseline.json -tolerance 0.25
 
 # Boot windserve on a scratch port, wait for /healthz, fire a handful of
 # /query round trips and check /stats counted them. A serving smoke, not a

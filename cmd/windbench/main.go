@@ -14,6 +14,8 @@
 //	windbench -exp sharded             # scatter-gather cluster scaleout sweep
 //	windbench -exp shuffle             # key-divergent per-segment shuffle sweep
 //	windbench -exp service -servdur 2s # query-service closed-loop load
+//	windbench -exp service -arrival 25 -slo 2s  # + open-loop fixed-rate point with SLO attainment
+//	windbench -exp share               # correlated-dashboard sharing A/B (subplan cache on vs off)
 //	windbench -exp append              # append ingestion + incremental maintenance vs full recompute
 //
 // With -json PATH, the parallel, sharded, shuffle and service results
@@ -43,13 +45,15 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|sharded|shuffle|service|append|all")
+		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|plans|table11|ablation|parallel|sharded|shuffle|service|share|append|all")
 		rows      = flag.Int("rows", 120_000, "web_sales rows (paper: 72M at scale factor 100)")
 		seed      = flag.Int64("seed", 0, "generator seed (0 = default)")
 		blockSize = flag.Int("blocksize", 8192, "simulated page size in bytes")
 		queries   = flag.Int("queries", 5, "random queries per point for table11")
-		servDur   = flag.Duration("servdur", 2*time.Second, "service load duration per concurrency degree")
+		servDur   = flag.Duration("servdur", 2*time.Second, "service load duration per concurrency degree (also the open-loop arrival window)")
 		servRows  = flag.Int("servrows", 10_000, "web_sales rows for the service load harness")
+		arrival   = flag.Float64("arrival", 0, "open-loop arrival rate in qps: adds a fixed-rate point to -exp service (0 = closed-loop only)")
+		slo       = flag.Duration("slo", 0, "latency SLO for the -arrival point: fails unless 95% of arrivals complete within it")
 		jsonPath  = flag.String("json", "", "write the parallel/sharded/service results as a JSON trajectory artifact to this path")
 		compare   = flag.String("compare", "", "compare this run's results against the baseline trajectory at this path; exits 1 on regression")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional slowdown vs the -compare baseline (0.25 = +25%)")
@@ -153,6 +157,24 @@ func main() {
 			fail(err)
 		}
 		traj.Service = res
+		fmt.Fprintln(out)
+		if *arrival > 0 {
+			olres, err := bench.RunOpenLoop(bench.OpenLoopConfig{
+				Rows: *servRows, Seed: *seed, Rate: *arrival, Duration: *servDur, SLO: *slo,
+			}, out)
+			if err != nil {
+				fail(err)
+			}
+			traj.OpenLoop = []bench.OpenLoopResult{olres}
+			fmt.Fprintln(out)
+		}
+	}
+	if want("share") {
+		res, err := bench.RunShare(bench.ShareConfig{Seed: *seed}, out)
+		if err != nil {
+			fail(err)
+		}
+		traj.Share = res
 		fmt.Fprintln(out)
 	}
 	if want("append") {

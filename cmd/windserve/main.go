@@ -59,15 +59,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		scheme  = flag.String("scheme", "CSO", "optimization scheme: CSO|BFO|ORCL|PSQL")
-		rows    = flag.Int("rows", 20_000, "generated web_sales rows")
-		mem     = flag.Int("mem", 8<<20, "unit reorder memory M in bytes")
-		budget  = flag.Int("budget", 0, "global reorder-memory budget in bytes (0 = 4 chains' worth)")
-		slots   = flag.Int("slots", 0, "execution slots (0 = budget / per-chain memory); in -shards mode: coordinator gather slots (0 = 4)")
-		queue   = flag.Int("queue", 64, "admission queue bound (-1 = no queue)")
-		cache   = flag.Int("cachesize", 256, "plan cache entries")
-		timeout = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		scheme   = flag.String("scheme", "CSO", "optimization scheme: CSO|BFO|ORCL|PSQL")
+		rows     = flag.Int("rows", 20_000, "generated web_sales rows")
+		mem      = flag.Int("mem", 8<<20, "unit reorder memory M in bytes")
+		budget   = flag.Int("budget", 0, "global reorder-memory budget in bytes (0 = 4 chains' worth)")
+		slots    = flag.Int("slots", 0, "execution slots (0 = budget / per-chain memory); in -shards mode: coordinator gather slots (0 = 4)")
+		queue    = flag.Int("queue", 64, "admission queue bound (-1 = no queue)")
+		cache    = flag.Int("cachesize", 256, "plan cache entries")
+		share    = flag.Bool("share", true, "cross-query shared-subplan cache: concurrent queries over one (table, WHERE, partition key) share one scan+reorder execution")
+		subplans = flag.Int("subplans", 32, "shared-subplan cache entries (each pins one materialized segment)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
 		// Serving concurrency comes from the clients; per-query parallel
 		// workers multiply each admitted chain's memory claim (the governor
 		// accounts M × degree per slot), so they are opt-in here.
@@ -123,6 +125,8 @@ func main() {
 		Slots:             *slots,
 		MaxQueue:          *queue,
 		CacheEntries:      *cache,
+		SubplanEntries:    *subplans,
+		DisableSharing:    !*share,
 		DefaultTimeout:    *timeout,
 		// Only shard nodes expose the /shard/* surface: register/table
 		// would let any client overwrite or dump tables on a public

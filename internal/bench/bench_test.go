@@ -314,3 +314,58 @@ func TestShuffleScenario(t *testing.T) {
 		}
 	}
 }
+
+// TestShareScenario — the correlated-dashboard A/B runs at CI scale and
+// clears its own built-in bars (shared rate ≥ 50%, block I/O halved): the
+// acceptance criteria are asserted by RunShare itself, so a nil error IS
+// the assertion.
+func TestShareScenario(t *testing.T) {
+	cfg := ShareConfig{
+		Rows:        6000,
+		MemBytes:    1 << 15,
+		Concurrency: 8,
+		PerClient:   4,
+		Slots:       4,
+	}
+	results, err := RunShare(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Sharing || !results[1].Sharing {
+		t.Fatalf("want [off, on] arms, got %+v", results)
+	}
+	off, on := results[0], results[1]
+	if off.SharedRate != 0 {
+		t.Errorf("sharing-off arm reports shared rate %.2f", off.SharedRate)
+	}
+	if on.Queries != off.Queries {
+		t.Errorf("arms ran different fleets: %d vs %d queries", on.Queries, off.Queries)
+	}
+}
+
+// TestOpenLoopScenario — the fixed-rate harness runs at CI scale, issues
+// the scheduled number of arrivals, and attains a generous SLO.
+func TestOpenLoopScenario(t *testing.T) {
+	res, err := RunOpenLoop(OpenLoopConfig{
+		Rows:     2000,
+		Rate:     40,
+		Duration: 500 * time.Millisecond,
+		SLO:      10 * time.Second,
+		Slots:    4,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries < 15 {
+		t.Errorf("only %d of ~20 arrivals completed", res.Queries)
+	}
+	if res.Errors > 0 {
+		t.Errorf("%d arrivals failed", res.Errors)
+	}
+	if res.Attainment < 0.95 {
+		t.Errorf("attainment %.2f under a 10s SLO", res.Attainment)
+	}
+	if res.P50 <= 0 || res.P50 > res.P95 || res.P95 > res.P99 {
+		t.Errorf("implausible percentiles p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+}

@@ -147,6 +147,62 @@ func Compare(base, cur *Trajectory, tolerance float64) ([]ComparePoint, []string
 			missing = append(missing, name)
 		}
 	}
+	for _, bp := range base.Share {
+		arm := "off"
+		if bp.Sharing {
+			arm = "on"
+		}
+		name := fmt.Sprintf("share/%s/c=%d", arm, bp.Concurrency)
+		found := false
+		for _, cp := range cur.Share {
+			if cp.Sharing != bp.Sharing || cp.Concurrency != bp.Concurrency {
+				continue
+			}
+			found = true
+			ratio := bp.QPS / cp.QPS
+			pts = append(pts, ComparePoint{
+				Name: name, Metric: "qps", Base: bp.QPS, Cur: cp.QPS,
+				Ratio: ratio, Regressed: ratio > 1+tolerance,
+			})
+			break
+		}
+		if !found {
+			missing = append(missing, name)
+		}
+	}
+	for _, bp := range base.OpenLoop {
+		name := fmt.Sprintf("openloop/rate=%.0f", bp.Rate)
+		found := false
+		for _, cp := range cur.OpenLoop {
+			if cp.Rate != bp.Rate {
+				continue
+			}
+			found = true
+			if bp.SLO > 0 {
+				// Attainment is the robust bar for an open-loop point:
+				// scheduled-time p95 jitters with runner noise, while a
+				// generous SLO holds unless load handling really broke.
+				ratio := bp.Attainment / cp.Attainment
+				if cp.Attainment == 0 {
+					ratio = 1 + tolerance + 1 // nothing attained: regressed
+				}
+				pts = append(pts, ComparePoint{
+					Name: name, Metric: "attainment", Base: bp.Attainment, Cur: cp.Attainment,
+					Ratio: ratio, Regressed: ratio > 1+tolerance,
+				})
+			} else {
+				ratio := float64(cp.P95) / float64(bp.P95)
+				pts = append(pts, ComparePoint{
+					Name: name, Metric: "elapsed", Base: float64(bp.P95), Cur: float64(cp.P95),
+					Ratio: ratio, Regressed: ratio > 1+tolerance,
+				})
+			}
+			break
+		}
+		if !found {
+			missing = append(missing, name)
+		}
+	}
 	return pts, missing, nil
 }
 
@@ -168,6 +224,8 @@ func ReportComparison(w io.Writer, pts []ComparePoint, missing []string, toleran
 			b, c = fmt.Sprintf("%.0f qps", p.Base), fmt.Sprintf("%.0f qps", p.Cur)
 		case "rows/s":
 			b, c = fmt.Sprintf("%.0f r/s", p.Base), fmt.Sprintf("%.0f r/s", p.Cur)
+		case "attainment":
+			b, c = fmt.Sprintf("%.1f%%", p.Base*100), fmt.Sprintf("%.1f%%", p.Cur*100)
 		default:
 			b = time.Duration(p.Base).Round(time.Millisecond).String()
 			c = time.Duration(p.Cur).Round(time.Millisecond).String()

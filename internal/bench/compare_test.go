@@ -95,3 +95,51 @@ func TestLoadTrajectoryRoundTrip(t *testing.T) {
 		t.Fatalf("schema mismatch err = %v", err)
 	}
 }
+
+func TestCompareShareAndOpenLoopPoints(t *testing.T) {
+	base := trajWith(nil, nil)
+	base.Share = []ShareResult{
+		{Sharing: false, Concurrency: 16, QPS: 100},
+		{Sharing: true, Concurrency: 16, QPS: 400},
+	}
+	base.OpenLoop = []OpenLoopResult{{Rate: 25, SLO: 2 * time.Second, Attainment: 1.0}}
+
+	cur := trajWith(nil, nil)
+	cur.Share = []ShareResult{
+		{Sharing: false, Concurrency: 16, QPS: 95}, // fine
+		{Sharing: true, Concurrency: 16, QPS: 250}, // sharing got slow: regressed
+	}
+	cur.OpenLoop = []OpenLoopResult{{Rate: 25, SLO: 2 * time.Second, Attainment: 0.5}} // regressed
+
+	pts, missing, err := Compare(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	byName := map[string]ComparePoint{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	if p := byName["share/off/c=16"]; p.Regressed {
+		t.Errorf("-5%% qps flagged: %+v", p)
+	}
+	if p := byName["share/on/c=16"]; !p.Regressed {
+		t.Errorf("sharing qps collapse not flagged: %+v", p)
+	}
+	if p := byName["openloop/rate=25"]; !p.Regressed || p.Metric != "attainment" {
+		t.Errorf("attainment drop not flagged: %+v", p)
+	}
+
+	// A baseline point the current run skipped is missing, not silent.
+	cur.OpenLoop = nil
+	cur.Share = cur.Share[:1]
+	_, missing, err = Compare(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want the on arm and the open-loop point", missing)
+	}
+}

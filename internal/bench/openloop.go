@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/service"
+)
+
+// Open-loop load (ostresser-style): arrivals fire at a fixed rate whether
+// or not earlier queries finished, which is how real dashboards load a
+// server — a slow query does not slow the users down, it stacks up behind
+// them. Latency is measured from each arrival's *scheduled* time, so queue
+// build-up counts against the SLO instead of being hidden by coordinated
+// omission (a closed loop only measures service time once a worker gets
+// around to asking).
+
+// OpenLoopConfig parameterizes the fixed-rate harness.
+type OpenLoopConfig struct {
+	// Rows sizes the served web_sales (default 10 000, like RunService).
+	Rows int
+	// Seed drives deterministic data generation.
+	Seed int64
+	// MemBytes is the unit reorder memory (default 8 MB).
+	MemBytes int
+	// Slots is the admission bound (default GOMAXPROCS).
+	Slots int
+	// Rate is the arrival rate in queries per second. Required.
+	Rate float64
+	// Duration is the arrival window (default 2s); Rate × Duration
+	// arrivals are issued in total.
+	Duration time.Duration
+	// SLO, when set, is the latency bound arrivals are judged against:
+	// RunOpenLoop fails unless at least 95% of arrivals complete within
+	// it — the CI "fast under load" assertion.
+	SLO time.Duration
+}
+
+func (c OpenLoopConfig) withDefaults() OpenLoopConfig {
+	if c.Rows <= 0 {
+		c.Rows = 10_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 20120827
+	}
+	if c.MemBytes <= 0 {
+		c.MemBytes = 8 << 20
+	}
+	if c.Slots <= 0 {
+		c.Slots = runtime.GOMAXPROCS(0)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	return c
+}
+
+// OpenLoopResult is one open-loop point.
+type OpenLoopResult struct {
+	Rate    float64 `json:"rate_qps"`
+	Queries int64   `json:"queries"`
+	Errors  int64   `json:"errors"`
+	// Achieved is completed queries over the wall clock of the whole run
+	// (arrival window plus drain of the stragglers).
+	Achieved float64       `json:"achieved_qps"`
+	P50      time.Duration `json:"p50_ns"`
+	P95      time.Duration `json:"p95_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	SLO      time.Duration `json:"slo_ns,omitempty"`
+	// Attainment is the fraction of arrivals that completed within SLO
+	// (errors and rejections never attain). 0 when no SLO was set.
+	Attainment float64 `json:"attainment"`
+}
+
+// RunOpenLoop drives the Q1–Q9 mix at cfg.Rate arrivals per second and
+// reports scheduled-time latency percentiles. With an SLO configured, it
+// returns an error unless at least 95% of arrivals completed within it.
+func RunOpenLoop(cfg OpenLoopConfig, w io.Writer) (OpenLoopResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 {
+		return OpenLoopResult{}, fmt.Errorf("bench: open loop needs an arrival rate")
+	}
+	gen := datagen.WebSalesConfig{Rows: cfg.Rows, Seed: cfg.Seed}
+	eng := windowdb.New(windowdb.Config{SortMemBytes: cfg.MemBytes, Parallelism: 1})
+	eng.Register("web_sales", datagen.WebSales(gen))
+	eng.Register("web_sales_s", datagen.WebSalesSorted(gen))
+	eng.Register("web_sales_g", datagen.WebSalesGrouped(gen))
+	svc := service.New(eng, service.Config{Slots: cfg.Slots, MaxQueue: 1024})
+
+	mix := ServiceMix()
+	ctx := context.Background()
+	for _, q := range mix { // warmup: populate the plan cache
+		if _, err := svc.Query(ctx, q); err != nil {
+			return OpenLoopResult{}, fmt.Errorf("open-loop warmup: %w", err)
+		}
+	}
+
+	n := int64(cfg.Rate * cfg.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	fprintf(w, "== Query service open-loop load: %.0f qps for %v (%d arrivals), web_sales %d rows, %d slots ==\n",
+		cfg.Rate, cfg.Duration, n, cfg.Rows, cfg.Slots)
+
+	lats := make([]time.Duration, n) // -1 marks a failed arrival
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := int64(0); k < n; k++ {
+		sched := start.Add(time.Duration(k) * interval)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(k int64, sched time.Time) {
+			defer wg.Done()
+			if _, err := svc.Query(ctx, mix[int(k)%len(mix)]); err != nil {
+				errs.Add(1)
+				lats[k] = -1
+				return
+			}
+			lats[k] = time.Since(sched)
+		}(k, sched)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var ok []time.Duration
+	var attained int64
+	for _, l := range lats {
+		if l < 0 {
+			continue
+		}
+		ok = append(ok, l)
+		if cfg.SLO > 0 && l <= cfg.SLO {
+			attained++
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	pct := func(q float64) time.Duration {
+		if len(ok) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(ok)))
+		if i >= len(ok) {
+			i = len(ok) - 1
+		}
+		return ok[i]
+	}
+	res := OpenLoopResult{
+		Rate:     cfg.Rate,
+		Queries:  int64(len(ok)),
+		Errors:   errs.Load(),
+		Achieved: float64(len(ok)) / wall.Seconds(),
+		P50:      pct(0.50),
+		P95:      pct(0.95),
+		P99:      pct(0.99),
+		SLO:      cfg.SLO,
+	}
+	if cfg.SLO > 0 {
+		res.Attainment = float64(attained) / float64(n)
+	}
+	fprintf(w, "%8d queries  %10.1f qps  p50 %v  p95 %v  p99 %v\n",
+		res.Queries, res.Achieved,
+		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	if res.Errors > 0 {
+		fprintf(w, "  (%d errors)\n", res.Errors)
+	}
+	if cfg.SLO > 0 {
+		fprintf(w, "SLO %v: %.1f%% of arrivals attained\n", cfg.SLO, res.Attainment*100)
+		if res.Attainment < 0.95 {
+			return res, fmt.Errorf("bench: only %.1f%% of arrivals met the %v SLO at %.0f qps (95%% required)",
+				res.Attainment*100, cfg.SLO, cfg.Rate)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/service"
+)
+
+// ShareConfig parameterizes the correlated-dashboard sharing A/B: the same
+// closed-loop mix runs once with the shared-subplan cache disabled and once
+// with it on, over a table deliberately sized past the unit reorder memory
+// so every private scan spills and the scan reduction is visible in block
+// I/O, not just wall clock.
+type ShareConfig struct {
+	// Rows sizes web_sales (default 30 000 — ~3x the default MemBytes, so
+	// the full sort of every scan runs external).
+	Rows int
+	// Seed drives deterministic data generation.
+	Seed int64
+	// MemBytes is the unit reorder memory (default 1 MB).
+	MemBytes int
+	// Concurrency is the closed-loop client count (default 16, the
+	// ROADMAP's many-users target degree).
+	Concurrency int
+	// PerClient is the number of queries each client issues (default 8).
+	// A fixed count — not a duration — keeps the two runs' fleets
+	// identical, so their block totals compare query-for-query.
+	PerClient int
+	// Slots is the admission bound (default GOMAXPROCS).
+	Slots int
+}
+
+func (c ShareConfig) withDefaults() ShareConfig {
+	if c.Rows <= 0 {
+		c.Rows = 30_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 20120827
+	}
+	if c.MemBytes <= 0 {
+		c.MemBytes = 1 << 20
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 8
+	}
+	if c.Slots <= 0 {
+		c.Slots = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// ShareMix returns the correlated-dashboard statements: one table, one
+// partition key (item), four frame grains from finest (date, time, order
+// number) to the whole partition. Every coarser statement's window is
+// derivable from the finest statement's reorder, so with sharing on the
+// fleet needs one physical scan per data generation.
+func ShareMix() []string {
+	return []string{
+		`SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk, ws_sold_time_sk, ws_order_number) AS r FROM web_sales`,
+		`SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk, ws_sold_time_sk) AS r FROM web_sales`,
+		`SELECT ws_item_sk, rank() OVER (PARTITION BY ws_item_sk ORDER BY ws_sold_date_sk) AS r FROM web_sales`,
+		`SELECT ws_item_sk, sum(ws_quantity) OVER (PARTITION BY ws_item_sk) AS s FROM web_sales`,
+	}
+}
+
+// ShareResult is one arm of the sharing A/B.
+type ShareResult struct {
+	Sharing     bool          `json:"sharing"`
+	Concurrency int           `json:"concurrency"`
+	Queries     int64         `json:"queries"`
+	Errors      int64         `json:"errors"`
+	QPS         float64       `json:"qps"`
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+	// SharedRate is (hits+attaches)/lookups of the shared-subplan cache
+	// over the whole run — 0 with sharing disabled.
+	SharedRate float64 `json:"shared_rate"`
+	Hits       uint64  `json:"hits"`
+	Attaches   uint64  `json:"attaches"`
+	Misses     uint64  `json:"misses"`
+	// BlocksRead is the run's total spill I/O, warmup included: the
+	// fleet-level number the scan sharing is supposed to collapse.
+	BlocksRead int64 `json:"blocks_read"`
+}
+
+// RunShare drives the correlated-dashboard mix at the configured
+// concurrency twice — sharing off, then on — over identical fleets, and
+// enforces the sharing bar: the shared run must answer at least half its
+// lookups from a shared subplan and read at most half the blocks of the
+// private run. Returns the off arm first.
+func RunShare(cfg ShareConfig, w io.Writer) ([]ShareResult, error) {
+	cfg = cfg.withDefaults()
+	mix := ShareMix()
+
+	fprintf(w, "== Correlated-dashboard sharing A/B: %d grains, web_sales %d rows, M = %dKB, %d clients x %d queries ==\n",
+		len(mix), cfg.Rows, cfg.MemBytes>>10, cfg.Concurrency, cfg.PerClient)
+	fprintf(w, "%-8s  %8s  %10s  %8s  %10s  %10s  %12s\n",
+		"sharing", "queries", "qps", "shared", "p50", "p95", "blocks_read")
+
+	var out []ShareResult
+	for _, sharing := range []bool{false, true} {
+		res, err := runShareArm(cfg, mix, sharing)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		onOff := "off"
+		if sharing {
+			onOff = "on"
+		}
+		fprintf(w, "%-8s  %8d  %10.1f  %6.1f%%  %10v  %10v  %12d\n",
+			onOff, res.Queries, res.QPS, res.SharedRate*100,
+			res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.BlocksRead)
+	}
+
+	off, on := out[0], out[1]
+	if off.BlocksRead == 0 {
+		return nil, fmt.Errorf("bench: sharing A/B measured no spill I/O — grow Rows or shrink MemBytes so private scans run external")
+	}
+	reduction := float64(off.BlocksRead)
+	if on.BlocksRead > 0 {
+		reduction = float64(off.BlocksRead) / float64(on.BlocksRead)
+	}
+	fprintf(w, "shared rate %.1f%%, block reduction %.1fx (%d -> %d)\n",
+		on.SharedRate*100, reduction, off.BlocksRead, on.BlocksRead)
+	if on.SharedRate < 0.5 {
+		return out, fmt.Errorf("bench: shared-subplan rate %.1f%% below the 50%% bar (hits=%d attaches=%d misses=%d)",
+			on.SharedRate*100, on.Hits, on.Attaches, on.Misses)
+	}
+	if on.BlocksRead*2 > off.BlocksRead {
+		return out, fmt.Errorf("bench: sharing read %d blocks vs %d private — below the 2x reduction bar",
+			on.BlocksRead, off.BlocksRead)
+	}
+	return out, nil
+}
+
+// runShareArm runs one arm of the A/B on a fresh service.
+func runShareArm(cfg ShareConfig, mix []string, sharing bool) (ShareResult, error) {
+	eng := windowdb.New(windowdb.Config{SortMemBytes: cfg.MemBytes, Parallelism: 1})
+	eng.Register("web_sales", datagen.WebSales(datagen.WebSalesConfig{Rows: cfg.Rows, Seed: cfg.Seed}))
+	svc := service.New(eng, service.Config{
+		Slots: cfg.Slots, MaxQueue: 1024, DisableSharing: !sharing,
+	})
+
+	ctx := context.Background()
+	for _, q := range mix { // warmup: populate the plan (and subplan) caches
+		if _, err := svc.Query(ctx, q); err != nil {
+			return ShareResult{}, fmt.Errorf("share warmup: %w", err)
+		}
+	}
+
+	var (
+		next  atomic.Int64
+		errs  atomic.Int64
+		latMu sync.Mutex
+		lats  []time.Duration
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []time.Duration
+			for j := 0; j < cfg.PerClient; j++ {
+				q := mix[int(next.Add(1))%len(mix)]
+				t0 := time.Now()
+				if _, err := svc.Query(ctx, q); err != nil {
+					errs.Add(1)
+					continue
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			latMu.Lock()
+			lats = append(lats, mine...)
+			latMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	st := svc.Stats()
+	res := ShareResult{
+		Sharing:     sharing,
+		Concurrency: cfg.Concurrency,
+		Queries:     int64(len(lats)),
+		Errors:      errs.Load(),
+		QPS:         float64(len(lats)) / wall.Seconds(),
+		P50:         pct(0.50),
+		P95:         pct(0.95),
+		SharedRate:  st.Subplans.SharedRate(),
+		Hits:        st.Subplans.Hits,
+		Attaches:    st.Subplans.Attaches,
+		Misses:      st.Subplans.Misses,
+		BlocksRead:  st.BlocksRead,
+	}
+	if res.Errors > 0 {
+		return res, fmt.Errorf("share arm (sharing=%v): %d queries failed", sharing, res.Errors)
+	}
+	return res, nil
+}

@@ -35,6 +35,12 @@ type Trajectory struct {
 	// a different key, re-shuffled node-to-node between segments.
 	Shuffle []ShardedResult `json:"shuffle,omitempty"`
 	Service []ServiceResult `json:"service,omitempty"`
+	// Share is the correlated-dashboard sharing A/B (off arm first): the
+	// shared-subplan cache's headline scenario.
+	Share []ShareResult `json:"share,omitempty"`
+	// OpenLoop holds fixed-rate arrival points (windbench -arrival) with
+	// their SLO attainment.
+	OpenLoop []OpenLoopResult `json:"open_loop,omitempty"`
 	// Append is the incremental-maintenance scenario: append ingestion
 	// throughput and per-batch maintenance of the Q6 chain vs a full
 	// recompute.

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+)
+
+// Cost-based factor rewrite (intra-statement). CSO evaluates the
+// SS-reorderable class C1 before the heavy class C2, which is optimal when
+// the classes are independent — but a C2 heavy reorder can *subsume* a C1
+// cover set: if the heavy reorder's covering permutation γ also matches
+// the C1 members (the frame-lattice test of factor.go), evaluating the
+// heavy group first lets the C1 functions ride its output for free,
+// saving their Segmented Sort entirely. That situation arises on
+// segmented inputs (X ≠ ∅): a function with X ⊆ WPK is C1 even when a C2
+// neighbour's γ engulfs its key. RewritePlan generates both chain shapes
+// and keeps the cheaper under the same cost model CSO's FS/HS choice uses.
+
+// RewritePlan generates a chain with CSO and then applies the
+// factor-window rewrite: a heavy-first alternative is constructed, both
+// are costed with opt.Cost, and the cheaper valid chain wins. It never
+// fails harder than CSO — when the alternative cannot be built or costs
+// no less, the CSO chain is returned unchanged.
+func RewritePlan(ws []WF, in Props, opt Options) (*Plan, error) {
+	base, err := CSO(ws, in, opt)
+	if err != nil {
+		return nil, err
+	}
+	if alt := RewriteAlternative(ws, in, opt, base); alt != nil {
+		return alt, nil
+	}
+	return base, nil
+}
+
+// RewriteAlternative builds the heavy-first variant of a CSO chain and
+// returns it when it validates and is strictly cheaper than base under
+// opt.Cost; nil means "keep base". sql.Prepare calls this after its
+// (aligned) CSO pass so statement planning stays cost-monotone.
+func RewriteAlternative(ws []WF, in Props, opt Options, base *Plan) *Plan {
+	alt, ok := heavyFirst(ws, in, opt)
+	if !ok {
+		return nil
+	}
+	if err := alt.Validate(ws, in); err != nil {
+		return nil
+	}
+	if opt.Cost.PlanCost(alt) < opt.Cost.PlanCost(base) {
+		return alt
+	}
+	return nil
+}
+
+// heavyFirst mirrors CSO's classification but emits the C2 prefixable
+// groups before the C1 cover sets, so C1 sets whose members are matched by
+// a heavy reorder's output (the lattice subsumption) degenerate to
+// reorder-free evaluation inside emitSSCoverSet. Returns false when the
+// rewrite cannot apply (either class empty — the orders coincide — or a
+// C1 set stops being SS-evaluable after the heavy reorders).
+func heavyFirst(ws []WF, in Props, opt Options) (*Plan, bool) {
+	if opt.DisableSS {
+		return nil, false
+	}
+	plan := &Plan{Scheme: "CSO+rewrite"}
+	props := in
+
+	var c0, c1, c2 []WF
+	ordered := append([]WF(nil), ws...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, wf := range ordered {
+		switch {
+		case in.Matches(wf):
+			c0 = append(c0, wf)
+		case SSReorderable(in, wf):
+			c1 = append(c1, wf)
+		default:
+			c2 = append(c2, wf)
+		}
+	}
+	if len(c1) == 0 || len(c2) == 0 {
+		return nil, false
+	}
+
+	for _, wf := range c0 {
+		plan.Steps = append(plan.Steps, Step{WF: wf, Reorder: ReorderNone, In: props, Out: props})
+	}
+
+	for _, g := range PartitionPrefixable(c2) {
+		if err := emitPrefixGroup(plan, g, &props, opt); err != nil {
+			return nil, false
+		}
+	}
+
+	csets := PartitionCoverSets(c1)
+	sortCoverSets(csets)
+	for _, cs := range csets {
+		// The heavy reorders destroyed the original segment structure the
+		// C1 classification relied on; a set that is neither matched nor
+		// SS-reorderable against the evolved props cannot be emitted.
+		if err := emitSSCoverSet(plan, cs, &props); err != nil {
+			return nil, false
+		}
+	}
+	return plan, true
+}

@@ -25,9 +25,11 @@ type planCache struct {
 	// fpIndex maps a coordinator-shipped plan fingerprint to the
 	// normalized-text cache key, so scatter and shuffle requests resolve
 	// with one map lookup instead of re-normalizing the SQL text every
-	// round. It is an index, not a second cache: a fingerprint whose key
-	// was evicted or invalidated just misses and is re-linked on the next
-	// prepare. Bounded by periodic reset (see linkFP).
+	// round. It is an index, not a second cache: each link is recorded on
+	// the entry it points to and dropped with it (dropLinksLocked), so the
+	// index holds links for live entries only — at most fpLinksPerEntry
+	// per entry — and fingerprints of long-evicted statements cannot
+	// accumulate on a long-lived node.
 	fpIndex map[string]string
 
 	hits, misses, invalidations, evictions, fpHits uint64
@@ -36,7 +38,17 @@ type planCache struct {
 type cacheEntry struct {
 	key  string
 	prep *sql.Prepared
+	// fps are the fingerprints linkFP indexed to this key, kept so eviction
+	// and invalidation can sweep their fpIndex links with the entry.
+	fps []string
 }
+
+// fpLinksPerEntry bounds how many fingerprints one cache entry may hold in
+// the index. Distinct coordinator plans normalizing to one text are rare
+// (in practice one statement has one fingerprint); past the bound the
+// oldest link is recycled rather than letting one hot key grow an
+// unbounded tail.
+const fpLinksPerEntry = 4
 
 func newPlanCache(capacity int) *planCache {
 	if capacity < 1 {
@@ -68,6 +80,7 @@ func (c *planCache) get(key string, gen uint64) (*sql.Prepared, bool) {
 				c.invalidations++
 				c.order.Remove(el)
 				delete(c.entries, ent.key)
+				c.dropLinksLocked(ent)
 			}
 		}
 	}
@@ -82,6 +95,7 @@ func (c *planCache) get(key string, gen uint64) (*sql.Prepared, bool) {
 		c.misses++
 		c.order.Remove(el)
 		delete(c.entries, key)
+		c.dropLinksLocked(ent)
 		return nil, false
 	}
 	c.hits++
@@ -104,27 +118,55 @@ func (c *planCache) getFP(fp string, gen uint64) (*sql.Prepared, bool) {
 	c.mu.Lock()
 	if hit {
 		c.fpHits++
-	} else {
+	} else if c.fpIndex[fp] == key {
+		// Only while it still points at the missed key: a concurrent
+		// re-link to a fresh entry must survive.
 		delete(c.fpIndex, fp)
 	}
 	c.mu.Unlock()
 	return prep, hit
 }
 
-// linkFP records fingerprint → normalized key. The index is reset when it
-// outgrows 4× the cache capacity: fingerprints of long-evicted statements
-// must not accumulate forever on a long-lived node, and losing live links
-// only costs one re-link on the next request.
+// linkFP records fingerprint → normalized key. A link lives exactly as
+// long as the entry it points to: it is recorded on the entry and swept
+// from the index when the entry is evicted or invalidated, so the index
+// can never outgrow the live entries. A key that is no longer cached is
+// not indexed at all — the next prepare re-links it.
 func (c *planCache) linkFP(fp, key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.fpIndex) >= 4*c.cap {
-		c.fpIndex = nil
+	el, ok := c.entries[key]
+	if !ok {
+		return // evicted between put and link; indexing now would dangle
+	}
+	if c.fpIndex[fp] == key {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	if len(ent.fps) >= fpLinksPerEntry {
+		old := ent.fps[0]
+		ent.fps = append(ent.fps[:0], ent.fps[1:]...)
+		if c.fpIndex[old] == key {
+			delete(c.fpIndex, old)
+		}
 	}
 	if c.fpIndex == nil {
 		c.fpIndex = make(map[string]string)
 	}
 	c.fpIndex[fp] = key
+	ent.fps = append(ent.fps, fp)
+}
+
+// dropLinksLocked sweeps ent's fingerprint links out of the index. A link
+// is removed only while it still points at ent's key: linkFP may have
+// re-pointed a fingerprint at a newer entry, whose link must survive.
+func (c *planCache) dropLinksLocked(ent *cacheEntry) {
+	for _, fp := range ent.fps {
+		if c.fpIndex[fp] == ent.key {
+			delete(c.fpIndex, fp)
+		}
+	}
+	ent.fps = nil
 }
 
 // put stores a freshly prepared statement, evicting the LRU entry past
@@ -147,7 +189,9 @@ func (c *planCache) put(key string, p *sql.Prepared) {
 	if c.order.Len() > c.cap {
 		back := c.order.Back()
 		c.order.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
+		ent := back.Value.(*cacheEntry)
+		delete(c.entries, ent.key)
+		c.dropLinksLocked(ent)
 		c.evictions++
 	}
 }
@@ -188,24 +232,29 @@ func (c *planCache) stats() CacheStats {
 	}
 }
 
-// NormalizeSQL collapses whitespace outside single-quoted strings so
-// spacing variants of one query ("SELECT  *", "SELECT *\n") share a cache
-// slot. Letter case is preserved: identifier case is semantic here — a
-// SELECT alias names the output column with its written spelling — and
-// keywords cannot be told from identifiers without parsing, so folding
-// case would let `AS E` and `AS e` collide and serve whichever column
-// spelling was cached first. It is a cache key, not a semantic rewrite:
-// the original text is what gets prepared on a miss.
+// NormalizeSQL renders statement text as its cache key via sql.Canonical:
+// spacing, comment, keyword-case and redundant-quoting variants of one
+// statement share a slot (`SELECT  "ws_item_sk"` keys with `select
+// ws_item_sk`), while identifier case stays semantic — a SELECT alias
+// names the output column with its written spelling, so `AS E` and `AS e`
+// must not collide. It is a cache key, not a semantic rewrite: the
+// original text is what gets prepared on a miss. Text the lexer rejects
+// still needs a deterministic key (its prepare fails, but whether it
+// fails must not depend on spacing), so it falls back to collapsing
+// whitespace outside quoted regions.
 func NormalizeSQL(src string) string {
+	if key, err := sql.Canonical(src); err == nil {
+		return key
+	}
 	var b strings.Builder
 	b.Grow(len(src))
-	inStr := false
+	var quote rune // 0 outside; '\'' or '"' inside a quoted region
 	pendingSpace := false
 	for _, r := range src {
-		if inStr {
+		if quote != 0 {
 			b.WriteRune(r)
-			if r == '\'' {
-				inStr = false
+			if r == quote {
+				quote = 0
 			}
 			continue
 		}
@@ -217,8 +266,8 @@ func NormalizeSQL(src string) string {
 				b.WriteByte(' ')
 			}
 			pendingSpace = false
-			if r == '\'' {
-				inStr = true
+			if r == '\'' || r == '"' {
+				quote = r
 			}
 			b.WriteRune(r)
 		}

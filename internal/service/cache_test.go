@@ -1,0 +1,178 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/datagen"
+)
+
+func newCacheEngine(t *testing.T) *windowdb.Engine {
+	t.Helper()
+	eng := windowdb.New(windowdb.Config{SortMemBytes: 1 << 20, Parallelism: 1})
+	eng.Register("web_sales", datagen.WebSales(datagen.WebSalesConfig{Rows: 200, Seed: 1}))
+	return eng
+}
+
+// TestPlanCacheFPIndexBoundedByLiveEntries: evicting a cache entry sweeps
+// its fingerprint links, so arbitrarily long statement churn cannot grow
+// the index past the live entries.
+func TestPlanCacheFPIndexBoundedByLiveEntries(t *testing.T) {
+	eng := newCacheEngine(t)
+	prep, err := eng.Prepare(mixQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capacity = 4
+	c := newPlanCache(capacity)
+	for i := 0; i < 50*capacity; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.put(key, prep)
+		c.linkFP(fmt.Sprintf("fp%d", i), key)
+	}
+	c.mu.Lock()
+	live, links := c.order.Len(), len(c.fpIndex)
+	c.mu.Unlock()
+	if live > capacity {
+		t.Fatalf("cache holds %d entries past capacity %d", live, capacity)
+	}
+	if links > live {
+		t.Fatalf("fp index holds %d links for %d live entries — eviction left dangling links", links, live)
+	}
+	gen := prep.Generation()
+	if _, ok := c.getFP("fp0", gen); ok {
+		t.Fatal("fingerprint of an evicted key resolved")
+	}
+	if _, ok := c.getFP(fmt.Sprintf("fp%d", 50*capacity-1), gen); !ok {
+		t.Fatal("fingerprint of a live key missed")
+	}
+}
+
+// TestPlanCacheFPIndexInvalidationSweep: the generation sweep that drops
+// stale plans drops their fingerprint links too.
+func TestPlanCacheFPIndexInvalidationSweep(t *testing.T) {
+	eng := newCacheEngine(t)
+	stale, err := eng.Prepare(mixQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Register("web_sales", datagen.WebSales(datagen.WebSalesConfig{Rows: 200, Seed: 2}))
+	fresh, err := eng.Prepare(mixQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newPlanCache(8)
+	c.put("stale", stale)
+	c.linkFP("fp-stale", "stale")
+	c.put("fresh", fresh)
+	c.linkFP("fp-fresh", "fresh")
+
+	if _, ok := c.get("fresh", fresh.Generation()); !ok {
+		t.Fatal("fresh entry missed") // this lookup runs the generation sweep
+	}
+	c.mu.Lock()
+	_, hasStale := c.fpIndex["fp-stale"]
+	_, hasFresh := c.fpIndex["fp-fresh"]
+	c.mu.Unlock()
+	if hasStale {
+		t.Fatal("invalidated entry's fingerprint link survived the sweep")
+	}
+	if !hasFresh {
+		t.Fatal("live entry's fingerprint link was swept")
+	}
+}
+
+// TestPlanCacheFPLinksPerEntry: one hot key cannot grow an unbounded
+// fingerprint tail — the oldest link recycles past the bound.
+func TestPlanCacheFPLinksPerEntry(t *testing.T) {
+	eng := newCacheEngine(t)
+	prep, err := eng.Prepare(mixQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newPlanCache(4)
+	c.put("hot", prep)
+	for i := 0; i < 3*fpLinksPerEntry; i++ {
+		c.linkFP(fmt.Sprintf("fp%d", i), "hot")
+	}
+	c.mu.Lock()
+	links := len(c.fpIndex)
+	c.mu.Unlock()
+	if links > fpLinksPerEntry {
+		t.Fatalf("one entry holds %d links, bound is %d", links, fpLinksPerEntry)
+	}
+	if _, ok := c.getFP(fmt.Sprintf("fp%d", 3*fpLinksPerEntry-1), prep.Generation()); !ok {
+		t.Fatal("newest fingerprint link missed")
+	}
+}
+
+// TestNormalizeSQL: the cache key collapses spacing, comments, keyword
+// case and redundant identifier quoting, while preserving everything
+// semantic — identifier case, string contents, quoted keywords.
+func TestNormalizeSQL(t *testing.T) {
+	exact := []struct{ in, want string }{
+		{"select *  from\tweb_sales", "SELECT * FROM web_sales"},
+		{`SELECT "ws_item_sk" FROM "web_sales"`, "SELECT ws_item_sk FROM web_sales"},
+		{"SELECT * FROM t -- trailing comment\nWHERE a = 1", "SELECT * FROM t WHERE a = 1"},
+		{"SELECT 'it''s  spaced' FROM t", "SELECT 'it''s  spaced' FROM t"},
+		{`SELECT "order" FROM t`, `SELECT "order" FROM t`},  // quoted keyword stays quoted
+		{`SELECT "a b" FROM t`, `SELECT "a b" FROM t`},      // non-identifier content stays quoted
+		{`SELECT x"y" FROM t`, "SELECT x y FROM t"},         // adjacent quoted ident is not concatenation
+		{"SELECT $ FROM", "SELECT $ FROM"},                  // unlexable: deterministic fallback
+		{"SELECT  $\n FROM 'a  b'", "SELECT $ FROM 'a  b'"}, // fallback still collapses outside quotes
+		{`SELECT $ "a  b"`, `SELECT $ "a  b"`},              // ...and not inside quoted identifiers
+	}
+	for _, tc := range exact {
+		if got := NormalizeSQL(tc.in); got != tc.want {
+			t.Errorf("NormalizeSQL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+
+	same := [][2]string{
+		{"SELECT  *\nFROM web_sales", "select * from web_sales"},
+		{`SELECT "ws_item_sk", rank() OVER (PARTITION BY "ws_item_sk" ORDER BY ws_sold_time_sk) AS r FROM web_sales`, mixQ1},
+		{"SELECT a FROM t -- dashboard 7\n", "SELECT a FROM t"},
+	}
+	for _, p := range same {
+		if NormalizeSQL(p[0]) != NormalizeSQL(p[1]) {
+			t.Errorf("keys differ for equivalent statements:\n  %q -> %q\n  %q -> %q",
+				p[0], NormalizeSQL(p[0]), p[1], NormalizeSQL(p[1]))
+		}
+	}
+
+	distinct := [][2]string{
+		{"SELECT x AS E FROM t", "SELECT x AS e FROM t"}, // alias case is semantic
+		{"SELECT 'a' FROM t", "SELECT 'A' FROM t"},
+		{`SELECT "order" FROM t`, `SELECT "ORDER" FROM t`},
+		{`SELECT x"y" FROM t`, "SELECT xy FROM t"},
+	}
+	for _, p := range distinct {
+		if NormalizeSQL(p[0]) == NormalizeSQL(p[1]) {
+			t.Errorf("distinct statements share key %q:\n  %q\n  %q", NormalizeSQL(p[0]), p[0], p[1])
+		}
+	}
+}
+
+// TestQuotedIdentifierQuery: a statement spelled with quoted identifiers
+// executes and keys to the same cached plan as its bare spelling.
+func TestQuotedIdentifierQuery(t *testing.T) {
+	svc := newTestService(t, Config{Slots: 2}, 500)
+	quoted := `SELECT "ws_item_sk", rank() OVER (PARTITION BY "ws_item_sk" ORDER BY "ws_sold_time_sk") AS r FROM "web_sales"`
+
+	ctx := context.Background()
+	bare, err := svc.Query(ctx, mixQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Query(ctx, quoted)
+	if err != nil {
+		t.Fatalf("quoted-identifier statement failed: %v", err)
+	}
+	if !res.CacheHit {
+		t.Fatal("quoted spelling missed the plan cached under the bare spelling")
+	}
+	assertSameMultiset(t, quoted, bare.Table, res.Table)
+}

@@ -181,6 +181,7 @@ func metaFromTrailer(t *StreamTrailer) *windowdb.QueryMetrics {
 		FinalSort:     t.FinalSort,
 		Parallelism:   1,
 		CacheHit:      t.CacheHit,
+		SharedScan:    t.SharedScan,
 		Route:         t.Route,
 		ShardsUsed:    t.ShardsUsed,
 		Queued:        time.Duration(t.QueuedMillis * float64(time.Millisecond)),

@@ -92,6 +92,7 @@ type queryResponse struct {
 	ElapsedMillis float64 `json:"elapsed_ms"`
 	QueuedMillis  float64 `json:"queued_ms"`
 	CacheHit      bool    `json:"cache_hit"`
+	SharedScan    string  `json:"shared_scan,omitempty"`
 
 	Chain         string `json:"chain,omitempty"`
 	FinalSort     string `json:"final_sort,omitempty"`
@@ -218,6 +219,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedMillis: float64(res.Elapsed) / float64(time.Millisecond),
 		QueuedMillis:  float64(res.Queued) / float64(time.Millisecond),
 		CacheHit:      res.CacheHit,
+		SharedScan:    res.SharedScan,
 		FinalSort:     res.FinalSort,
 		TraceID:       res.TraceID,
 	}

@@ -172,6 +172,9 @@ type Snapshot struct {
 	P99Millis float64 `json:"p99_ms"`
 
 	Cache CacheStats `json:"cache"`
+	// Subplans is the shared-subplan cache snapshot (zero when sharing is
+	// disabled).
+	Subplans SubplanStats `json:"subplans"`
 
 	BlocksRead    int64 `json:"blocks_read"`
 	BlocksWritten int64 `json:"blocks_written"`

@@ -86,12 +86,20 @@ func WriteSnapshotMetrics(p *PromWriter, s Snapshot) {
 	p.Counter("windowdb_plan_cache_evictions_total", "Plan cache LRU evictions.", float64(s.Cache.Evictions))
 	p.Counter("windowdb_plan_cache_fp_hits_total", "Plan cache hits served via statement fingerprinting.", float64(s.Cache.FPHits))
 
+	p.Counter("windowdb_subplan_cache_hits_total", "Shared-subplan cache hits (completed segment reused).", float64(s.Subplans.Hits))
+	p.Counter("windowdb_subplan_cache_misses_total", "Shared-subplan cache misses (query led its own scan).", float64(s.Subplans.Misses))
+	p.Counter("windowdb_subplan_cache_attaches_total", "Queries attached to an in-flight shared scan.", float64(s.Subplans.Attaches))
+	p.Counter("windowdb_subplan_cache_invalidations_total", "Shared segments retired by schema or data generation changes.", float64(s.Subplans.Invalidations))
+	p.Counter("windowdb_subplan_cache_evictions_total", "Shared-subplan cache LRU evictions.", float64(s.Subplans.Evictions))
+	p.Counter("windowdb_subplan_cache_fallbacks_total", "Attachers whose shared scan failed and re-executed privately.", float64(s.Subplans.Fallbacks))
+
 	p.Gauge("windowdb_in_flight", "Executions currently holding an admission slot.", float64(s.InFlight))
 	p.Gauge("windowdb_in_flight_max", "High-water mark of in-flight executions.", float64(s.MaxInFlight))
 	p.Gauge("windowdb_admission_slots", "Admission slots configured.", float64(s.Slots))
 	p.Gauge("windowdb_admission_queue_depth", "Executions waiting for an admission slot.", float64(s.QueueDepth))
 	p.Gauge("windowdb_live_queries", "In-flight queries in the /debug/queries registry.", float64(s.LiveQueries))
 	p.Gauge("windowdb_plan_cache_entries", "Plan cache resident entries.", float64(s.Cache.Size))
+	p.Gauge("windowdb_subplan_cache_entries", "Shared-subplan cache resident segments.", float64(s.Subplans.Size))
 	p.Gauge("windowdb_uptime_seconds", "Seconds since the service started.", s.UptimeSeconds)
 }
 

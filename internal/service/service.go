@@ -63,6 +63,15 @@ type Config struct {
 	MaxQueue int
 	// CacheEntries bounds the prepared-statement cache (default 256).
 	CacheEntries int
+	// SubplanEntries bounds the shared-subplan cache — materialized
+	// scan+reorder segments shared across concurrent queries (subplan.go).
+	// Default 32; each entry pins a filtered, reordered copy of its table,
+	// so the bound is deliberately much smaller than the plan cache's.
+	SubplanEntries int
+	// DisableSharing turns the shared-subplan cache off: every query runs
+	// its own scan. The A/B switch for windbench -exp share and a bail-out
+	// if sharing ever misbehaves in production.
+	DisableSharing bool
 	// DefaultTimeout is applied to queries whose context carries no
 	// deadline. 0 leaves them unbounded.
 	DefaultTimeout time.Duration
@@ -127,6 +136,9 @@ func (c Config) withDefaults(chainMem int) Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
 	}
+	if c.SubplanEntries <= 0 {
+		c.SubplanEntries = 32
+	}
 	switch {
 	case c.ShuffleTTL == 0:
 		c.ShuffleTTL = 5 * time.Minute
@@ -139,15 +151,16 @@ func (c Config) withDefaults(chainMem int) Config {
 // Service is a thread-safe query service over a windowdb.Engine. All
 // methods may be called concurrently.
 type Service struct {
-	eng     *windowdb.Engine
-	cfg     Config
-	gov     *governor
-	cache   *planCache
-	metrics *Metrics
-	inbox   shuffleInbox
-	ring    *trace.Ring
-	slow    *trace.SlowLogger
-	reg     *trace.Registry
+	eng      *windowdb.Engine
+	cfg      Config
+	gov      *governor
+	cache    *planCache
+	subplans *subplanCache // nil when Config.DisableSharing
+	metrics  *Metrics
+	inbox    shuffleInbox
+	ring     *trace.Ring
+	slow     *trace.SlowLogger
+	reg      *trace.Registry
 }
 
 // New builds a service over eng. The engine must not be shared with
@@ -169,6 +182,9 @@ func New(eng *windowdb.Engine, cfg Config) *Service {
 		metrics: newMetrics(),
 		slow:    trace.NewSlowLoggerRate(slowW, cfg.SlowLogThreshold, cfg.SlowLogRate),
 		reg:     trace.NewRegistry(),
+	}
+	if !cfg.DisableSharing {
+		s.subplans = newSubplanCache(cfg.SubplanEntries)
 	}
 	if cfg.TraceRing >= 0 {
 		n := cfg.TraceRing
@@ -298,7 +314,7 @@ func (s *Service) Query(ctx context.Context, src string) (*QueryResult, error) {
 		// A subscription never completes, so it cannot be served buffered.
 		return nil, fmt.Errorf("%w: SUBSCRIBE needs a streaming client (stream=1 or Accept: %s)", sql.ErrBind, ContentTypeNDJSON)
 	}
-	return s.serve(ctx, src, false)
+	return s.serve(ctx, src, "", false)
 }
 
 // QueryShardLocal serves the shard-local part of a statement: WHERE, the
@@ -306,12 +322,13 @@ func (s *Service) Query(ctx context.Context, src string) (*QueryResult, error) {
 // the phases a scatter-gather coordinator applies over the concatenation
 // of every shard's output. It shares Query's plan cache (the Prepared is
 // the same object; only the execution entry point differs), admission
-// control and metrics.
-func (s *Service) QueryShardLocal(ctx context.Context, src string) (*QueryResult, error) {
-	return s.serve(ctx, src, true)
+// control and metrics. subplanFP is the coordinator's optional subplan
+// fingerprint (see StreamShardLocal); "" derives the identity locally.
+func (s *Service) QueryShardLocal(ctx context.Context, src, subplanFP string) (*QueryResult, error) {
+	return s.serve(ctx, src, subplanFP, true)
 }
 
-func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*QueryResult, error) {
+func (s *Service) serve(ctx context.Context, src, subplanFP string, shardLocal bool) (*QueryResult, error) {
 	if s.cfg.DefaultTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
 			var cancel context.CancelFunc
@@ -358,10 +375,7 @@ func (s *Service) serve(ctx context.Context, src string, shardLocal bool) (*Quer
 		defer s.gov.release()
 		s.metrics.beginExec()
 		defer s.metrics.endExec()
-		if shardLocal {
-			return prep.ExecuteShardContext(ctx)
-		}
-		return prep.ExecuteContext(ctx)
+		return s.execPrepared(ctx, prep, subplanFP, shardLocal)
 	}()
 
 	elapsed := time.Since(start)
@@ -401,6 +415,9 @@ func queryTrace(elapsed, queued time.Duration, cacheHit bool, rows int64, meta *
 	root.SetInt("rows", rows)
 	root.Add(trace.New("admission.wait", queued))
 	var execElapsed time.Duration
+	if meta != nil && meta.SharedScan != "" {
+		root.SetAttr("shared_scan", meta.SharedScan)
+	}
 	if meta != nil {
 		if es := windowdb.ExecTrace(meta); es != nil {
 			root.Add(es)
@@ -440,7 +457,7 @@ func (s *Service) QueryContext(ctx context.Context, src string) (*windowdb.Rows,
 	if inner, ok := windowdb.StripSubscribe(src); ok {
 		return s.subscribeStream(ctx, src, inner)
 	}
-	return s.stream(ctx, src, "", false)
+	return s.stream(ctx, src, "", "", false)
 }
 
 // insertStream serves an INSERT: parse, append (metered), one-row summary.
@@ -474,10 +491,13 @@ func (s *Service) subscribeStream(ctx context.Context, full, inner string) (*win
 // (WHERE, chain, projection — no DISTINCT/ORDER BY/LIMIT): what a shard
 // node streams back to a scatter-gather coordinator. fp is the
 // coordinator's optional plan fingerprint (resolveFP); "" resolves by
-// text. Because the shard-local pipeline never finalizes, rows leave the
-// node the moment the final chain segment's projection yields them.
-func (s *Service) StreamShardLocal(ctx context.Context, src, fp string) (*windowdb.Rows, error) {
-	return s.stream(ctx, src, fp, true)
+// text. subplanFP is the coordinator's subplan fingerprint: when every
+// request of a distributed statement carries it, the node's shared-subplan
+// cache collides them by construction and one scan serves the fan-out.
+// Because the shard-local pipeline never finalizes, rows leave the node
+// the moment the final chain segment's projection yields them.
+func (s *Service) StreamShardLocal(ctx context.Context, src, fp, subplanFP string) (*windowdb.Rows, error) {
+	return s.stream(ctx, src, fp, subplanFP, true)
 }
 
 // PrepareContext validates and plans src through the service's plan cache,
@@ -517,12 +537,9 @@ type execCursor interface {
 	Meta() *sql.Result
 }
 
-func (s *Service) stream(ctx context.Context, src, fp string, shardLocal bool) (*windowdb.Rows, error) {
+func (s *Service) stream(ctx context.Context, src, fp, subplanFP string, shardLocal bool) (*windowdb.Rows, error) {
 	return s.streamCursor(ctx, src, src, fp, "draining", func(ctx context.Context, prep *sql.Prepared) (execCursor, error) {
-		if shardLocal {
-			return prep.StreamShardContext(ctx)
-		}
-		return prep.StreamContext(ctx)
+		return s.openStream(ctx, prep, subplanFP, shardLocal)
 	})
 }
 
@@ -726,5 +743,8 @@ func (s *Service) Stats() Snapshot {
 	snap.QueueDepth = s.gov.queueDepth()
 	snap.LiveQueries = s.reg.Len()
 	snap.Cache = s.cache.stats()
+	if s.subplans != nil {
+		snap.Subplans = s.subplans.stats()
+	}
 	return snap
 }

@@ -200,26 +200,6 @@ func TestPlanCacheLRU(t *testing.T) {
 	}
 }
 
-func TestNormalizeSQL(t *testing.T) {
-	cases := []struct {
-		a, b string
-		same bool
-	}{
-		{"SELECT * FROM t", "SELECT  *\n\tFROM   t", true},
-		{"SELECT * FROM t WHERE a = 'X  Y'", "SELECT * FROM t\nWHERE a = 'X  Y'", true},
-		// Case is semantic (aliases name output columns) and is preserved,
-		// in string literals and identifiers alike.
-		{"SELECT a AS E FROM t", "SELECT a AS e FROM t", false},
-		{"SELECT * FROM t WHERE a = 'X Y'", "SELECT * FROM t WHERE a = 'x y'", false},
-		{"SELECT a FROM t", "SELECT b FROM t", false},
-	}
-	for _, c := range cases {
-		if got := NormalizeSQL(c.a) == NormalizeSQL(c.b); got != c.same {
-			t.Errorf("normalize(%q) vs normalize(%q): same=%v, want %v", c.a, c.b, got, c.same)
-		}
-	}
-}
-
 // TestQueryDeadline: a query whose deadline expires mid-chain surfaces
 // context.DeadlineExceeded (the executor checks at step boundaries).
 func TestQueryDeadline(t *testing.T) {

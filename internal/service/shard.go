@@ -62,6 +62,13 @@ type ShardQueryRequest struct {
 	// by text, so old coordinators keep working.
 	Fingerprint string `json:"fp,omitempty"`
 
+	// SubplanFP is the coordinator's subplan fingerprint
+	// (sql.Prepared.SubplanFingerprint): the identity of the statement's
+	// scan+reorder subplan, shipped so the node's shared-subplan cache
+	// collides every request of one distributed statement on one scan.
+	// Optional — "" lets the node derive the identity itself.
+	SubplanFP string `json:"subplan_fp,omitempty"`
+
 	// Mode "segment" only: the coordinator's segmentation decision and the
 	// inbox generation holding the final segment's shuffled input.
 	Plan      *sql.SegmentPlan `json:"plan,omitempty"`
@@ -124,7 +131,7 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		)
 		switch req.Mode {
 		case "local":
-			rows, err = s.StreamShardLocal(ctx, req.SQL, req.Fingerprint)
+			rows, err = s.StreamShardLocal(ctx, req.SQL, req.Fingerprint, req.SubplanFP)
 		case "segment":
 			rows, err = s.StreamSegment(ctx, req)
 		case "full", "":
@@ -148,7 +155,7 @@ func (s *Service) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 	)
 	switch req.Mode {
 	case "local":
-		res, err = s.QueryShardLocal(ctx, req.SQL)
+		res, err = s.QueryShardLocal(ctx, req.SQL, req.SubplanFP)
 	case "segment":
 		writeError(w, http.StatusBadRequest, "request", errors.New("service: segment mode is stream-only"))
 		return

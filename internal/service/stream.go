@@ -92,6 +92,9 @@ type StreamTrailer struct {
 	ElapsedMillis float64 `json:"elapsed_ms"`
 	QueuedMillis  float64 `json:"queued_ms"`
 	CacheHit      bool    `json:"cache_hit"`
+	// SharedScan is the shared-subplan cache disposition ("miss", "hit" or
+	// "attach"); empty for executions that bypassed the cache.
+	SharedScan string `json:"shared_scan,omitempty"`
 
 	Chain      string `json:"chain,omitempty"`
 	FinalSort  string `json:"final_sort,omitempty"`
@@ -121,6 +124,7 @@ func TrailerFor(m *windowdb.QueryMetrics) StreamTrailer {
 	t.ElapsedMillis = float64(m.Elapsed) / float64(time.Millisecond)
 	t.QueuedMillis = float64(m.Queued) / float64(time.Millisecond)
 	t.CacheHit = m.CacheHit
+	t.SharedScan = m.SharedScan
 	t.Chain = m.Chain
 	t.FinalSort = m.FinalSort
 	t.Route = m.Route

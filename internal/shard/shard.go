@@ -747,6 +747,7 @@ func (c *Cluster) streamScatter(ctx context.Context, src string, prep *sql.Prepa
 	req := service.ShardQueryRequest{
 		SQL: src, Mode: string(ModeLocal), Stream: true,
 		Fingerprint: prep.Fingerprint(),
+		SubplanFP:   prep.SubplanFingerprint(),
 	}
 	streams, streamCancel, err := c.openStreams(ctx, len(c.shards), func(ctx context.Context, i int) (RowStream, error) {
 		return c.shards[i].QueryStream(ctx, req)

@@ -143,7 +143,7 @@ func (l *Local) Query(ctx context.Context, sql string, mode Mode) (*QueryOutcome
 		err error
 	)
 	if mode == ModeLocal {
-		res, err = l.svc.QueryShardLocal(ctx, sql)
+		res, err = l.svc.QueryShardLocal(ctx, sql, "")
 	} else {
 		res, err = l.svc.Query(ctx, sql)
 	}
@@ -168,7 +168,7 @@ func (l *Local) QueryStream(ctx context.Context, req service.ShardQueryRequest) 
 		err  error
 	)
 	if Mode(req.Mode) == ModeLocal {
-		rows, err = l.svc.StreamShardLocal(ctx, req.SQL, req.Fingerprint)
+		rows, err = l.svc.StreamShardLocal(ctx, req.SQL, req.Fingerprint, req.SubplanFP)
 	} else {
 		rows, err = l.svc.QueryContext(ctx, req.SQL)
 	}

@@ -109,6 +109,34 @@ func (l *lexer) lex() ([]token, error) {
 				l.pos++
 			}
 			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '"':
+			// Double-quoted identifier: the content is the name as written
+			// (no case folding, "" escapes one quote). It lexes to the same
+			// tokIdent a bare spelling would, so `"ws_item_sk"` and
+			// `ws_item_sk` parse identically; quoting only matters when the
+			// name collides with a keyword or holds non-identifier runes.
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, l.error(start, "unterminated quoted identifier")
+				}
+				if l.src[l.pos] == '"' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+						sb.WriteByte('"')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if sb.Len() == 0 {
+				return nil, l.error(start, "empty quoted identifier")
+			}
+			out = append(out, token{kind: tokIdent, text: sb.String(), pos: start})
 		default:
 			// Multi-char operators first.
 			for _, op := range []string{"<>", "<=", ">=", "!="} {
@@ -154,4 +182,64 @@ func isIdentStart(c rune) bool {
 
 func isIdentPart(c rune) bool {
 	return c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}
+
+// IsBareIdent reports whether s lexes as one unquoted identifier — i.e.
+// double-quoting it is redundant. Keywords are not bare: they need the
+// quotes to read as names rather than syntax.
+func IsBareIdent(s string) bool {
+	for i, r := range s {
+		if i == 0 {
+			if !isIdentStart(r) {
+				return false
+			}
+		} else if !isIdentPart(r) {
+			return false
+		}
+	}
+	return s != "" && !keywords[strings.ToUpper(s)]
+}
+
+// Canonical renders src as a canonical statement key: tokens joined by
+// single spaces, keywords upper-cased, comments dropped, strings re-quoted
+// with doubled-quote escapes, and quoted identifiers unquoted whenever the
+// quotes are redundant (IsBareIdent). Two texts get one key exactly when
+// they lex to the same token stream, so the spacing, comment, keyword-case
+// and quoting variants one dashboard fleet emits collapse to one cache
+// slot while semantically distinct statements never collide. Identifier
+// case is preserved — it is semantic (an alias names its output column
+// with its written spelling). Fails where the lexer fails; callers keying
+// arbitrary text need a fallback.
+func Canonical(src string) (string, error) {
+	toks, err := (&lexer{src: src}).lex()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokString:
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.text, `'`, `''`))
+			b.WriteByte('\'')
+		case tokIdent:
+			if IsBareIdent(t.text) {
+				b.WriteString(t.text)
+			} else {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(t.text, `"`, `""`))
+				b.WriteByte('"')
+			}
+		default:
+			b.WriteString(t.text)
+		}
+	}
+	return b.String(), nil
 }

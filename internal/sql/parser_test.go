@@ -131,3 +131,54 @@ func TestParseMoreErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestQuotedIdentifiers(t *testing.T) {
+	q, err := Parse(`SELECT "a", sum("c") OVER (PARTITION BY "a" ORDER BY "d") AS "Total", "order" FROM "t" WHERE "a" >= 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "t" {
+		t.Errorf("quoted table: %q", q.Table)
+	}
+	if q.Items[1].Alias != "Total" {
+		t.Errorf("quoted alias kept its case: %q", q.Items[1].Alias)
+	}
+	if q.Items[2].Column != "order" {
+		t.Errorf("quoted keyword as column: %+v", q.Items[2])
+	}
+	bad := []string{
+		`SELECT "a FROM t`, // unterminated
+		`SELECT "" FROM t`, // empty
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"select  a\nfrom t -- c", "SELECT a FROM t"},
+		{`SELECT "a", "it""s", "order" FROM "t"`, `SELECT a , "it""s" , "order" FROM t`},
+		{`SELECT 'it''s' FROM t WHERE a <> 2.50`, `SELECT 'it''s' FROM t WHERE a <> 2.50`},
+	}
+	for _, tc := range cases {
+		got, err := Canonical(tc.in)
+		if err != nil {
+			t.Errorf("Canonical(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Canonical(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+		// Canonical is a fixed point: re-rendering changes nothing.
+		again, err := Canonical(got)
+		if err != nil || again != got {
+			t.Errorf("Canonical(%q) not a fixed point: %q, %v", got, again, err)
+		}
+	}
+	if _, err := Canonical("SELECT $"); err == nil {
+		t.Error("Canonical should fail where the lexer fails")
+	}
+}

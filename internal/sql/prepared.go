@@ -46,6 +46,10 @@ type Prepared struct {
 	plan       *core.Plan // nil when the query has no window functions
 	alignOrder attrs.Seq
 	wfCol      map[int]int // wf ID -> column index in the executed table
+	// shareable marks a chain that splits at the subplan seam: one leading
+	// heavy reorder, every later step reorder-free, sequential execution
+	// (see subplan.go).
+	shareable bool
 
 	outCols []storage.Column
 	pick    []int // executed-table source column per output column
@@ -251,10 +255,18 @@ func (r *Runner) prepare(q *Query, src string) (*Prepared, error) {
 		if err != nil {
 			return nil, err
 		}
+		if r.Scheme == SchemeCSO || r.Scheme == "" {
+			// Factor-window rewrite (core/rewrite.go): keep the heavy-first
+			// variant when it validates and costs strictly less.
+			if alt := core.RewriteAlternative(ws, core.Unordered(), opt, plan); alt != nil {
+				plan = alt
+			}
+		}
 		p.plan = plan
 		for pos, step := range plan.Steps {
 			p.wfCol[step.WF.ID] = schema.Len() + pos
 		}
+		p.shareable = shareableChain(plan) && r.Exec.Parallelism <= 1
 	}
 
 	// Projection: the executed table is the base schema extended with one
@@ -298,6 +310,25 @@ func (r *Runner) prepare(q *Query, src string) (*Prepared, error) {
 		p.orderKey = append(p.orderKey, attrs.Elem{Attr: attrs.ID(c), Desc: item.Desc, NullsFirst: item.NullsFirst})
 	}
 	return p, nil
+}
+
+// shareableChain reports whether a planned chain is a single heavy reorder
+// followed by reorder-free evaluation — the physical shape the subplan
+// seam (subplan.go) can split and the shared-subplan cache can serve.
+func shareableChain(plan *core.Plan) bool {
+	if plan == nil || len(plan.Steps) == 0 {
+		return false
+	}
+	lead := plan.Steps[0].Reorder
+	if lead != core.ReorderFS && lead != core.ReorderHS {
+		return false
+	}
+	for _, s := range plan.Steps[1:] {
+		if s.Reorder != core.ReorderNone {
+			return false
+		}
+	}
+	return true
 }
 
 // Execute runs the prepared query without a deadline.

@@ -69,6 +69,12 @@ type Result struct {
 	// Watermark is the table data generation a maintained (SUBSCRIBE)
 	// cursor's output is current as of; 0 for one-shot queries.
 	Watermark uint64
+	// SharedScan is the shared-subplan cache disposition of this execution
+	// — "miss" (this query ran the scan), "hit" (served from a completed
+	// segment) or "attach" (waited on an in-flight scan). Empty when the
+	// execution did not go through the shared-subplan cache. Set by the
+	// serving layer.
+	SharedScan string
 }
 
 // Query parses, plans and executes one window query block.

@@ -76,6 +76,11 @@ type QueryMetrics struct {
 	Parallelism int
 	// CacheHit reports a prepared-plan cache hit at the serving layer.
 	CacheHit bool
+	// SharedScan is the shared-subplan cache disposition — "miss" (this
+	// query ran the scan), "hit" (served from a completed shared segment)
+	// or "attach" (waited on an in-flight scan). Empty when the execution
+	// did not go through the shared-subplan cache.
+	SharedScan string
 	// Route is the cluster routing decision ("scatter", "shuffle",
 	// "gather", "replica"), "" for single-engine backends.
 	Route string

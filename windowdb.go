@@ -290,6 +290,7 @@ func MetaFromResult(res *sql.Result) *QueryMetrics {
 		Parallelism:     res.Parallelism,
 		EstRows:         res.EstRows,
 		Watermark:       res.Watermark,
+		SharedScan:      res.SharedScan,
 	}
 	if res.Plan != nil {
 		m.Chain = res.Plan.PaperString()
